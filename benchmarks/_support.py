@@ -1,0 +1,63 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it runs the corresponding workload(s), computes the series the paper
+plots, prints them (run pytest with ``-s`` to see the rendered charts),
+and asserts the *shape* the paper reports — who wins, roughly by what
+factor, where the qualitative breaks fall.  Absolute numbers differ from
+the paper's AMD Opteron testbed by construction.
+
+Workload traces are cached per-session so a figure needing several
+metrics over the same trace only executes the workload once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core import (
+    EXTERNAL_ONLY_POLICY,
+    FULL_POLICY,
+    RMS_POLICY,
+    InputPolicy,
+    ProfileReport,
+    profile_events,
+)
+from repro.core.events import Event
+from repro.workloads.registry import get_workload
+
+_TRACE_CACHE: Dict[Tuple[str, int, int], List[Event]] = {}
+
+
+def workload_trace(name: str, threads: int = 4, scale: int = 1) -> List[Event]:
+    """Run a registered workload once and cache its event trace."""
+    key = (name, threads, scale)
+    if key not in _TRACE_CACHE:
+        machine = get_workload(name).build(threads=threads, scale=scale)
+        machine.run()
+        _TRACE_CACHE[key] = machine.trace
+    return _TRACE_CACHE[key]
+
+
+def profile(
+    trace: List[Event], policy: InputPolicy = FULL_POLICY
+) -> ProfileReport:
+    return profile_events(trace, policy=policy)
+
+
+def rms_and_drms(trace: List[Event]) -> Tuple[ProfileReport, ProfileReport]:
+    return (
+        profile_events(trace, policy=RMS_POLICY),
+        profile_events(trace, policy=FULL_POLICY),
+    )
+
+
+def external_only(trace: List[Event]) -> ProfileReport:
+    return profile_events(trace, policy=EXTERNAL_ONLY_POLICY)
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,92 @@
+"""Ablation — naive set-based algorithm vs read/write timestamping.
+
+Section 3.1 dismisses the naive approach as "extremely time-consuming"
+because every write by any thread must touch the location sets of every
+pending activation of every *other* thread, and memory can be resident
+in all of them at once (space ~ memory x stack depth x threads).  This
+ablation measures both engines on the same traces and checks the
+asymptotic gap the efficient algorithm was designed to open:
+
+* runtime ratio (naive / timestamping) grows with thread count on a
+  write-heavy sharing workload;
+* both engines agree on every drms value (the oracle property, spot-
+  checked here once more on the measured traces).
+"""
+
+import time
+
+from _support import print_banner
+from repro.core import DrmsProfiler, NaiveDrmsProfiler
+from repro.core.events import Call, Read, Return, Write
+from repro.core.tracing import with_switches
+
+THREAD_COUNTS = (2, 4, 8, 16)
+STACK_DEPTH = 16
+ROUNDS = 40
+SHARED_CELLS = 12
+
+
+def sharing_trace(threads):
+    """The naive algorithm's worst case, straight from Section 3.1: every
+    thread keeps a deep stack of pending activations, and shared cells
+    are written and re-read constantly — each write forces the naive
+    engine to purge the location from every activation of every other
+    thread (O(threads x depth) per write), while the timestamping
+    engine does O(1) work."""
+    events = []
+    for tid in range(1, threads + 1):
+        for level in range(STACK_DEPTH):
+            events.append(Call(tid, f"r{level}"))
+    for round_index in range(ROUNDS):
+        for tid in range(1, threads + 1):
+            for cell in range(SHARED_CELLS):
+                events.append(Write(tid, cell))
+            for cell in range(SHARED_CELLS):
+                events.append(Read(tid, cell))
+    for tid in range(1, threads + 1):
+        for _ in range(STACK_DEPTH):
+            events.append(Return(tid))
+    return with_switches(events)
+
+
+def time_engine(engine_factory, events, repeats=3):
+    best = float("inf")
+    engine = None
+    for _ in range(repeats):
+        engine = engine_factory()
+        start = time.perf_counter()
+        engine.run(events)
+        best = min(best, time.perf_counter() - start)
+    return best, engine
+
+
+def test_ablation_naive_vs_timestamping(benchmark):
+    traces = {t: sharing_trace(t) for t in THREAD_COUNTS}
+    results = {}
+
+    def run_all():
+        for threads, events in traces.items():
+            fast_time, fast = time_engine(DrmsProfiler, events)
+            slow_time, slow = time_engine(NaiveDrmsProfiler, events)
+            assert (
+                fast.profiles.activations == slow.profiles.activations
+            ), "the two engines must agree exactly"
+            results[threads] = (fast_time, slow_time)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_banner("Ablation: naive (Fig. 7) vs timestamping (Fig. 8)")
+    print(f"{'threads':>8} {'events':>8} {'naive/fast':>11}")
+    ratios = {}
+    for threads in THREAD_COUNTS:
+        fast_time, slow_time = results[threads]
+        ratios[threads] = slow_time / fast_time
+        print(
+            f"{threads:>8} {len(traces[threads]):>8} {ratios[threads]:>10.2f}x"
+        )
+
+    # the naive engine is never cheaper, and its disadvantage grows
+    # with the number of threads (cross-thread invalidation cost)
+    assert all(r > 1.0 for r in ratios.values())
+    assert ratios[THREAD_COUNTS[-1]] > ratios[THREAD_COUNTS[0]]

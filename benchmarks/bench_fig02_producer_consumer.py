@@ -1,0 +1,52 @@
+"""Figure 2 — producer-consumer: rms stays 1 while drms tracks n.
+
+Regenerates the paper's Pattern 1 claim: after the producer has written
+n values to the shared location, ``rms(consumer) = 1`` and
+``drms(consumer) = n`` — the rms is blind to the entire workload.
+"""
+
+import pytest
+
+from _support import print_banner, rms_and_drms
+from repro.core import profile_events
+from repro.workloads.patterns import producer_consumer
+
+ITEM_COUNTS = (5, 10, 20, 40, 80)
+
+
+def run_pattern(n):
+    machine = producer_consumer(n)
+    machine.run()
+    return machine.trace
+
+
+def consumer_size(report):
+    profile = report.routine("consumer")
+    (size,) = profile.points
+    return size
+
+
+def test_fig02_producer_consumer(benchmark):
+    traces = {n: run_pattern(n) for n in ITEM_COUNTS}
+    benchmark.pedantic(
+        lambda: [rms_and_drms(trace) for trace in traces.values()],
+        rounds=3,
+        iterations=1,
+    )
+    print_banner("Figure 2: producer-consumer (semaphore alternation)")
+    print(f"{'n items':>8} {'rms(consumer)':>14} {'drms(consumer)':>15}")
+    for n, trace in traces.items():
+        rms_report, drms_report = rms_and_drms(trace)
+        rms = consumer_size(rms_report)
+        drms = consumer_size(drms_report)
+        print(f"{n:>8} {rms:>14} {drms:>15}")
+        assert rms == 1, "rms must collapse the consumer's workload to 1"
+        assert drms == n, "drms must equal the number of produced items"
+
+
+@pytest.mark.parametrize("n", [40])
+def test_fig02_profiling_throughput(benchmark, n):
+    """Time the drms profiling pass itself on this pattern's trace."""
+    trace = run_pattern(n)
+    report = benchmark(lambda: profile_events(trace))
+    assert report.routine("consumer").calls == 1

@@ -1,0 +1,52 @@
+"""Figure 3 — buffered data streaming: rms stays 1 while drms tracks n.
+
+Pattern 2 of the paper: the kernel refills a 2-cell buffer n times,
+only ``b[0]`` is consumed each iteration.  ``rms(streamReader) = 1``,
+``drms(streamReader) = n`` (all induced first-reads are external input).
+"""
+
+from _support import print_banner, rms_and_drms
+from repro.core import profile_events
+from repro.workloads.patterns import stream_reader
+
+ITERATIONS = (5, 10, 20, 40, 80)
+
+
+def run_pattern(n):
+    machine = stream_reader(n)
+    machine.run()
+    return machine.trace
+
+
+def reader_size(report):
+    (size,) = report.routine("streamReader").points
+    return size
+
+
+def test_fig03_stream_reader(benchmark):
+    traces = {n: run_pattern(n) for n in ITERATIONS}
+    benchmark.pedantic(
+        lambda: [rms_and_drms(trace) for trace in traces.values()],
+        rounds=3,
+        iterations=1,
+    )
+    print_banner("Figure 3: buffered read from a data stream")
+    print(f"{'n iters':>8} {'rms':>6} {'drms':>6} {'external-induced':>17}")
+    for n, trace in traces.items():
+        rms_report, drms_report = rms_and_drms(trace)
+        rms = reader_size(rms_report)
+        drms = reader_size(drms_report)
+        _plain, thread_induced, kernel_induced = drms_report.induced_split(
+            "streamReader"
+        )
+        print(f"{n:>8} {rms:>6} {drms:>6} {kernel_induced:>17}")
+        assert rms == 1
+        assert drms == n
+        assert kernel_induced == n
+        assert thread_induced == 0
+
+
+def test_fig03_throughput(benchmark):
+    trace = run_pattern(80)
+    report = benchmark(lambda: profile_events(trace))
+    assert reader_size(report) == 80

@@ -1,0 +1,68 @@
+"""Figure 4 — MySQL ``mysql_select`` worst-case cost plots, rms vs drms.
+
+The paper's first case study: querying tables of increasing sizes with
+``SELECT *``.  The rms barely moves (the scan buffer is reused), so the
+rms cost plot suggests a false superlinear trend; the drms counts every
+buffer refill and correctly exposes the linear cost function.
+"""
+
+from _support import print_banner, rms_and_drms
+from repro.analysis.costfunc import best_fit, powerlaw_exponent
+from repro.analysis.plots import Series, ascii_scatter
+from repro.workloads.mysql import select_sweep
+
+TABLE_ROWS = (64, 128, 256, 512, 1024, 2048)
+
+
+def run_experiment():
+    machine = select_sweep(table_rows=TABLE_ROWS)
+    machine.run()
+    return machine.trace
+
+
+def test_fig04_mysql_select(benchmark):
+    trace = run_experiment()
+    rms_report, drms_report = benchmark.pedantic(
+        lambda: rms_and_drms(trace), rounds=3, iterations=1
+    )
+    rms_plot = rms_report.worst_case_plot("mysql_select")
+    drms_plot = drms_report.worst_case_plot("mysql_select")
+
+    print_banner("Figure 4: mysql_select worst-case cost plots")
+    print(
+        ascii_scatter(
+            [Series("rms", [(float(n), float(c)) for n, c in rms_plot])],
+            title="cost (executed BB) vs RMS",
+            x_label="rms",
+            y_label="BB",
+        )
+    )
+    print(
+        ascii_scatter(
+            [Series("drms", [(float(n), float(c)) for n, c in drms_plot])],
+            title="cost (executed BB) vs DRMS",
+            x_label="drms",
+            y_label="BB",
+        )
+    )
+    rms_exponent = powerlaw_exponent(rms_plot)
+    drms_exponent = powerlaw_exponent(drms_plot)
+    drms_model = best_fit(drms_plot).model
+    print(f"rms  plot: log-log exponent = {rms_exponent:6.2f}  (false trend)")
+    print(
+        f"drms plot: log-log exponent = {drms_exponent:6.2f}  "
+        f"best fit = {drms_model}"
+    )
+
+    # the paper's qualitative claim: drms linear, rms superlinear artefact
+    assert 0.85 <= drms_exponent <= 1.15
+    assert drms_model == "O(n)"
+    assert rms_exponent > 2.0, "rms must suggest a false superlinear trend"
+    # one query per table size, each with a distinct drms
+    assert len(drms_plot) == len(TABLE_ROWS)
+    # rms input sizes barely grow: whole sweep within a ~2x band
+    rms_sizes = [n for n, _ in rms_plot]
+    assert max(rms_sizes) <= 2 * min(rms_sizes)
+    # drms input sizes track table sizes (32x growth over the sweep)
+    drms_sizes = [n for n, _ in drms_plot]
+    assert max(drms_sizes) >= 16 * min(drms_sizes)

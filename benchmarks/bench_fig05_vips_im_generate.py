@@ -1,0 +1,60 @@
+"""Figure 5 — vips ``im_generate`` worst-case cost plots, rms vs drms.
+
+Same artefact as Figure 4 but the dynamic input comes from *threads*:
+worker threads fill the reused region buffer, so the rms stays near the
+buffer size while cost grows with the image — a false superlinear trend
+that the drms corrects to linear.
+"""
+
+from _support import print_banner, rms_and_drms
+from repro.analysis.costfunc import best_fit, powerlaw_exponent
+from repro.analysis.plots import Series, ascii_scatter
+from repro.workloads.vips import im_generate_sweep
+
+TILE_COUNTS = (4, 8, 16, 32, 64, 128)
+
+
+def run_experiment():
+    machine = im_generate_sweep(tile_counts=TILE_COUNTS)
+    machine.run()
+    return machine.trace
+
+
+def test_fig05_im_generate(benchmark):
+    trace = run_experiment()
+    rms_report, drms_report = benchmark.pedantic(
+        lambda: rms_and_drms(trace), rounds=3, iterations=1
+    )
+    rms_plot = rms_report.worst_case_plot("im_generate")
+    drms_plot = drms_report.worst_case_plot("im_generate")
+
+    print_banner("Figure 5: im_generate worst-case cost plots (vips)")
+    print(
+        ascii_scatter(
+            [Series("rms", [(float(n), float(c)) for n, c in rms_plot])],
+            title="cost (executed BB) vs RMS",
+            x_label="rms",
+            y_label="BB",
+        )
+    )
+    print(
+        ascii_scatter(
+            [Series("drms", [(float(n), float(c)) for n, c in drms_plot])],
+            title="cost (executed BB) vs DRMS",
+            x_label="drms",
+            y_label="BB",
+        )
+    )
+    rms_exponent = powerlaw_exponent(rms_plot)
+    drms_exponent = powerlaw_exponent(drms_plot)
+    print(f"rms  exponent = {rms_exponent:6.2f}   drms exponent = {drms_exponent:6.2f}")
+
+    assert 0.85 <= drms_exponent <= 1.15
+    assert best_fit(drms_plot).model == "O(n)"
+    assert rms_exponent > 2.0
+    # thread input dominates the induced first-reads of im_generate
+    _plain, thread_induced, kernel_induced = drms_report.induced_split(
+        "im_generate"
+    )
+    assert thread_induced > 0
+    assert kernel_induced == 0

@@ -1,0 +1,62 @@
+"""Figure 6 — vips ``wbuffer_write_thread``: profile richness of
+rms vs drms(external) vs drms(full).
+
+The paper's sharpest richness example: 110 calls of the write-behind
+thread collapse onto just **2** distinct rms values; counting external
+input yields an intermediate number of points; counting thread input as
+well makes **every one of the 110 calls** a distinct point.
+"""
+
+from _support import external_only, print_banner, rms_and_drms
+from repro.analysis.plots import Series, ascii_scatter
+from repro.workloads.vips import wbuffer_workload
+
+CALLS = 110
+
+
+def run_experiment():
+    machine = wbuffer_workload(calls=CALLS)
+    machine.run()
+    return machine.trace
+
+
+def test_fig06_wbuffer_write_thread(benchmark):
+    trace = run_experiment()
+    rms_report, drms_report = rms_and_drms(trace)
+    external_report = benchmark.pedantic(
+        lambda: external_only(trace), rounds=1, iterations=1
+    )
+
+    plots = {
+        "(a) rms": rms_report.worst_case_plot("wbuffer_write_thread"),
+        "(b) drms external only": external_report.worst_case_plot(
+            "wbuffer_write_thread"
+        ),
+        "(c) drms full": drms_report.worst_case_plot("wbuffer_write_thread"),
+    }
+    print_banner("Figure 6: wbuffer_write_thread cost plots")
+    for label, plot in plots.items():
+        print(
+            ascii_scatter(
+                [Series(label, [(float(n), float(c)) for n, c in plot])],
+                title=f"{label}: {len(plot)} distinct input sizes",
+                x_label="input size",
+                y_label="BB",
+            )
+        )
+    counts = {label: len(plot) for label, plot in plots.items()}
+    print("distinct points:", counts)
+
+    # the 2 / intermediate / all-110 structure of the paper
+    assert counts["(a) rms"] == 2
+    assert 2 < counts["(b) drms external only"] < CALLS
+    assert counts["(c) drms full"] == CALLS
+    # call counts agree across metrics
+    for report in (rms_report, external_report, drms_report):
+        assert report.routine("wbuffer_write_thread").calls == CALLS
+    # the high cost variance the paper flags on the 2 rms points
+    rms_profile = rms_report.routine("wbuffer_write_thread")
+    for stats in rms_profile.points.values():
+        assert stats.max_cost > 2 * stats.min_cost, (
+            "each rms point must aggregate calls of wildly different cost"
+        )

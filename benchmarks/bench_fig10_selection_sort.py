@@ -1,0 +1,73 @@
+"""Figure 10 — selection sort: counting basic blocks vs measuring time.
+
+The paper justifies using executed basic blocks as the cost metric:
+the trend matches running time, with far lower variance.  We regenerate
+both plots — cost in blocks, and cost through the noisy nanosecond
+clock model — and check that both classify as quadratic while the block
+plot fits strictly better.
+"""
+
+from _support import print_banner
+from repro.analysis.costfunc import fit_model, MODELS, powerlaw_exponent
+from repro.analysis.plots import Series, ascii_scatter
+from repro.core import profile_events
+from repro.vm.cost import TimeModel
+from repro.workloads.sorting import selection_sort_sweep
+
+SIZES = (8, 16, 24, 32, 48, 64, 96, 128)
+
+
+def run_experiment():
+    machine = selection_sort_sweep(sizes=SIZES)
+    machine.run()
+    return machine.trace
+
+
+def quadratic_r2(points):
+    quadratic = next(m for m in MODELS if m.name == "O(n^2)")
+    return fit_model(points, quadratic).r_squared
+
+
+def test_fig10_selection_sort(benchmark):
+    trace = run_experiment()
+    report = benchmark.pedantic(
+        lambda: profile_events(trace), rounds=3, iterations=1
+    )
+    bb_plot = report.worst_case_plot("selection_sort")
+    clock = TimeModel(seed=42)
+    ns_plot = [(n, clock.ns(cost)) for n, cost in bb_plot]
+
+    print_banner("Figure 10: selection sort — blocks vs nanoseconds")
+    print(
+        ascii_scatter(
+            [Series("BB", [(float(n), float(c)) for n, c in bb_plot])],
+            title="cost (executed BB)",
+            x_label="rms",
+            y_label="BB",
+        )
+    )
+    print(
+        ascii_scatter(
+            [Series("ns", [(float(n), float(c)) for n, c in ns_plot])],
+            title="cost (nanoseconds, noisy clock)",
+            x_label="rms",
+            y_label="ns",
+        )
+    )
+    bb_r2 = quadratic_r2(bb_plot)
+    ns_r2 = quadratic_r2(ns_plot)
+    print(f"O(n^2) fit: BB R^2 = {bb_r2:.4f}   ns R^2 = {ns_r2:.4f}")
+    print(f"BB exponent = {powerlaw_exponent(bb_plot):.2f}")
+
+    # same trend on both metrics...
+    assert 1.7 <= powerlaw_exponent(bb_plot) <= 2.2
+    assert 1.5 <= powerlaw_exponent(ns_plot) <= 2.5
+    # ...but the block counts are the cleaner signal
+    assert bb_r2 > 0.995
+    assert bb_r2 >= ns_r2
+    # static workload: rms == drms here (no dynamic input at all)
+    _plain, thread_induced, kernel_induced = report.induced_split(
+        "selection_sort"
+    )
+    assert thread_induced == 0
+    assert kernel_induced == 0

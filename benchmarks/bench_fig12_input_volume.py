@@ -1,0 +1,78 @@
+"""Figure 12 — dynamic input volume of drms w.r.t. rms.
+
+A point (x, y) means x% of routines have dynamic input volume >= y.
+The paper: curves decrease steeply from ~100 to 0 with the knee around
+x ~= 8% — a small fraction of routines (the I/O and inter-thread
+communication layer) carries almost all dynamic input, and for those
+routines the rms alone cannot predict the input size.
+"""
+
+from _support import print_banner, rms_and_drms, workload_trace
+from repro.analysis.metrics import (
+    dynamic_input_volume,
+    dynamic_input_volume_per_routine,
+    tail_curve,
+)
+from repro.analysis.plots import Series, ascii_scatter
+
+BENCHMARKS = (
+    "fluidanimate",
+    "mysqlslap",
+    "smithwa",
+    "dedup",
+    "nab",
+    "bodytrack",
+    "swaptions",
+    "vips",
+    "x264",
+)
+X_POINTS = (0.5, 1, 2, 4, 8, 16, 32, 64)
+
+
+def volumes_for(name):
+    trace = workload_trace(name, threads=4, scale=2)
+    rms_report, drms_report = rms_and_drms(trace)
+    per_routine = dynamic_input_volume_per_routine(rms_report, drms_report)
+    overall = dynamic_input_volume(rms_report, drms_report)
+    return per_routine, overall
+
+
+def test_fig12_dynamic_input_volume(benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: volumes_for(name) for name in BENCHMARKS},
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Figure 12: dynamic input volume (x100)")
+    series = []
+    for name in BENCHMARKS:
+        per_routine, overall = results[name]
+        curve = tail_curve(per_routine, points=X_POINTS)
+        series.append(Series(name, [(x, 100 * y) for x, y in curve]))
+        rows = "  ".join(f"{x:g}%:{100 * y:.0f}" for x, y in curve)
+        print(f"{name:>14} (overall {100 * overall:5.1f}): {rows}")
+    print()
+    print(
+        ascii_scatter(
+            series[:4],
+            title="tail curves (x% of routines have volume*100 >= y)",
+            x_label="% of routines",
+            y_label="volume x100",
+        )
+    )
+
+    for name in BENCHMARKS:
+        per_routine, overall = results[name]
+        values = list(per_routine.values())
+        # volume lives in [0, 1)
+        assert all(0.0 <= v < 1.0 for v in values), name
+        assert 0.0 <= overall < 1.0
+        # communication-heavy routines exist in every dynamic benchmark
+        if name != "swaptions":
+            assert max(values) > 0.3, name
+        # the curve decreases: most routines have little dynamic input
+        top = sorted(values, reverse=True)
+        assert top[-1] <= top[0]
+    # dedup and mysqlslap carry large whole-execution dynamic volume
+    assert results["dedup"][1] > 0.4
+    assert results["mysqlslap"][1] > 0.4

@@ -1,0 +1,56 @@
+"""Figure 13 — routine-by-routine thread vs external input, MySQL & vips.
+
+For each routine (sorted by decreasing induced-first-read percentage)
+the histogram splits its induced first-reads between thread input and
+external input.  The paper's headline: MySQL's induced reads are mostly
+*external* (network + disk), vips' mostly *thread* (data-parallel image
+processing).
+"""
+
+from _support import print_banner, profile, workload_trace
+from repro.analysis.metrics import routine_input_shares
+from repro.analysis.plots import stacked_histogram
+
+
+def shares_for(name):
+    report = profile(workload_trace(name, threads=4, scale=2))
+    return routine_input_shares(report)
+
+
+def aggregate(shares):
+    """First-read-weighted mean of the per-routine percentages."""
+    weight = sum(s.first_reads for s in shares) or 1
+    thread_total = sum(s.thread_pct * s.first_reads for s in shares)
+    external_total = sum(s.external_pct * s.first_reads for s in shares)
+    return thread_total / weight, external_total / weight
+
+
+def test_fig13_mysql_and_vips_routine_split(benchmark):
+    shares = benchmark.pedantic(
+        lambda: {name: shares_for(name) for name in ("mysqlslap", "vips")},
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Figure 13: per-routine induced first-read split")
+    for name, routine_shares in shares.items():
+        bars = [
+            (s.routine, s.thread_pct, s.external_pct)
+            for s in routine_shares[:12]
+        ]
+        print(stacked_histogram(bars, title=f"({name}) % induced first-reads"))
+
+    mysql_thread, mysql_external = aggregate(shares["mysqlslap"])
+    vips_thread, vips_external = aggregate(shares["vips"])
+    print(
+        f"mysqlslap: thread {mysql_thread:.1f}%  external {mysql_external:.1f}%"
+    )
+    print(f"vips:      thread {vips_thread:.1f}%  external {vips_external:.1f}%")
+
+    # MySQL: external input dominates (network and I/O)
+    assert mysql_external > mysql_thread
+    # vips: thread input predominant (data-parallel image processing)
+    assert vips_thread > vips_external
+    # the sort order of the histogram holds
+    for routine_shares in shares.values():
+        induced = [s.induced_pct for s in routine_shares]
+        assert induced == sorted(induced, reverse=True)

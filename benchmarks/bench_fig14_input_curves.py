@@ -1,0 +1,64 @@
+"""Figure 14 — thread and external input on a routine basis.
+
+A point (x, y) on a benchmark's curve means x% of its routines take at
+least y% of their (possibly induced) first-reads from other threads
+(left panel) or from the kernel (right panel).  E.g. the paper reads
+off that for dedup, 16% of routines get >= 20% of their first-reads
+from thread intercommunication.
+"""
+
+from _support import print_banner, profile, workload_trace
+from repro.analysis.metrics import routine_input_shares, tail_curve
+
+BENCHMARKS = ("swaptions", "bodytrack", "smithwa", "kdtree", "dedup", "x264")
+X_POINTS = (0.5, 1, 2, 4, 8, 16, 32, 64)
+
+
+def input_curves(name):
+    report = profile(workload_trace(name, threads=4, scale=2))
+    shares = routine_input_shares(report)
+    thread = {s.routine: s.thread_pct for s in shares}
+    external = {s.routine: s.external_pct for s in shares}
+    return (
+        tail_curve(thread, points=X_POINTS),
+        tail_curve(external, points=X_POINTS),
+    )
+
+
+def test_fig14_thread_and_external_input_curves(benchmark):
+    curves = benchmark.pedantic(
+        lambda: {name: input_curves(name) for name in BENCHMARKS},
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Figure 14: thread / external input per routine")
+    print("thread input:")
+    for name in BENCHMARKS:
+        thread_curve, _ = curves[name]
+        print(
+            f"{name:>10}: "
+            + "  ".join(f"{x:g}%:{y:.0f}" for x, y in thread_curve)
+        )
+    print("external input:")
+    for name in BENCHMARKS:
+        _, external_curve = curves[name]
+        print(
+            f"{name:>10}: "
+            + "  ".join(f"{x:g}%:{y:.0f}" for x, y in external_curve)
+        )
+
+    for name in BENCHMARKS:
+        thread_curve, external_curve = curves[name]
+        # tail curves are non-increasing and bounded by 100%
+        for curve in (thread_curve, external_curve):
+            ys = [y for _, y in curve]
+            assert all(0.0 <= y <= 100.0 for y in ys)
+            assert ys == sorted(ys, reverse=True)
+    # communication-heavy benchmarks have routines dominated by thread input
+    for name in ("smithwa", "kdtree", "dedup"):
+        thread_curve, _ = curves[name]
+        assert thread_curve[0][1] > 50.0, name
+    # dedup and x264 also have routines with substantial external input
+    for name in ("dedup", "x264"):
+        _, external_curve = curves[name]
+        assert external_curve[0][1] > 20.0, name

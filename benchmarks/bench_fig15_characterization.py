@@ -1,0 +1,55 @@
+"""Figure 15 — characterization of induced first-reads across benchmarks.
+
+One stacked bar per benchmark (thread % + external % of induced
+first-reads, summing to 100), sorted by decreasing thread input.  The
+paper's headline observation, asserted here: *the SPEC OMP2012
+benchmarks get naturally clustered in the high-thread-input part of the
+histogram, all with thread input larger than 69%*.
+"""
+
+from _support import print_banner, profile, workload_trace
+from repro.analysis.metrics import induced_first_read_split
+from repro.analysis.plots import stacked_histogram
+from repro.workloads.registry import suite
+
+PARSEC = tuple(w.name for w in suite("parsec"))
+SPECOMP = tuple(w.name for w in suite("specomp"))
+APPS = ("mysqlslap",)
+
+
+def split_for(name):
+    report = profile(workload_trace(name, threads=4, scale=2))
+    return induced_first_read_split(report)
+
+
+def test_fig15_induced_first_read_characterization(benchmark):
+    names = SPECOMP + PARSEC + APPS
+    splits = benchmark.pedantic(
+        lambda: {name: split_for(name) for name in names},
+        rounds=1,
+        iterations=1,
+    )
+    ordered = sorted(splits.items(), key=lambda kv: -kv[1][0])
+    print_banner("Figure 15: induced first-reads, thread vs external")
+    bars = [(name, thread, external) for name, (thread, external) in ordered]
+    print(stacked_histogram(bars, title="% of induced first-reads"))
+
+    # every bar sums to ~100% (both components measured)
+    for name, (thread, external) in splits.items():
+        assert abs(thread + external - 100.0) < 1e-6, name
+
+    # SPEC OMP2012 clusters above 69% thread input
+    for name in SPECOMP:
+        thread, _external = splits[name]
+        assert thread > 69.0, f"{name} thread input {thread:.1f}%"
+
+    # mysqlslap sits at the external end of the histogram
+    mysql_thread, mysql_external = splits["mysqlslap"]
+    assert mysql_external > 90.0
+
+    # the sorted histogram interleaves: the leftmost bars are SPEC-like,
+    # the rightmost are the I/O-heavy applications
+    leftmost = [name for name, _ in ordered[:8]]
+    rightmost = [name for name, _ in ordered[-3:]]
+    assert sum(1 for n in leftmost if n in SPECOMP) >= 5
+    assert "mysqlslap" in rightmost

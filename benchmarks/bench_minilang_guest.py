@@ -1,0 +1,119 @@
+"""Guest-language reproduction of the case-study shapes.
+
+Cross-validation for the whole stack: the same figures the hand-written
+workloads reproduce must also emerge when the workloads are *programs*
+— written in minilang, compiled to basic-block bytecode and interpreted
+on the VM.  Covers the Figure 3 streaming pattern and a Figure 10-style
+quadratic sort, and measures the interpretation overhead of the guest
+path against the equivalent hand-written workload.
+"""
+
+import time
+
+from _support import print_banner
+from repro.analysis.costfunc import best_fit, powerlaw_exponent
+from repro.core import FULL_POLICY, RMS_POLICY, profile_events
+from repro.lang import compile_source, run_program
+from repro.workloads.sorting import selection_sort_sweep
+
+GUEST_STREAM = """
+fn stream_reader(iters) {
+  var b = alloc(2);
+  var total = 0;
+  var i = 0;
+  while (i < iters) {
+    input(b, 2);
+    total = total + b[0];
+    i = i + 1;
+  }
+  return total;
+}
+fn main(iters) { return stream_reader(iters); }
+"""
+
+GUEST_SORT = """
+fn fill(a, n, salt) {
+  var i = 0;
+  while (i < n) { a[i] = (n - i) * 13 % 97 + salt; i = i + 1; }
+  return 0;
+}
+fn selection_sort(a, n) {
+  var i = 0;
+  while (i < n - 1) {
+    var m = i;
+    var j = i + 1;
+    while (j < n) {
+      if (a[j] < a[m]) { m = j; }
+      j = j + 1;
+    }
+    var t = a[i]; a[i] = a[m]; a[m] = t;
+    i = i + 1;
+  }
+  return 0;
+}
+fn run_one(n) {
+  var a = alloc(n);
+  fill(a, n, n);
+  selection_sort(a, n);
+  return 0;
+}
+fn main() {
+  var n = 8;
+  while (n <= 96) {
+    run_one(n);
+    n = n * 2;
+  }
+  return 0;
+}
+"""
+
+
+def test_minilang_guest_figures(benchmark):
+    stream_program = compile_source(GUEST_STREAM)
+    sort_program = compile_source(GUEST_SORT)
+
+    def run_all():
+        stream_machine, _rt, _res = run_program(
+            stream_program, 40, input_data=iter(range(10_000))
+        )
+        sort_machine, _rt2, _res2 = run_program(sort_program)
+        return stream_machine, sort_machine
+
+    stream_machine, sort_machine = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    print_banner("Guest-language cross-validation (minilang)")
+    # Figure 3 in guest code
+    rms = profile_events(stream_machine.trace, policy=RMS_POLICY)
+    drms = profile_events(stream_machine.trace, policy=FULL_POLICY)
+    (rms_size,) = rms.routine("stream_reader").points
+    (drms_size,) = drms.routine("stream_reader").points
+    print(f"guest streamReader: rms={rms_size} drms={drms_size} (40 iters)")
+    assert rms_size == 1
+    assert drms_size == 40
+
+    # Figure 10-style quadratic sort in guest code
+    plot = profile_events(sort_machine.trace).worst_case_plot(
+        "selection_sort"
+    )
+    exponent = powerlaw_exponent(plot)
+    fit = best_fit(plot)
+    print(f"guest selection_sort: exponent={exponent:.2f} fit={fit.model}")
+    assert fit.model == "O(n^2)"
+    assert 1.6 <= exponent <= 2.2
+
+    # interpretation overhead: guest vs hand-written workload, same sizes
+    start = time.perf_counter()
+    handwritten = selection_sort_sweep(sizes=(8, 16, 32, 64, 96))
+    handwritten.run()
+    native_time = time.perf_counter() - start
+    start = time.perf_counter()
+    run_program(sort_program)
+    guest_time = time.perf_counter() - start
+    ratio = guest_time / max(native_time, 1e-9)
+    print(
+        f"interpretation overhead: guest {1000 * guest_time:.1f} ms vs "
+        f"hand-written {1000 * native_time:.1f} ms ({ratio:.1f}x)"
+    )
+    assert ratio < 50, "guest interpretation should stay within ~an order"

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Case study: predicting MySQL query cost on larger tables.
+
+Reproduces the Section 2.1 MySQL experiment end-to-end: run
+``SELECT *`` on tables of increasing sizes, profile ``mysql_select``
+under rms and drms, fit both cost plots, and *extrapolate* to a table
+four times larger than any profiled one — then actually run that query
+and compare.  The drms-based model predicts within a few percent; the
+rms-based model is wildly off because the rms under-estimates the
+input size.
+
+Run:  python examples/mysql_scaling.py
+"""
+
+from repro import RMS_POLICY, profile_events
+from repro.analysis.costfunc import best_fit, powerlaw_exponent
+from repro.workloads.mysql import select_sweep
+
+PROFILED_ROWS = (64, 128, 256, 512, 1024)
+TARGET_ROWS = 4096
+
+
+def profiled_cost(rows_list):
+    machine = select_sweep(table_rows=rows_list)
+    machine.run()
+    return machine.trace
+
+
+def main():
+    trace = profiled_cost(PROFILED_ROWS)
+    drms_report = profile_events(trace)
+    rms_report = profile_events(trace, policy=RMS_POLICY)
+
+    drms_plot = drms_report.worst_case_plot("mysql_select")
+    rms_plot = rms_report.worst_case_plot("mysql_select")
+    print("profiled tables:", PROFILED_ROWS)
+    print(f"drms plot: {drms_plot}")
+    print(f"rms  plot: {rms_plot}")
+    print()
+    print(f"drms log-log exponent: {powerlaw_exponent(drms_plot):5.2f} (true trend)")
+    print(f"rms  log-log exponent: {powerlaw_exponent(rms_plot):5.2f} (artefact!)")
+
+    drms_fit = best_fit(drms_plot)
+    print(f"\ndrms model: {drms_fit.model}, R^2 = {drms_fit.r_squared:.4f}")
+
+    # ground truth: actually run the big query
+    big_trace = profiled_cost(PROFILED_ROWS + (TARGET_ROWS,))
+    big_report = profile_events(big_trace)
+    big_plot = big_report.worst_case_plot("mysql_select")
+    big_size, actual_cost = max(big_plot)
+
+    predicted = drms_fit.predict(big_size)
+    error = abs(predicted - actual_cost) / actual_cost
+    print(f"\ntarget table: {TARGET_ROWS} rows (drms = {big_size})")
+    print(f"predicted cost: {predicted:12.0f} basic blocks")
+    print(f"actual cost:    {actual_cost:12.0f} basic blocks")
+    print(f"relative error: {100 * error:.2f}%")
+    if error < 0.1:
+        print("\n=> the drms-based empirical cost function extrapolates.")
+    else:
+        print("\n(unexpectedly large extrapolation error - investigate!)")
+
+
+if __name__ == "__main__":
+    main()

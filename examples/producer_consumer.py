@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Figure 2 live: watching the drms of a consumer grow with its workload.
+
+Runs the semaphore-based producer-consumer pattern at several item
+counts, showing side by side what the rms and the drms report as the
+consumer's input size, together with the external/thread attribution of
+every induced first-read.
+
+Run:  python examples/producer_consumer.py
+"""
+
+from repro import RMS_POLICY, profile_events
+from repro.workloads.patterns import producer_consumer, stream_reader
+
+
+def consumer_size(report):
+    (size,) = report.routine("consumer").points
+    return size
+
+
+def reader_size(report):
+    (size,) = report.routine("streamReader").points
+    return size
+
+
+def main():
+    print("Pattern 1: producer-consumer (thread input)")
+    print(f"{'items':>6} {'rms':>5} {'drms':>5} {'thread-induced':>15}")
+    for n in (1, 4, 16, 64):
+        machine = producer_consumer(n)
+        machine.run()
+        drms_report = profile_events(machine.trace)
+        rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+        _plain, thread_induced, _kernel = drms_report.induced_split("consumer")
+        print(
+            f"{n:>6} {consumer_size(rms_report):>5} "
+            f"{consumer_size(drms_report):>5} {thread_induced:>15}"
+        )
+
+    print("\nPattern 2: buffered stream reader (external input)")
+    print(f"{'iters':>6} {'rms':>5} {'drms':>5} {'kernel-induced':>15}")
+    for n in (1, 4, 16, 64):
+        machine = stream_reader(n)
+        machine.run()
+        drms_report = profile_events(machine.trace)
+        rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+        _plain, _thread, kernel_induced = drms_report.induced_split(
+            "streamReader"
+        )
+        print(
+            f"{n:>6} {reader_size(rms_report):>5} "
+            f"{reader_size(drms_report):>5} {kernel_induced:>15}"
+        )
+
+    print(
+        "\nIn both patterns the rms is stuck at 1 — the drms is what"
+        "\nmakes the workload visible (Definitions 2-3 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Using the mini-helgrind tool: racy vs properly locked counters.
+
+The comparison tools of Table 1 are real analyses, not stubs.  This
+example runs two versions of a shared-counter program under the
+happens-before race detector: the unlocked version races (and, thanks to
+a preemption point inside the read-modify-write window, actually loses
+updates even on the serialised VM); the mutex-protected version is
+clean.
+
+Run:  python examples/race_detection.py
+"""
+
+from repro.tools import Helgrind
+from repro.vm import Machine, Mutex
+
+INCREMENTS = 60
+
+
+def build_racy():
+    machine = Machine()
+    counter = machine.memory.alloc(1, "counter")
+    machine.memory.store(counter, 0)
+
+    def incrementer(ctx):
+        for _ in range(INCREMENTS):
+            value = ctx.read(counter)
+            yield  # preemption inside the unprotected window
+            ctx.write(counter, value + 1)
+            yield
+
+    machine.spawn(incrementer)
+    machine.spawn(incrementer)
+    return machine, counter
+
+
+def build_locked():
+    machine = Machine()
+    counter = machine.memory.alloc(1, "counter")
+    machine.memory.store(counter, 0)
+    lock = Mutex("counter_lock")
+
+    def incrementer(ctx):
+        for _ in range(INCREMENTS):
+            yield from lock.acquire(ctx)
+            value = ctx.read(counter)
+            yield
+            ctx.write(counter, value + 1)
+            lock.release(ctx)
+            yield
+
+    machine.spawn(incrementer)
+    machine.spawn(incrementer)
+    return machine, counter
+
+
+def run_under_helgrind(machine):
+    tool = Helgrind()
+    machine._sink = tool.consume
+    machine.run()
+    return tool
+
+
+def main():
+    racy_machine, racy_counter = build_racy()
+    racy_tool = run_under_helgrind(racy_machine)
+    racy_final = racy_machine.memory.load(racy_counter)
+    print("unlocked version:")
+    print(f"  final counter: {racy_final} (expected {2 * INCREMENTS})")
+    print(f"  races reported: {len(racy_tool.races)}")
+    for addr, kind, first, second in racy_tool.races[:3]:
+        print(f"    0x{addr:x}: {kind} between T{first} and T{second}")
+
+    locked_machine, locked_counter = build_locked()
+    locked_tool = run_under_helgrind(locked_machine)
+    locked_final = locked_machine.memory.load(locked_counter)
+    print("\nmutex-protected version:")
+    print(f"  final counter: {locked_final} (expected {2 * INCREMENTS})")
+    print(f"  races reported: {len(locked_tool.races)}")
+
+    assert racy_tool.races, "the unlocked version must race"
+    assert not locked_tool.races, "the locked version must be clean"
+    assert locked_final == 2 * INCREMENTS
+    print("\n=> helgrind distinguishes the two, as it should.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Characterize the dynamic workload of any registered benchmark.
+
+The Section 4.2 analysis, on demand: pick a benchmark from the registry
+(default: dedup), run it, and print its profile richness, dynamic input
+volume, and thread/external input split — both per routine and overall.
+
+Run:  python examples/workload_characterization.py [benchmark] [threads]
+e.g.  python examples/workload_characterization.py vips 8
+"""
+
+import sys
+
+from repro import RMS_POLICY, profile_events
+from repro.analysis.metrics import (
+    dynamic_input_volume,
+    dynamic_input_volume_per_routine,
+    induced_first_read_split,
+    profile_richness,
+    routine_input_shares,
+)
+from repro.analysis.plots import stacked_histogram
+from repro.workloads.registry import REGISTRY, get_workload
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "dedup"
+    threads = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    if name not in REGISTRY:
+        print(f"unknown benchmark {name!r}; available: {sorted(REGISTRY)}")
+        return 1
+
+    machine = get_workload(name).build(threads=threads, scale=2)
+    machine.run()
+    print(
+        f"{name}: {len(machine.trace)} events, "
+        f"{machine.total_blocks} basic blocks, "
+        f"{len(machine.threads)} threads, {machine.switches} switches"
+    )
+
+    drms_report = profile_events(machine.trace)
+    rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+
+    thread_pct, external_pct = induced_first_read_split(drms_report)
+    volume = dynamic_input_volume(rms_report, drms_report)
+    print(f"\ndynamic input volume: {volume:.3f}")
+    print(f"induced first-reads:  {thread_pct:.1f}% thread, {external_pct:.1f}% external")
+
+    print("\nper-routine input composition (top 12 by induced input):")
+    shares = routine_input_shares(drms_report)
+    bars = [(s.routine, s.thread_pct, s.external_pct) for s in shares[:12]]
+    print(stacked_histogram(bars))
+
+    richness = profile_richness(rms_report, drms_report)
+    volumes = dynamic_input_volume_per_routine(rms_report, drms_report)
+    interesting = sorted(richness.items(), key=lambda kv: -kv[1])[:8]
+    print("routines gaining the most cost-plot points from the drms:")
+    print(f"{'routine':>24} {'richness':>9} {'volume':>7} {'points rms->drms':>17}")
+    for routine, value in interesting:
+        rms_points = rms_report.distinct_sizes(routine)
+        drms_points = drms_report.distinct_sizes(routine)
+        print(
+            f"{routine:>24} {value:>9.1f} {volumes.get(routine, 0.0):>7.2f} "
+            f"{rms_points:>8} -> {drms_points}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

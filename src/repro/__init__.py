@@ -1,0 +1,55 @@
+"""repro — reproduction of "Estimating the Empirical Cost Function of
+Routines with Dynamic Workloads" (Coppa, Demetrescu, Finocchi, Marotta;
+CGO 2014), the aprof-drms paper.
+
+The package implements the paper's dynamic read memory size (drms)
+metric and profiling algorithm, the rms baseline it extends, a
+multi-threaded trace virtual machine standing in for Valgrind, working
+re-implementations of the Valgrind comparison tools (memcheck,
+callgrind, helgrind, ...), synthetic versions of the paper's benchmark
+suites, and the analysis metrics and benchmark harness that regenerate
+every table and figure of the evaluation.
+"""
+
+from repro.core import (
+    EXTERNAL_ONLY_POLICY,
+    FULL_POLICY,
+    RMS_POLICY,
+    DrmsProfiler,
+    InputPolicy,
+    NaiveDrmsProfiler,
+    ProfileReport,
+    ProfileSet,
+    RmsProfiler,
+    RoutineProfile,
+    ShadowMemory,
+    ThreadTrace,
+    TraceBuilder,
+    compare_metrics,
+    merge_traces,
+    profile_events,
+    profile_traces,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InputPolicy",
+    "RMS_POLICY",
+    "EXTERNAL_ONLY_POLICY",
+    "FULL_POLICY",
+    "DrmsProfiler",
+    "RmsProfiler",
+    "NaiveDrmsProfiler",
+    "ProfileReport",
+    "ProfileSet",
+    "RoutineProfile",
+    "ShadowMemory",
+    "ThreadTrace",
+    "TraceBuilder",
+    "merge_traces",
+    "profile_events",
+    "profile_traces",
+    "compare_metrics",
+    "__version__",
+]

@@ -1,0 +1,78 @@
+"""Evaluation metrics, cost-function estimation, communication
+characterization and plot rendering."""
+
+from repro.analysis.communication import (
+    CommunicationAnalyzer,
+    CommunicationEdge,
+    analyze_communication,
+)
+from repro.analysis.costfunc import (
+    MODELS,
+    CostModel,
+    FitResult,
+    best_fit,
+    classify_trend,
+    fit_model,
+    powerlaw_exponent,
+)
+from repro.analysis.metrics import (
+    RoutineInputShare,
+    dynamic_input_volume,
+    dynamic_input_volume_per_routine,
+    induced_first_read_split,
+    profile_richness,
+    routine_input_shares,
+    tail_curve,
+)
+from repro.analysis.report import workload_report
+from repro.analysis.prediction import (
+    Predictor,
+    merge_reports,
+    prediction_error,
+    predictor_for,
+)
+from repro.analysis.variance import (
+    SuspiciousPoint,
+    suspicion_report,
+    suspicious_points,
+)
+from repro.analysis.plots import (
+    Series,
+    ascii_histogram,
+    ascii_scatter,
+    stacked_histogram,
+    to_csv,
+)
+
+__all__ = [
+    "profile_richness",
+    "dynamic_input_volume",
+    "dynamic_input_volume_per_routine",
+    "routine_input_shares",
+    "induced_first_read_split",
+    "tail_curve",
+    "RoutineInputShare",
+    "CostModel",
+    "FitResult",
+    "MODELS",
+    "fit_model",
+    "best_fit",
+    "powerlaw_exponent",
+    "classify_trend",
+    "CommunicationAnalyzer",
+    "CommunicationEdge",
+    "analyze_communication",
+    "Predictor",
+    "predictor_for",
+    "prediction_error",
+    "merge_reports",
+    "workload_report",
+    "SuspiciousPoint",
+    "suspicious_points",
+    "suspicion_report",
+    "Series",
+    "ascii_scatter",
+    "ascii_histogram",
+    "stacked_histogram",
+    "to_csv",
+]

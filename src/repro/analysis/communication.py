@@ -1,0 +1,183 @@
+"""Routine-granularity communication characterization (Section 6).
+
+The paper closes with a future-work direction: *"we believe that our
+drms computation algorithm may support the development of automatic
+tools for characterizing how multi-threaded applications scale their
+work and how they communicate via shared memory at routine activation
+rather than thread granularity"* — referencing the black-box study of
+Kalibera et al. [12].  This module implements that tool.
+
+:class:`CommunicationAnalyzer` consumes the same merged event trace as
+the profilers and attributes every *communication event* — a read that
+consumes a value produced by a different thread, i.e. exactly a
+thread-induced first-read — to the **(producer routine, consumer
+routine)** pair, using the same latest-writer shadow state the drms
+algorithm maintains.  The output is:
+
+* a routine-level communication matrix (who produces for whom, how many
+  cells);
+* per-thread-pair totals (the classic [12] view, derivable by
+  projection);
+* per-routine fan-in/fan-out degrees, quantifying "limited interaction"
+  (the [12] observation that widespread benchmarks communicate little
+  and through few components).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.events import (
+    AUXILIARY_EVENTS,
+    Call,
+    Event,
+    KernelToUser,
+    Read,
+    Return,
+    SwitchThread,
+    UserToKernel,
+    Write,
+)
+
+__all__ = ["CommunicationEdge", "CommunicationAnalyzer", "analyze_communication"]
+
+#: pseudo-routine credited with kernel-produced values
+KERNEL_PRODUCER = "<kernel>"
+#: pseudo-routine for accesses outside any activation
+OUTSIDE = "<outside>"
+
+
+@dataclass(frozen=True)
+class CommunicationEdge:
+    """One producer-routine → consumer-routine communication channel."""
+
+    producer: str
+    consumer: str
+    cells: int
+    producer_thread: int
+    consumer_thread: int
+
+
+class CommunicationAnalyzer:
+    """Builds the routine-level communication matrix from a trace."""
+
+    def __init__(self, include_kernel: bool = True) -> None:
+        self.include_kernel = include_kernel
+        #: location -> (thread, routine) of the latest write
+        self._producer: Dict[int, Tuple[int, str]] = {}
+        #: thread -> routine-name call stack
+        self._stacks: Dict[int, List[str]] = defaultdict(list)
+        #: thread -> set of locations read since the last foreign write
+        self._consumed: Dict[int, set] = defaultdict(set)
+        #: (producer routine, consumer routine, p-thread, c-thread) -> cells
+        self.matrix: Dict[Tuple[str, str, int, int], int] = defaultdict(int)
+
+    # -- state ------------------------------------------------------------
+
+    def _top(self, thread: int) -> str:
+        stack = self._stacks[thread]
+        return stack[-1] if stack else OUTSIDE
+
+    # -- events ---------------------------------------------------------------
+
+    def consume(self, event: Event) -> None:
+        if isinstance(event, Read):
+            self._on_read(event.thread, event.addr)
+        elif isinstance(event, Write):
+            self._producer[event.addr] = (event.thread, self._top(event.thread))
+            self._consumed[event.thread].add(event.addr)
+            for thread, consumed in self._consumed.items():
+                if thread != event.thread:
+                    consumed.discard(event.addr)
+        elif isinstance(event, Call):
+            self._stacks[event.thread].append(event.routine)
+        elif isinstance(event, Return):
+            stack = self._stacks[event.thread]
+            if stack:
+                stack.pop()
+        elif isinstance(event, KernelToUser):
+            if self.include_kernel:
+                self._producer[event.addr] = (0, KERNEL_PRODUCER)
+                for consumed in self._consumed.values():
+                    consumed.discard(event.addr)
+        elif isinstance(event, UserToKernel):
+            self._on_read(event.thread, event.addr)
+        elif isinstance(event, (SwitchThread, *AUXILIARY_EVENTS)):
+            pass
+        else:
+            raise TypeError(f"unknown event: {event!r}")
+
+    def _on_read(self, thread: int, addr: int) -> None:
+        record = self._producer.get(addr)
+        if record is None:
+            return
+        producer_thread, producer_routine = record
+        if producer_thread == thread:
+            return
+        if addr in self._consumed[thread]:
+            return  # already accounted since the producing write
+        self._consumed[thread].add(addr)
+        key = (
+            producer_routine,
+            self._top(thread),
+            producer_thread,
+            thread,
+        )
+        self.matrix[key] += 1
+
+    def run(self, events: Iterable[Event]) -> "CommunicationAnalyzer":
+        for event in events:
+            self.consume(event)
+        return self
+
+    # -- views ------------------------------------------------------------------
+
+    def edges(self, min_cells: int = 1) -> List[CommunicationEdge]:
+        """All channels carrying at least ``min_cells``, heaviest first."""
+        out = [
+            CommunicationEdge(p, c, cells, pt, ct)
+            for (p, c, pt, ct), cells in self.matrix.items()
+            if cells >= min_cells
+        ]
+        out.sort(key=lambda e: (-e.cells, e.producer, e.consumer))
+        return out
+
+    def routine_matrix(self) -> Dict[Tuple[str, str], int]:
+        """Producer routine → consumer routine totals (threads merged)."""
+        merged: Dict[Tuple[str, str], int] = defaultdict(int)
+        for (producer, consumer, _pt, _ct), cells in self.matrix.items():
+            merged[(producer, consumer)] += cells
+        return dict(merged)
+
+    def thread_matrix(self) -> Dict[Tuple[int, int], int]:
+        """Thread → thread totals — the Kalibera-et-al. [12] view."""
+        merged: Dict[Tuple[int, int], int] = defaultdict(int)
+        for (_p, _c, producer_thread, consumer_thread), cells in self.matrix.items():
+            merged[(producer_thread, consumer_thread)] += cells
+        return dict(merged)
+
+    def fan_out(self) -> Dict[str, int]:
+        """Per producer routine: number of distinct consumer routines."""
+        consumers: Dict[str, set] = defaultdict(set)
+        for producer, consumer in self.routine_matrix():
+            consumers[producer].add(consumer)
+        return {routine: len(c) for routine, c in consumers.items()}
+
+    def fan_in(self) -> Dict[str, int]:
+        """Per consumer routine: number of distinct producer routines."""
+        producers: Dict[str, set] = defaultdict(set)
+        for producer, consumer in self.routine_matrix():
+            producers[consumer].add(producer)
+        return {routine: len(p) for routine, p in producers.items()}
+
+    def total_cells(self) -> int:
+        return sum(self.matrix.values())
+
+
+def analyze_communication(
+    events: Iterable[Event], include_kernel: bool = True
+) -> CommunicationAnalyzer:
+    """One-shot analysis of a merged event trace."""
+    return CommunicationAnalyzer(include_kernel=include_kernel).run(events)

@@ -1,0 +1,166 @@
+"""Empirical cost-function estimation from performance points.
+
+The point of drms profiling is to relate cost to input size so that the
+*empirical cost function* of a routine can be estimated — and so that
+spurious trends caused by under-estimated input sizes (the rms artefacts
+of Figures 4 and 5) become visible.  This module fits worst-case cost
+plots against the standard model family of asymptotic analysis:
+
+    constant, log n, n, n log n, n^2, n^3, and free power laws a*n^b
+
+selection is least-squares over the candidate models with an R^2 score,
+plus a direct log-log slope estimate (:func:`powerlaw_exponent`) that the
+benchmarks use to check statements like "the drms plot correctly
+characterizes the linear cost trend, while the rms plot suggests a false
+superlinear trend".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CostModel",
+    "FitResult",
+    "MODELS",
+    "fit_model",
+    "best_fit",
+    "powerlaw_exponent",
+    "classify_trend",
+]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """A one-parameter-family cost model ``cost ~ a + b * shape(n)``."""
+
+    name: str
+    shape: Callable[[float], float]
+
+    def design_column(self, sizes: np.ndarray) -> np.ndarray:
+        return np.array([self.shape(float(n)) for n in sizes])
+
+
+def _safe_log(n: float) -> float:
+    return math.log(n) if n > 1 else 0.0
+
+
+MODELS: Tuple[CostModel, ...] = (
+    CostModel("O(1)", lambda n: 0.0),
+    CostModel("O(log n)", _safe_log),
+    CostModel("O(n)", lambda n: n),
+    CostModel("O(n log n)", lambda n: n * _safe_log(n)),
+    CostModel("O(n^2)", lambda n: n * n),
+    CostModel("O(n^3)", lambda n: n * n * n),
+)
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting one model to a cost plot."""
+
+    model: str
+    intercept: float
+    slope: float
+    r_squared: float
+    #: residual sum of squares, for model ranking
+    rss: float
+
+    def predict(self, n: float) -> float:
+        model = next(m for m in MODELS if m.name == self.model)
+        return self.intercept + self.slope * model.shape(n)
+
+
+def _as_arrays(points: Sequence[Tuple[int, float]]) -> Tuple[np.ndarray, np.ndarray]:
+    if len(points) < 2:
+        raise ValueError(
+            f"need at least 2 distinct points to fit a cost function, "
+            f"got {len(points)} — this is exactly why profile richness "
+            "matters (Section 4.1)"
+        )
+    sizes = np.array([float(n) for n, _cost in points])
+    costs = np.array([float(cost) for _n, cost in points])
+    return sizes, costs
+
+
+def fit_model(
+    points: Sequence[Tuple[int, float]], model: CostModel
+) -> FitResult:
+    """Least-squares fit of ``cost = a + b * shape(n)`` (b >= 0)."""
+    sizes, costs = _as_arrays(points)
+    column = model.design_column(sizes)
+    if np.allclose(column, column[0]):
+        # degenerate column (the constant model): fit intercept only
+        intercept = float(np.mean(costs))
+        slope = 0.0
+        predicted = np.full_like(costs, intercept)
+    else:
+        design = np.column_stack([np.ones_like(column), column])
+        coef, *_ = np.linalg.lstsq(design, costs, rcond=None)
+        intercept, slope = float(coef[0]), float(coef[1])
+        if slope < 0:
+            # a decreasing cost model is meaningless here; fall back to
+            # the constant fit so the model ranks poorly on growing data
+            intercept = float(np.mean(costs))
+            slope = 0.0
+        predicted = intercept + slope * column
+    residuals = costs - predicted
+    rss = float(np.sum(residuals**2))
+    tss = float(np.sum((costs - np.mean(costs)) ** 2))
+    r_squared = 1.0 - rss / tss if tss > 0 else (1.0 if rss == 0 else 0.0)
+    return FitResult(model.name, intercept, slope, r_squared, rss)
+
+
+def best_fit(
+    points: Sequence[Tuple[int, float]],
+    models: Sequence[CostModel] = MODELS,
+    tie_margin: float = 0.002,
+) -> FitResult:
+    """Pick the best-fitting model for a worst-case cost plot.
+
+    Models are ranked by R^2; among models within ``tie_margin`` of the
+    best score, the simplest one (earliest in the complexity-ordered
+    candidate list) wins — the parsimony rule of the guess-ratio
+    approach in [8], applied only to genuine near-ties so that e.g.
+    O(n) beats O(n log n) on linear data without masking real
+    super-linear growth.
+    """
+    fits = [fit_model(points, model) for model in models]
+    best_score = max(fit.r_squared for fit in fits)
+    for fit in fits:  # complexity order: first near-tie is simplest
+        if fit.r_squared >= best_score - tie_margin:
+            return fit
+    raise AssertionError("unreachable: best_score is attained by some fit")
+
+
+def powerlaw_exponent(points: Sequence[Tuple[int, float]]) -> float:
+    """Log-log regression slope: the empirical growth exponent.
+
+    ~1 for linear routines, ~2 for quadratic ones.  Only points with
+    positive size and cost participate (log undefined otherwise).
+    """
+    usable = [(n, c) for n, c in points if n > 0 and c > 0]
+    if len(usable) < 2:
+        raise ValueError("need at least 2 positive points")
+    sizes, costs = _as_arrays(usable)
+    log_n = np.log(sizes)
+    log_c = np.log(costs)
+    if np.allclose(log_n, log_n[0]):
+        raise ValueError("all input sizes equal; exponent undefined")
+    slope, _intercept = np.polyfit(log_n, log_c, 1)
+    return float(slope)
+
+
+def classify_trend(points: Sequence[Tuple[int, float]]) -> Dict[str, float]:
+    """Convenience bundle: best model name, its R^2, and the raw
+    log-log exponent — what the figure benchmarks print per metric."""
+    fit = best_fit(points)
+    try:
+        exponent = powerlaw_exponent(points)
+    except ValueError:
+        exponent = float("nan")
+    return {"model": fit.model, "r_squared": fit.r_squared, "exponent": exponent}

@@ -1,0 +1,179 @@
+"""Evaluation metrics of Section 4.1.
+
+Besides slowdown and space overhead, the paper evaluates aprof-drms with
+four metrics, all implemented here over a pair of profiling reports (one
+rms, one drms) or a single drms report:
+
+1. **Routine profile richness** — ``(|drms_r| - |rms_r|) / |rms_r|``
+   where ``|·|`` counts distinct input sizes collected for routine ``r``
+   over all threads.  Positive when the drms yields more cost-plot
+   points; can be (rarely) negative.
+
+2. **Dynamic input volume** — ``1 - sum(rms) / sum(drms)`` over routine
+   activations, in ``[0, 1)``; 0 when no dynamic input exists, close to
+   1 when the input is almost entirely dynamic.  Computed globally and
+   per routine (Figure 12 plots the per-routine distribution).
+
+3. **Thread input** — percentage of induced first-reads due to
+   multi-threading (line 2 of Figure 8's ``read``).
+
+4. **External input** — percentage of induced first-reads due to kernel
+   system calls.
+
+The figures plot tail-distribution curves: *a point (x, y) on a curve
+means that x% of routines have metric value at least y* —
+:func:`tail_curve` produces exactly that series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.profiler import ProfileReport
+
+__all__ = [
+    "profile_richness",
+    "dynamic_input_volume",
+    "dynamic_input_volume_per_routine",
+    "routine_input_shares",
+    "induced_first_read_split",
+    "tail_curve",
+    "RoutineInputShare",
+]
+
+
+def _check_same_trace(rms_report: ProfileReport, drms_report: ProfileReport) -> None:
+    if rms_report.policy.label() == drms_report.policy.label():
+        raise ValueError(
+            "expected reports from two different policies, got "
+            f"{rms_report.policy.label()!r} twice"
+        )
+
+
+def profile_richness(
+    rms_report: ProfileReport, drms_report: ProfileReport
+) -> Dict[str, float]:
+    """Per-routine profile richness (metric 1).
+
+    Routines never observed by the rms pass are skipped (richness is
+    undefined when ``|rms_r| = 0``; in practice both passes see the same
+    activations, so this only guards malformed input).
+    """
+    _check_same_trace(rms_report, drms_report)
+    rms_merged = rms_report.by_routine()
+    drms_merged = drms_report.by_routine()
+    richness: Dict[str, float] = {}
+    for routine, rms_profile in rms_merged.items():
+        drms_profile = drms_merged.get(routine)
+        if drms_profile is None or rms_profile.distinct_sizes == 0:
+            continue
+        rms_points = rms_profile.distinct_sizes
+        drms_points = drms_profile.distinct_sizes
+        richness[routine] = (drms_points - rms_points) / rms_points
+    return richness
+
+
+def dynamic_input_volume(
+    rms_report: ProfileReport, drms_report: ProfileReport
+) -> float:
+    """Whole-execution dynamic input volume (metric 2), in ``[0, 1)``."""
+    _check_same_trace(rms_report, drms_report)
+    total_rms = rms_report.profiles.total_input()
+    total_drms = drms_report.profiles.total_input()
+    if total_drms == 0:
+        return 0.0
+    return 1.0 - total_rms / total_drms
+
+
+def dynamic_input_volume_per_routine(
+    rms_report: ProfileReport, drms_report: ProfileReport
+) -> Dict[str, float]:
+    """Per-routine dynamic input volume (the Figure 12 distribution)."""
+    _check_same_trace(rms_report, drms_report)
+    rms_merged = rms_report.by_routine()
+    drms_merged = drms_report.by_routine()
+    volumes: Dict[str, float] = {}
+    for routine, drms_profile in drms_merged.items():
+        rms_profile = rms_merged.get(routine)
+        if rms_profile is None or drms_profile.total_input == 0:
+            volumes[routine] = 0.0
+            continue
+        volumes[routine] = 1.0 - rms_profile.total_input / drms_profile.total_input
+    return volumes
+
+
+@dataclass(frozen=True)
+class RoutineInputShare:
+    """First-read composition for one routine.
+
+    Percentages are of the routine's total (possibly induced)
+    first-reads, so ``plain + thread + external == 100`` whenever the
+    routine performed any first-read at all.
+    """
+
+    routine: str
+    first_reads: int
+    thread_pct: float
+    external_pct: float
+
+    @property
+    def induced_pct(self) -> float:
+        return self.thread_pct + self.external_pct
+
+
+def routine_input_shares(drms_report: ProfileReport) -> List[RoutineInputShare]:
+    """Thread/external input percentages per routine (Figures 13 and 14),
+    sorted by decreasing induced percentage."""
+    shares: List[RoutineInputShare] = []
+    for routine, (plain, thread_induced, kernel_induced) in sorted(
+        drms_report.read_counters.items()
+    ):
+        total = plain + thread_induced + kernel_induced
+        if total == 0:
+            continue
+        shares.append(
+            RoutineInputShare(
+                routine=routine,
+                first_reads=total,
+                thread_pct=100.0 * thread_induced / total,
+                external_pct=100.0 * kernel_induced / total,
+            )
+        )
+    shares.sort(key=lambda s: (-s.induced_pct, s.routine))
+    return shares
+
+
+def induced_first_read_split(drms_report: ProfileReport) -> Tuple[float, float]:
+    """``(thread %, external %)`` of the total induced first-reads
+    (one Figure 15 histogram bar; the two values sum to 100)."""
+    thread_total, kernel_total = drms_report.total_induced()
+    induced = thread_total + kernel_total
+    if induced == 0:
+        return 0.0, 0.0
+    return 100.0 * thread_total / induced, 100.0 * kernel_total / induced
+
+
+def tail_curve(
+    values: Mapping[str, float], points: Sequence[float] = ()
+) -> List[Tuple[float, float]]:
+    """Tail-distribution curve over per-routine metric values.
+
+    Returns ``(x, y)`` pairs where x% of routines have value >= y —
+    the exact reading of Figures 11, 12 and 14.  With ``points`` given,
+    the curve is sampled at those x percentages (e.g. the paper's 0.5,
+    1, 2, 4, ... 64); otherwise one point per routine is returned.
+    """
+    ordered = sorted(values.values(), reverse=True)
+    n = len(ordered)
+    if n == 0:
+        return []
+    if points:
+        curve = []
+        for x in points:
+            count = max(1, int(round(x / 100.0 * n)))
+            if count > n:
+                break
+            curve.append((x, ordered[count - 1]))
+        return curve
+    return [(100.0 * (i + 1) / n, v) for i, v in enumerate(ordered)]

@@ -1,0 +1,156 @@
+"""Plot data series and terminal rendering.
+
+The benchmark harness regenerates each figure of the paper as data
+(series of points / histogram bars) plus an ASCII rendering, so results
+can be eyeballed directly in a terminal or diffed as text.  Nothing here
+depends on a plotting library; series also export to CSV for external
+plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Series",
+    "ascii_scatter",
+    "ascii_histogram",
+    "stacked_histogram",
+    "to_csv",
+]
+
+
+@dataclass
+class Series:
+    """A named sequence of (x, y) points."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> List[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+    def scaled(self, x_factor: float = 1.0, y_factor: float = 1.0) -> "Series":
+        return Series(
+            self.name,
+            [(x * x_factor, y * y_factor) for x, y in self.points],
+        )
+
+
+def _bounds(values: Sequence[float]) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        hi = lo + 1.0
+    return lo, hi
+
+
+def ascii_scatter(
+    series_list: Sequence[Series],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more series as an ASCII scatter chart.
+
+    Each series gets its own glyph; axes are annotated with min/max.
+    """
+    markers = "*o+x#@%&"
+    all_points = [p for s in series_list for p in s.points]
+    if not all_points:
+        return "(no data)\n"
+    x_lo, x_hi = _bounds([x for x, _ in all_points])
+    y_lo, y_hi = _bounds([y for _, y in all_points])
+    grid = [[" "] * width for _ in range(height)]
+    for idx, series in enumerate(series_list):
+        mark = markers[idx % len(markers)]
+        for x, y in series.points:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={s.name}" for i, s in enumerate(series_list)
+    )
+    lines.append(legend)
+    lines.append(f"{y_hi:>12.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 12 + " │" + "".join(row))
+    lines.append(f"{y_lo:>12.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + " └" + "─" * width)
+    lines.append(
+        " " * 14 + f"{x_lo:<.4g}".ljust(width - 12) + f"{x_hi:>.4g}"
+    )
+    lines.append(" " * 14 + f"{x_label}  (y: {y_label})")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_histogram(
+    bars: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars (Figure 13/15 style)."""
+    if not bars:
+        return "(no data)\n"
+    peak = max(value for _, value in bars) or 1.0
+    label_width = max(len(label) for label, _ in bars)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in bars:
+        filled = int(round(value / peak * width))
+        lines.append(
+            f"{label:>{label_width}} │{'█' * filled}{' ' * (width - filled)}"
+            f" {value:.1f}{unit}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def stacked_histogram(
+    bars: Sequence[Tuple[str, float, float]],
+    width: int = 50,
+    title: Optional[str] = None,
+    legend: Tuple[str, str] = ("thread", "external"),
+) -> str:
+    """Two-component stacked bars summing to 100% (Figure 15 style)."""
+    if not bars:
+        return "(no data)\n"
+    label_width = max(len(label) for label, _, _ in bars)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'':>{label_width}}  █={legend[0]}  ░={legend[1]}")
+    for label, first, second in bars:
+        total = first + second
+        if total <= 0:
+            lines.append(f"{label:>{label_width}} │ (no induced first-reads)")
+            continue
+        first_cells = int(round(first / 100.0 * width))
+        second_cells = int(round(second / 100.0 * width))
+        bar = "█" * first_cells + "░" * second_cells
+        lines.append(
+            f"{label:>{label_width}} │{bar:<{width}} "
+            f"{first:5.1f}% / {second:5.1f}%"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def to_csv(series_list: Sequence[Series]) -> str:
+    """Export series as CSV text (``series,x,y`` rows)."""
+    lines = ["series,x,y"]
+    for series in series_list:
+        for x, y in series.points:
+            lines.append(f"{series.name},{x},{y}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,128 @@
+"""Performance prediction from empirical cost functions.
+
+The introduction's promise: estimating the cost function of individual
+routines "can help developers predict the runtime on larger workloads".
+This module packages that workflow:
+
+* fit a routine's worst-case cost plot (:func:`predictor_for`);
+* extrapolate to unseen input sizes with a crude trust annotation —
+  how far beyond the observed range the query is, and how well the
+  model fit the observations;
+* validate a prediction against a later measurement
+  (:func:`prediction_error`), which the mysql_scaling example and the
+  test-suite use to demonstrate sub-percent extrapolation error on the
+  Figure 4 workload.
+
+Multiple runs can be combined before fitting (:func:`merge_reports`):
+the PLDI'12 methodology explicitly supports collecting performance
+points "from multiple or even single program runs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.costfunc import FitResult, best_fit
+from repro.core.profiler import ProfileReport
+from repro.core.profiles import ProfileSet
+
+__all__ = ["Predictor", "predictor_for", "prediction_error", "merge_reports"]
+
+
+@dataclass(frozen=True)
+class Predictor:
+    """A fitted cost model for one routine, with its observation range."""
+
+    routine: str
+    fit: FitResult
+    observed_min: int
+    observed_max: int
+    observations: int
+
+    def predict(self, input_size: int) -> float:
+        """Predicted worst-case cost at ``input_size``."""
+        if input_size < 0:
+            raise ValueError("input size must be non-negative")
+        return self.fit.predict(input_size)
+
+    def extrapolation_factor(self, input_size: int) -> float:
+        """How far beyond the observed range the query lies (1.0 means
+        inside the range; 4.0 means 4x the largest observed size)."""
+        if self.observed_max <= 0:
+            return float("inf")
+        return max(1.0, input_size / self.observed_max)
+
+    def is_trustworthy(
+        self, input_size: int, max_factor: float = 16.0, min_r2: float = 0.95
+    ) -> bool:
+        """Crude trust gate: good fit, enough points, bounded reach."""
+        return (
+            self.observations >= 3
+            and self.fit.r_squared >= min_r2
+            and self.extrapolation_factor(input_size) <= max_factor
+        )
+
+
+def predictor_for(report: ProfileReport, routine: str) -> Predictor:
+    """Fit the routine's merged worst-case cost plot."""
+    plot = report.worst_case_plot(routine)
+    fit = best_fit(plot)
+    sizes = [size for size, _cost in plot]
+    return Predictor(
+        routine=routine,
+        fit=fit,
+        observed_min=min(sizes),
+        observed_max=max(sizes),
+        observations=len(plot),
+    )
+
+
+def prediction_error(
+    predictor: Predictor, input_size: int, actual_cost: float
+) -> float:
+    """Relative error of the prediction against a measurement."""
+    if actual_cost <= 0:
+        raise ValueError("actual cost must be positive")
+    return abs(predictor.predict(input_size) - actual_cost) / actual_cost
+
+
+def merge_reports(reports: Sequence[ProfileReport]) -> ProfileReport:
+    """Combine reports from multiple runs under the same policy.
+
+    Performance points are unioned (max-cost aggregation per size), so
+    fitting over the merged report sees every distinct input size any
+    run observed.  Event/space counters are summed; read counters are
+    summed component-wise.
+    """
+    if not reports:
+        raise ValueError("need at least one report")
+    policy_labels = {report.policy.label() for report in reports}
+    if len(policy_labels) != 1:
+        raise ValueError(
+            f"cannot merge reports of different metrics: {policy_labels}"
+        )
+    merged_profiles = ProfileSet()
+    merged_profiles.keep_activations = False
+    merged_counters = {}
+    for report in reports:
+        for (routine, thread), profile in report.profiles:
+            key = (routine, thread)
+            existing = merged_profiles._profiles.get(key)
+            if existing is None:
+                merged_profiles._profiles[key] = profile.merged_with(
+                    type(profile)(routine)
+                )
+            else:
+                merged_profiles._profiles[key] = existing.merged_with(profile)
+        for routine, counts in report.read_counters.items():
+            slot = merged_counters.setdefault(routine, [0, 0, 0])
+            for i in range(3):
+                slot[i] += counts[i]
+    return ProfileReport(
+        policy=reports[0].policy,
+        profiles=merged_profiles,
+        read_counters=merged_counters,
+        events=sum(r.events for r in reports),
+        space_cells=max(r.space_cells for r in reports),
+    )

@@ -1,0 +1,155 @@
+"""Complete per-workload analysis reports.
+
+Ties every analysis in the package into one formatted text document —
+what a user of the tool reads after a profiling run:
+
+* run summary (events, blocks, threads, switches);
+* whole-execution dynamic-workload characterization (input volume,
+  thread/external split — §4.1);
+* per-routine table: calls, cost-plot points under rms and drms,
+  profile richness, fitted cost model, input composition;
+* cost-variance diagnostics on the rms view (§2.1's indicator);
+* the heaviest routine-level communication channels (§6 tool);
+* worst-case cost plots for the most interesting routines.
+
+The report is produced from a single recorded trace — the profilers run
+under each metric internally — so it composes with the trace-file layer
+for offline analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.communication import analyze_communication
+from repro.analysis.costfunc import best_fit
+from repro.analysis.metrics import (
+    dynamic_input_volume,
+    induced_first_read_split,
+    profile_richness,
+    routine_input_shares,
+)
+from repro.analysis.plots import Series, ascii_scatter
+from repro.analysis.variance import suspicion_report
+from repro.core.events import Event
+from repro.core.policy import FULL_POLICY, RMS_POLICY
+from repro.core.profiler import profile_events
+
+__all__ = ["workload_report"]
+
+
+def _fit_label(plot) -> str:
+    if len(plot) < 2:
+        return "-"
+    fit = best_fit(plot)
+    return f"{fit.model} (R2={fit.r_squared:.2f})"
+
+
+def workload_report(
+    events: Sequence[Event],
+    title: str = "workload",
+    plot_routines: Optional[Sequence[str]] = None,
+    max_rows: int = 20,
+) -> str:
+    """Render the full analysis of a recorded trace as text."""
+    drms_report = profile_events(events, policy=FULL_POLICY)
+    rms_report = profile_events(events, policy=RMS_POLICY)
+
+    lines: List[str] = []
+    rule = "=" * 72
+    lines.append(rule)
+    lines.append(f"Input-sensitive profile: {title}")
+    lines.append(rule)
+    lines.append(f"events: {len(events)}")
+
+    volume = dynamic_input_volume(rms_report, drms_report)
+    thread_pct, external_pct = induced_first_read_split(drms_report)
+    lines.append(
+        f"dynamic input volume: {volume:.3f}   "
+        f"induced first-reads: {thread_pct:.1f}% thread / "
+        f"{external_pct:.1f}% external"
+    )
+    lines.append("")
+
+    # per-routine table
+    richness = profile_richness(rms_report, drms_report)
+    shares = {s.routine: s for s in routine_input_shares(drms_report)}
+    drms_merged = drms_report.by_routine()
+    rms_merged = rms_report.by_routine()
+    lines.append(
+        f"{'routine':>28} {'calls':>6} {'rms pts':>8} {'drms pts':>9} "
+        f"{'richness':>9} {'thr%':>5} {'ext%':>5}  cost model"
+    )
+    ordered = sorted(
+        drms_merged.items(), key=lambda kv: -kv[1].calls
+    )[:max_rows]
+    for routine, profile in ordered:
+        rms_points = (
+            rms_merged[routine].distinct_sizes if routine in rms_merged else 0
+        )
+        share = shares.get(routine)
+        thr = f"{share.thread_pct:.0f}" if share else "-"
+        ext = f"{share.external_pct:.0f}" if share else "-"
+        lines.append(
+            f"{routine:>28} {profile.calls:>6} {rms_points:>8} "
+            f"{profile.distinct_sizes:>9} "
+            f"{richness.get(routine, 0.0):>9.1f} {thr:>5} {ext:>5}  "
+            f"{_fit_label(profile.worst_case_plot())}"
+        )
+    if len(drms_merged) > max_rows:
+        lines.append(f"  ... and {len(drms_merged) - max_rows} more routines")
+    lines.append("")
+
+    # variance diagnostics on the blind metric
+    flagged = suspicion_report(rms_report)
+    if flagged:
+        lines.append(
+            "suspicious cost variance under rms (input sizes probably "
+            "under-measured):"
+        )
+        for routine, points in sorted(flagged.items()):
+            worst = points[0]
+            lines.append(
+                f"  {routine}: n={worst.input_size} spans cost "
+                f"{worst.min_cost}..{worst.max_cost} over {worst.calls} calls"
+            )
+    else:
+        lines.append("no suspicious cost variance under rms")
+    lines.append("")
+
+    # communication channels
+    analyzer = analyze_communication(events)
+    edges = analyzer.edges()
+    if edges:
+        lines.append("heaviest communication channels:")
+        for edge in edges[:8]:
+            lines.append(
+                f"  {edge.producer} -> {edge.consumer}: {edge.cells} cells"
+            )
+    else:
+        lines.append("no shared-memory or kernel communication observed")
+    lines.append("")
+
+    # cost plots for requested (or auto-picked) routines
+    if plot_routines is None:
+        plot_routines = [
+            routine
+            for routine, profile in sorted(
+                drms_merged.items(), key=lambda kv: -kv[1].distinct_sizes
+            )[:2]
+            if profile.distinct_sizes >= 3
+        ]
+    for routine in plot_routines:
+        if routine not in drms_merged:
+            continue
+        plot = drms_merged[routine].worst_case_plot()
+        lines.append(
+            ascii_scatter(
+                [Series("drms", [(float(n), float(c)) for n, c in plot])],
+                title=f"worst-case cost plot: {routine}",
+                x_label="drms",
+                y_label="cost",
+                height=10,
+            )
+        )
+    return "\n".join(lines)

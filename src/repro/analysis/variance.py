@@ -1,0 +1,98 @@
+"""Cost-variance diagnostics: spotting under-measured input sizes.
+
+Section 2.1, on Figure 6a: *"In our experiment we observed a high cost
+variance for these rms values: this is a good indicator that some kind
+of information might not be captured correctly."*  When many calls of
+wildly different cost collapse onto one input-size value, the input
+metric is probably blind to part of the workload — precisely what the
+drms later reveals.
+
+This module turns that remark into an automatic diagnostic: given a
+routine profile, it flags *suspicious points* (input sizes whose
+max/min cost ratio exceeds a threshold, with enough calls to matter)
+and scores whole profiles, so a profiler run can end with a list of
+"routines whose input sizes you should not trust".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.profiler import ProfileReport
+from repro.core.profiles import RoutineProfile
+
+__all__ = ["SuspiciousPoint", "suspicious_points", "suspicion_report"]
+
+
+@dataclass(frozen=True)
+class SuspiciousPoint:
+    """One input-size value aggregating calls of very different cost."""
+
+    routine: str
+    input_size: int
+    calls: int
+    min_cost: int
+    max_cost: int
+
+    @property
+    def spread(self) -> float:
+        """max/min cost ratio (inf when the cheapest call was free)."""
+        if self.min_cost <= 0:
+            return float("inf")
+        return self.max_cost / self.min_cost
+
+
+def suspicious_points(
+    profile: RoutineProfile,
+    spread_threshold: float = 2.0,
+    min_calls: int = 2,
+) -> List[SuspiciousPoint]:
+    """Points of one routine whose cost spread exceeds the threshold."""
+    if spread_threshold < 1.0:
+        raise ValueError("spread threshold below 1 is meaningless")
+    flagged: List[SuspiciousPoint] = []
+    for size, stats in sorted(profile.points.items()):
+        if stats.calls < min_calls:
+            continue
+        if stats.min_cost <= 0:
+            if stats.max_cost > 0:
+                flagged.append(
+                    SuspiciousPoint(
+                        profile.routine,
+                        size,
+                        stats.calls,
+                        stats.min_cost,
+                        stats.max_cost,
+                    )
+                )
+            continue
+        if stats.max_cost / stats.min_cost >= spread_threshold:
+            flagged.append(
+                SuspiciousPoint(
+                    profile.routine,
+                    size,
+                    stats.calls,
+                    stats.min_cost,
+                    stats.max_cost,
+                )
+            )
+    return flagged
+
+
+def suspicion_report(
+    report: ProfileReport,
+    spread_threshold: float = 2.0,
+    min_calls: int = 2,
+) -> Dict[str, List[SuspiciousPoint]]:
+    """Suspicious points for every routine of a report (merged over
+    threads), keyed by routine, worst spread first within each list."""
+    out: Dict[str, List[SuspiciousPoint]] = {}
+    for routine, profile in report.by_routine().items():
+        flagged = suspicious_points(
+            profile, spread_threshold=spread_threshold, min_calls=min_calls
+        )
+        if flagged:
+            flagged.sort(key=lambda p: -p.spread)
+            out[routine] = flagged
+    return out

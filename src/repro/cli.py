@@ -1,0 +1,300 @@
+"""Command-line interface: ``repro`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``repro list`` — registered workloads, by suite.
+* ``repro profile WORKLOAD`` — run a workload and print per-routine
+  performance points under the chosen metric, with fitted cost models.
+* ``repro characterize WORKLOAD`` — the Section 4.2 workload metrics:
+  input volume, richness, thread/external split.
+* ``repro overhead`` — the Table 1 tool-comparison harness.
+* ``repro communicate WORKLOAD`` — the routine-granularity shared-memory
+  communication matrix (the paper's Section 6 future-work tool).
+* ``repro report WORKLOAD`` — everything at once: profiles, fits,
+  metrics, diagnostics and communication channels.
+* ``repro trace WORKLOAD`` — dump or save the event trace.
+* ``repro diagnose WORKLOAD`` — cost-variance diagnostics: routines whose
+  measured input sizes look untrustworthy (Section 2.1's indicator).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.communication import analyze_communication
+from repro.analysis.costfunc import best_fit
+from repro.analysis.metrics import (
+    dynamic_input_volume,
+    induced_first_read_split,
+    profile_richness,
+    routine_input_shares,
+)
+from repro.core import (
+    EXTERNAL_ONLY_POLICY,
+    FULL_POLICY,
+    RMS_POLICY,
+    profile_events,
+)
+from repro.core.events import describe
+from repro.tools import DEFAULT_TOOLS, measure_workload, suite_summary
+from repro.workloads.registry import REGISTRY, SUITES, get_workload, suite
+
+POLICIES = {
+    "rms": RMS_POLICY,
+    "drms": FULL_POLICY,
+    "external": EXTERNAL_ONLY_POLICY,
+}
+
+
+def _run_workload(name: str, threads: int, scale: int):
+    machine = get_workload(name).build(threads=threads, scale=scale)
+    machine.run()
+    return machine
+
+
+def cmd_list(_args) -> int:
+    for tag in SUITES:
+        print(f"{tag}:")
+        for workload in suite(tag):
+            print(f"  {workload.name}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    machine = _run_workload(args.workload, args.threads, args.scale)
+    report = profile_events(machine.trace, policy=POLICIES[args.metric])
+    if args.json:
+        from repro.core.serialize import dumps_report
+
+        with open(args.json, "w") as handle:
+            handle.write(dumps_report(report, indent=2))
+        print(f"profile written to {args.json}", file=sys.stderr)
+    merged = report.by_routine()
+    names = [args.routine] if args.routine else sorted(merged)
+    print(
+        f"{args.workload}: {len(machine.trace)} events, "
+        f"{machine.total_blocks} blocks, metric = {args.metric}"
+    )
+    for name in names:
+        if name not in merged:
+            print(f"  no profile for routine {name!r}", file=sys.stderr)
+            return 1
+        profile = merged[name]
+        plot = profile.worst_case_plot()
+        line = f"  {name}: calls={profile.calls} points={len(plot)}"
+        if len(plot) >= 2:
+            fit = best_fit(plot)
+            line += f" fit={fit.model} (R^2={fit.r_squared:.3f})"
+        print(line)
+        if args.points:
+            for size, cost in plot[: args.points]:
+                print(f"      n={size:<10} worst-case cost={cost}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    machine = _run_workload(args.workload, args.threads, args.scale)
+    drms_report = profile_events(machine.trace)
+    rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+    thread_pct, external_pct = induced_first_read_split(drms_report)
+    volume = dynamic_input_volume(rms_report, drms_report)
+    richness = profile_richness(rms_report, drms_report)
+    print(f"{args.workload}:")
+    print(f"  dynamic input volume: {volume:.3f}")
+    print(
+        f"  induced first-reads: {thread_pct:.1f}% thread / "
+        f"{external_pct:.1f}% external"
+    )
+    positive = {r: v for r, v in richness.items() if v > 0}
+    print(f"  routines with positive profile richness: {len(positive)}")
+    for routine, value in sorted(positive.items(), key=lambda kv: -kv[1])[:10]:
+        print(f"    {routine}: +{value:.1f}")
+    shares = routine_input_shares(drms_report)
+    print("  top dynamic-input routines:")
+    for share in shares[:10]:
+        print(
+            f"    {share.routine}: {share.thread_pct:.0f}% thread / "
+            f"{share.external_pct:.0f}% external "
+            f"({share.first_reads} first-reads)"
+        )
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    names = [w.name for w in suite(args.suite)]
+    if args.benchmarks:
+        names = [n for n in names if n in args.benchmarks]
+    measurements = []
+    for name in names:
+        workload = get_workload(name)
+        measurements.append(
+            measure_workload(
+                name,
+                lambda w=workload: w.build(threads=args.threads, scale=args.scale),
+                repeats=args.repeats,
+            )
+        )
+        print(f"  measured {name}", file=sys.stderr)
+    summary = suite_summary(measurements)
+    tool_names = list(DEFAULT_TOOLS)
+    print(f"{'tool':>12} {'slowdown':>10} {'space':>8}")
+    for tool in tool_names:
+        row = summary[tool]
+        print(
+            f"{tool:>12} {row['slowdown']:>9.2f}x {row['space_overhead']:>7.2f}x"
+        )
+    return 0
+
+
+def cmd_communicate(args) -> int:
+    machine = _run_workload(args.workload, args.threads, args.scale)
+    analyzer = analyze_communication(
+        machine.trace, include_kernel=not args.no_kernel
+    )
+    print(
+        f"{args.workload}: {analyzer.total_cells()} communicated cells "
+        f"over {len(analyzer.routine_matrix())} routine channels"
+    )
+    print(f"{'producer':>24} {'consumer':>24} {'cells':>7}")
+    for edge in analyzer.edges()[: args.limit]:
+        print(f"{edge.producer:>24} {edge.consumer:>24} {edge.cells:>7}")
+    fan_out = analyzer.fan_out()
+    if fan_out:
+        widest = max(fan_out, key=fan_out.get)
+        print(
+            f"widest producer: {widest} "
+            f"(feeds {fan_out[widest]} routines)"
+        )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import workload_report
+
+    machine = _run_workload(args.workload, args.threads, args.scale)
+    print(workload_report(machine.trace, title=args.workload))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    machine = _run_workload(args.workload, args.threads, args.scale)
+    if args.save:
+        from repro.core.tracefile import save_trace
+
+        with open(args.save, "w") as handle:
+            written = save_trace(machine.trace, handle)
+        print(f"{written} events written to {args.save}", file=sys.stderr)
+        return 0
+    for event in machine.trace[: args.limit]:
+        print(describe(event))
+    remaining = len(machine.trace) - args.limit
+    if remaining > 0:
+        print(f"... ({remaining} more events)")
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    from repro.analysis.variance import suspicion_report
+
+    machine = _run_workload(args.workload, args.threads, args.scale)
+    report = profile_events(machine.trace, policy=POLICIES[args.metric])
+    flagged = suspicion_report(report, spread_threshold=args.spread)
+    if not flagged:
+        print(
+            f"{args.workload}: no suspicious cost variance under "
+            f"{args.metric} (all input sizes look trustworthy)"
+        )
+        return 0
+    print(
+        f"{args.workload}: {len(flagged)} routine(s) with suspicious "
+        f"cost variance under {args.metric} — their input sizes are "
+        "probably under-measured (Section 2.1 indicator):"
+    )
+    for routine, points in flagged.items():
+        worst = points[0]
+        print(
+            f"  {routine}: {len(points)} point(s); worst at n={worst.input_size} "
+            f"({worst.calls} calls, cost {worst.min_cost}..{worst.max_cost})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="aprof-drms reproduction (CGO 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered workloads").set_defaults(
+        func=cmd_list
+    )
+
+    def add_workload_args(p):
+        p.add_argument("workload", choices=sorted(REGISTRY))
+        p.add_argument("--threads", type=int, default=4)
+        p.add_argument("--scale", type=int, default=1)
+
+    p = sub.add_parser("profile", help="profile a workload")
+    add_workload_args(p)
+    p.add_argument("--metric", choices=sorted(POLICIES), default="drms")
+    p.add_argument("--routine", help="only this routine")
+    p.add_argument(
+        "--points", type=int, default=0, help="print up to N plot points"
+    )
+    p.add_argument("--json", help="also write the profile as JSON to FILE")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("characterize", help="workload characterization")
+    add_workload_args(p)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("overhead", help="tool slowdown/space comparison")
+    p.add_argument("--suite", choices=SUITES, default="specomp")
+    p.add_argument("--benchmarks", nargs="*", help="restrict to these")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--scale", type=int, default=2)
+    p.add_argument("--repeats", type=int, default=3)
+    p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser(
+        "communicate", help="routine-level communication matrix"
+    )
+    add_workload_args(p)
+    p.add_argument("--limit", type=int, default=15)
+    p.add_argument(
+        "--no-kernel", action="store_true", help="ignore kernel-produced data"
+    )
+    p.set_defaults(func=cmd_communicate)
+
+    p = sub.add_parser("trace", help="dump a workload's event trace")
+    add_workload_args(p)
+    p.add_argument("--limit", type=int, default=50)
+    p.add_argument("--save", help="write the full trace to FILE instead")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("report", help="full analysis report")
+    add_workload_args(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "diagnose", help="flag routines with suspicious cost variance"
+    )
+    add_workload_args(p)
+    p.add_argument("--metric", choices=sorted(POLICIES), default="rms")
+    p.add_argument("--spread", type=float, default=2.0)
+    p.set_defaults(func=cmd_diagnose)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

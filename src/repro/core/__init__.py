@@ -1,0 +1,76 @@
+"""Core profiling machinery: trace events, the rms baseline, and the
+dynamic-read-memory-size (drms) algorithms of the paper."""
+
+from repro.core.events import (
+    Call,
+    Event,
+    EventKind,
+    KernelToUser,
+    Read,
+    Return,
+    SwitchThread,
+    UserToKernel,
+    Write,
+)
+from repro.core.naive import NaiveDrmsProfiler
+from repro.core.policy import (
+    EXTERNAL_ONLY_POLICY,
+    FULL_POLICY,
+    RMS_POLICY,
+    InputPolicy,
+)
+from repro.core.profiler import (
+    ProfileReport,
+    compare_metrics,
+    profile_events,
+    profile_traces,
+)
+from repro.core.profiles import PointStats, ProfileSet, RoutineProfile
+from repro.core.rms import RmsProfiler
+from repro.core.serialize import (
+    dumps_report,
+    loads_report,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.core.shadow import ShadowMemory
+from repro.core.shadow_stack import ShadowStack, StackEntry
+from repro.core.timestamping import KERNEL_WRITER, DrmsProfiler
+from repro.core.tracing import ThreadTrace, TraceBuilder, merge_traces
+
+__all__ = [
+    "Call",
+    "Return",
+    "Read",
+    "Write",
+    "UserToKernel",
+    "KernelToUser",
+    "SwitchThread",
+    "Event",
+    "EventKind",
+    "InputPolicy",
+    "RMS_POLICY",
+    "EXTERNAL_ONLY_POLICY",
+    "FULL_POLICY",
+    "NaiveDrmsProfiler",
+    "DrmsProfiler",
+    "RmsProfiler",
+    "KERNEL_WRITER",
+    "ShadowMemory",
+    "ShadowStack",
+    "StackEntry",
+    "ProfileSet",
+    "RoutineProfile",
+    "PointStats",
+    "ProfileReport",
+    "profile_events",
+    "profile_traces",
+    "compare_metrics",
+    "ThreadTrace",
+    "TraceBuilder",
+    "merge_traces",
+    "report_to_dict",
+    "report_from_dict",
+    "dumps_report",
+    "loads_report",
+]

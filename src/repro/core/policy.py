@@ -1,0 +1,53 @@
+"""Input-source policy: which dynamic inputs count toward the drms.
+
+The paper's evaluation uses three configurations of the metric:
+
+* **rms** — no dynamic sources at all (the PLDI'12 baseline, Figure 6a);
+* **drms, external input only** — kernel writes induce first-reads but
+  stores by other threads do not (Figure 6b);
+* **drms** — both external and thread input (Figure 6c, the default).
+
+:class:`InputPolicy` captures the two switches.  Both algorithms (naive
+and timestamping) honour it, and a property test checks that disabling
+both sources makes the drms collapse to the rms on arbitrary traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InputPolicy", "RMS_POLICY", "EXTERNAL_ONLY_POLICY", "FULL_POLICY"]
+
+
+@dataclass(frozen=True)
+class InputPolicy:
+    """Selects which write sources generate induced first-reads."""
+
+    #: stores performed by other threads induce first-reads
+    thread_input: bool = True
+    #: kernel system calls (``kernelToUser``) induce first-reads
+    external_input: bool = True
+
+    @property
+    def is_rms(self) -> bool:
+        """True when the policy degenerates to the plain rms metric."""
+        return not self.thread_input and not self.external_input
+
+    def label(self) -> str:
+        if self.is_rms:
+            return "rms"
+        if self.thread_input and self.external_input:
+            return "drms"
+        if self.external_input:
+            return "drms[external]"
+        return "drms[thread]"
+
+
+#: The PLDI'12 read-memory-size baseline.
+RMS_POLICY = InputPolicy(thread_input=False, external_input=False)
+
+#: Figure 6b: external input only.
+EXTERNAL_ONLY_POLICY = InputPolicy(thread_input=False, external_input=True)
+
+#: The full dynamic read memory size (paper default).
+FULL_POLICY = InputPolicy(thread_input=True, external_input=True)

@@ -1,0 +1,119 @@
+"""High-level profiling facade.
+
+Ties together the event sources (hand-built traces, the merge step, or
+the VM) and the metric engines, and packages the result in a
+:class:`ProfileReport` that the analysis layer and the benchmark harness
+consume.  Typical use::
+
+    from repro import profile_events, FULL_POLICY, RMS_POLICY
+
+    report = profile_events(events)              # drms (paper default)
+    rms_report = profile_events(events, RMS_POLICY)
+    plot = report.worst_case_plot("mysql_select")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.events import Event
+from repro.core.policy import FULL_POLICY, RMS_POLICY, InputPolicy
+from repro.core.profiles import ProfileSet, RoutineProfile, merge_thread_profiles
+from repro.core.timestamping import DrmsProfiler
+from repro.core.tracing import ThreadTrace, merge_traces
+
+__all__ = ["ProfileReport", "profile_events", "profile_traces", "compare_metrics"]
+
+
+@dataclass
+class ProfileReport:
+    """The outcome of one profiling pass over a trace."""
+
+    policy: InputPolicy
+    profiles: ProfileSet
+    #: per-routine ``[plain first-reads, thread-induced, kernel-induced]``
+    read_counters: Dict[str, List[int]] = field(default_factory=dict)
+    #: number of events processed
+    events: int = 0
+    #: shadowed cells at end of run (space footprint)
+    space_cells: int = 0
+
+    def by_routine(self) -> Dict[str, RoutineProfile]:
+        return merge_thread_profiles(self.profiles)
+
+    def routine(self, name: str) -> RoutineProfile:
+        merged = self.by_routine()
+        if name not in merged:
+            raise KeyError(
+                f"routine {name!r} not profiled; have: {sorted(merged)[:10]}"
+            )
+        return merged[name]
+
+    def worst_case_plot(self, routine: str) -> List[Tuple[int, int]]:
+        """The paper-style worst-case cost plot for ``routine``:
+        ``(input size, max cost)`` pairs over all threads."""
+        return self.routine(routine).worst_case_plot()
+
+    def distinct_sizes(self, routine: str) -> int:
+        return self.routine(routine).distinct_sizes
+
+    def induced_split(self, routine: str) -> Tuple[int, int, int]:
+        """``(plain first-reads, thread-induced, kernel-induced)`` event
+        counts charged to ``routine``."""
+        counters = self.read_counters.get(routine, [0, 0, 0])
+        return counters[0], counters[1], counters[2]
+
+    def total_induced(self) -> Tuple[int, int]:
+        """Total (thread-induced, kernel-induced) first-reads."""
+        thread_total = sum(c[1] for c in self.read_counters.values())
+        kernel_total = sum(c[2] for c in self.read_counters.values())
+        return thread_total, kernel_total
+
+
+def profile_events(
+    events: Sequence[Event],
+    policy: InputPolicy = FULL_POLICY,
+    counter_limit: Optional[int] = None,
+    keep_activations: bool = True,
+) -> ProfileReport:
+    """Profile a merged, totally-ordered event trace."""
+    engine = DrmsProfiler(
+        policy=policy,
+        counter_limit=counter_limit,
+        keep_activations=keep_activations,
+    )
+    engine.run(events)
+    return ProfileReport(
+        policy=policy,
+        profiles=engine.profiles,
+        read_counters=engine.read_counters,
+        events=len(events),
+        space_cells=engine.space_cells(),
+    )
+
+
+def profile_traces(
+    traces: Sequence[ThreadTrace],
+    policy: InputPolicy = FULL_POLICY,
+    seed: Optional[int] = 0,
+    counter_limit: Optional[int] = None,
+) -> ProfileReport:
+    """Merge per-thread traces (Section 3 front-end) and profile them."""
+    events = merge_traces(traces, seed=seed)
+    return profile_events(events, policy=policy, counter_limit=counter_limit)
+
+
+def compare_metrics(
+    events: Sequence[Event],
+    policies: Iterable[InputPolicy] = (RMS_POLICY, FULL_POLICY),
+) -> Dict[str, ProfileReport]:
+    """Profile the same trace under several policies (one pass each).
+
+    Returns a mapping from policy label (``"rms"``, ``"drms"``, ...) to
+    report — the shape every rms-vs-drms figure of the paper needs.
+    """
+    return {
+        policy.label(): profile_events(events, policy=policy)
+        for policy in policies
+    }

@@ -1,0 +1,63 @@
+"""Global timestamp renumbering (Section 3.2, *Counter Overflows*).
+
+The global counter is shared by all threads and, in the authors' initial
+experiments, overflowed on long-running applications.  Overflow is a
+correctness hazard: wrapping alters the order between memory timestamps
+and produces wrong input sizes.  The fix is a periodic *global
+renumbering*: every live timestamp — the counter itself, every cell of
+the global write-timestamp shadow memory, every cell of every
+thread-local access-timestamp shadow memory, and the invocation
+timestamp of every pending shadow-stack entry — is rewritten to a small
+value while preserving the partial order among all of them (and keeping
+the reserved value 0, "never accessed", fixed).
+
+The implementation collects the set of live values, sorts it, and maps
+the ``i``-th smallest to ``i + 1``.  Equal values stay equal and strict
+inequalities stay strict, which is exactly the property the drms
+algorithm's comparisons rely on; a property-based test checks that
+profiles computed with a tiny ``counter_limit`` are identical to the
+unlimited run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.core.shadow import ShadowMemory
+from repro.core.shadow_stack import ShadowStack
+
+__all__ = ["renumber_state"]
+
+
+def renumber_state(
+    count: int,
+    wts: ShadowMemory,
+    thread_ts: Mapping[int, ShadowMemory],
+    stacks: Mapping[int, ShadowStack],
+) -> int:
+    """Compact all live timestamps in place; return the renumbered
+    ``count`` (always the largest live value, hence ``len(live)``)."""
+    live = {count}
+    for _addr, value in wts.items():
+        live.add(value)
+    for mem in thread_ts.values():
+        for _addr, value in mem.items():
+            live.add(value)
+    for stack in stacks.values():
+        for entry in stack.entries:
+            live.add(entry.ts)
+    live.discard(0)
+
+    mapping: Dict[int, int] = {
+        old: new for new, old in enumerate(sorted(live), start=1)
+    }
+    mapping[0] = 0
+
+    remap = mapping.__getitem__
+    wts.map_values(remap)
+    for mem in thread_ts.values():
+        mem.map_values(remap)
+    for stack in stacks.values():
+        for entry in stack.entries:
+            entry.ts = mapping[entry.ts]
+    return mapping[count]

@@ -1,0 +1,144 @@
+"""Standalone rms profiler — the PLDI'12 latest-access baseline ([5]).
+
+The read memory size (rms) of an activation is the number of distinct
+locations whose *first* access by the activation (or by its completed
+descendants) is a read.  This module implements the original
+latest-access algorithm: per-thread access timestamps plus a shadow stack
+of partial values, with **no** global write-timestamp shadow memory —
+which is why plain aprof is "slightly more efficient" than aprof-drms in
+Table 1.
+
+It is deliberately an independent implementation rather than a
+configuration of :class:`repro.core.timestamping.DrmsProfiler`: the test
+suite cross-checks that ``DrmsProfiler(policy=RMS_POLICY)`` matches this
+class on arbitrary traces, and Inequality 1 (``drms >= rms``) is checked
+activation-by-activation against it.
+
+Kernel events: a ``userToKernel`` cell is read by the kernel on the
+thread's behalf and counts like a plain read; a ``kernelToUser`` fill is
+invisible to the rms (the baseline tracks no kernel writes), which is
+what makes ``rms(streamReader) = 1`` in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.events import (
+    AUXILIARY_EVENTS,
+    Call,
+    Event,
+    KernelToUser,
+    Read,
+    Return,
+    SwitchThread,
+    UserToKernel,
+    Write,
+)
+from repro.core.profiles import ProfileSet
+from repro.core.shadow import ShadowMemory
+from repro.core.shadow_stack import ShadowStack
+
+__all__ = ["RmsProfiler"]
+
+
+class RmsProfiler:
+    """Online rms profiler over a merged event trace."""
+
+    def __init__(self, keep_activations: bool = True) -> None:
+        # Timestamp 0 is reserved as "never accessed"; start at 1.
+        self.count = 1
+        self.ts: Dict[int, ShadowMemory] = {}
+        self.stacks: Dict[int, ShadowStack] = {}
+        self.profiles = ProfileSet()
+        self.profiles.keep_activations = keep_activations
+
+    def _thread_ts(self, thread: int) -> ShadowMemory:
+        mem = self.ts.get(thread)
+        if mem is None:
+            mem = ShadowMemory()
+            self.ts[thread] = mem
+        return mem
+
+    def _stack(self, thread: int) -> ShadowStack:
+        stack = self.stacks.get(thread)
+        if stack is None:
+            stack = ShadowStack()
+            self.stacks[thread] = stack
+        return stack
+
+    def on_call(self, event: Call) -> None:
+        self.count += 1
+        self._stack(event.thread).push(
+            event.routine, ts=self.count, cost=event.cost
+        )
+
+    def on_return(self, event: Return) -> None:
+        stack = self._stack(event.thread)
+        if not stack:
+            raise ValueError(f"return with empty stack on thread {event.thread}")
+        top = stack.pop()
+        self.profiles.collect(
+            top.rtn, event.thread, top.drms, event.cost - top.cost
+        )
+        if stack:
+            stack.top.drms += top.drms
+
+    def on_read(self, thread: int, addr: int) -> None:
+        ts = self._thread_ts(thread)
+        stack = self._stack(thread)
+        local = ts[addr]
+        if stack and local < stack.top.ts:
+            stack.top.drms += 1
+            if local != 0:
+                ancestor = stack.deepest_ancestor_at(local)
+                if ancestor is not None:
+                    stack[ancestor].drms -= 1
+        ts[addr] = self.count
+
+    def on_write(self, thread: int, addr: int) -> None:
+        self._thread_ts(thread)[addr] = self.count
+
+    def consume(self, event: Event) -> None:
+        if isinstance(event, Read):
+            self.on_read(event.thread, event.addr)
+        elif isinstance(event, Write):
+            self.on_write(event.thread, event.addr)
+        elif isinstance(event, Call):
+            self.on_call(event)
+        elif isinstance(event, Return):
+            self.on_return(event)
+        elif isinstance(event, UserToKernel):
+            pass  # plain aprof does not wrap system calls
+        elif isinstance(event, SwitchThread):
+            self.count += 1
+        elif isinstance(event, KernelToUser):
+            pass  # kernel fills are invisible to the rms baseline
+        elif isinstance(event, AUXILIARY_EVENTS):
+            pass  # sync/thread-lifecycle events carry no profiled accesses
+        else:
+            raise TypeError(f"unknown event: {event!r}")
+
+    def run(self, events: Iterable[Event]) -> ProfileSet:
+        for event in events:
+            self.consume(event)
+        return self.profiles
+
+    def pending_rms(self, thread: int) -> List[Tuple[str, int]]:
+        """``(routine, rms-so-far)`` per pending activation, bottom to top."""
+        stack = self._stack(thread)
+        out: List[Tuple[str, int]] = []
+        suffix = 0
+        for entry in reversed(stack.entries):
+            suffix += entry.drms
+            out.append((entry.rtn, suffix))
+        out.reverse()
+        return out
+
+    def space_cells(self) -> int:
+        cells = 0
+        for mem in self.ts.values():
+            cells += mem.space_cells()
+        for stack in self.stacks.values():
+            cells += 4 * len(stack)
+        return cells

@@ -1,0 +1,131 @@
+"""JSON persistence for profiling reports.
+
+aprof writes its profiles to report files that the companion GUI plots;
+this module plays that role: a :class:`~repro.core.profiler.ProfileReport`
+round-trips through a plain-JSON document (policy, per-routine
+performance points, read counters), so profiles can be archived,
+diffed between runs, or plotted by external tooling.
+
+The format is versioned and intentionally flat::
+
+    {
+      "format": "repro-profile",
+      "version": 1,
+      "policy": {"thread_input": true, "external_input": true},
+      "events": 1234,
+      "space_cells": 567,
+      "profiles": [
+        {"routine": "f", "thread": 1,
+         "points": [[10, {"calls": 2, "max": 30, "min": 10, "total": 40}]]}
+      ],
+      "read_counters": {"f": [3, 1, 0]}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.policy import InputPolicy
+from repro.core.profiler import ProfileReport
+from repro.core.profiles import PointStats, ProfileSet, RoutineProfile
+
+__all__ = ["report_to_dict", "report_from_dict", "dumps_report", "loads_report"]
+
+FORMAT = "repro-profile"
+VERSION = 1
+
+
+def report_to_dict(report: ProfileReport) -> Dict[str, Any]:
+    """Lower a report to JSON-serialisable primitives."""
+    profiles = []
+    for (routine, thread), profile in report.profiles:
+        points = [
+            [
+                size,
+                {
+                    "calls": stats.calls,
+                    "max": stats.max_cost,
+                    "min": stats.min_cost,
+                    "total": stats.total_cost,
+                },
+            ]
+            for size, stats in sorted(profile.points.items())
+        ]
+        profiles.append(
+            {
+                "routine": routine,
+                "thread": thread,
+                "calls": profile.calls,
+                "total_input": profile.total_input,
+                "points": points,
+            }
+        )
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "policy": {
+            "thread_input": report.policy.thread_input,
+            "external_input": report.policy.external_input,
+        },
+        "events": report.events,
+        "space_cells": report.space_cells,
+        "profiles": profiles,
+        "read_counters": {
+            routine: list(counts)
+            for routine, counts in report.read_counters.items()
+        },
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> ProfileReport:
+    """Rebuild a report from :func:`report_to_dict` output."""
+    if data.get("format") != FORMAT:
+        raise ValueError(f"not a {FORMAT} document")
+    if data.get("version") != VERSION:
+        raise ValueError(
+            f"unsupported version {data.get('version')!r} "
+            f"(this build reads version {VERSION})"
+        )
+    policy = InputPolicy(
+        thread_input=bool(data["policy"]["thread_input"]),
+        external_input=bool(data["policy"]["external_input"]),
+    )
+    profiles = ProfileSet()
+    profiles.keep_activations = False
+    for entry in data["profiles"]:
+        key = (entry["routine"], entry["thread"])
+        # rebuilding the set's internals directly: collect() would
+        # re-derive stats from individual activations we no longer have
+        profile = profiles._profiles.setdefault(
+            key, RoutineProfile(entry["routine"])
+        )
+        profile.calls = entry["calls"]
+        profile.total_input = entry["total_input"]
+        for size, stats in entry["points"]:
+            profile.points[int(size)] = PointStats(
+                calls=stats["calls"],
+                max_cost=stats["max"],
+                min_cost=stats["min"],
+                total_cost=stats["total"],
+            )
+    report = ProfileReport(
+        policy=policy,
+        profiles=profiles,
+        read_counters={
+            routine: list(counts)
+            for routine, counts in data.get("read_counters", {}).items()
+        },
+        events=int(data.get("events", 0)),
+        space_cells=int(data.get("space_cells", 0)),
+    )
+    return report
+
+
+def dumps_report(report: ProfileReport, indent: int = None) -> str:
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+
+
+def loads_report(text: str) -> ProfileReport:
+    return report_from_dict(json.loads(text))

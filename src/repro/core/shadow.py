@@ -1,0 +1,152 @@
+"""Three-level lookup-table shadow memory.
+
+Section 4.1 of the paper: *"To reduce space overhead in practice, we
+maintain global and thread-specific shadow memories by means of
+three-level lookup tables, so that only chunks related to memory cells
+actually accessed by a thread need to be shadowed."*
+
+Addresses are split into three fields (top / middle / offset); tables for
+the top and middle levels are allocated lazily and leaf chunks are flat
+lists.  Unset cells read back as a configurable default (``0`` — the
+"never accessed" timestamp of the profiling algorithm).
+
+The class intentionally mirrors a ``dict`` with a default so the test
+suite can check it against a plain dictionary with Hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ShadowMemory"]
+
+
+class ShadowMemory:
+    """Sparse word-granularity shadow memory with three lookup levels.
+
+    Parameters
+    ----------
+    default:
+        Value returned for never-written addresses (timestamp ``0`` in the
+        profiling algorithm).
+    top_bits, mid_bits, leaf_bits:
+        Width of the three address fields.  The real aprof shadows a
+        64-bit address space with 16K-entry chunks; the defaults here
+        (64-cell leaves, 1K-entry middle tables) scale the same layout
+        down to the VM's compact address space so the chunking overhead
+        stays proportionate.
+    """
+
+    def __init__(
+        self,
+        default: int = 0,
+        top_bits: int = 14,
+        mid_bits: int = 10,
+        leaf_bits: int = 6,
+    ) -> None:
+        if min(top_bits, mid_bits, leaf_bits) < 1:
+            raise ValueError("all level widths must be at least 1 bit")
+        self.default = default
+        self._leaf_bits = leaf_bits
+        self._mid_bits = mid_bits
+        self._top_bits = top_bits
+        self._leaf_size = 1 << leaf_bits
+        self._mid_size = 1 << mid_bits
+        self._leaf_mask = self._leaf_size - 1
+        self._mid_mask = self._mid_size - 1
+        # Top level is a dict so arbitrarily large addresses are accepted;
+        # middle levels are lists of (possibly None) leaf chunks.
+        self._top: Dict[int, List[Optional[List[int]]]] = {}
+        self._chunks_allocated = 0
+
+    # -- indexing -------------------------------------------------------
+
+    def _split(self, addr: int) -> Tuple[int, int, int]:
+        if addr < 0:
+            raise ValueError(f"negative address: {addr}")
+        off = addr & self._leaf_mask
+        mid = (addr >> self._leaf_bits) & self._mid_mask
+        top = addr >> (self._leaf_bits + self._mid_bits)
+        return top, mid, off
+
+    def __getitem__(self, addr: int) -> int:
+        top, mid, off = self._split(addr)
+        table = self._top.get(top)
+        if table is None:
+            return self.default
+        chunk = table[mid]
+        if chunk is None:
+            return self.default
+        return chunk[off]
+
+    def __setitem__(self, addr: int, value: int) -> None:
+        top, mid, off = self._split(addr)
+        table = self._top.get(top)
+        if table is None:
+            table = [None] * self._mid_size
+            self._top[top] = table
+        chunk = table[mid]
+        if chunk is None:
+            chunk = [self.default] * self._leaf_size
+            table[mid] = chunk
+            self._chunks_allocated += 1
+        chunk[off] = value
+
+    def get(self, addr: int, default: Optional[int] = None) -> int:
+        value = self[addr]
+        if value == self.default and default is not None:
+            return default
+        return value
+
+    # -- bulk operations -------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(addr, value)`` for every shadowed cell holding a
+        non-default value, in ascending address order."""
+        shift = self._leaf_bits + self._mid_bits
+        for top in sorted(self._top):
+            table = self._top[top]
+            for mid, chunk in enumerate(table):
+                if chunk is None:
+                    continue
+                base = (top << shift) | (mid << self._leaf_bits)
+                for off, value in enumerate(chunk):
+                    if value != self.default:
+                        yield base | off, value
+
+    def map_values(self, fn) -> None:
+        """Apply ``fn`` to every allocated cell in place.
+
+        Used by the timestamp renumbering pass (Section 3.2, *Counter
+        Overflows*): all live timestamps are rewritten while preserving
+        their relative order.
+        """
+        for table in self._top.values():
+            for chunk in table:
+                if chunk is None:
+                    continue
+                for off, value in enumerate(chunk):
+                    if value != self.default:
+                        chunk[off] = fn(value)
+
+    def clear(self) -> None:
+        self._top.clear()
+        self._chunks_allocated = 0
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def chunks_allocated(self) -> int:
+        """Number of leaf chunks materialised so far."""
+        return self._chunks_allocated
+
+    def space_cells(self) -> int:
+        """Total shadowed cells (allocated chunk cells), the paper's
+        space-overhead driver for shadow memories."""
+        return self._chunks_allocated * self._leaf_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShadowMemory(chunks={self._chunks_allocated}, "
+            f"leaf_size={self._leaf_size})"
+        )

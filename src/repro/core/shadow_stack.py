@@ -1,0 +1,96 @@
+"""Per-thread shadow run-time stack used by the timestamping algorithm.
+
+Each thread ``t`` owns a shadow stack ``S_t`` whose ``i``-th entry stores,
+for the ``i``-th pending routine activation (Section 3.2):
+
+* ``rtn``  — the routine identifier,
+* ``ts``   — the invocation timestamp (value of the global counter at call),
+* ``drms`` — the *partial* dynamic read memory size, maintained so that
+  Invariant 2 holds: the true drms of activation ``i`` equals the sum of
+  the partial drms of entries ``i..top``,
+* ``cost`` — the thread cost counter at call time (costs are charged as
+  the difference at return).
+
+Invocation timestamps are strictly increasing from the bottom to the top
+of the stack, so the "deepest ancestor that accessed a location" query of
+Figure 8 (line 7 of the ``read`` handler: *max idx i s.t.
+``S[i].ts <= ts``*) is a binary search — O(log d) where d is the stack
+depth, matching the paper's stated bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["StackEntry", "ShadowStack"]
+
+
+@dataclass
+class StackEntry:
+    """Shadow-stack record for one pending routine activation."""
+
+    rtn: str
+    ts: int
+    drms: int = 0
+    cost: int = 0
+
+
+class ShadowStack:
+    """Shadow run-time stack ``S_t`` of one thread."""
+
+    def __init__(self) -> None:
+        self._entries: List[StackEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __getitem__(self, index: int) -> StackEntry:
+        return self._entries[index]
+
+    @property
+    def top(self) -> StackEntry:
+        """The entry of the topmost (currently executing) activation."""
+        if not self._entries:
+            raise IndexError("shadow stack is empty")
+        return self._entries[-1]
+
+    @property
+    def entries(self) -> List[StackEntry]:
+        return self._entries
+
+    def push(self, rtn: str, ts: int, cost: int = 0) -> StackEntry:
+        if self._entries and ts <= self._entries[-1].ts:
+            raise ValueError(
+                "invocation timestamps must strictly increase up the stack"
+            )
+        entry = StackEntry(rtn=rtn, ts=ts, drms=0, cost=cost)
+        self._entries.append(entry)
+        return entry
+
+    def pop(self) -> StackEntry:
+        if not self._entries:
+            raise IndexError("pop from empty shadow stack")
+        return self._entries.pop()
+
+    def deepest_ancestor_at(self, ts: int) -> Optional[int]:
+        """Return the max index ``i`` with ``S[i].ts <= ts`` (Fig. 8 line 7).
+
+        ``None`` when every pending activation was entered after ``ts``
+        (i.e. the access predates the whole current stack — only possible
+        for timestamp 0, which callers filter out beforehand).
+        """
+        entries = self._entries
+        lo, hi = 0, len(entries) - 1
+        result: Optional[int] = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if entries[mid].ts <= ts:
+                result = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return result

@@ -1,0 +1,259 @@
+"""The read/write timestamping drms algorithm (Figures 8 and 9).
+
+This is the paper's efficient algorithm.  Rather than materialising the
+per-activation location sets of the naive approach, it keeps:
+
+* a **global** counter ``count`` of thread switches and routine
+  activations, used as the timestamp source;
+* a **global** shadow memory ``wts`` mapping each location to the
+  timestamp of the latest write *by any thread or by the kernel*;
+* per thread ``t``, a shadow memory ``ts_t`` with the timestamp of the
+  latest access (read or write) by ``t``, and a shadow run-time stack
+  ``S_t`` holding, for each pending activation, its invocation timestamp
+  and its *partial* drms.
+
+Invariant 2 of the paper holds throughout: the true drms of the ``i``-th
+pending activation equals the sum of the partial drms of stack entries
+``i..top``.  All handlers are O(1) except the ancestor search in ``read``
+(O(log d) binary search on the shadow stack).
+
+Induced first-reads are recognised by the single comparison
+``ts_t[l] < wts[l]``: if the location was written more recently than the
+last access by this thread, the write must have come from a different
+thread or from the kernel.  A parallel write-source map attributes each
+induced first-read to *thread input* or *external input*, feeding the
+Section 4.1 workload-characterization metrics.
+
+Counter overflow (Section 3.2, *Counter Overflows*) is handled by
+periodic global renumbering — see :mod:`repro.core.renumber` — triggered
+when ``count`` crosses ``counter_limit``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.events import (
+    AUXILIARY_EVENTS,
+    Call,
+    Event,
+    KernelToUser,
+    Read,
+    Return,
+    SwitchThread,
+    UserToKernel,
+    Write,
+)
+from repro.core.policy import FULL_POLICY, InputPolicy
+from repro.core.profiles import ProfileSet
+from repro.core.renumber import renumber_state
+from repro.core.shadow import ShadowMemory
+from repro.core.shadow_stack import ShadowStack
+
+__all__ = ["KERNEL_WRITER", "DrmsProfiler"]
+
+#: Sentinel "thread id" recorded as the write source for kernel fills.
+KERNEL_WRITER = -1
+
+
+class DrmsProfiler:
+    """Online drms profiler over a merged, totally-ordered event trace.
+
+    Parameters
+    ----------
+    policy:
+        Which dynamic input sources count.  The degenerate
+        ``InputPolicy(False, False)`` computes the plain rms of [5]; in
+        that mode the global write-timestamp shadow memory is never
+        touched, mirroring plain aprof's lack of a global shadow memory
+        (and its smaller space footprint in Table 1).
+    counter_limit:
+        When the global counter reaches this value a renumbering pass
+        compacts all live timestamps.  ``None`` disables renumbering.
+        Tiny limits (e.g. 16) are functionally valid — a property test
+        relies on this — just slower.
+    keep_activations:
+        Whether the profile set records every raw activation tuple.
+    """
+
+    def __init__(
+        self,
+        policy: InputPolicy = FULL_POLICY,
+        counter_limit: Optional[int] = None,
+        keep_activations: bool = True,
+    ) -> None:
+        if counter_limit is not None and counter_limit < 4:
+            raise ValueError("counter_limit must be at least 4")
+        self.policy = policy
+        self.counter_limit = counter_limit
+        # The counter starts at 1: timestamp 0 is reserved as the "never
+        # accessed" value, so operations occurring before the first
+        # routine activation or thread switch must not stamp cells with 0.
+        self.count = 1
+        self.wts = ShadowMemory()
+        self.wsrc: Dict[int, int] = {}
+        self.ts: Dict[int, ShadowMemory] = {}
+        self.stacks: Dict[int, ShadowStack] = {}
+        self.profiles = ProfileSet()
+        self.profiles.keep_activations = keep_activations
+        #: per-routine event counters:
+        #: [plain first-reads, thread-induced, kernel-induced]
+        self.read_counters: Dict[str, List[int]] = {}
+        self.renumber_passes = 0
+
+    # -- state access -------------------------------------------------------
+
+    def _thread_ts(self, thread: int) -> ShadowMemory:
+        mem = self.ts.get(thread)
+        if mem is None:
+            mem = ShadowMemory()
+            self.ts[thread] = mem
+        return mem
+
+    def _stack(self, thread: int) -> ShadowStack:
+        stack = self.stacks.get(thread)
+        if stack is None:
+            stack = ShadowStack()
+            self.stacks[thread] = stack
+        return stack
+
+    def _counters(self, routine: str) -> List[int]:
+        return self.read_counters.setdefault(routine, [0, 0, 0])
+
+    def _bump_count(self) -> None:
+        self.count += 1
+        if self.counter_limit is not None and self.count >= self.counter_limit:
+            self._renumber()
+
+    def _renumber(self) -> None:
+        self.count = renumber_state(
+            count=self.count,
+            wts=self.wts,
+            thread_ts=self.ts,
+            stacks=self.stacks,
+        )
+        self.renumber_passes += 1
+
+    # -- event handlers (Figure 8) -------------------------------------------
+
+    def on_call(self, event: Call) -> None:
+        self._bump_count()
+        self._stack(event.thread).push(
+            event.routine, ts=self.count, cost=event.cost
+        )
+
+    def on_return(self, event: Return) -> None:
+        stack = self._stack(event.thread)
+        if not stack:
+            raise ValueError(f"return with empty stack on thread {event.thread}")
+        top = stack.pop()
+        self.profiles.collect(
+            top.rtn, event.thread, top.drms, event.cost - top.cost
+        )
+        if stack:
+            stack.top.drms += top.drms
+
+    def on_switch_thread(self) -> None:
+        self._bump_count()
+
+    def on_read(self, thread: int, addr: int) -> None:
+        ts = self._thread_ts(thread)
+        stack = self._stack(thread)
+        local = ts[addr]
+        if local < self.wts[addr]:
+            # Induced first-read: the location was written since this
+            # thread last touched it, necessarily by the kernel or by a
+            # different thread (a write by `thread` itself would have set
+            # ts_t[addr] == wts[addr]).
+            if stack:
+                stack.top.drms += 1
+                source = self.wsrc.get(addr, KERNEL_WRITER)
+                slot = 2 if source == KERNEL_WRITER else 1
+                self._counters(stack.top.rtn)[slot] += 1
+        elif stack and local < stack.top.ts:
+            # First access by the topmost activation.
+            stack.top.drms += 1
+            self._counters(stack.top.rtn)[0] += 1
+            if local != 0:
+                # The thread accessed `addr` before entering the topmost
+                # routine: the deepest ancestor that already counted it
+                # must give the unit back, restoring Invariant 2 for all
+                # activations below it.
+                ancestor = stack.deepest_ancestor_at(local)
+                if ancestor is not None:
+                    stack[ancestor].drms -= 1
+        ts[addr] = self.count
+
+    def on_write(self, thread: int, addr: int) -> None:
+        self._thread_ts(thread)[addr] = self.count
+        if self.policy.thread_input:
+            self.wts[addr] = self.count
+            self.wsrc[addr] = thread
+
+    # -- event handlers (Figure 9: external input) -----------------------------
+
+    def on_kernel_to_user(self, event: KernelToUser) -> None:
+        if not self.policy.external_input:
+            return
+        self._bump_count()
+        self.wts[event.addr] = self.count
+        self.wsrc[event.addr] = KERNEL_WRITER
+
+    def on_user_to_kernel(self, event: UserToKernel) -> None:
+        # The kernel reads user memory on the thread's behalf (Figure 9).
+        # Plain aprof does not wrap system calls, so the degenerate rms
+        # policy (external_input off) must not see this access at all.
+        if self.policy.external_input:
+            self.on_read(event.thread, event.addr)
+
+    # -- driving ---------------------------------------------------------------
+
+    def consume(self, event: Event) -> None:
+        if isinstance(event, Read):
+            self.on_read(event.thread, event.addr)
+        elif isinstance(event, Write):
+            self.on_write(event.thread, event.addr)
+        elif isinstance(event, Call):
+            self.on_call(event)
+        elif isinstance(event, Return):
+            self.on_return(event)
+        elif isinstance(event, SwitchThread):
+            self.on_switch_thread()
+        elif isinstance(event, KernelToUser):
+            self.on_kernel_to_user(event)
+        elif isinstance(event, UserToKernel):
+            self.on_user_to_kernel(event)
+        elif isinstance(event, AUXILIARY_EVENTS):
+            pass  # sync/thread-lifecycle events carry no profiled accesses
+        else:
+            raise TypeError(f"unknown event: {event!r}")
+
+    def run(self, events: Iterable[Event]) -> ProfileSet:
+        for event in events:
+            self.consume(event)
+        return self.profiles
+
+    # -- introspection -----------------------------------------------------------
+
+    def pending_drms(self, thread: int) -> List[Tuple[str, int]]:
+        """``(routine, drms-so-far)`` for each pending activation of
+        ``thread``, bottom to top, derived from the partial values via
+        Invariant 2 (suffix sums of the shadow stack)."""
+        stack = self._stack(thread)
+        out: List[Tuple[str, int]] = []
+        suffix = 0
+        for entry in reversed(stack.entries):
+            suffix += entry.drms
+            out.append((entry.rtn, suffix))
+        out.reverse()
+        return out
+
+    def space_cells(self) -> int:
+        """Shadowed cells across all shadow memories plus stack entries —
+        the space-overhead figure used by the Table 1 harness."""
+        cells = self.wts.space_cells()
+        for mem in self.ts.values():
+            cells += mem.space_cells()
+        for stack in self.stacks.values():
+            cells += 4 * len(stack)
+        return cells

@@ -1,0 +1,138 @@
+"""Trace persistence: a compact line-oriented text format.
+
+The paper's profiler is "given as input multiple traces of program
+operations" — traces are artifacts.  This module serialises event
+traces to a one-event-per-line text format so runs can be recorded
+once and re-profiled offline under any metric, diffed, or shipped to
+another machine:
+
+    C 1 mysql_select 42     call(thread, routine, cost)
+    R 1 65536               read(thread, addr)
+    W 2 65537               write(thread, addr)
+    > 1 65539               userToKernel
+    < 1 65540               kernelToUser
+    T 1 99                  return(thread, cost)
+    S                       switchThread
+    L+ 1 mutex              lockAcquire       L- releases
+    B 2 1                   threadStart(thread, parent)
+    E 2                     threadExit
+
+Routine and lock names are percent-encoded so whitespace cannot break
+the framing.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from typing import IO, Iterable, Iterator, List
+
+from repro.core.events import (
+    Call,
+    Event,
+    KernelToUser,
+    LockAcquire,
+    LockRelease,
+    Read,
+    Return,
+    SwitchThread,
+    ThreadExit,
+    ThreadStart,
+    UserToKernel,
+    Write,
+)
+
+__all__ = ["event_to_line", "line_to_event", "save_trace", "load_trace"]
+
+
+class TraceFormatError(ValueError):
+    """Malformed trace line."""
+
+
+def _quote(name: str) -> str:
+    return urllib.parse.quote(name, safe="")
+
+
+def _unquote(name: str) -> str:
+    return urllib.parse.unquote(name)
+
+
+def event_to_line(event: Event) -> str:
+    if isinstance(event, Call):
+        return f"C {event.thread} {_quote(event.routine)} {event.cost}"
+    if isinstance(event, Return):
+        return f"T {event.thread} {event.cost}"
+    if isinstance(event, Read):
+        return f"R {event.thread} {event.addr}"
+    if isinstance(event, Write):
+        return f"W {event.thread} {event.addr}"
+    if isinstance(event, UserToKernel):
+        return f"> {event.thread} {event.addr}"
+    if isinstance(event, KernelToUser):
+        return f"< {event.thread} {event.addr}"
+    if isinstance(event, SwitchThread):
+        return "S"
+    if isinstance(event, LockAcquire):
+        return f"L+ {event.thread} {_quote(event.lock)}"
+    if isinstance(event, LockRelease):
+        return f"L- {event.thread} {_quote(event.lock)}"
+    if isinstance(event, ThreadStart):
+        return f"B {event.thread} {event.parent}"
+    if isinstance(event, ThreadExit):
+        return f"E {event.thread}"
+    raise TraceFormatError(f"unserialisable event {event!r}")
+
+
+def line_to_event(line: str) -> Event:
+    parts = line.split()
+    if not parts:
+        raise TraceFormatError("empty trace line")
+    tag = parts[0]
+    try:
+        if tag == "C":
+            return Call(int(parts[1]), _unquote(parts[2]), int(parts[3]))
+        if tag == "T":
+            return Return(int(parts[1]), int(parts[2]))
+        if tag == "R":
+            return Read(int(parts[1]), int(parts[2]))
+        if tag == "W":
+            return Write(int(parts[1]), int(parts[2]))
+        if tag == ">":
+            return UserToKernel(int(parts[1]), int(parts[2]))
+        if tag == "<":
+            return KernelToUser(int(parts[1]), int(parts[2]))
+        if tag == "S":
+            return SwitchThread()
+        if tag == "L+":
+            return LockAcquire(int(parts[1]), _unquote(parts[2]))
+        if tag == "L-":
+            return LockRelease(int(parts[1]), _unquote(parts[2]))
+        if tag == "B":
+            return ThreadStart(int(parts[1]), int(parts[2]))
+        if tag == "E":
+            return ThreadExit(int(parts[1]))
+    except (IndexError, ValueError) as exc:
+        raise TraceFormatError(f"malformed trace line {line!r}") from exc
+    raise TraceFormatError(f"unknown event tag {tag!r} in {line!r}")
+
+
+def save_trace(events: Iterable[Event], stream: IO[str]) -> int:
+    """Write events, one per line; returns the number written."""
+    count = 0
+    for event in events:
+        stream.write(event_to_line(event))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def load_trace(stream: IO[str]) -> List[Event]:
+    """Read a full trace back into memory."""
+    return list(iter_trace(stream))
+
+
+def iter_trace(stream: IO[str]) -> Iterator[Event]:
+    """Stream events from a trace file (constant memory)."""
+    for line in stream:
+        line = line.strip()
+        if line and not line.startswith("#"):
+            yield line_to_event(line)

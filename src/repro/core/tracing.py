@@ -1,0 +1,189 @@
+"""Per-thread traces, timestamped events, and the merge step of Section 3.
+
+The profiler is given *multiple traces of program operations associated
+with timing information*, one per thread.  As a first step the
+thread-specific traces are logically merged, interleaving operations
+according to their timestamps, to produce a unique totally-ordered
+execution trace.  If two or more operations issued by different threads
+carry the same timestamp, ties are broken arbitrarily — the paper makes no
+assumption about which operation is processed first, so the merge accepts
+a seed and breaks ties pseudo-randomly (deterministically for a given
+seed).  ``switchThread`` events are inserted between any two consecutive
+operations performed by different threads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.events import (
+    Call,
+    Event,
+    KernelToUser,
+    Read,
+    Return,
+    SwitchThread,
+    ThreadEvent,
+    UserToKernel,
+    Write,
+)
+
+__all__ = ["TimedEvent", "ThreadTrace", "TraceBuilder", "merge_traces"]
+
+
+@dataclass(frozen=True)
+class TimedEvent:
+    """A thread-trace event paired with its (wall-clock) timestamp."""
+
+    time: int
+    event: ThreadEvent
+
+
+@dataclass
+class ThreadTrace:
+    """The sequence of timestamped operations issued by one thread.
+
+    Timestamps must be non-decreasing within a single thread trace;
+    :meth:`append` enforces this so merged traces stay consistent with
+    per-thread program order.
+    """
+
+    thread: int
+    events: List[TimedEvent] = field(default_factory=list)
+
+    def append(self, time: int, event: ThreadEvent) -> None:
+        if event.thread != self.thread:
+            raise ValueError(
+                f"event thread {event.thread} does not match trace "
+                f"thread {self.thread}"
+            )
+        if self.events and time < self.events[-1].time:
+            raise ValueError(
+                f"timestamps must be non-decreasing within a thread: "
+                f"{time} < {self.events[-1].time}"
+            )
+        self.events.append(TimedEvent(time, event))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TimedEvent]:
+        return iter(self.events)
+
+
+class TraceBuilder:
+    """Convenience builder for hand-written per-thread traces.
+
+    Used pervasively by the test-suite to spell out the paper's worked
+    examples (Figures 1a, 1b, 2 and 3)::
+
+        t1 = TraceBuilder(thread=1)
+        t1.call("f").read(X).read(X).ret()
+    """
+
+    def __init__(self, thread: int, start_time: int = 0) -> None:
+        self.thread = thread
+        self._time = start_time
+        self._trace = ThreadTrace(thread)
+
+    def at(self, time: int) -> "TraceBuilder":
+        """Set the timestamp used for subsequent events."""
+        self._time = time
+        return self
+
+    def tick(self, delta: int = 1) -> "TraceBuilder":
+        """Advance the timestamp by ``delta``."""
+        self._time += delta
+        return self
+
+    def _emit(self, event: ThreadEvent) -> "TraceBuilder":
+        self._trace.append(self._time, event)
+        self._time += 1
+        return self
+
+    def call(self, routine: str, cost: int = 0) -> "TraceBuilder":
+        return self._emit(Call(self.thread, routine, cost))
+
+    def ret(self, cost: int = 0) -> "TraceBuilder":
+        return self._emit(Return(self.thread, cost))
+
+    def read(self, addr: int) -> "TraceBuilder":
+        return self._emit(Read(self.thread, addr))
+
+    def write(self, addr: int) -> "TraceBuilder":
+        return self._emit(Write(self.thread, addr))
+
+    def user_to_kernel(self, addr: int) -> "TraceBuilder":
+        return self._emit(UserToKernel(self.thread, addr))
+
+    def kernel_to_user(self, addr: int) -> "TraceBuilder":
+        return self._emit(KernelToUser(self.thread, addr))
+
+    def build(self) -> ThreadTrace:
+        return self._trace
+
+
+def merge_traces(
+    traces: Sequence[ThreadTrace],
+    seed: Optional[int] = 0,
+    insert_switches: bool = True,
+) -> List[Event]:
+    """Merge per-thread traces into one totally-ordered execution trace.
+
+    Events are ordered by timestamp; ties between different threads are
+    broken pseudo-randomly using ``seed`` (pass ``seed=None`` for
+    thread-id order, the most deterministic choice).  Events of the *same*
+    thread always keep their program order.  When ``insert_switches`` is
+    true, a :class:`~repro.core.events.SwitchThread` marker is inserted
+    between any two consecutive events of different threads, as assumed by
+    the profiling algorithm of Figure 8.
+    """
+    rng = random.Random(seed)
+    heap: List[tuple] = []
+    for trace in traces:
+        it = iter(trace.events)
+        first = next(it, None)
+        if first is None:
+            continue
+        tiebreak = rng.random() if seed is not None else trace.thread
+        heapq.heappush(heap, (first.time, tiebreak, trace.thread, first, it))
+
+    merged: List[Event] = []
+    last_thread: Optional[int] = None
+    while heap:
+        time, _, thread, timed, it = heapq.heappop(heap)
+        if insert_switches and last_thread is not None and thread != last_thread:
+            merged.append(SwitchThread())
+        merged.append(timed.event)
+        last_thread = thread
+        nxt = next(it, None)
+        if nxt is not None:
+            tiebreak = rng.random() if seed is not None else thread
+            heapq.heappush(heap, (nxt.time, tiebreak, thread, nxt, it))
+    return merged
+
+
+def with_switches(events: Iterable[Event]) -> List[Event]:
+    """Insert ``switchThread`` markers into an already-ordered event list.
+
+    Accepts a flat list of thread events (for example one produced by the
+    VM, which serialises threads itself) and returns a copy with a
+    :class:`SwitchThread` between consecutive events of different threads.
+    Existing switch markers are preserved.
+    """
+    out: List[Event] = []
+    last_thread: Optional[int] = None
+    for event in events:
+        if isinstance(event, SwitchThread):
+            out.append(event)
+            last_thread = None
+            continue
+        thread = event.thread
+        if last_thread is not None and thread != last_thread:
+            out.append(SwitchThread())
+        out.append(event)
+        last_thread = thread
+    return out

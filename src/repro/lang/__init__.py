@@ -1,0 +1,47 @@
+"""minilang: a small imperative language compiled to basic-block
+bytecode and executed on the trace VM.
+
+Guest programs are profiled exactly like hand-written workloads — with
+the bonus that their cost metric is *literally* executed basic blocks,
+since the interpreter charges one unit per CFG block entered.
+
+    from repro.lang import run_source
+
+    machine, runtime, result = run_source(SOURCE, 32)
+    report = profile_events(machine.trace)
+"""
+
+from repro.lang.bytecode import (
+    BUILTINS,
+    BasicBlock,
+    CompiledFunction,
+    CompiledProgram,
+    Instr,
+    Terminator,
+)
+from repro.lang.compiler import CompileError, compile_program, compile_source
+from repro.lang.interp import MiniLangError, MiniRuntime, run_program, run_source
+from repro.lang.parser import ParseError, parse
+from repro.lang.tokens import LexError, Token, TokenType, tokenize
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "LexError",
+    "parse",
+    "ParseError",
+    "compile_source",
+    "compile_program",
+    "CompileError",
+    "CompiledProgram",
+    "CompiledFunction",
+    "BasicBlock",
+    "Instr",
+    "Terminator",
+    "BUILTINS",
+    "run_source",
+    "run_program",
+    "MiniRuntime",
+    "MiniLangError",
+]

@@ -1,0 +1,170 @@
+"""Abstract syntax tree for the mini language.
+
+Plain frozen dataclasses; the parser builds these and the compiler
+lowers them to basic-block bytecode.  Expressions and statements carry
+the source line for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Expr",
+    "Number",
+    "Bool",
+    "Var",
+    "Binary",
+    "Unary",
+    "CallExpr",
+    "Index",
+    "SpawnExpr",
+    "Stmt",
+    "VarDecl",
+    "Assign",
+    "StoreIndex",
+    "If",
+    "While",
+    "Return",
+    "ExprStmt",
+    "Block",
+    "Function",
+    "Program",
+]
+
+
+@dataclass(frozen=True)
+class Number:
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Bool:
+    value: bool
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # "-" or "not"
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CallExpr:
+    name: str
+    args: Tuple["Expr", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Index:
+    base: "Expr"
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class SpawnExpr:
+    """``spawn f(args)`` — start ``f`` on a new thread; evaluates to a
+    thread handle for ``join``."""
+
+    name: str
+    args: Tuple["Expr", ...]
+    line: int = 0
+
+
+Expr = Union[Number, Bool, Var, Binary, Unary, CallExpr, Index, SpawnExpr]
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    name: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign:
+    name: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class StoreIndex:
+    base: Expr
+    index: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If:
+    condition: Expr
+    then_body: "Block"
+    else_body: Optional["Block"]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While:
+    condition: Expr
+    body: "Block"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: Expr
+    line: int = 0
+
+
+Stmt = Union[VarDecl, Assign, StoreIndex, If, While, Return, ExprStmt]
+
+
+@dataclass(frozen=True)
+class Block:
+    statements: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Function:
+    name: str
+    params: Tuple[str, ...]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class Program:
+    functions: List[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function {name!r}")

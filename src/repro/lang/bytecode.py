@@ -1,0 +1,158 @@
+"""Bytecode: a stack machine organised in basic blocks.
+
+Each function is lowered to a control-flow graph of
+:class:`BasicBlock` s.  A block is a straight-line instruction sequence
+ending in exactly one terminator (``JUMP``, ``BRANCH`` or ``RET``);
+the interpreter charges **one cost unit per block entered**, so the
+profiled cost of mini-language programs is literally "executed basic
+blocks" — the metric of the paper.
+
+Instructions (operand stack effects in brackets):
+
+=============  =====================================================
+``CONST v``    [] -> [v]
+``LOAD x``     [] -> [locals[x]]
+``STORE x``    [v] -> []           (also declares x)
+``BINOP op``   [a, b] -> [a op b]  (arith, comparison)
+``UNOP op``    [a] -> [op a]       (neg, not)
+``LOAD_MEM``   [addr] -> [memory[addr]]        (traced read)
+``STORE_MEM``  [addr, v] -> []                 (traced write)
+``CALL f n``   [a1..an] -> [result]            (user fn or builtin)
+``SPAWN f n``  [a1..an] -> [thread handle]      (guest thread creation)
+``POP``        [v] -> []
+=============  =====================================================
+
+Terminators:
+
+=================  ================================================
+``JUMP b``         unconditional edge to block b
+``BRANCH t e``     [cond] -> [] ; edge to t if truthy else e
+``RET``            [v] -> return v from the activation
+=================  ================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Instr",
+    "Terminator",
+    "BasicBlock",
+    "CompiledFunction",
+    "CompiledProgram",
+    "BUILTINS",
+]
+
+#: builtin functions with their arity (resolved by the interpreter)
+BUILTINS: Dict[str, int] = {
+    "alloc": 1,   # alloc(n) -> base address of n fresh cells
+    "input": 2,   # input(buf, n) -> cells read from the input stream
+    "output": 2,  # output(addr, n) -> cells written to the output sink
+    "print": 1,   # print(v) -> v, appended to the program's output log
+    "join": 1,    # join(handle) -> thread result (blocks until done)
+}
+
+
+@dataclass(frozen=True)
+class Instr:
+    op: str
+    arg: object = None
+    arg2: object = None
+    line: int = 0
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.arg is not None:
+            parts.append(str(self.arg))
+        if self.arg2 is not None:
+            parts.append(str(self.arg2))
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Terminator:
+    op: str  # "JUMP" | "BRANCH" | "RET"
+    target: Optional[int] = None
+    else_target: Optional[int] = None
+
+    def __repr__(self) -> str:
+        if self.op == "JUMP":
+            return f"JUMP B{self.target}"
+        if self.op == "BRANCH":
+            return f"BRANCH B{self.target} B{self.else_target}"
+        return "RET"
+
+
+@dataclass
+class BasicBlock:
+    index: int
+    instrs: List[Instr] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    @property
+    def terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> Tuple[int, ...]:
+        if self.terminator is None or self.terminator.op == "RET":
+            return ()
+        if self.terminator.op == "JUMP":
+            return (self.terminator.target,)
+        return (self.terminator.target, self.terminator.else_target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = "; ".join(map(repr, self.instrs))
+        return f"B{self.index}[{body} | {self.terminator!r}]"
+
+
+@dataclass
+class CompiledFunction:
+    name: str
+    params: Tuple[str, ...]
+    blocks: List[BasicBlock] = field(default_factory=list)
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def validate(self) -> None:
+        """Structural sanity: every block terminated, every edge valid."""
+        if not self.blocks:
+            raise ValueError(f"function {self.name!r} has no blocks")
+        for block in self.blocks:
+            if not block.terminated:
+                raise ValueError(
+                    f"unterminated block B{block.index} in {self.name!r}"
+                )
+            for successor in block.successors():
+                if not 0 <= successor < len(self.blocks):
+                    raise ValueError(
+                        f"edge to missing block B{successor} in {self.name!r}"
+                    )
+
+    def dump(self) -> str:
+        """Human-readable CFG listing (``repro.lang`` debugging aid)."""
+        lines = [f"fn {self.name}({', '.join(self.params)}):"]
+        for block in self.blocks:
+            lines.append(f"  B{block.index}:")
+            for instr in block.instrs:
+                lines.append(f"    {instr!r}")
+            lines.append(f"    {block.terminator!r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompiledProgram:
+    functions: Dict[str, CompiledFunction] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        for function in self.functions.values():
+            function.validate()
+
+    def dump(self) -> str:
+        return "\n\n".join(
+            self.functions[name].dump() for name in sorted(self.functions)
+        )

@@ -1,0 +1,263 @@
+"""AST → basic-block bytecode compiler.
+
+Lowers each function to a CFG.  Control constructs introduce the block
+structure; ``and``/``or`` compile to short-circuit branches (so the
+block counts of guest programs reflect the evaluation paths actually
+taken, as native compiled code would).  The compiler performs the
+static checks the language needs: every called function exists (or is a
+builtin) and is called with the right arity, and assignments target
+declared names along every path is *not* checked (locals are
+function-scoped and dynamically created, as in the VM's host language).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.lang import ast
+from repro.lang.bytecode import (
+    BUILTINS,
+    BasicBlock,
+    CompiledFunction,
+    CompiledProgram,
+    Instr,
+    Terminator,
+)
+from repro.lang.parser import parse
+
+__all__ = ["CompileError", "compile_program", "compile_source"]
+
+ARITH_OPS = frozenset(["+", "-", "*", "/", "%"])
+COMPARE_OPS = frozenset(["==", "!=", "<", "<=", ">", ">="])
+
+
+class CompileError(Exception):
+    """Semantic error found while lowering."""
+
+
+class _FunctionCompiler:
+    def __init__(self, function: ast.Function, arities: Dict[str, int]) -> None:
+        self.source = function
+        self.arities = arities
+        self.output = CompiledFunction(function.name, function.params)
+        self.current: Optional[BasicBlock] = None
+
+    # -- block plumbing -----------------------------------------------------
+
+    def start_block(self) -> BasicBlock:
+        block = self.output.new_block()
+        self.current = block
+        return block
+
+    def emit(self, op: str, arg=None, arg2=None, line: int = 0) -> None:
+        if self.current is None or self.current.terminated:
+            # unreachable code after a return: compile into a dead block
+            self.start_block()
+        self.current.instrs.append(Instr(op, arg, arg2, line))
+
+    def terminate(self, terminator: Terminator) -> None:
+        if self.current is None or self.current.terminated:
+            self.start_block()
+        self.current.terminator = terminator
+
+    # -- top level -------------------------------------------------------------
+
+    def compile(self) -> CompiledFunction:
+        self.start_block()
+        self.compile_block(self.source.body)
+        if self.current is not None and not self.current.terminated:
+            # implicit `return 0`
+            self.emit("CONST", 0)
+            self.terminate(Terminator("RET"))
+        # dead blocks created by unreachable code still need terminators
+        for block in self.output.blocks:
+            if not block.terminated:
+                block.instrs.append(Instr("CONST", 0))
+                block.terminator = Terminator("RET")
+        self.output.validate()
+        return self.output
+
+    def compile_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self.compile_statement(statement)
+
+    # -- statements ---------------------------------------------------------------
+
+    def compile_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, (ast.VarDecl, ast.Assign)):
+            self.compile_expr(stmt.value)
+            self.emit("STORE", stmt.name, line=stmt.line)
+        elif isinstance(stmt, ast.StoreIndex):
+            self.compile_expr(ast.Binary("+", stmt.base, stmt.index))
+            self.compile_expr(stmt.value)
+            self.emit("STORE_MEM", line=stmt.line)
+        elif isinstance(stmt, ast.If):
+            self.compile_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.compile_while(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.compile_expr(stmt.value)
+            else:
+                self.emit("CONST", 0)
+            self.terminate(Terminator("RET"))
+        elif isinstance(stmt, ast.ExprStmt):
+            self.compile_expr(stmt.expr)
+            self.emit("POP", line=stmt.line)
+        else:
+            raise CompileError(f"unknown statement {stmt!r}")
+
+    def compile_if(self, stmt: ast.If) -> None:
+        self.compile_expr(stmt.condition)
+        branch_block = self.current
+        then_block = self.start_block()
+        self.compile_block(stmt.then_body)
+        then_exit = self.current
+        else_entry: Optional[BasicBlock] = None
+        else_exit: Optional[BasicBlock] = None
+        if stmt.else_body is not None:
+            else_entry = self.start_block()
+            self.compile_block(stmt.else_body)
+            else_exit = self.current
+        join = self.start_block()
+        branch_block.terminator = Terminator(
+            "BRANCH",
+            target=then_block.index,
+            else_target=(else_entry.index if else_entry else join.index),
+        )
+        if not then_exit.terminated:
+            then_exit.terminator = Terminator("JUMP", target=join.index)
+        if else_exit is not None and not else_exit.terminated:
+            else_exit.terminator = Terminator("JUMP", target=join.index)
+        self.current = join
+
+    def compile_while(self, stmt: ast.While) -> None:
+        pre = self.current
+        header = self.start_block()
+        if pre is not None and not pre.terminated:
+            pre.terminator = Terminator("JUMP", target=header.index)
+        self.compile_expr(stmt.condition)
+        condition_exit = self.current
+        body = self.start_block()
+        self.compile_block(stmt.body)
+        body_exit = self.current
+        after = self.start_block()
+        condition_exit.terminator = Terminator(
+            "BRANCH", target=body.index, else_target=after.index
+        )
+        if not body_exit.terminated:
+            body_exit.terminator = Terminator("JUMP", target=header.index)
+        self.current = after
+
+    # -- expressions -----------------------------------------------------------------
+
+    def compile_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Number):
+            self.emit("CONST", expr.value, line=expr.line)
+        elif isinstance(expr, ast.Bool):
+            self.emit("CONST", 1 if expr.value else 0, line=expr.line)
+        elif isinstance(expr, ast.Var):
+            self.emit("LOAD", expr.name, line=expr.line)
+        elif isinstance(expr, ast.Unary):
+            self.compile_expr(expr.operand)
+            self.emit("UNOP", expr.op, line=expr.line)
+        elif isinstance(expr, ast.Binary):
+            if expr.op in ("and", "or"):
+                self.compile_short_circuit(expr)
+            elif expr.op in ARITH_OPS or expr.op in COMPARE_OPS:
+                self.compile_expr(expr.left)
+                self.compile_expr(expr.right)
+                self.emit("BINOP", expr.op, line=expr.line)
+            else:
+                raise CompileError(f"unknown operator {expr.op!r}")
+        elif isinstance(expr, ast.Index):
+            self.compile_expr(ast.Binary("+", expr.base, expr.index))
+            self.emit("LOAD_MEM", line=expr.line)
+        elif isinstance(expr, ast.SpawnExpr):
+            if expr.name not in self.arities:
+                raise CompileError(
+                    f"spawn of unknown function {expr.name!r} "
+                    f"at line {expr.line}"
+                )
+            if expr.name in BUILTINS:
+                raise CompileError(
+                    f"cannot spawn builtin {expr.name!r} at line {expr.line}"
+                )
+            expected = self.arities[expr.name]
+            if len(expr.args) != expected:
+                raise CompileError(
+                    f"{expr.name!r} takes {expected} argument(s), "
+                    f"got {len(expr.args)} at line {expr.line}"
+                )
+            for arg in expr.args:
+                self.compile_expr(arg)
+            self.emit("SPAWN", expr.name, len(expr.args), line=expr.line)
+        elif isinstance(expr, ast.CallExpr):
+            if expr.name not in self.arities:
+                raise CompileError(
+                    f"call to unknown function {expr.name!r} "
+                    f"at line {expr.line}"
+                )
+            expected = self.arities[expr.name]
+            if len(expr.args) != expected:
+                raise CompileError(
+                    f"{expr.name!r} takes {expected} argument(s), "
+                    f"got {len(expr.args)} at line {expr.line}"
+                )
+            for arg in expr.args:
+                self.compile_expr(arg)
+            self.emit("CALL", expr.name, len(expr.args), line=expr.line)
+        else:
+            raise CompileError(f"unknown expression {expr!r}")
+
+    def compile_short_circuit(self, expr: ast.Binary) -> None:
+        """``a and b`` / ``a or b`` with branch-based evaluation.
+
+        The result is re-materialised as 0/1 constants in the arms so the
+        operand stack height is path-independent.
+        """
+        self.compile_expr(expr.left)
+        first = self.current
+        # evaluate the right side only when needed
+        rhs = self.start_block()
+        self.compile_expr(expr.right)
+        self.emit("UNOP", "bool")
+        rhs_exit = self.current
+        shortcut = self.start_block()
+        self.emit("CONST", 0 if expr.op == "and" else 1)
+        shortcut_exit = self.current
+        join = self.start_block()
+        if expr.op == "and":
+            first.terminator = Terminator(
+                "BRANCH", target=rhs.index, else_target=shortcut.index
+            )
+        else:
+            first.terminator = Terminator(
+                "BRANCH", target=shortcut.index, else_target=rhs.index
+            )
+        rhs_exit.terminator = Terminator("JUMP", target=join.index)
+        shortcut_exit.terminator = Terminator("JUMP", target=join.index)
+        self.current = join
+
+
+def compile_program(program: ast.Program) -> CompiledProgram:
+    """Lower a parsed program to basic-block bytecode."""
+    arities: Dict[str, int] = dict(BUILTINS)
+    for function in program.functions:
+        if function.name in BUILTINS:
+            raise CompileError(
+                f"function {function.name!r} shadows a builtin"
+            )
+        arities[function.name] = len(function.params)
+    compiled = CompiledProgram()
+    for function in program.functions:
+        compiled.functions[function.name] = _FunctionCompiler(
+            function, arities
+        ).compile()
+    compiled.validate()
+    return compiled
+
+
+def compile_source(source: str) -> CompiledProgram:
+    """Parse and compile mini-language source text."""
+    return compile_program(parse(source))

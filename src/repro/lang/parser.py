@@ -1,0 +1,312 @@
+"""Recursive-descent parser for the mini language.
+
+Grammar (EBNF)::
+
+    program   := function*
+    function  := "fn" IDENT "(" [IDENT ("," IDENT)*] ")" block
+    block     := "{" statement* "}"
+    statement := "var" IDENT "=" expr ";"
+               | IDENT "=" expr ";"
+               | postfix "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block ["else" (block | if-stmt)]
+               | "while" "(" expr ")" block
+               | "return" [expr] ";"
+               | expr ";"
+    expr      := or
+    or        := and ("or" and)*
+    and       := not ("and" not)*
+    not       := "not" not | comparison
+    comparison:= sum (("=="|"!="|"<"|"<="|">"|">=") sum)?
+    sum       := term (("+"|"-") term)*
+    term      := unary (("*"|"/"|"%") unary)*
+    unary     := "-" unary | postfix
+    postfix   := primary ("[" expr "]" )*
+    primary   := NUMBER | "true" | "false" | IDENT ["(" args ")"]
+               | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang.ast import (
+    Assign,
+    SpawnExpr,
+    Binary,
+    Block,
+    Bool,
+    CallExpr,
+    Expr,
+    ExprStmt,
+    Function,
+    If,
+    Index,
+    Number,
+    Program,
+    Return,
+    Stmt,
+    StoreIndex,
+    Unary,
+    Var,
+    VarDecl,
+    While,
+)
+from repro.lang.tokens import Token, TokenType, tokenize
+
+__all__ = ["ParseError", "parse"]
+
+COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class ParseError(SyntaxError):
+    """Raised on malformed input, with line information."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def check(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        token = self.current
+        if token.type is not type_:
+            return False
+        return value is None or token.value == value
+
+    def match(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        if self.check(type_, value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, type_: TokenType, value: Optional[str] = None) -> Token:
+        if not self.check(type_, value):
+            wanted = value if value is not None else type_.value
+            raise ParseError(
+                f"expected {wanted!r} but found {self.current.value!r} "
+                f"at line {self.current.line}"
+            )
+        return self.advance()
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        seen = set()
+        while not self.check(TokenType.EOF):
+            function = self.parse_function()
+            if function.name in seen:
+                raise ParseError(
+                    f"duplicate function {function.name!r} "
+                    f"at line {function.line}"
+                )
+            seen.add(function.name)
+            program.functions.append(function)
+        return program
+
+    def parse_function(self) -> Function:
+        start = self.expect(TokenType.KEYWORD, "fn")
+        name = self.expect(TokenType.IDENT).value
+        self.expect(TokenType.OP, "(")
+        params: List[str] = []
+        if not self.check(TokenType.OP, ")"):
+            params.append(self.expect(TokenType.IDENT).value)
+            while self.match(TokenType.OP, ","):
+                params.append(self.expect(TokenType.IDENT).value)
+        if len(set(params)) != len(params):
+            raise ParseError(
+                f"duplicate parameter in {name!r} at line {start.line}"
+            )
+        self.expect(TokenType.OP, ")")
+        body = self.parse_block()
+        return Function(name, tuple(params), body, line=start.line)
+
+    def parse_block(self) -> Block:
+        self.expect(TokenType.OP, "{")
+        statements: List[Stmt] = []
+        while not self.check(TokenType.OP, "}"):
+            if self.check(TokenType.EOF):
+                raise ParseError("unexpected end of input: missing '}'")
+            statements.append(self.parse_statement())
+        self.expect(TokenType.OP, "}")
+        return Block(tuple(statements))
+
+    def parse_statement(self) -> Stmt:
+        token = self.current
+        if self.match(TokenType.KEYWORD, "var"):
+            name = self.expect(TokenType.IDENT).value
+            self.expect(TokenType.OP, "=")
+            value = self.parse_expr()
+            self.expect(TokenType.OP, ";")
+            return VarDecl(name, value, line=token.line)
+        if self.match(TokenType.KEYWORD, "if"):
+            return self.parse_if(token)
+        if self.match(TokenType.KEYWORD, "while"):
+            self.expect(TokenType.OP, "(")
+            condition = self.parse_expr()
+            self.expect(TokenType.OP, ")")
+            body = self.parse_block()
+            return While(condition, body, line=token.line)
+        if self.match(TokenType.KEYWORD, "return"):
+            value = None
+            if not self.check(TokenType.OP, ";"):
+                value = self.parse_expr()
+            self.expect(TokenType.OP, ";")
+            return Return(value, line=token.line)
+        # assignment / store / expression statement
+        expr = self.parse_expr()
+        if self.match(TokenType.OP, "="):
+            value = self.parse_expr()
+            self.expect(TokenType.OP, ";")
+            if isinstance(expr, Var):
+                return Assign(expr.name, value, line=token.line)
+            if isinstance(expr, Index):
+                return StoreIndex(
+                    expr.base, expr.index, value, line=token.line
+                )
+            raise ParseError(
+                f"invalid assignment target at line {token.line}"
+            )
+        self.expect(TokenType.OP, ";")
+        return ExprStmt(expr, line=token.line)
+
+    def parse_if(self, token: Token) -> If:
+        self.expect(TokenType.OP, "(")
+        condition = self.parse_expr()
+        self.expect(TokenType.OP, ")")
+        then_body = self.parse_block()
+        else_body: Optional[Block] = None
+        if self.match(TokenType.KEYWORD, "else"):
+            if self.check(TokenType.KEYWORD, "if"):
+                nested_token = self.advance()
+                nested = self.parse_if(nested_token)
+                else_body = Block((nested,))
+            else:
+                else_body = self.parse_block()
+        return If(condition, then_body, else_body, line=token.line)
+
+    # -- expressions (precedence climbing) --------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.check(TokenType.KEYWORD, "or"):
+            line = self.advance().line
+            right = self.parse_and()
+            left = Binary("or", left, right, line=line)
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.check(TokenType.KEYWORD, "and"):
+            line = self.advance().line
+            right = self.parse_not()
+            left = Binary("and", left, right, line=line)
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.check(TokenType.KEYWORD, "not"):
+            line = self.advance().line
+            return Unary("not", self.parse_not(), line=line)
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_sum()
+        if self.current.type is TokenType.OP and self.current.value in COMPARISONS:
+            op = self.advance()
+            right = self.parse_sum()
+            return Binary(op.value, left, right, line=op.line)
+        return left
+
+    def parse_sum(self) -> Expr:
+        left = self.parse_term()
+        while self.current.type is TokenType.OP and self.current.value in (
+            "+",
+            "-",
+        ):
+            op = self.advance()
+            right = self.parse_term()
+            left = Binary(op.value, left, right, line=op.line)
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_unary()
+        while self.current.type is TokenType.OP and self.current.value in (
+            "*",
+            "/",
+            "%",
+        ):
+            op = self.advance()
+            right = self.parse_unary()
+            left = Binary(op.value, left, right, line=op.line)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.check(TokenType.OP, "-"):
+            line = self.advance().line
+            return Unary("-", self.parse_unary(), line=line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while self.match(TokenType.OP, "["):
+            index = self.parse_expr()
+            self.expect(TokenType.OP, "]")
+            expr = Index(expr, index)
+        return expr
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if self.match(TokenType.KEYWORD, "spawn"):
+            name = self.expect(TokenType.IDENT).value
+            self.expect(TokenType.OP, "(")
+            args: List[Expr] = []
+            if not self.check(TokenType.OP, ")"):
+                args.append(self.parse_expr())
+                while self.match(TokenType.OP, ","):
+                    args.append(self.parse_expr())
+            self.expect(TokenType.OP, ")")
+            return SpawnExpr(name, tuple(args), line=token.line)
+        if self.match(TokenType.NUMBER):
+            return Number(int(token.value), line=token.line)
+        if self.match(TokenType.KEYWORD, "true"):
+            return Bool(True, line=token.line)
+        if self.match(TokenType.KEYWORD, "false"):
+            return Bool(False, line=token.line)
+        if self.match(TokenType.OP, "("):
+            expr = self.parse_expr()
+            self.expect(TokenType.OP, ")")
+            return expr
+        if self.check(TokenType.IDENT):
+            name = self.advance().value
+            if self.match(TokenType.OP, "("):
+                args: List[Expr] = []
+                if not self.check(TokenType.OP, ")"):
+                    args.append(self.parse_expr())
+                    while self.match(TokenType.OP, ","):
+                        args.append(self.parse_expr())
+                self.expect(TokenType.OP, ")")
+                return CallExpr(name, tuple(args), line=token.line)
+            return Var(name, line=token.line)
+        raise ParseError(
+            f"unexpected token {token.value!r} at line {token.line}"
+        )
+
+
+def parse(source: str) -> Program:
+    """Parse mini-language source text into a :class:`Program` AST."""
+    return _Parser(tokenize(source)).parse_program()

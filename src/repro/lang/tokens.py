@@ -1,0 +1,143 @@
+"""Token definitions and the lexer for the mini language.
+
+The language ("minilang") is a small C-flavoured imperative language used
+to write profilable guest programs whose cost really is *executed basic
+blocks*: the compiler lowers each function to a control-flow graph of
+basic blocks and the interpreter charges one block per block entered —
+the exact metric aprof uses (Section 4.1, Implementation Details).
+
+Lexical grammar::
+
+    NUMBER   := [0-9]+
+    IDENT    := [A-Za-z_][A-Za-z0-9_]*
+    keywords := fn var if else while return true false and or not spawn
+    operators:= + - * / % == != < <= > >= = ( ) { } [ ] , ;
+    comments := // to end of line
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["TokenType", "Token", "LexError", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    NUMBER = "number"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    OP = "op"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    [
+        "fn",
+        "var",
+        "if",
+        "else",
+        "while",
+        "return",
+        "true",
+        "false",
+        "and",
+        "or",
+        "not",
+        "spawn",
+    ]
+)
+
+#: multi-character operators first so maximal munch works
+OPERATORS = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.type.value}({self.value!r})@{self.line}:{self.column}"
+
+
+class LexError(SyntaxError):
+    """Raised on an unrecognised character."""
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert source text to a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            tokens.append(
+                Token(TokenType.NUMBER, source[start:i], line, column)
+            )
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(kind, word, line, column))
+            column += i - start
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenType.OP, op, line, column))
+                i += len(op)
+                column += len(op)
+                break
+        else:
+            raise LexError(
+                f"unexpected character {ch!r} at line {line}, column {column}"
+            )
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,39 @@
+"""Analysis-tool interface.
+
+Table 1 of the paper compares aprof-drms against four reference Valgrind
+tools (nulgrind, memcheck, callgrind, helgrind) and against plain aprof.
+"Although the considered tools solve different analysis problems, all of
+them share the same instrumentation infrastructure provided by
+Valgrind" — here, the same role is played by the VM's event stream: every
+tool is an :class:`AnalysisTool` consuming the same events, attached to
+the machine as its sink, so measured slowdowns compare per-event analysis
+work over identical instrumentation, exactly the comparison the paper
+makes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.events import Event
+
+__all__ = ["AnalysisTool"]
+
+
+class AnalysisTool:
+    """Base class for event-stream analysis tools."""
+
+    #: short tool name used in reports ("memcheck", "aprof-drms", ...)
+    name = "tool"
+
+    def consume(self, event: Event) -> None:
+        """Process one trace event (hot path)."""
+        raise NotImplementedError
+
+    def finish(self) -> Dict[str, Any]:
+        """End-of-run hook; returns the tool's findings summary."""
+        return {}
+
+    def space_cells(self) -> int:
+        """Cells of shadow state currently held (space-overhead metric)."""
+        return 0

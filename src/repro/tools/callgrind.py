@@ -1,0 +1,80 @@
+"""mini-callgrind: call-graph profiling.
+
+Callgrind [22] builds the dynamic call graph and attributes costs to
+routines both exclusively (events executed in the routine's own body)
+and inclusively (adding completed descendants), plus call-edge counts —
+the classic gprof-style output.  Per memory event the work is one
+counter bump on the current stack top; calls and returns maintain
+per-thread stacks and the edge table.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Tuple
+
+from repro.core.events import (
+    Call,
+    Event,
+    KernelToUser,
+    Read,
+    Return,
+    UserToKernel,
+    Write,
+)
+from repro.tools.base import AnalysisTool
+
+__all__ = ["Callgrind"]
+
+
+class Callgrind(AnalysisTool):
+    name = "callgrind"
+
+    def __init__(self) -> None:
+        #: routine -> [calls, exclusive cost, inclusive cost]
+        self.routines: Dict[str, List[int]] = defaultdict(lambda: [0, 0, 0])
+        #: (caller, callee) -> call count
+        self.edges: Dict[Tuple[str, str], int] = defaultdict(int)
+        self._stacks: Dict[int, List[List[int]]] = defaultdict(list)
+        self._names: Dict[int, List[str]] = defaultdict(list)
+
+    def consume(self, event: Event) -> None:
+        if isinstance(event, (Read, Write, UserToKernel, KernelToUser)):
+            stack = self._stacks[event.thread]
+            if stack:
+                frame = stack[-1]
+                frame[0] += 1  # exclusive events of the current routine
+        elif isinstance(event, Call):
+            names = self._names[event.thread]
+            caller = names[-1] if names else "<root>"
+            self.edges[(caller, event.routine)] += 1
+            record = self.routines[event.routine]
+            record[0] += 1
+            self._stacks[event.thread].append([0, 0])  # [exclusive, descendants]
+            names.append(event.routine)
+        elif isinstance(event, Return):
+            stack = self._stacks[event.thread]
+            names = self._names[event.thread]
+            if not stack:
+                return
+            exclusive, descendants = stack.pop()
+            routine = names.pop()
+            record = self.routines[routine]
+            record[1] += exclusive
+            record[2] += exclusive + descendants
+            if stack:
+                stack[-1][1] += exclusive + descendants
+
+    def finish(self) -> Dict[str, Any]:
+        flat = {
+            routine: {
+                "calls": record[0],
+                "exclusive": record[1],
+                "inclusive": record[2],
+            }
+            for routine, record in self.routines.items()
+        }
+        return {"routines": flat, "edges": dict(self.edges)}
+
+    def space_cells(self) -> int:
+        return 3 * len(self.routines) + 2 * len(self.edges)

@@ -1,0 +1,226 @@
+"""mini-helgrind: happens-before data-race detection.
+
+Helgrind [15] detects data races in lock-based programs.  This model
+implements the vector-clock happens-before discipline with FastTrack-
+style per-location metadata:
+
+* each thread carries a vector clock, incremented at release points;
+* each lock carries a vector clock; ``release`` joins the thread's clock
+  into it, ``acquire`` joins it back into the acquiring thread —
+  establishing happens-before edges through the lock;
+* each location stores full vector clocks of its reads and writes
+  (the DJIT+ discipline); a write racing a previous read/write, or a
+  read racing a previous write, is reported when the stored clock does
+  not happen-before the current access;
+* like the real tool, a lockset (Eraser) component runs alongside:
+  every location keeps a candidate lockset intersected with the
+  accessing thread's held locks on each access, feeding the
+  "possible data race" second opinion.
+
+Kernel fills are treated as synchronised (the syscall orders them), as
+are thread start events (parent's clock is inherited).  Per memory
+event the tool performs full vector-clock comparisons and keeps two
+vector clocks per shadowed location — the most per-event work and the
+largest shadow state of all the tools, which is why helgrind is both
+the slowest and the most memory-hungry column of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.events import (
+    Event,
+    KernelToUser,
+    LockAcquire,
+    LockRelease,
+    Read,
+    ThreadStart,
+    UserToKernel,
+    Write,
+)
+from repro.core.shadow import ShadowMemory
+from repro.tools.base import AnalysisTool
+
+__all__ = ["Helgrind", "VectorClock"]
+
+
+class VectorClock:
+    """A sparse vector clock over thread ids."""
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: Optional[Dict[int, int]] = None) -> None:
+        self.clocks: Dict[int, int] = dict(clocks) if clocks else {}
+
+    def get(self, tid: int) -> int:
+        return self.clocks.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        self.clocks[tid] = self.clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        for tid, clock in other.clocks.items():
+            if clock > self.clocks.get(tid, 0):
+                self.clocks[tid] = clock
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.clocks)
+
+    def dominates_epoch(self, tid: int, clock: int) -> bool:
+        """True iff the epoch ``clock@tid`` happens-before this clock."""
+        return clock <= self.clocks.get(tid, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"T{t}:{c}" for t, c in sorted(self.clocks.items()))
+        return f"VC({inner})"
+
+
+class Helgrind(AnalysisTool):
+    name = "helgrind"
+
+    def __init__(self, max_reports: int = 1000) -> None:
+        self._threads: Dict[int, VectorClock] = {}
+        self._locks: Dict[str, VectorClock] = {}
+        # Per-location metadata lives behind a three-level shadow table
+        # (as in the real tool, which shadows guest memory with VTS
+        # indices): _meta[addr] holds 1 + an index into _records, each
+        # record being [write_vec, read_vec, lockset].
+        self._meta = ShadowMemory(default=0)
+        self._records: List[list] = []
+        #: width of the dense per-location vectors (threads seen so far)
+        self._width = 0
+        #: tid -> set of currently held lock names (Eraser component)
+        self._held: Dict[int, set] = {}
+        #: addr -> candidate lockset
+        self._locksets: Dict[int, set] = {}
+        #: locations whose candidate lockset drained to empty while
+        #: touched by more than one thread
+        self.lockset_suspects: set = set()
+        self._location_threads: Dict[int, int] = {}
+        self.races: List[Tuple[int, str, int, int]] = []
+        self.max_reports = max_reports
+
+    # -- clock plumbing ---------------------------------------------------
+
+    def _clock(self, tid: int) -> VectorClock:
+        vc = self._threads.get(tid)
+        if vc is None:
+            vc = VectorClock({tid: 1})
+            self._threads[tid] = vc
+            self._width = max(self._width, tid)
+        return vc
+
+    def _record(self, addr: int) -> list:
+        index = self._meta[addr]
+        if index == 0:
+            record = [[0] * self._width, [0] * self._width, None]
+            self._records.append(record)
+            self._meta[addr] = len(self._records)
+            return record
+        record = self._records[index - 1]
+        for vec in (record[0], record[1]):
+            if len(vec) < self._width:
+                vec.extend([0] * (self._width - len(vec)))
+        return record
+
+    def _report(self, addr: int, kind: str, first: int, second: int) -> None:
+        if len(self.races) < self.max_reports:
+            self.races.append((addr, kind, first, second))
+
+    # -- event handlers -------------------------------------------------------
+
+    def consume(self, event: Event) -> None:
+        if isinstance(event, Read):
+            self._on_read(event.thread, event.addr)
+        elif isinstance(event, Write):
+            self._on_write(event.thread, event.addr)
+        elif isinstance(event, LockAcquire):
+            lock_vc = self._locks.get(event.lock)
+            if lock_vc is not None:
+                self._clock(event.thread).join(lock_vc)
+            self._held.setdefault(event.thread, set()).add(event.lock)
+        elif isinstance(event, LockRelease):
+            vc = self._clock(event.thread)
+            lock_vc = self._locks.setdefault(event.lock, VectorClock())
+            lock_vc.join(vc)
+            vc.tick(event.thread)
+            self._held.setdefault(event.thread, set()).discard(event.lock)
+        elif isinstance(event, ThreadStart):
+            if event.parent:
+                self._clock(event.thread).join(self._clock(event.parent))
+        elif isinstance(event, KernelToUser):
+            # a kernel fill is ordered by the syscall: treat as a
+            # synchronised write by the issuing thread
+            self._on_write(event.thread, event.addr)
+        elif isinstance(event, UserToKernel):
+            self._on_read(event.thread, event.addr)
+
+    def _check_against(
+        self, vc: VectorClock, stored: List[int], tid: int,
+        addr: int, kind: str,
+    ) -> None:
+        # full-vector comparison, as DJIT+ performs on every access
+        for index, other_clock in enumerate(stored):
+            other_tid = index + 1
+            if (
+                other_clock
+                and other_tid != tid
+                and not vc.dominates_epoch(other_tid, other_clock)
+            ):
+                self._report(addr, kind, other_tid, tid)
+
+    def _update_lockset(self, tid: int, addr: int, record: list) -> None:
+        held = self._held.get(tid)
+        lockset = record[2]
+        if lockset is None:
+            record[2] = set(held) if held else set()
+            self._location_threads[addr] = tid
+        else:
+            if held:
+                lockset &= held
+            else:
+                lockset.clear()
+            if self._location_threads.get(addr) != tid and not lockset:
+                self.lockset_suspects.add(addr)
+
+    def _on_read(self, tid: int, addr: int) -> None:
+        vc = self._clock(tid)  # registers the thread; fixes vector width
+        record = self._record(addr)
+        self._update_lockset(tid, addr, record)
+        self._check_against(vc, record[0], tid, addr, "read-after-write")
+        record[1][tid - 1] = vc.get(tid)
+
+    def _on_write(self, tid: int, addr: int) -> None:
+        vc = self._clock(tid)  # registers the thread; fixes vector width
+        record = self._record(addr)
+        self._update_lockset(tid, addr, record)
+        writes = record[0]
+        self._check_against(vc, writes, tid, addr, "write-after-write")
+        reads = record[1]
+        self._check_against(vc, reads, tid, addr, "write-after-read")
+        for index in range(len(reads)):
+            reads[index] = 0
+        writes[tid - 1] = vc.get(tid)
+
+    def finish(self) -> Dict[str, Any]:
+        return {
+            "races": list(self.races),
+            "threads": len(self._threads),
+            "lockset_suspects": len(self.lockset_suspects),
+        }
+
+    def space_cells(self) -> int:
+        # DJIT+ keeps two full vector clocks plus a lockset per shadowed
+        # location, reached through the three-level shadow table.
+        width = max(1, self._width)
+        cells = self._meta.space_cells()
+        for record in self._records:
+            cells += 2 * width + 1
+            if record[2]:
+                cells += len(record[2])
+        for vc in self._threads.values():
+            cells += len(vc.clocks)
+        for vc in self._locks.values():
+            cells += len(vc.clocks)
+        return cells

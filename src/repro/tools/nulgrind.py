@@ -1,0 +1,30 @@
+"""nulgrind: the do-nothing tool.
+
+Valgrind's ``none`` tool collects no information and exists to measure
+the cost of the instrumentation infrastructure itself; the paper uses it
+as the slowdown floor (23.6x / 12.2x over native on the two suites).
+Ours likewise does nothing per event — the measured overhead is event
+construction and dispatch, the infrastructure cost every tool pays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.events import Event
+from repro.tools.base import AnalysisTool
+
+__all__ = ["Nulgrind"]
+
+
+class Nulgrind(AnalysisTool):
+    name = "nulgrind"
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def consume(self, event: Event) -> None:
+        self.events += 1
+
+    def finish(self) -> Dict[str, Any]:
+        return {"events": self.events}

@@ -1,0 +1,164 @@
+"""Measurement harness: run workloads natively and under each tool.
+
+Regenerates the Table 1 / Figure 16 methodology:
+
+* **native execution** — the machine runs uninstrumented
+  (``instrument=False``): primitive ops skip event construction, the
+  closest analogue of running the benchmark outside Valgrind;
+* **tool execution** — the machine runs instrumented with the tool
+  attached as the event sink, so the measured time includes both the
+  instrumentation infrastructure (event construction/dispatch — what
+  nulgrind isolates) and the tool's per-event analysis work;
+* **slowdown** — tool wall-clock over native wall-clock (geometric means
+  across a suite, as in Table 1);
+* **space overhead** — (workload cells + tool shadow cells) over
+  workload cells.
+
+Wall-clock timing of small workloads is noisy, so each measurement takes
+the best of ``repeats`` runs; every run rebuilds the machine from its
+factory so state never leaks between runs.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.tools.aprof import AprofTool
+from repro.tools.aprof_drms import AprofDrmsTool
+from repro.tools.base import AnalysisTool
+from repro.tools.callgrind import Callgrind
+from repro.tools.helgrind import Helgrind
+from repro.tools.memcheck import Memcheck
+from repro.tools.nulgrind import Nulgrind
+from repro.vm import Machine
+
+__all__ = [
+    "DEFAULT_TOOLS",
+    "ToolMeasurement",
+    "WorkloadMeasurement",
+    "measure_workload",
+    "geometric_mean",
+    "suite_summary",
+]
+
+#: factories for the six tools of Table 1, in the paper's column order
+DEFAULT_TOOLS: Dict[str, Callable[[], AnalysisTool]] = {
+    "nulgrind": Nulgrind,
+    "memcheck": Memcheck,
+    "callgrind": Callgrind,
+    "helgrind": Helgrind,
+    "aprof": AprofTool,
+    "aprof-drms": AprofDrmsTool,
+}
+
+
+@dataclass
+class ToolMeasurement:
+    """One tool's numbers on one workload."""
+
+    tool: str
+    wall_time: float
+    slowdown: float
+    space_cells: int
+    space_overhead: float
+    events: int
+
+
+@dataclass
+class WorkloadMeasurement:
+    """All measurements for one workload."""
+
+    workload: str
+    native_time: float
+    native_cells: int
+    tools: Dict[str, ToolMeasurement] = field(default_factory=dict)
+
+
+def _time_run(build: Callable[[], Machine], **kwargs) -> tuple:
+    machine = build()
+    machine.instrument = kwargs.get("instrument", True)
+    sink = kwargs.get("sink")
+    if sink is not None:
+        machine._sink = sink
+    start = time.perf_counter()
+    machine.run()
+    elapsed = time.perf_counter() - start
+    return elapsed, machine
+
+
+def measure_workload(
+    name: str,
+    build: Callable[[], Machine],
+    tools: Optional[Dict[str, Callable[[], AnalysisTool]]] = None,
+    repeats: int = 3,
+) -> WorkloadMeasurement:
+    """Measure native and per-tool execution of one workload factory."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if tools is None:
+        tools = DEFAULT_TOOLS
+
+    native_time = math.inf
+    native_cells = 0
+    for _ in range(repeats):
+        elapsed, machine = _time_run(build, instrument=False)
+        native_time = min(native_time, elapsed)
+        native_cells = max(native_cells, machine.space_cells())
+    native_cells = max(native_cells, 1)
+
+    result = WorkloadMeasurement(name, native_time, native_cells)
+    for tool_name, tool_factory in tools.items():
+        best_time = math.inf
+        space = 0
+        events = 0
+        for _ in range(repeats):
+            tool = tool_factory()
+            counter = [0]
+
+            def sink(event, _tool=tool, _counter=counter):
+                _counter[0] += 1
+                _tool.consume(event)
+
+            elapsed, _machine = _time_run(build, instrument=True, sink=sink)
+            if elapsed < best_time:
+                best_time = elapsed
+                space = tool.space_cells()
+                events = counter[0]
+        result.tools[tool_name] = ToolMeasurement(
+            tool=tool_name,
+            wall_time=best_time,
+            slowdown=best_time / native_time if native_time > 0 else math.inf,
+            space_cells=space,
+            space_overhead=(native_cells + space) / native_cells,
+            events=events,
+        )
+    return result
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def suite_summary(
+    measurements: Sequence[WorkloadMeasurement],
+) -> Dict[str, Dict[str, float]]:
+    """Geometric-mean slowdown and space overhead per tool over a suite —
+    one Table 1 block."""
+    if not measurements:
+        return {}
+    tool_names: List[str] = list(measurements[0].tools)
+    summary: Dict[str, Dict[str, float]] = {}
+    for tool_name in tool_names:
+        slowdowns = [m.tools[tool_name].slowdown for m in measurements]
+        overheads = [m.tools[tool_name].space_overhead for m in measurements]
+        summary[tool_name] = {
+            "slowdown": geometric_mean(slowdowns),
+            "space_overhead": geometric_mean(overheads),
+        }
+    return summary

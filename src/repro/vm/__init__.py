@@ -1,0 +1,60 @@
+"""The trace virtual machine: the execution substrate standing in for
+Valgrind.  Runs multi-threaded workloads with serialised threads,
+basic-block cost accounting, a kernel syscall model, and (optionally)
+full instrumentation emitting the merged event trace the profilers
+consume."""
+
+from repro.vm.context import ThreadContext
+from repro.vm.cost import CostCounter, TimeModel
+from repro.vm.machine import DeadlockError, Machine, ThreadHandle
+from repro.vm.memory import Memory, MemoryError_, OutOfRange, Region, UseAfterFree
+from repro.vm.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    StickyScheduler,
+    make_scheduler,
+)
+from repro.vm.sync import Barrier, Blocked, Condition, Mutex, Semaphore
+from repro.vm.syscalls import (
+    INBOUND_SYSCALLS,
+    OUTBOUND_SYSCALLS,
+    BadFileDescriptor,
+    Device,
+    FileDevice,
+    Kernel,
+    SinkDevice,
+    StreamDevice,
+)
+
+__all__ = [
+    "Machine",
+    "ThreadHandle",
+    "ThreadContext",
+    "DeadlockError",
+    "Memory",
+    "Region",
+    "MemoryError_",
+    "UseAfterFree",
+    "OutOfRange",
+    "CostCounter",
+    "TimeModel",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "StickyScheduler",
+    "make_scheduler",
+    "Semaphore",
+    "Mutex",
+    "Condition",
+    "Barrier",
+    "Blocked",
+    "Kernel",
+    "Device",
+    "StreamDevice",
+    "FileDevice",
+    "SinkDevice",
+    "BadFileDescriptor",
+    "INBOUND_SYSCALLS",
+    "OUTBOUND_SYSCALLS",
+]

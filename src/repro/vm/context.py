@@ -1,0 +1,171 @@
+"""Per-thread execution context: the instrumentation surface.
+
+Workload routines are Python generator functions taking a
+:class:`ThreadContext` as first argument::
+
+    def consumer(ctx, x_addr, n):
+        for _ in range(n):
+            yield from full.wait(ctx)
+            value = ctx.read(x_addr)
+            ctx.compute(3)          # process the value
+            empty.signal(ctx)
+            yield                   # preemption point
+
+Primitive operations (``read``, ``write``, ``compute``, system calls) are
+plain method calls: they run atomically, charge basic-block cost and emit
+trace events.  Control can only move to another thread at an explicit
+``yield`` (a preemption point) or inside a blocking synchronisation /
+``yield from ctx.call(...)`` boundary — which is faithful to Valgrind's
+serialised threading model that the paper's evaluation platform used.
+
+Subroutine calls go through :meth:`call` so the profiler sees proper
+``call``/``return`` events with cost snapshots::
+
+    result = yield from ctx.call(child_routine, arg1, arg2)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.core.events import (
+    Call,
+    KernelToUser,
+    LockAcquire,
+    LockRelease,
+    Read,
+    Return,
+    UserToKernel,
+    Write,
+)
+from repro.vm.cost import CostCounter
+from repro.vm.memory import Memory
+from repro.vm.sync import Blocked
+
+__all__ = ["ThreadContext"]
+
+
+class ThreadContext:
+    """Execution context of one VM thread."""
+
+    def __init__(self, tid: int, machine: "Machine") -> None:  # noqa: F821
+        self.tid = tid
+        self.machine = machine
+        self.cost = CostCounter()
+
+    # -- memory ----------------------------------------------------------
+
+    @property
+    def memory(self) -> Memory:
+        return self.machine.memory
+
+    def read(self, addr: int) -> Any:
+        """Load one cell: one basic block, one ``read`` trace event."""
+        self.cost.charge(1)
+        self.machine.emit(Read(self.tid, addr))
+        return self.memory.load(addr)
+
+    def write(self, addr: int, value: Any) -> None:
+        """Store one cell: one basic block, one ``write`` trace event."""
+        self.cost.charge(1)
+        self.machine.emit(Write(self.tid, addr))
+        self.memory.store(addr, value)
+
+    def compute(self, blocks: int = 1) -> None:
+        """Pure computation: charges ``blocks`` basic blocks, no events."""
+        self.cost.charge(blocks)
+
+    def charge(self, blocks: int) -> None:
+        """Charge cost without a memory event (sync primitives use this)."""
+        self.cost.charge(blocks)
+
+    def alloc(self, size: int, name: str = "anon") -> int:
+        self.cost.charge(1)
+        return self.memory.alloc(size, name)
+
+    def free(self, base: int) -> None:
+        self.cost.charge(1)
+        self.memory.free(base)
+
+    # -- routines ----------------------------------------------------------
+
+    def call(self, routine: Callable, *args: Any, name: Optional[str] = None):
+        """Invoke a subroutine generator; use as ``yield from ctx.call(f)``.
+
+        Emits ``call`` and ``return`` events carrying the thread's current
+        basic-block counter, so the profiler charges the activation
+        exactly the blocks executed between them (including descendants).
+        """
+        routine_name = name if name is not None else routine.__name__
+        self.cost.charge(1)
+        self.machine.emit(Call(self.tid, routine_name, cost=self.cost.blocks))
+        result = yield from routine(self, *args)
+        self.machine.emit(Return(self.tid, cost=self.cost.blocks))
+        return result
+
+    # -- system calls -------------------------------------------------------
+
+    def sys_read(self, fd: int, buf: int, count: int) -> int:
+        """The ``read(2)`` system call (inbound: ``kernelToUser``)."""
+        return self.machine.kernel.inbound("read", self, fd, buf, count)
+
+    def sys_recvfrom(self, fd: int, buf: int, count: int) -> int:
+        return self.machine.kernel.inbound("recvfrom", self, fd, buf, count)
+
+    def sys_pread64(self, fd: int, buf: int, count: int, offset: int) -> int:
+        return self.machine.kernel.inbound(
+            "pread64", self, fd, buf, count, offset=offset
+        )
+
+    def sys_write(self, fd: int, addr: int, count: int) -> int:
+        """The ``write(2)`` system call (outbound: ``userToKernel``)."""
+        return self.machine.kernel.outbound("write", self, fd, addr, count)
+
+    def sys_sendto(self, fd: int, addr: int, count: int) -> int:
+        return self.machine.kernel.outbound("sendto", self, fd, addr, count)
+
+    def sys_pwrite64(self, fd: int, addr: int, count: int, offset: int) -> int:
+        return self.machine.kernel.outbound(
+            "pwrite64", self, fd, addr, count, offset=offset
+        )
+
+    # Low-level hooks used by the kernel model: fills/drains are kernel
+    # accesses, so they bypass the read/write event path.
+
+    def kernel_fill(self, addr: int, value: Any) -> None:
+        self.machine.emit(KernelToUser(self.tid, addr))
+        self.memory.store(addr, value)
+
+    def kernel_drain(self, addr: int) -> Any:
+        self.machine.emit(UserToKernel(self.tid, addr))
+        return self.memory.load(addr)
+
+    # -- threads -----------------------------------------------------------
+
+    def spawn(self, routine: Callable, *args: Any, name: Optional[str] = None):
+        """Create a new thread running ``routine``; returns its handle."""
+        self.cost.charge(1)
+        return self.machine.spawn(routine, *args, name=name, parent=self.tid)
+
+    def join(self, handle) -> Iterator[Blocked]:
+        """Block until ``handle``'s thread finishes; ``yield from`` it."""
+        self.cost.charge(1)
+        yield Blocked(lambda: handle.done, f"join(T{handle.tid})")
+
+    # -- tool hooks -----------------------------------------------------------
+
+    def on_lock_acquired(self, mutex) -> None:
+        self.machine.emit(LockAcquire(self.tid, mutex.name))
+
+    def on_lock_released(self, mutex) -> None:
+        self.machine.emit(LockRelease(self.tid, mutex.name))
+
+    # Semaphores, barriers and condition variables establish the same
+    # happens-before edges as locks for race-detection purposes, so they
+    # reuse the lock acquire/release events keyed by primitive name.
+
+    def on_sync_acquire(self, name: str) -> None:
+        self.machine.emit(LockAcquire(self.tid, name))
+
+    def on_sync_release(self, name: str) -> None:
+        self.machine.emit(LockRelease(self.tid, name))

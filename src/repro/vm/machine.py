@@ -1,0 +1,208 @@
+"""The trace virtual machine.
+
+:class:`Machine` plays the role Valgrind plays in the paper: it runs a
+multi-threaded workload with serialised threads, counts executed basic
+blocks, and — when instrumentation is enabled — emits the totally-ordered
+event trace the profiling tools consume (including ``switchThread``
+markers whenever the running thread changes, exactly the merged-trace
+format of Section 3).
+
+Running uninstrumented (``instrument=False``) is the "native execution"
+baseline of Table 1: primitive operations skip event construction
+entirely, so wall-clock comparisons between native and tool-attached runs
+measure genuine analysis overhead.
+
+Typical use::
+
+    machine = Machine()
+    machine.spawn(producer, x_addr, n)
+    machine.spawn(consumer, x_addr, n)
+    machine.run()
+    events = machine.trace          # feed to repro.core.profile_events
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.core.events import Event, SwitchThread, ThreadExit, ThreadStart
+from repro.vm.context import ThreadContext
+from repro.vm.memory import Memory
+from repro.vm.scheduler import RoundRobinScheduler, Scheduler
+from repro.vm.sync import Blocked
+from repro.vm.syscalls import Kernel
+
+__all__ = ["Machine", "ThreadHandle", "DeadlockError"]
+
+
+class DeadlockError(RuntimeError):
+    """No thread is runnable but some are still blocked."""
+
+
+class ThreadHandle:
+    """Public handle for a spawned thread."""
+
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+    def __init__(self, tid: int, name: str, generator) -> None:
+        self.tid = tid
+        self.name = name
+        self.generator = generator
+        self.state = self.RUNNABLE
+        self.block: Optional[Blocked] = None
+        self.result: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self.state == self.DONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadHandle(T{self.tid} {self.name!r} {self.state})"
+
+
+class Machine:
+    """Serialised multi-threaded virtual machine with instrumentation."""
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        instrument: bool = True,
+        sink: Optional[Callable[[Event], None]] = None,
+        quantum: int = 1,
+        strict_memory: bool = True,
+    ) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.memory = Memory(strict=strict_memory)
+        self.kernel = Kernel()
+        self.scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
+        self.quantum = quantum
+        self.instrument = instrument
+        #: collected trace (only when no external sink is given)
+        self.trace: List[Event] = []
+        self._sink = sink if sink is not None else self.trace.append
+        self._threads: List[ThreadHandle] = []
+        self._next_tid = 1
+        self._current: Optional[ThreadHandle] = None
+        #: total basic blocks executed by all threads
+        self.total_blocks = 0
+        #: number of thread switches performed
+        self.switches = 0
+
+    # -- instrumentation ------------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        if self.instrument:
+            self._sink(event)
+
+    # -- threads ---------------------------------------------------------------
+
+    def spawn(
+        self,
+        routine: Callable,
+        *args: Any,
+        name: Optional[str] = None,
+        parent: int = 0,
+    ) -> ThreadHandle:
+        """Create a thread whose root activation is ``routine(ctx, *args)``."""
+        tid = self._next_tid
+        self._next_tid += 1
+        ctx = ThreadContext(tid, self)
+        generator = ctx.call(routine, *args, name=name)
+        handle = ThreadHandle(tid, name or routine.__name__, generator)
+        handle.ctx = ctx
+        self._threads.append(handle)
+        self.emit(ThreadStart(tid, parent))
+        return handle
+
+    def _wake_blocked(self) -> None:
+        for thread in self._threads:
+            if thread.state == ThreadHandle.BLOCKED and thread.block.predicate():
+                thread.state = ThreadHandle.RUNNABLE
+                thread.block = None
+
+    def _runnable_ids(self) -> List[int]:
+        return [
+            t.tid for t in self._threads if t.state == ThreadHandle.RUNNABLE
+        ]
+
+    def _by_tid(self, tid: int) -> ThreadHandle:
+        for thread in self._threads:
+            if thread.tid == tid:
+                return thread
+        raise KeyError(f"no thread {tid}")
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, max_switches: int = 10_000_000) -> None:
+        """Run until every thread completes.
+
+        Raises :class:`DeadlockError` if all remaining threads are blocked
+        and no wake-up predicate holds, and :class:`RuntimeError` if the
+        switch budget is exhausted (runaway workload).
+        """
+        switch_budget = max_switches
+        while True:
+            self._wake_blocked()
+            runnable = self._runnable_ids()
+            if not runnable:
+                blocked = [
+                    t for t in self._threads if t.state == ThreadHandle.BLOCKED
+                ]
+                if not blocked:
+                    break  # all done
+                reasons = ", ".join(
+                    f"T{t.tid}:{t.block.reason or '?'}" for t in blocked
+                )
+                raise DeadlockError(f"all threads blocked ({reasons})")
+
+            current_tid = self._current.tid if self._current is not None else None
+            tid = self.scheduler.pick(runnable, current_tid)
+            thread = self._by_tid(tid)
+            if self._current is not None and self._current is not thread:
+                self.emit(SwitchThread())
+                self.switches += 1
+                switch_budget -= 1
+                if switch_budget <= 0:
+                    raise RuntimeError("switch budget exhausted")
+            self._current = thread
+            self._step(thread)
+
+    def _step(self, thread: ThreadHandle) -> None:
+        """Resume ``thread`` for up to ``quantum`` yield points."""
+        for _ in range(self.quantum):
+            try:
+                token = next(thread.generator)
+            except StopIteration as stop:
+                thread.state = ThreadHandle.DONE
+                thread.result = stop.value
+                self.total_blocks += thread.ctx.cost.blocks
+                self.emit(ThreadExit(thread.tid))
+                return
+            if isinstance(token, Blocked):
+                if token.predicate():
+                    continue  # condition already holds; keep running
+                thread.state = ThreadHandle.BLOCKED
+                thread.block = token
+                return
+            if token is not None:
+                raise TypeError(
+                    f"thread T{thread.tid} yielded unexpected {token!r}; "
+                    "routines must yield nothing (preemption point) or "
+                    "Blocked tokens from sync primitives"
+                )
+
+    # -- results ---------------------------------------------------------------
+
+    def results(self) -> List[Any]:
+        return [t.result for t in self._threads]
+
+    @property
+    def threads(self) -> List[ThreadHandle]:
+        return list(self._threads)
+
+    def space_cells(self) -> int:
+        """Cells allocated by the workload itself (native footprint)."""
+        return self.memory.allocated_cells

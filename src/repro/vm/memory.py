@@ -1,0 +1,121 @@
+"""Flat address space with a bump allocator.
+
+The VM's memory model is deliberately simple: a single address space of
+word-granularity cells holding arbitrary Python values (the profiling
+algorithms only care about *addresses*, never values).  ``alloc``
+hands out contiguous regions; regions can be named to make traces and
+debugging output readable.  There is no free list — workloads are
+short-lived programs and the paper's metrics are insensitive to reuse —
+but ``free`` poisons a region so use-after-free bugs in workloads fail
+loudly (and gives mini-memcheck something to detect).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Memory", "Region", "MemoryError_", "UseAfterFree", "OutOfRange"]
+
+
+class MemoryError_(Exception):
+    """Base class for VM memory faults."""
+
+
+class UseAfterFree(MemoryError_):
+    """Access to a freed region."""
+
+
+class OutOfRange(MemoryError_):
+    """Access to a never-allocated address."""
+
+
+class Region:
+    """A contiguous allocation ``[base, base + size)``."""
+
+    __slots__ = ("base", "size", "name", "freed")
+
+    def __init__(self, base: int, size: int, name: str) -> None:
+        self.base = base
+        self.size = size
+        self.name = name
+        self.freed = False
+
+    def __contains__(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def __repr__(self) -> str:
+        state = " freed" if self.freed else ""
+        return f"Region({self.name!r}, 0x{self.base:x}+{self.size}{state})"
+
+
+class Memory:
+    """Address space shared by all threads of a :class:`~repro.vm.machine.Machine`."""
+
+    #: first address handed out; leaves low addresses free for
+    #: hand-written traces in tests
+    BASE = 0x10000
+
+    def __init__(self, strict: bool = True) -> None:
+        self._next = self.BASE
+        self._cells: Dict[int, Any] = {}
+        self._regions: List[Region] = []
+        #: when True, reads of never-written cells raise; workloads that
+        #: legitimately read uninitialised memory can switch this off.
+        self.strict = strict
+
+    def alloc(self, size: int, name: str = "anon") -> int:
+        """Allocate ``size`` cells; returns the base address."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        region = Region(self._next, size, name)
+        self._regions.append(region)
+        self._next += size + 16  # red zone between regions
+        return region.base
+
+    def free(self, base: int) -> None:
+        region = self.region_at(base)
+        if region is None or region.base != base:
+            raise MemoryError_(f"free of non-allocation address 0x{base:x}")
+        if region.freed:
+            raise UseAfterFree(f"double free of {region!r}")
+        region.freed = True
+
+    def region_at(self, addr: int) -> Optional[Region]:
+        for region in reversed(self._regions):
+            if addr in region:
+                return region
+        return None
+
+    def _check(self, addr: int) -> None:
+        region = self.region_at(addr)
+        if region is None:
+            raise OutOfRange(f"access to unallocated address 0x{addr:x}")
+        if region.freed:
+            raise UseAfterFree(f"access to freed {region!r} at 0x{addr:x}")
+
+    def load(self, addr: int) -> Any:
+        """Raw load (no trace event — the VM context wraps this)."""
+        if self.strict:
+            self._check(addr)
+            if addr not in self._cells:
+                raise MemoryError_(
+                    f"read of uninitialised address 0x{addr:x}"
+                )
+        return self._cells.get(addr, 0)
+
+    def store(self, addr: int, value: Any) -> None:
+        """Raw store (no trace event)."""
+        if self.strict:
+            self._check(addr)
+        self._cells[addr] = value
+
+    def initialised(self, addr: int) -> bool:
+        return addr in self._cells
+
+    def snapshot(self, base: int, size: int) -> Tuple[Any, ...]:
+        """Read a region without emitting events (for assertions in tests)."""
+        return tuple(self._cells.get(base + i, 0) for i in range(size))
+
+    @property
+    def allocated_cells(self) -> int:
+        return sum(r.size for r in self._regions if not r.freed)

@@ -1,0 +1,80 @@
+"""Thread schedulers for the serialised VM.
+
+Valgrind serialises guest threads: exactly one runs at a time and the
+scheduler decides who proceeds at each switch point.  The paper studies
+how the chosen interleaving affects thread input (Section 4.2: *"We
+analyzed several runs ... using multiple Valgrind's scheduling
+configurations"*), so the VM supports pluggable policies:
+
+* :class:`RoundRobinScheduler` — fair rotation, the default;
+* :class:`RandomScheduler` — seeded pseudo-random pick each switch,
+  modelling Valgrind's ``--fair-sched=no`` timing wobble;
+* :class:`StickyScheduler` — keeps the current thread running as long as
+  it is runnable (maximally unfair; the degenerate interleaving).
+
+A scheduler only ever sees *runnable* threads; blocked threads are parked
+by the machine until their wake-up predicate holds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "StickyScheduler",
+    "make_scheduler",
+]
+
+
+class Scheduler:
+    """Strategy interface: pick the next thread id to run."""
+
+    def pick(self, runnable: Sequence[int], current: Optional[int]) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Rotate through runnable threads in id order after the current one."""
+
+    def pick(self, runnable: Sequence[int], current: Optional[int]) -> int:
+        ordered: List[int] = sorted(runnable)
+        if current is None:
+            return ordered[0]
+        for tid in ordered:
+            if tid > current:
+                return tid
+        return ordered[0]
+
+
+class RandomScheduler(Scheduler):
+    """Seeded uniform choice at every switch point."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def pick(self, runnable: Sequence[int], current: Optional[int]) -> int:
+        return self._rng.choice(sorted(runnable))
+
+
+class StickyScheduler(Scheduler):
+    """Keep running the current thread while it remains runnable."""
+
+    def pick(self, runnable: Sequence[int], current: Optional[int]) -> int:
+        if current is not None and current in runnable:
+            return current
+        return sorted(runnable)[0]
+
+
+def make_scheduler(spec: str = "round-robin", seed: int = 0) -> Scheduler:
+    """Build a scheduler from a config string (CLI / benchmark helper)."""
+    if spec == "round-robin":
+        return RoundRobinScheduler()
+    if spec == "random":
+        return RandomScheduler(seed)
+    if spec == "sticky":
+        return StickyScheduler()
+    raise ValueError(f"unknown scheduler {spec!r}")

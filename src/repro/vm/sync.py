@@ -1,0 +1,158 @@
+"""Synchronisation primitives: semaphores, mutexes, condition variables,
+barriers and joinable thread handles.
+
+The paper's producer-consumer discussion (Figure 2) explicitly sets
+memory accesses *due to semaphore operations* aside, so these primitives
+emit **no** read/write trace events — they only charge a small
+basic-block cost and interact with the scheduler.  They are implemented
+as generators: a blocking operation yields a :class:`Blocked` token
+carrying a wake-up predicate, and the machine parks the thread until the
+predicate holds.  Because the VM serialises threads (as Valgrind does),
+each resumed step runs atomically and no low-level data races can corrupt
+the primitives themselves.
+
+Usage inside workload routines::
+
+    yield from sem_full.wait(ctx)
+    yield from mutex.acquire(ctx)
+    ...critical section...
+    mutex.release(ctx)
+    sem_empty.signal(ctx)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+__all__ = ["Blocked", "Semaphore", "Mutex", "Condition", "Barrier"]
+
+#: basic blocks charged per synchronisation operation
+SYNC_COST = 1
+
+
+class Blocked:
+    """Scheduler token: park the yielding thread until ``predicate()``."""
+
+    __slots__ = ("predicate", "reason")
+
+    def __init__(self, predicate: Callable[[], bool], reason: str = "") -> None:
+        self.predicate = predicate
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Blocked({self.reason or 'condition'})"
+
+
+class Semaphore:
+    """Counting semaphore with generator-based ``wait``."""
+
+    def __init__(self, value: int = 0, name: str = "sem") -> None:
+        if value < 0:
+            raise ValueError("initial semaphore value must be >= 0")
+        self._value = value
+        self.name = name
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def wait(self, ctx) -> Iterator[Blocked]:
+        ctx.charge(SYNC_COST)
+        while self._value == 0:
+            yield Blocked(lambda: self._value > 0, f"wait({self.name})")
+        self._value -= 1
+        ctx.on_sync_acquire(self.name)
+
+    def try_wait(self, ctx) -> bool:
+        ctx.charge(SYNC_COST)
+        if self._value > 0:
+            self._value -= 1
+            ctx.on_sync_acquire(self.name)
+            return True
+        return False
+
+    def signal(self, ctx) -> None:
+        ctx.charge(SYNC_COST)
+        self._value += 1
+        ctx.on_sync_release(self.name)
+
+
+class Mutex:
+    """Binary lock recording its owner (helgrind uses lock identity)."""
+
+    def __init__(self, name: str = "mutex") -> None:
+        self.name = name
+        self.owner: Optional[int] = None
+
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+    def acquire(self, ctx) -> Iterator[Blocked]:
+        ctx.charge(SYNC_COST)
+        while self.owner is not None:
+            yield Blocked(lambda: self.owner is None, f"acquire({self.name})")
+        self.owner = ctx.tid
+        ctx.on_lock_acquired(self)
+
+    def release(self, ctx) -> None:
+        ctx.charge(SYNC_COST)
+        if self.owner != ctx.tid:
+            raise RuntimeError(
+                f"thread {ctx.tid} releasing {self.name} owned by {self.owner}"
+            )
+        self.owner = None
+        ctx.on_lock_released(self)
+
+
+class Condition:
+    """Condition variable associated with a :class:`Mutex`."""
+
+    def __init__(self, mutex: Mutex, name: str = "cond") -> None:
+        self.mutex = mutex
+        self.name = name
+        self._generation = 0
+
+    def wait(self, ctx) -> Iterator[Blocked]:
+        """Atomically release the mutex, wait for a signal, reacquire."""
+        my_generation = self._generation
+        self.mutex.release(ctx)
+        yield Blocked(
+            lambda: self._generation != my_generation, f"wait({self.name})"
+        )
+        ctx.on_sync_acquire(self.name)
+        yield from self.mutex.acquire(ctx)
+
+    def notify_all(self, ctx) -> None:
+        ctx.charge(SYNC_COST)
+        self._generation += 1
+        ctx.on_sync_release(self.name)
+
+
+class Barrier:
+    """Reusable N-party barrier (OpenMP-style join point)."""
+
+    def __init__(self, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.parties = parties
+        self.name = name
+        self._waiting = 0
+        self._generation = 0
+
+    def wait(self, ctx) -> Iterator[Blocked]:
+        ctx.charge(SYNC_COST)
+        # happens-before: every party releases into the barrier on
+        # arrival and acquires from it after the generation flips, so all
+        # pre-barrier work happens-before all post-barrier work.
+        ctx.on_sync_release(self.name)
+        generation = self._generation
+        self._waiting += 1
+        if self._waiting == self.parties:
+            self._waiting = 0
+            self._generation += 1
+        else:
+            yield Blocked(
+                lambda: self._generation != generation, f"barrier({self.name})"
+            )
+        ctx.on_sync_acquire(self.name)

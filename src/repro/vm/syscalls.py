@@ -1,0 +1,208 @@
+"""Kernel model: devices and the system calls that move data across the
+user/kernel boundary.
+
+Section 4.1 of the paper lists how aprof-drms wraps Linux x86-64 system
+calls: ``write``, ``sendto``, ``pwrite64``, ``writev``, ``msgsnd`` and
+``pwritev`` correspond to ``userToKernel`` events (the kernel *reads*
+user memory to push it to a device), while ``read``, ``recvfrom``,
+``pread64``, ``readv``, ``msgrcv`` and ``preadv`` correspond to
+``kernelToUser`` events (the kernel *writes* fresh device data into user
+memory).  The :class:`Kernel` here implements exactly that mapping over
+simple device models:
+
+* :class:`StreamDevice` — an unbounded data stream (network socket,
+  pipe); values come from a generator or a seeded PRNG.
+* :class:`FileDevice`  — a finite random-access file with a per-fd
+  cursor; supports positional reads (``pread64``).
+* :class:`SinkDevice`  — write-only device collecting outbound data
+  (log file, socket send side).
+
+Each transferred cell costs one basic block on the calling thread, so
+I/O-heavy routines accumulate cost the way buffered reads do in the
+paper's MySQL case study.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Device",
+    "StreamDevice",
+    "FileDevice",
+    "SinkDevice",
+    "Kernel",
+    "INBOUND_SYSCALLS",
+    "OUTBOUND_SYSCALLS",
+    "BadFileDescriptor",
+]
+
+#: system calls that fill user memory from a device (kernelToUser)
+INBOUND_SYSCALLS = ("read", "recvfrom", "pread64", "readv", "msgrcv", "preadv")
+
+#: system calls that push user memory to a device (userToKernel)
+OUTBOUND_SYSCALLS = ("write", "sendto", "pwrite64", "writev", "msgsnd", "pwritev")
+
+
+class BadFileDescriptor(OSError):
+    """Operation on an unknown or direction-mismatched file descriptor."""
+
+
+class Device:
+    """Base device; concrete devices override ``pull``/``push``."""
+
+    readable = False
+    writable = False
+
+    def pull(self, count: int, offset: Optional[int] = None) -> List[Any]:
+        raise BadFileDescriptor("device is not readable")
+
+    def push(self, values: List[Any], offset: Optional[int] = None) -> int:
+        raise BadFileDescriptor("device is not writable")
+
+
+class StreamDevice(Device):
+    """Unbounded sequential stream of values (socket/pipe model)."""
+
+    readable = True
+
+    def __init__(
+        self, data: Optional[Iterator[Any]] = None, seed: int = 0
+    ) -> None:
+        if data is None:
+            rng = random.Random(seed)
+            data = iter(lambda: rng.randint(0, 2**31), None)
+        self._data = iter(data)
+        self.delivered = 0
+
+    def pull(self, count: int, offset: Optional[int] = None) -> List[Any]:
+        if offset is not None:
+            raise BadFileDescriptor("streams are not seekable")
+        values = []
+        for _ in range(count):
+            try:
+                values.append(next(self._data))
+            except StopIteration:
+                break
+        self.delivered += len(values)
+        return values
+
+
+class FileDevice(Device):
+    """Finite random-access file holding a list of values."""
+
+    readable = True
+    writable = True
+
+    def __init__(self, contents: Optional[List[Any]] = None) -> None:
+        self.contents: List[Any] = list(contents) if contents else []
+        self.position = 0
+
+    def pull(self, count: int, offset: Optional[int] = None) -> List[Any]:
+        start = self.position if offset is None else offset
+        values = self.contents[start : start + count]
+        if offset is None:
+            self.position += len(values)
+        return values
+
+    def push(self, values: List[Any], offset: Optional[int] = None) -> int:
+        if offset is None:
+            self.contents.extend(values)
+        else:
+            end = offset + len(values)
+            if end > len(self.contents):
+                self.contents.extend([0] * (end - len(self.contents)))
+            self.contents[offset:end] = values
+        return len(values)
+
+
+class SinkDevice(Device):
+    """Write-only device that records everything pushed to it."""
+
+    writable = True
+
+    def __init__(self) -> None:
+        self.received: List[Any] = []
+
+    def push(self, values: List[Any], offset: Optional[int] = None) -> int:
+        self.received.extend(values)
+        return len(values)
+
+
+class Kernel:
+    """File-descriptor table plus the inbound/outbound transfer logic."""
+
+    def __init__(self) -> None:
+        self._fds: Dict[int, Device] = {}
+        self._next_fd = 3  # 0-2 reserved, as tradition demands
+        #: total cells moved in each direction (workload statistics)
+        self.cells_in = 0
+        self.cells_out = 0
+
+    def open(self, device: Device) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = device
+        return fd
+
+    def close(self, fd: int) -> None:
+        if fd not in self._fds:
+            raise BadFileDescriptor(f"close of unknown fd {fd}")
+        del self._fds[fd]
+
+    def device(self, fd: int) -> Device:
+        if fd not in self._fds:
+            raise BadFileDescriptor(f"unknown fd {fd}")
+        return self._fds[fd]
+
+    def inbound(
+        self,
+        syscall: str,
+        ctx,
+        fd: int,
+        buf: int,
+        count: int,
+        offset: Optional[int] = None,
+    ) -> int:
+        """Fill ``count`` cells at ``buf`` from the device behind ``fd``.
+
+        Emits one ``kernelToUser`` event per transferred cell and returns
+        the number of cells actually read (0 at end-of-stream).
+        """
+        if syscall not in INBOUND_SYSCALLS:
+            raise ValueError(f"{syscall!r} is not an inbound syscall")
+        device = self.device(fd)
+        if not device.readable:
+            raise BadFileDescriptor(f"fd {fd} is not readable")
+        values = device.pull(count, offset)
+        ctx.charge(1 + len(values))
+        for i, value in enumerate(values):
+            ctx.kernel_fill(buf + i, value)
+        self.cells_in += len(values)
+        return len(values)
+
+    def outbound(
+        self,
+        syscall: str,
+        ctx,
+        fd: int,
+        addr: int,
+        count: int,
+        offset: Optional[int] = None,
+    ) -> int:
+        """Push ``count`` cells starting at ``addr`` to the device.
+
+        Emits one ``userToKernel`` event per cell (the kernel reads user
+        memory on the thread's behalf, so the drms algorithm treats each
+        as a read by the calling thread)."""
+        if syscall not in OUTBOUND_SYSCALLS:
+            raise ValueError(f"{syscall!r} is not an outbound syscall")
+        device = self.device(fd)
+        if not device.writable:
+            raise BadFileDescriptor(f"fd {fd} is not writable")
+        ctx.charge(1 + count)
+        values = [ctx.kernel_drain(addr + i) for i in range(count)]
+        written = device.push(values, offset)
+        self.cells_out += written
+        return written

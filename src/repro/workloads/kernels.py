@@ -1,0 +1,466 @@
+"""Reusable parallel kernels: the building blocks of the synthetic suites.
+
+The paper evaluates on PARSEC 2.1 and SPEC OMP2012 — dozens of native
+applications we obviously cannot re-run.  What the evaluation actually
+measures, though, is how each application's *communication structure*
+(who writes data that whom later reads, and how much arrives from the
+kernel) shows up in the drms metrics.  Each kernel below reproduces one
+archetypal structure; :mod:`repro.workloads.parsec` and
+:mod:`repro.workloads.specomp` compose them with per-benchmark
+parameters.
+
+* :func:`fork_join_kernel` — OpenMP-style rounds: a master writes the
+  shared input, workers process chunks of it (thread input), a barrier
+  joins, the master reduces the workers' partial results (thread input
+  again).  The backbone of the SPEC OMP2012 models.
+* :func:`wavefront_kernel` — anti-diagonal dynamic programming
+  (Smith-Waterman): workers read matrix cells computed by neighbours.
+* :func:`pipeline_io_kernel` — read-from-disk / transform / dedup-store /
+  write-to-disk pipeline (dedup, ferret, x264): mixes external and
+  thread input and produces highly variable per-call input sizes.
+* :func:`montecarlo_kernel` — embarrassingly parallel simulation over a
+  small shared parameter block (swaptions, blackscholes): little
+  dynamic input of either kind.
+* :func:`stencil_kernel` — grid relaxation with halo exchange
+  (fluidanimate): thread input proportional to partition boundaries.
+
+Every kernel spawns its own threads on the machine it is given and uses
+distinct routine names prefixed with the benchmark name, so suite-level
+metrics see a realistic routine population.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.vm import Barrier, FileDevice, Machine, Mutex, Semaphore, SinkDevice
+
+__all__ = [
+    "fork_join_kernel",
+    "wavefront_kernel",
+    "pipeline_io_kernel",
+    "montecarlo_kernel",
+    "stencil_kernel",
+]
+
+
+def fork_join_kernel(
+    machine: Machine,
+    name: str,
+    workers: int = 4,
+    rounds: int = 4,
+    chunk_size: int = 24,
+    compute_blocks: int = 3,
+    io_cells: int = 0,
+    seed: int = 0,
+) -> None:
+    """OpenMP-style fork-join rounds over a shared array.
+
+    Each round the master rewrites the shared input array (one chunk per
+    worker), workers process their chunk and write partial results, and
+    after a barrier the master reduces the partials.  All worker reads of
+    the input and all master reads of the partials are thread-induced
+    first-reads, which is what pushes SPEC OMP-style codes above 69%
+    thread input in Figure 15.  ``io_cells > 0`` adds a per-round
+    parameter refresh from disk (external input).
+    """
+    n = workers * chunk_size
+    shared = machine.memory.alloc(n, f"{name}_input")
+    partials = machine.memory.alloc(workers, f"{name}_partials")
+    barrier = Barrier(workers + 1, f"{name}_barrier")
+    params_fd = None
+    params_buf = None
+    if io_cells > 0:
+        params_fd = machine.kernel.open(FileDevice(list(range(10_000))))
+        params_buf = machine.memory.alloc(io_cells, f"{name}_params")
+    rng = random.Random(seed)
+
+    def process_chunk(ctx, wid):
+        acc = 0
+        base = shared + wid * chunk_size
+        for i in range(chunk_size):
+            acc += ctx.read(base + i)
+            ctx.compute(compute_blocks)
+        ctx.write(partials + wid, acc)
+        return acc
+        yield  # pragma: no cover
+
+    def worker(ctx, wid):
+        for _round in range(rounds):
+            yield from barrier.wait(ctx)  # wait for the master's data
+            yield from ctx.call(process_chunk, wid, name=f"{name}_chunk")
+            yield from barrier.wait(ctx)  # publish the partial
+            yield
+
+    def refresh_params(ctx, round_index):
+        """Reload the parameter file into the reused buffer.
+
+        The number of refills varies per round, so this routine's drms
+        takes several distinct values while its rms stays pinned at the
+        buffer size — the (small) richness contribution file-reading
+        OpenMP codes show in Figure 11.
+        """
+        refills = 1 + round_index % 3
+        total = 0
+        for r in range(refills):
+            offset = (round_index * 3 + r) * io_cells
+            got = ctx.sys_pread64(params_fd, params_buf, io_cells, offset=offset)
+            for i in range(got):
+                total += ctx.read(params_buf + i)
+        return total
+        yield  # pragma: no cover
+
+    def reduce_partials(ctx):
+        total = 0
+        for wid in range(workers):
+            total += ctx.read(partials + wid)
+            ctx.compute(1)
+        return total
+        yield  # pragma: no cover
+
+    def master(ctx):
+        total = 0
+        for round_index in range(rounds):
+            if io_cells > 0:
+                yield from ctx.call(
+                    refresh_params, round_index, name=f"{name}_refresh"
+                )
+            for i in range(n):
+                ctx.write(shared + i, rng.randint(0, 997))
+            yield from barrier.wait(ctx)  # release workers
+            yield from barrier.wait(ctx)  # wait for partials
+            total += yield from ctx.call(reduce_partials, name=f"{name}_reduce")
+            yield
+        return total
+
+    machine.spawn(master, name=f"{name}_master")
+    for wid in range(workers):
+        machine.spawn(worker, wid, name=f"{name}_worker{wid}")
+
+
+def wavefront_kernel(
+    machine: Machine,
+    name: str,
+    workers: int = 4,
+    size: int = 16,
+    passes: int = 3,
+    compute_blocks: int = 2,
+) -> None:
+    """Anti-diagonal DP sweeps (Smith-Waterman style).
+
+    ``passes`` sequence pairs are aligned over the *same* reused
+    ``size x size`` score matrix, striped across ``workers`` by row
+    blocks; cell (i, j) needs (i-1, j), (i, j-1) and (i-1, j-1).
+    Reads crossing a stripe boundary hit cells computed by another
+    worker — dense thread input — and because the matrix is reused
+    across passes, each worker's long-running activation re-reads
+    boundary cells rewritten since the previous pass: drms grows with
+    ``passes`` while the rms stays pinned at the stripe footprint,
+    giving smithwa its high dynamic input volume in Figure 12.
+    """
+    matrix = machine.memory.alloc(size * size, f"{name}_matrix")
+    ready = [
+        [Semaphore(0, f"{name}_p{p}r{i}") for i in range(size)]
+        for p in range(passes)
+    ]
+    done = Barrier(workers, f"{name}_pass_barrier")
+    rows_per_worker = max(1, size // workers)
+
+    def score_cell(ctx, i, j, salt):
+        above = ctx.read(matrix + (i - 1) * size + j) if i > 0 else 0
+        left = ctx.read(matrix + i * size + j - 1) if j > 0 else 0
+        diag = ctx.read(matrix + (i - 1) * size + j - 1) if i > 0 and j > 0 else 0
+        ctx.compute(compute_blocks)
+        value = max(above, left, diag) + ((i * 7 + j * 13 + salt) % 5)
+        ctx.write(matrix + i * size + j, value)
+        return value
+        yield  # pragma: no cover
+
+    def load_border(ctx, row):
+        """Import the neighbouring stripe's frontier row — every read is
+        a thread-induced first-read (the row was computed by another
+        worker this pass)."""
+        total = 0
+        for j in range(size):
+            total += ctx.read(matrix + row * size + j)
+            ctx.compute(1)
+        return total
+        yield  # pragma: no cover
+
+    def align_stripe(ctx, wid, p):
+        lo = wid * rows_per_worker
+        hi = size if wid == workers - 1 else (wid + 1) * rows_per_worker
+        for i in range(lo, hi):
+            if i > 0:
+                # wait for the previous row of this pass to be complete
+                yield from ready[p][i - 1].wait(ctx)
+                ready[p][i - 1].signal(ctx)  # leave it signalled for others
+            if i == lo and lo > 0:
+                yield from ctx.call(load_border, lo - 1, name=f"{name}_border")
+            for j in range(size):
+                yield from ctx.call(score_cell, i, j, p, name=f"{name}_cell")
+            ready[p][i].signal(ctx)
+            yield
+
+    def stripe_worker(ctx, wid):
+        for p in range(passes):
+            yield from ctx.call(align_stripe, wid, p, name=f"{name}_align")
+            yield from done.wait(ctx)
+            yield
+
+    for wid in range(workers):
+        machine.spawn(stripe_worker, wid, name=f"{name}_stripe{wid}")
+
+
+def pipeline_io_kernel(
+    machine: Machine,
+    name: str,
+    items: int = 24,
+    max_rounds: int = 12,
+    block_size: int = 4,
+    dedup_slots: int = 32,
+    seed: int = 0,
+) -> None:
+    """Disk-in / transform / dedup-store / disk-out pipeline.
+
+    Item ``i`` consists of ``1 + (i*7 + seed) % max_rounds`` fixed-size
+    blocks.  The reader streams each block from disk into a reused
+    chunk buffer (external input) and relays it, block by block, through
+    a fixed relay buffer to the transform stage (thread input).  Both
+    per-item routines (``fetch_chunk`` and ``process_item``) therefore
+    touch a *constant* set of cells — their rms collapses — while their
+    drms varies with the item's block count: exactly the structure that
+    gives dedup its tall profile-richness tail in Figure 11.  The
+    transform stage additionally consults a shared, mutex-guarded dedup
+    table and hands unique digests to the writer, which pushes them out
+    (``userToKernel``).
+    """
+    rng = random.Random(seed)
+    in_fd = machine.kernel.open(
+        FileDevice([rng.randint(0, 255) for _ in range(200_000)])
+    )
+    out_fd = machine.kernel.open(SinkDevice())
+    chunk_buf = machine.memory.alloc(block_size, f"{name}_chunk")
+    relay = machine.memory.alloc(block_size, f"{name}_relay")
+    head = machine.memory.alloc(2, f"{name}_head")
+    machine.memory.store(head, 0)
+    machine.memory.store(head + 1, 0)
+    table = machine.memory.alloc(dedup_slots, f"{name}_table")
+    for i in range(dedup_slots):
+        machine.memory.store(table + i, -1)
+    table_lock = Mutex(f"{name}_table_lock")
+    relay_free = Semaphore(1, f"{name}_relay_free")
+    relay_full = Semaphore(0, f"{name}_relay_full")
+    head_free = Semaphore(1, f"{name}_head_free")
+    head_full = Semaphore(0, f"{name}_head_full")
+    to_write = Semaphore(0, f"{name}_to_write")
+    write_free = Semaphore(1, f"{name}_write_free")
+    out_cell = machine.memory.alloc(1, f"{name}_out")
+    machine.memory.store(out_cell, 0)
+    rounds = [1 + (i * 7 + seed) % max_rounds for i in range(items)]
+
+    def fetch_chunk(ctx, item, n_rounds):
+        """Stream one item from disk, relaying block by block."""
+        position = sum(rounds[:item]) * block_size
+        for r in range(n_rounds):
+            got = ctx.sys_pread64(
+                in_fd, chunk_buf, block_size, offset=position + r * block_size
+            )
+            yield from relay_free.wait(ctx)
+            for cell in range(got):
+                ctx.write(relay + cell, ctx.read(chunk_buf + cell))
+            relay_full.signal(ctx)
+        return n_rounds
+
+    def read_stage(ctx):
+        for item, n_rounds in enumerate(rounds):
+            yield from head_free.wait(ctx)
+            ctx.write(head, item)
+            ctx.write(head + 1, n_rounds)
+            head_full.signal(ctx)
+            yield from ctx.call(
+                fetch_chunk, item, n_rounds, name=f"{name}_fetch"
+            )
+            yield
+
+    def process_item(ctx, n_rounds):
+        """Digest one item from the relay buffer, block by block."""
+        digest = 0
+        for _r in range(n_rounds):
+            yield from relay_full.wait(ctx)
+            for cell in range(block_size):
+                digest = (digest * 33 + ctx.read(relay + cell)) % 8191
+                ctx.compute(1)
+            relay_free.signal(ctx)
+        return digest
+
+    def dedup_lookup(ctx, digest):
+        yield from table_lock.acquire(ctx)
+        slot = digest % dedup_slots
+        seen = ctx.read(table + slot)
+        if seen != digest:
+            ctx.write(table + slot, digest)
+        table_lock.release(ctx)
+        return seen == digest
+
+    def transform_stage(ctx):
+        for _item in range(items):
+            yield from head_full.wait(ctx)
+            ctx.read(head)
+            n_rounds = ctx.read(head + 1)
+            head_free.signal(ctx)
+            digest = yield from ctx.call(
+                process_item, n_rounds, name=f"{name}_process"
+            )
+            duplicate = yield from ctx.call(
+                dedup_lookup, digest, name=f"{name}_dedup"
+            )
+            if not duplicate:
+                yield from write_free.wait(ctx)
+                ctx.write(out_cell, digest)
+                to_write.signal(ctx)
+            yield
+
+    def write_stage(ctx):
+        written = 0
+        while True:
+            yield from to_write.wait(ctx)
+            digest = ctx.read(out_cell)
+            if digest < 0:
+                break
+            ctx.sys_write(out_fd, out_cell, 1)
+            written += 1
+            write_free.signal(ctx)
+            yield
+        return written
+
+    def driver(ctx):
+        reader = ctx.spawn(read_stage, name=f"{name}_reader")
+        transform = ctx.spawn(transform_stage, name=f"{name}_transform")
+        writer = ctx.spawn(write_stage, name=f"{name}_writer")
+        yield from ctx.join(reader)
+        yield from ctx.join(transform)
+        # poison pill for the writer
+        yield from write_free.wait(ctx)
+        ctx.write(out_cell, -1)
+        to_write.signal(ctx)
+        yield from ctx.join(writer)
+
+    machine.spawn(driver, name=f"{name}_driver")
+
+
+def montecarlo_kernel(
+    machine: Machine,
+    name: str,
+    workers: int = 4,
+    trials: int = 16,
+    params: int = 8,
+    compute_blocks: int = 6,
+    io_cells: int = 0,
+) -> None:
+    """Embarrassingly parallel simulation (swaptions / blackscholes).
+
+    Workers read a small master-written parameter block once, then
+    simulate privately; the only dynamic inputs are the parameter
+    handoff and — with ``io_cells > 0`` — the options file the master
+    loads at startup, so these benchmarks sit at the bottom of the
+    thread-input charts.
+    """
+    param_block = machine.memory.alloc(params, f"{name}_params")
+    results = machine.memory.alloc(workers, f"{name}_results")
+    ready = Semaphore(0, f"{name}_ready")
+    options_fd = None
+    options_buf = None
+    if io_cells > 0:
+        options_fd = machine.kernel.open(FileDevice(list(range(50_000))))
+        options_buf = machine.memory.alloc(io_cells, f"{name}_options")
+
+    def simulate(ctx, wid, local_base):
+        state = wid + 1
+        for t in range(trials):
+            state = (state * 1103515245 + 12345) % (2**31)
+            ctx.write(local_base + t % 8, state % 1000)
+            acc = ctx.read(local_base + t % 8)
+            ctx.compute(compute_blocks)
+        return state
+        yield  # pragma: no cover
+
+    def worker(ctx, wid):
+        yield from ready.wait(ctx)
+        ready.signal(ctx)  # broadcast
+        total = 0
+        for p in range(params):
+            total += ctx.read(param_block + p)
+        local_base = ctx.alloc(8, f"{name}_local{wid}")
+        state = yield from ctx.call(simulate, wid, local_base, name=f"{name}_sim")
+        ctx.write(results + wid, (total + state) % 100_000)
+
+    def load_options(ctx):
+        got = ctx.sys_read(options_fd, options_buf, io_cells)
+        total = 0
+        for i in range(got):
+            total += ctx.read(options_buf + i)
+        return total
+        yield  # pragma: no cover
+
+    def master(ctx):
+        seedling = 0
+        if io_cells > 0:
+            seedling = yield from ctx.call(
+                load_options, name=f"{name}_load_options"
+            )
+        for p in range(params):
+            ctx.write(param_block + p, (p * 17 + seedling) % 101)
+        ready.signal(ctx)
+        yield
+
+    machine.spawn(master, name=f"{name}_master")
+    for wid in range(workers):
+        machine.spawn(worker, wid, name=f"{name}_worker{wid}")
+
+
+def stencil_kernel(
+    machine: Machine,
+    name: str,
+    workers: int = 4,
+    cells_per_worker: int = 20,
+    iterations: int = 4,
+    compute_blocks: int = 2,
+) -> None:
+    """1-D Jacobi-style relaxation with halo exchange (fluidanimate).
+
+    The grid is split into contiguous partitions; every iteration each
+    worker reads its partition plus one halo cell on each side — halo
+    cells were written by the neighbouring worker, so each iteration
+    contributes 2 thread-induced first-reads per worker, against
+    ``cells_per_worker`` private re-reads.
+    """
+    n = workers * cells_per_worker
+    grid = machine.memory.alloc(n + 2, f"{name}_grid")
+    for i in range(n + 2):
+        machine.memory.store(grid + i, i % 13)
+    barrier = Barrier(workers, f"{name}_barrier")
+
+    def relax_partition(ctx, lo, hi):
+        updates = []
+        for i in range(lo, hi):
+            left = ctx.read(grid + i - 1)
+            mid = ctx.read(grid + i)
+            right = ctx.read(grid + i + 1)
+            ctx.compute(compute_blocks)
+            updates.append((i, (left + mid + right) // 3))
+        for i, value in updates:
+            ctx.write(grid + i, value)
+        return None
+        yield  # pragma: no cover
+
+    def worker(ctx, wid):
+        lo = 1 + wid * cells_per_worker
+        hi = lo + cells_per_worker
+        for _ in range(iterations):
+            yield from ctx.call(relax_partition, lo, hi, name=f"{name}_relax")
+            yield from barrier.wait(ctx)
+            yield
+
+    for wid in range(workers):
+        machine.spawn(worker, wid, name=f"{name}_worker{wid}")

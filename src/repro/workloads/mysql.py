@@ -1,0 +1,203 @@
+"""Synthetic MySQL: the Figure 4 case study and the mysqlslap emulation.
+
+The paper's first case study queries MySQL tables of increasing sizes
+with ``SELECT *``.  Inside ``mysql_select``, tuples are partitioned into
+groups; each group is loaded into a reused buffer through a kernel system
+call and then scanned.  Because the buffer is reused, the rms of a query
+roughly coincides with the buffer size regardless of the table size —
+while the cost keeps growing with the number of buffer loads.  The drms
+counts every kernel refill, tracking the true input size.
+
+Structure of the model:
+
+* :class:`MysqlServer` owns a "disk" (one :class:`FileDevice` per table),
+  a group buffer, and a small B-tree-ish catalog whose lookup depth grows
+  logarithmically with the table size — this adds the slowly-growing
+  component that makes the paper's rms plot *superlinear*: cost grows
+  linearly with tuples while rms grows only with ``log(tuples)``.
+* ``mysql_select`` scans a table group by group via ``pread64``.
+* :func:`select_sweep` builds the Figure 4 experiment (one query per
+  table size).
+* :func:`mysqlslap` emulates the load client: ``clients`` threads submit
+  ``queries_per_client`` auto-generated queries against shared tables,
+  with a mutex-guarded query cache (thread input) and result sets pushed
+  to per-client sockets (external output).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.vm import FileDevice, Machine, Mutex, SinkDevice
+
+__all__ = ["MysqlServer", "select_sweep", "mysqlslap"]
+
+#: tuples fetched per kernel read, the group/buffer size of the model
+GROUP_SIZE = 32
+
+
+class MysqlServer:
+    """Storage engine state shared by all connections of one machine."""
+
+    def __init__(self, machine: Machine, buffer_size: int = GROUP_SIZE) -> None:
+        self.machine = machine
+        self.buffer_size = buffer_size
+        #: table name -> (fd, row count)
+        self.tables: Dict[str, tuple] = {}
+        #: per-connection group buffers, reused by every query of that
+        #: connection (the rms cap); real MySQL likewise keeps read
+        #: buffers per session, so concurrent scans do not race
+        self._group_buffers: Dict[int, int] = {}
+        #: catalog: index pages for the largest possible lookup chain
+        self.catalog = machine.memory.alloc(64, "catalog")
+        for i in range(64):
+            machine.memory.store(self.catalog + i, i)
+        #: mutex-guarded query cache (maps query id -> cached cost)
+        self.cache_lock = Mutex("query_cache")
+        self.query_cache = machine.memory.alloc(256, "query_cache")
+        for i in range(256):
+            machine.memory.store(self.query_cache + i, 0)
+
+    def create_table(self, name: str, rows: int, seed: int = 0) -> None:
+        """Materialise a table of ``rows`` tuples on the simulated disk."""
+        rng = random.Random(seed)
+        contents = [rng.randint(0, 1_000_000) for _ in range(rows)]
+        fd = self.machine.kernel.open(FileDevice(contents))
+        self.tables[name] = (fd, rows)
+
+    def group_buffer_for(self, ctx) -> int:
+        buffer = self._group_buffers.get(ctx.tid)
+        if buffer is None:
+            buffer = self.machine.memory.alloc(
+                self.buffer_size, f"group_buffer_t{ctx.tid}"
+            )
+            self._group_buffers[ctx.tid] = buffer
+        return buffer
+
+    # -- the profiled server routine ------------------------------------------
+
+    def mysql_select(self, ctx, table: str):
+        """Scan all tuples of ``table``; returns (rows, checksum).
+
+        The routine the paper profiles: group-at-a-time buffered scan.
+        Reads per activation touch the (reused) group buffer plus a
+        log-depth chain of catalog pages, so rms ~= buffer + O(log rows)
+        while drms ~= rows.
+        """
+        fd, rows = self.tables[table]
+        group_buffer = self.group_buffer_for(ctx)
+        # catalog walk: B-tree descent; depth grows with log(rows) but
+        # coarsely (high-fanout pages), so many table sizes share one
+        # depth — the rms collapses them while the drms stays distinct
+        depth = max(1, int(math.log2(rows + 1)) // 2)
+        for level in range(depth):
+            ctx.read(self.catalog + level)
+            ctx.compute(2)
+        checksum = 0
+        scanned = 0
+        position = 0
+        while scanned < rows:
+            filled = ctx.sys_pread64(
+                fd, group_buffer, self.buffer_size, offset=position
+            )
+            if filled == 0:
+                break
+            position += filled
+            for i in range(filled):
+                value = ctx.read(group_buffer + i)
+                ctx.compute(1)  # predicate evaluation
+                checksum += value
+            scanned += filled
+            yield  # group boundary: a natural preemption point
+        return scanned, checksum
+
+
+def select_sweep(
+    table_rows: Sequence[int] = (64, 128, 256, 512, 1024, 2048),
+    machine: Optional[Machine] = None,
+) -> Machine:
+    """Figure 4 experiment: one ``SELECT *`` per table size."""
+    if machine is None:
+        machine = Machine()
+    server = MysqlServer(machine)
+    for index, rows in enumerate(table_rows):
+        server.create_table(f"t{rows}", rows, seed=index)
+
+    def client(ctx):
+        for rows in table_rows:
+            yield from ctx.call(
+                server.mysql_select, f"t{rows}", name="mysql_select"
+            )
+            yield
+
+    machine.spawn(client, name="mysql_client")
+    return machine
+
+
+def mysqlslap(
+    clients: int = 8,
+    queries_per_client: int = 12,
+    table_rows: Sequence[int] = (64, 96, 128, 192, 256, 384, 512, 768),
+    machine: Optional[Machine] = None,
+    seed: int = 0,
+) -> Machine:
+    """The load-emulation client of Section 4.1 (scaled down).
+
+    The paper runs 50 concurrent clients submitting ~1000 auto-generated
+    queries; the defaults here keep test runtimes sane while preserving
+    the workload's nature — external input dominates (disk reads and
+    socket writes), with some thread input through the shared,
+    mutex-guarded query cache.
+    """
+    if clients < 1:
+        raise ValueError("need at least one client")
+    if machine is None:
+        machine = Machine()
+    server = MysqlServer(machine)
+    for index, rows in enumerate(table_rows):
+        server.create_table(f"t{rows}", rows, seed=index)
+    table_names = [f"t{rows}" for rows in table_rows]
+
+    def cache_lookup(ctx, slot):
+        """Mutex-guarded read of a cache slot another client may have
+        written — the thread-input component of the workload."""
+        yield from server.cache_lock.acquire(ctx)
+        value = ctx.read(server.query_cache + slot)
+        server.cache_lock.release(ctx)
+        return value
+
+    def cache_store(ctx, slot, value):
+        yield from server.cache_lock.acquire(ctx)
+        ctx.write(server.query_cache + slot, value)
+        server.cache_lock.release(ctx)
+        return None
+
+    def slap_client(ctx, client_id):
+        rng = random.Random(seed * 1000 + client_id)
+        socket = SinkDevice()
+        sock_fd = machine.kernel.open(socket)
+        result_buf = ctx.alloc(4, f"result{client_id}")
+        for q in range(queries_per_client):
+            table = table_names[rng.randrange(len(table_names))]
+            slot = (hash(table) + q) % 256
+            cached = yield from ctx.call(cache_lookup, slot, name="cache_lookup")
+            if cached and rng.random() < 0.3:
+                ctx.compute(2)  # cache hit: cheap
+            else:
+                rows, checksum = yield from ctx.call(
+                    server.mysql_select, table, name="mysql_select"
+                )
+                yield from ctx.call(
+                    cache_store, slot, checksum % 1_000_000 + 1, name="cache_store"
+                )
+                # serialise the result set to the client socket
+                ctx.write(result_buf, rows)
+                ctx.write(result_buf + 1, checksum % 97)
+                ctx.sys_sendto(sock_fd, result_buf, 2)
+            yield
+
+    for client_id in range(clients):
+        machine.spawn(slap_client, client_id, name=f"client{client_id}")
+    return machine

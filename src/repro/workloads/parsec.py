@@ -1,0 +1,268 @@
+"""Synthetic PARSEC 2.1 suite.
+
+Each function models one PARSEC benchmark's communication structure on
+the ``simlarge``-like default scale, parameterised by thread count (the
+paper spawns four threads per benchmark for Table 1 and sweeps 1-8 for
+Figure 16).  The mapping benchmark → structure follows the application
+domains PARSEC documents and the behaviours the paper reports:
+
+========================  =====================================================
+benchmark                 model
+========================  =====================================================
+blackscholes              Monte-Carlo pricing, tiny shared input
+bodytrack                 fork-join vision rounds + per-frame disk input
+canneal                   stencil-ish cache-aware annealing over a shared net
+dedup                     pipeline with disk I/O + shared dedup table (the
+                          richness champion of Figure 11)
+ferret                    similarity-search pipeline with disk I/O
+fluidanimate              halo-exchange stencil (thread input dominates)
+streamcluster             fork-join clustering rounds over streamed points
+facesim                   face physics: mesh stencil + assembly rounds
+freqmine                  itemset mining over streamed transactions
+raytrace                  tile rendering against a shared acceleration tree
+swaptions                 Monte-Carlo swaption pricing, minimal sharing
+vips                      the image pipeline of Section 2.1 (Figures 5/6)
+x264                      frame pipeline: disk frames + inter-thread motion
+                          vectors
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.vm import Machine
+from repro.workloads.kernels import (
+    fork_join_kernel,
+    montecarlo_kernel,
+    pipeline_io_kernel,
+    stencil_kernel,
+)
+from repro.workloads.vips import vips_pipeline
+
+__all__ = ["PARSEC_BENCHMARKS", "build_parsec"]
+
+
+def blackscholes(threads: int = 4, scale: int = 1) -> Machine:
+    machine = Machine()
+    montecarlo_kernel(
+        machine,
+        "blackscholes",
+        workers=threads,
+        trials=10 * scale,
+        params=12,
+        io_cells=20 * scale,  # the options portfolio file
+    )
+    return machine
+
+
+def bodytrack(threads: int = 4, scale: int = 1) -> Machine:
+    machine = Machine()
+    fork_join_kernel(
+        machine,
+        "bodytrack",
+        workers=threads,
+        rounds=3 * scale,
+        chunk_size=16,
+        compute_blocks=4,
+        io_cells=10,  # a camera frame header per round
+    )
+    return machine
+
+
+def canneal(threads: int = 4, scale: int = 1) -> Machine:
+    machine = Machine()
+    stencil_kernel(
+        machine,
+        "canneal",
+        workers=threads,
+        cells_per_worker=12,
+        iterations=3 * scale,
+        compute_blocks=3,
+    )
+    fork_join_kernel(
+        machine, "canneal_route", workers=threads, rounds=scale, chunk_size=8
+    )
+    return machine
+
+
+def dedup(threads: int = 4, scale: int = 1) -> Machine:
+    machine = Machine()
+    # one pipeline per pair of threads, distinct seeds => many distinct
+    # chunk sizes and a long profile-richness tail
+    pipelines = max(1, threads // 2)
+    for p in range(pipelines):
+        pipeline_io_kernel(
+            machine,
+            f"dedup{p}" if pipelines > 1 else "dedup",
+            items=14 * scale,
+            max_rounds=12,
+            seed=p,
+        )
+    return machine
+
+
+def ferret(threads: int = 4, scale: int = 1) -> Machine:
+    machine = Machine()
+    pipeline_io_kernel(
+        machine, "ferret", items=10 * scale, max_rounds=8, dedup_slots=16, seed=3
+    )
+    fork_join_kernel(
+        machine, "ferret_rank", workers=max(1, threads - 3),
+        rounds=scale, chunk_size=8,
+    )
+    return machine
+
+
+def fluidanimate(threads: int = 4, scale: int = 1) -> Machine:
+    machine = Machine()
+    stencil_kernel(
+        machine,
+        "fluidanimate",
+        workers=threads,
+        cells_per_worker=16,
+        iterations=4 * scale,
+        compute_blocks=2,
+    )
+    return machine
+
+
+def facesim(threads: int = 4, scale: int = 1) -> Machine:
+    """Physics simulation of a human face: iterative solver over a
+    partitioned mesh — stencil-like halo traffic plus fork-join
+    assembly rounds."""
+    machine = Machine()
+    stencil_kernel(
+        machine,
+        "facesim_solve",
+        workers=threads,
+        cells_per_worker=14,
+        iterations=3 * scale,
+        compute_blocks=4,
+    )
+    fork_join_kernel(
+        machine,
+        "facesim_assemble",
+        workers=threads,
+        rounds=2 * scale,
+        chunk_size=12,
+        compute_blocks=3,
+    )
+    return machine
+
+
+def freqmine(threads: int = 4, scale: int = 1) -> Machine:
+    """Frequent itemset mining: transactions streamed from disk into a
+    shared FP-tree-ish structure — fork-join rounds with file input."""
+    machine = Machine()
+    fork_join_kernel(
+        machine,
+        "freqmine",
+        workers=threads,
+        rounds=3 * scale,
+        chunk_size=18,
+        compute_blocks=3,
+        io_cells=12,  # the transaction database
+    )
+    return machine
+
+
+def raytrace(threads: int = 4, scale: int = 1) -> Machine:
+    """Real-time raytracing: workers render tiles against a shared,
+    master-built acceleration structure (mostly read-shared input,
+    heavy compute)."""
+    machine = Machine()
+    fork_join_kernel(
+        machine,
+        "raytrace",
+        workers=threads,
+        rounds=2 * scale,
+        chunk_size=16,
+        compute_blocks=7,
+    )
+    montecarlo_kernel(
+        machine,
+        "raytrace_shade",
+        workers=max(1, threads // 2),
+        trials=8 * scale,
+        params=6,
+        compute_blocks=5,
+    )
+    return machine
+
+
+def streamcluster(threads: int = 4, scale: int = 1) -> Machine:
+    machine = Machine()
+    fork_join_kernel(
+        machine,
+        "streamcluster",
+        workers=threads,
+        rounds=3 * scale,
+        chunk_size=20,
+        compute_blocks=2,
+        io_cells=6,  # stream window refill
+    )
+    return machine
+
+
+def swaptions(threads: int = 4, scale: int = 1) -> Machine:
+    machine = Machine()
+    montecarlo_kernel(
+        machine,
+        "swaptions",
+        workers=threads,
+        trials=14 * scale,
+        params=6,
+        compute_blocks=8,
+        io_cells=4,  # a small swaption spec file
+    )
+    return machine
+
+
+def vips(threads: int = 4, scale: int = 1) -> Machine:
+    tile_counts = tuple(4 * (i + 1) for i in range(2 + scale))
+    return vips_pipeline(tile_counts=tile_counts, wbuffer_calls=10 * scale)
+
+
+def x264(threads: int = 4, scale: int = 1) -> Machine:
+    machine = Machine()
+    pipeline_io_kernel(
+        machine, "x264_encode", items=12 * scale, max_rounds=10, seed=9
+    )
+    stencil_kernel(
+        machine,
+        "x264_motion",
+        workers=max(2, threads - 3),
+        cells_per_worker=10,
+        iterations=2 * scale,
+    )
+    return machine
+
+
+PARSEC_BENCHMARKS: Dict[str, Callable[..., Machine]] = {
+    "blackscholes": blackscholes,
+    "bodytrack": bodytrack,
+    "canneal": canneal,
+    "dedup": dedup,
+    "facesim": facesim,
+    "ferret": ferret,
+    "fluidanimate": fluidanimate,
+    "freqmine": freqmine,
+    "raytrace": raytrace,
+    "streamcluster": streamcluster,
+    "swaptions": swaptions,
+    "vips": vips,
+    "x264": x264,
+}
+
+
+def build_parsec(
+    name: str, threads: int = 4, scale: int = 1
+) -> Machine:
+    """Instantiate a PARSEC benchmark by name."""
+    if name not in PARSEC_BENCHMARKS:
+        raise KeyError(
+            f"unknown PARSEC benchmark {name!r}; "
+            f"known: {sorted(PARSEC_BENCHMARKS)}"
+        )
+    return PARSEC_BENCHMARKS[name](threads=threads, scale=scale)

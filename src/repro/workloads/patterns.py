@@ -1,0 +1,166 @@
+"""The paper's two dynamic-workload software patterns (Section 2).
+
+**Pattern 1 — producer-consumer** (Figure 2): the classical
+semaphore-based implementation.  ``produceData`` writes to a single
+shared location ``x`` and ``consumeData`` reads it back; semaphores
+guarantee strict alternation.  After n items,
+``rms(consumer) = 1`` while ``drms(consumer) = n``.
+
+**Pattern 2 — data streaming** (Figure 3): ``streamReader`` owns a
+2-cell buffer refilled by the kernel each iteration, of which only
+``b[0]`` is consumed.  After n iterations ``rms(streamReader) = 1``
+while ``drms(streamReader) = n``.
+
+Both functions build a ready-to-run :class:`~repro.vm.machine.Machine`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.vm import Machine, Mutex, Semaphore, StreamDevice
+
+__all__ = ["producer_consumer", "stream_reader", "pipeline_chain"]
+
+
+def producer_consumer(
+    n: int, machine: Optional[Machine] = None, process_blocks: int = 3
+) -> Machine:
+    """Build the Figure 2 producer-consumer workload exchanging ``n`` items."""
+    if n < 0:
+        raise ValueError("item count must be >= 0")
+    if machine is None:
+        machine = Machine()
+    x = machine.memory.alloc(1, "x")
+    empty = Semaphore(1, "empty")
+    full = Semaphore(0, "full")
+    mutex = Mutex("mutex")
+
+    def produce_data(ctx, i):
+        ctx.compute(1)
+        ctx.write(x, i * i)  # "produce" a value
+        return i * i
+        yield  # pragma: no cover - marks this function as a generator
+
+    def consume_data(ctx):
+        value = ctx.read(x)
+        ctx.compute(process_blocks)
+        return value
+        yield  # pragma: no cover
+
+    def producer(ctx):
+        for i in range(n):
+            yield from empty.wait(ctx)
+            yield from mutex.acquire(ctx)
+            yield from ctx.call(produce_data, i, name="produceData")
+            mutex.release(ctx)
+            full.signal(ctx)
+            yield
+
+    def consumer(ctx):
+        total = 0
+        for _ in range(n):
+            yield from full.wait(ctx)
+            yield from mutex.acquire(ctx)
+            total += yield from ctx.call(consume_data, name="consumeData")
+            mutex.release(ctx)
+            empty.signal(ctx)
+            yield
+        return total
+
+    machine.spawn(producer)
+    machine.spawn(consumer)
+    return machine
+
+
+def stream_reader(
+    n: int,
+    machine: Optional[Machine] = None,
+    data: Optional[Iterator[int]] = None,
+    buffer_size: int = 2,
+) -> Machine:
+    """Build the Figure 3 buffered stream reader performing ``n`` iterations.
+
+    Each iteration fills a ``buffer_size``-cell buffer via the ``read``
+    system call and consumes only ``b[0]``.
+    """
+    if n < 0:
+        raise ValueError("iteration count must be >= 0")
+    if machine is None:
+        machine = Machine()
+    device = StreamDevice(data=data, seed=7)
+    fd = machine.kernel.open(device)
+    buf = machine.memory.alloc(buffer_size, "b")
+
+    def consume_data(ctx, value):
+        ctx.compute(2)
+        return value
+        yield  # pragma: no cover
+
+    def stream_reader_main(ctx):
+        checksum = 0
+        for _ in range(n):
+            filled = ctx.sys_read(fd, buf, buffer_size)
+            if filled == 0:
+                break
+            value = ctx.read(buf)  # read and process b[0] only
+            checksum += yield from ctx.call(
+                consume_data, value, name="consumeData"
+            )
+            yield
+        return checksum
+
+    machine.spawn(stream_reader_main, name="streamReader")
+    return machine
+
+
+def pipeline_chain(
+    n_items: int, stages: int = 3, machine: Optional[Machine] = None
+) -> Machine:
+    """A generalisation of the producer-consumer pattern: ``stages``
+    threads connected by single-slot mailboxes, each stage transforming
+    every item before passing it on.  Every inter-stage hop is thread
+    input, so drms grows with ``n_items`` at every stage — a stress
+    workload for the thread-input metrics and the helgrind tool.
+    """
+    if stages < 2:
+        raise ValueError("a pipeline needs at least 2 stages")
+    if machine is None:
+        machine = Machine()
+    slots = [machine.memory.alloc(1, f"slot{i}") for i in range(stages - 1)]
+    empties = [Semaphore(1, f"empty{i}") for i in range(stages - 1)]
+    fulls = [Semaphore(0, f"full{i}") for i in range(stages - 1)]
+
+    def source(ctx):
+        for i in range(n_items):
+            yield from empties[0].wait(ctx)
+            ctx.write(slots[0], i)
+            fulls[0].signal(ctx)
+            yield
+
+    def transform(ctx, stage):
+        for _ in range(n_items):
+            yield from fulls[stage - 1].wait(ctx)
+            value = ctx.read(slots[stage - 1])
+            empties[stage - 1].signal(ctx)
+            ctx.compute(2)
+            yield from empties[stage].wait(ctx)
+            ctx.write(slots[stage], value + 1)
+            fulls[stage].signal(ctx)
+            yield
+
+    def sink(ctx):
+        total = 0
+        for _ in range(n_items):
+            yield from fulls[-1].wait(ctx)
+            total += ctx.read(slots[-1])
+            empties[-1].signal(ctx)
+            ctx.compute(1)
+            yield
+        return total
+
+    machine.spawn(source, name="stage0_source")
+    for stage in range(1, stages - 1):
+        machine.spawn(transform, stage, name=f"stage{stage}_transform")
+    machine.spawn(sink, name=f"stage{stages - 1}_sink")
+    return machine

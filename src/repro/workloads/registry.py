@@ -1,0 +1,127 @@
+"""Workload registry: name → factory, with suite tags.
+
+The experiment harness iterates benchmarks by suite exactly as the
+paper's evaluation does: ``parsec`` (PARSEC 2.1 on simlarge-like
+inputs), ``specomp`` (SPEC OMP2012 on train-like inputs), plus the
+standalone ``mysqlslap`` application and the case-study/micro workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.vm import Machine
+from repro.workloads.mysql import mysqlslap, select_sweep
+from repro.workloads.parsec import PARSEC_BENCHMARKS
+from repro.workloads.patterns import producer_consumer, stream_reader
+from repro.workloads.sorting import selection_sort_sweep
+from repro.workloads.specomp import SPECOMP_BENCHMARKS
+from repro.workloads.vips import im_generate_sweep, wbuffer_workload
+
+__all__ = ["Workload", "REGISTRY", "get_workload", "suite", "SUITES"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, suite-tagged benchmark factory.
+
+    ``build(threads, scale)`` returns a ready-to-run
+    :class:`~repro.vm.machine.Machine`; not every workload is
+    thread-count-parametric (the case studies fix their own threading),
+    in which case ``threads`` is ignored.
+    """
+
+    name: str
+    suite: str
+    build: Callable[..., Machine]
+    threads_parametric: bool = True
+
+
+def _fixed(build: Callable[[], Machine]) -> Callable[..., Machine]:
+    def wrapper(threads: int = 4, scale: int = 1) -> Machine:
+        return build()
+
+    return wrapper
+
+
+REGISTRY: Dict[str, Workload] = {}
+
+
+def _register(workload: Workload) -> None:
+    if workload.name in REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    REGISTRY[workload.name] = workload
+
+
+for _name, _build in PARSEC_BENCHMARKS.items():
+    _register(Workload(_name, "parsec", _build))
+
+for _name, _build in SPECOMP_BENCHMARKS.items():
+    # smithwa exists only in SPEC OMP; no name clashes with PARSEC
+    _register(Workload(_name, "specomp", _build))
+
+_register(
+    Workload(
+        "mysqlslap",
+        "apps",
+        lambda threads=4, scale=1: mysqlslap(
+            clients=max(2, threads), queries_per_client=6 * scale
+        ),
+    )
+)
+_register(
+    Workload("mysql_select", "case-studies", _fixed(select_sweep), False)
+)
+_register(
+    Workload("vips_im_generate", "case-studies", _fixed(im_generate_sweep), False)
+)
+_register(
+    Workload(
+        "vips_wbuffer",
+        "case-studies",
+        lambda threads=4, scale=1: wbuffer_workload(calls=28 * scale),
+        False,
+    )
+)
+_register(
+    Workload(
+        "producer_consumer",
+        "micro",
+        lambda threads=4, scale=1: producer_consumer(20 * scale),
+        False,
+    )
+)
+_register(
+    Workload(
+        "stream_reader",
+        "micro",
+        lambda threads=4, scale=1: stream_reader(20 * scale),
+        False,
+    )
+)
+_register(
+    Workload(
+        "selection_sort", "micro", _fixed(selection_sort_sweep), False
+    )
+)
+
+SUITES = ("parsec", "specomp", "apps", "case-studies", "micro")
+
+
+def get_workload(name: str) -> Workload:
+    if name not in REGISTRY:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[name]
+
+
+def suite(tag: str) -> List[Workload]:
+    """All workloads of one suite, name-ordered."""
+    if tag not in SUITES:
+        raise KeyError(f"unknown suite {tag!r}; known: {SUITES}")
+    return sorted(
+        (w for w in REGISTRY.values() if w.suite == tag),
+        key=lambda w: w.name,
+    )

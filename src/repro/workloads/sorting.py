@@ -1,0 +1,191 @@
+"""Algorithmic workloads: sorting and searching routines.
+
+Figure 10 of the paper profiles ``selection_sort`` to argue that counting
+executed basic blocks yields the same trend as wall-clock time with far
+less variance.  These workloads also exercise the classic
+input-sensitive-profiling case (static workloads, rms == drms) and feed
+the cost-function fitting tests: selection sort must classify as
+O(n^2), merge sort as O(n log n), binary search as O(log n), and so on.
+
+Every driver runs a *sweep*: one VM program that calls the routine on
+arrays of several sizes, so a single profile contains one performance
+point per size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.vm import Machine
+
+__all__ = [
+    "selection_sort_sweep",
+    "insertion_sort_sweep",
+    "merge_sort_sweep",
+    "binary_search_sweep",
+    "DEFAULT_SIZES",
+]
+
+DEFAULT_SIZES = (4, 8, 12, 16, 24, 32, 48, 64)
+
+
+def _fill_random(ctx, base, n, seed):
+    """Write n pseudo-random values; the *caller* initialises the array so
+    the sort's first access to every cell is a read (input, not output)."""
+    rng = random.Random(seed)
+    for i in range(n):
+        ctx.write(base + i, rng.randint(0, 10 * n + 1))
+    return None
+    yield  # pragma: no cover
+
+
+def selection_sort(ctx, base, n):
+    """Textbook selection sort over ``memory[base .. base+n)``."""
+    for i in range(n - 1):
+        min_index = i
+        min_value = ctx.read(base + i)
+        for j in range(i + 1, n):
+            candidate = ctx.read(base + j)
+            ctx.compute(1)  # the comparison
+            if candidate < min_value:
+                min_index = j
+                min_value = candidate
+        if min_index != i:
+            tmp = ctx.read(base + i)
+            ctx.write(base + i, min_value)
+            ctx.write(base + min_index, tmp)
+    return None
+    yield  # pragma: no cover
+
+
+def insertion_sort(ctx, base, n):
+    for i in range(1, n):
+        key = ctx.read(base + i)
+        j = i - 1
+        while j >= 0:
+            current = ctx.read(base + j)
+            ctx.compute(1)
+            if current <= key:
+                break
+            ctx.write(base + j + 1, current)
+            j -= 1
+        ctx.write(base + j + 1, key)
+    return None
+    yield  # pragma: no cover
+
+
+def merge_sort(ctx, base, n, scratch):
+    """Bottom-up merge sort using a scratch region of the same size."""
+    width = 1
+    src, dst = base, scratch
+    while width < n:
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            i, j, k = lo, mid, lo
+            while i < mid and j < hi:
+                left = ctx.read(src + i)
+                right = ctx.read(src + j)
+                ctx.compute(1)
+                if left <= right:
+                    ctx.write(dst + k, left)
+                    i += 1
+                else:
+                    ctx.write(dst + k, right)
+                    j += 1
+                k += 1
+            while i < mid:
+                ctx.write(dst + k, ctx.read(src + i))
+                i += 1
+                k += 1
+            while j < hi:
+                ctx.write(dst + k, ctx.read(src + j))
+                j += 1
+                k += 1
+        src, dst = dst, src
+        width *= 2
+    if src != base:
+        for i in range(n):
+            ctx.write(base + i, ctx.read(src + i))
+    return None
+    yield  # pragma: no cover
+
+
+def binary_search(ctx, base, n, needle):
+    lo, hi = 0, n - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        value = ctx.read(base + mid)
+        ctx.compute(1)
+        if value == needle:
+            return mid
+        if value < needle:
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return -1
+    yield  # pragma: no cover
+
+
+def _sweep_machine(routine, sizes, name, needs_scratch=False, sorted_input=False):
+    machine = Machine()
+    sizes = tuple(sizes)
+
+    def main(ctx):
+        for index, n in enumerate(sizes):
+            base = ctx.alloc(n, f"arr{n}")
+            if sorted_input:
+                for i in range(n):
+                    ctx.write(base + i, 2 * i)
+            else:
+                yield from ctx.call(_fill_random, base, n, index, name="fill")
+            if needs_scratch:
+                scratch = ctx.alloc(n, f"scratch{n}")
+                yield from ctx.call(routine, base, n, scratch, name=name)
+            else:
+                yield from ctx.call(routine, base, n, name=name)
+            yield
+
+    machine.spawn(main)
+    return machine
+
+
+def selection_sort_sweep(sizes: Sequence[int] = DEFAULT_SIZES) -> Machine:
+    """The Figure 10 workload: selection sort on increasing array sizes."""
+    return _sweep_machine(selection_sort, sizes, "selection_sort")
+
+
+def insertion_sort_sweep(sizes: Sequence[int] = DEFAULT_SIZES) -> Machine:
+    return _sweep_machine(insertion_sort, sizes, "insertion_sort")
+
+
+def merge_sort_sweep(sizes: Sequence[int] = DEFAULT_SIZES) -> Machine:
+    return _sweep_machine(merge_sort, sizes, "merge_sort", needs_scratch=True)
+
+
+def binary_search_sweep(
+    sizes: Sequence[int] = (16, 64, 256, 1024, 4096),
+    needle: Optional[int] = None,
+) -> Machine:
+    """Binary search over pre-sorted arrays (expected O(log n) profile).
+
+    The search misses by default (needle absent), forcing a full
+    log-depth probe sequence at every size.
+    """
+    machine = Machine()
+    sizes = tuple(sizes)
+
+    def main(ctx):
+        for n in sizes:
+            base = ctx.alloc(n, f"arr{n}")
+            for i in range(n):
+                ctx.write(base + i, 2 * i)
+            target = needle if needle is not None else 2 * n + 1
+            yield from ctx.call(
+                binary_search, base, n, target, name="binary_search"
+            )
+            yield
+
+    machine.spawn(main)
+    return machine

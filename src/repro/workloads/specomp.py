@@ -1,0 +1,189 @@
+"""Synthetic SPEC OMP2012 suite.
+
+SPEC OMP2012 collects fourteen OpenMP applications from different
+science domains; the paper runs them on the *train* workloads.  OpenMP
+codes share one structure — fork-join parallel regions over shared
+arrays written by the master (or the previous region) — which is why
+the paper finds them "naturally clustered" with thread input above 69%
+in Figure 15.  Each model below is a :func:`fork_join_kernel`
+configuration (plus a wavefront for Smith-Waterman and a tree search
+for kdtree), with per-benchmark parameters varying the round count,
+chunk size, arithmetic intensity and the (small) amount of file input.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+from repro.vm import Barrier, Machine
+from repro.workloads.kernels import fork_join_kernel, wavefront_kernel
+
+__all__ = ["SPECOMP_BENCHMARKS", "build_specomp"]
+
+
+def _fork_join_benchmark(
+    name: str,
+    rounds: int,
+    chunk_size: int,
+    compute_blocks: int,
+    io_cells: int = 0,
+):
+    def build(threads: int = 4, scale: int = 1) -> Machine:
+        machine = Machine()
+        fork_join_kernel(
+            machine,
+            name,
+            workers=threads,
+            rounds=rounds * scale,
+            chunk_size=chunk_size,
+            compute_blocks=compute_blocks,
+            io_cells=io_cells,
+            seed=hash(name) % 1000,
+        )
+        return machine
+
+    build.__name__ = name
+    return build
+
+
+def smithwa(threads: int = 4, scale: int = 1) -> Machine:
+    """Smith-Waterman sequence alignment: anti-diagonal wavefront."""
+    machine = Machine()
+    wavefront_kernel(
+        machine,
+        "smithwa",
+        workers=threads,
+        size=8 * (1 + scale),
+        passes=2 + scale,
+        compute_blocks=2,
+    )
+    return machine
+
+
+def kdtree(threads: int = 4, scale: int = 1) -> Machine:
+    """k-d tree build + parallel query rounds.
+
+    Each round the master (re)builds a binary tree in a shared array and
+    worker threads descend it for pseudo-random queries, recording their
+    results in a shared result table that the master then aggregates.
+    Worker node visits of freshly rebuilt nodes and the master's sweep
+    over worker-written results are thread-induced first-reads — the
+    high thread-input profile Figure 14 shows for kdtree.
+    """
+    machine = Machine()
+    depth = 6 + scale
+    nodes = (1 << depth) - 1
+    rounds = 2 + scale
+    queries = 6 * scale
+    tree = machine.memory.alloc(nodes, "kdtree_nodes")
+    results = machine.memory.alloc(threads, "kdtree_results")
+    for wid in range(threads):
+        machine.memory.store(results + wid, 0)
+    round_barrier = Barrier(threads + 1, "kdtree_round")
+
+    def build_tree(ctx, salt):
+        for i in range(nodes):
+            ctx.write(tree + i, (i * 2654435761 + salt * 97) % 10_000)
+        return nodes
+        yield  # pragma: no cover
+
+    def search(ctx, key):
+        index = 0
+        visited = 0
+        while index < nodes:
+            value = ctx.read(tree + index)
+            ctx.compute(1)
+            visited += 1
+            if value == key:
+                break
+            index = 2 * index + (1 if key > value else 2)
+        return visited
+        yield  # pragma: no cover
+
+    def collect_results(ctx):
+        total = 0
+        for wid in range(threads):
+            total += ctx.read(results + wid)
+            ctx.compute(1)
+        return total
+        yield  # pragma: no cover
+
+    def master(ctx):
+        total = 0
+        for r in range(rounds):
+            yield from ctx.call(build_tree, r, name="kdtree_build")
+            yield from round_barrier.wait(ctx)  # release the queriers
+            yield from round_barrier.wait(ctx)  # wait for their results
+            total += yield from ctx.call(collect_results, name="kdtree_collect")
+        return total
+
+    def query_worker(ctx, wid):
+        rng = random.Random(wid)
+        for _r in range(rounds):
+            yield from round_barrier.wait(ctx)
+            hits = 0
+            for _q in range(queries):
+                hits += yield from ctx.call(
+                    search, rng.randint(0, 10_000), name="kdtree_search"
+                )
+                yield
+            ctx.write(results + wid, hits)
+            yield from round_barrier.wait(ctx)
+        return None
+
+    machine.spawn(master, name="kdtree_master")
+    for wid in range(threads):
+        machine.spawn(query_worker, wid, name=f"kdtree_query{wid}")
+    return machine
+
+
+#: the fourteen SPEC OMP2012 applications
+SPECOMP_BENCHMARKS: Dict[str, Callable[..., Machine]] = {
+    "md": _fork_join_benchmark("md", rounds=4, chunk_size=18, compute_blocks=5),
+    "bwaves": _fork_join_benchmark(
+        "bwaves", rounds=3, chunk_size=24, compute_blocks=4
+    ),
+    "nab": _fork_join_benchmark(
+        "nab", rounds=4, chunk_size=20, compute_blocks=6, io_cells=2
+    ),
+    "bt331": _fork_join_benchmark(
+        "bt331", rounds=3, chunk_size=22, compute_blocks=4
+    ),
+    "botsalgn": _fork_join_benchmark(
+        "botsalgn", rounds=4, chunk_size=14, compute_blocks=3, io_cells=3
+    ),
+    "botsspar": _fork_join_benchmark(
+        "botsspar", rounds=3, chunk_size=16, compute_blocks=3
+    ),
+    "ilbdc": _fork_join_benchmark(
+        "ilbdc", rounds=4, chunk_size=26, compute_blocks=2
+    ),
+    "fma3d": _fork_join_benchmark(
+        "fma3d", rounds=3, chunk_size=20, compute_blocks=4, io_cells=2
+    ),
+    "swim": _fork_join_benchmark(
+        "swim", rounds=4, chunk_size=28, compute_blocks=2
+    ),
+    "imagick": _fork_join_benchmark(
+        "imagick", rounds=3, chunk_size=24, compute_blocks=5, io_cells=4
+    ),
+    "mgrid331": _fork_join_benchmark(
+        "mgrid331", rounds=4, chunk_size=20, compute_blocks=3
+    ),
+    "applu331": _fork_join_benchmark(
+        "applu331", rounds=3, chunk_size=22, compute_blocks=4
+    ),
+    "smithwa": smithwa,
+    "kdtree": kdtree,
+}
+
+
+def build_specomp(name: str, threads: int = 4, scale: int = 1) -> Machine:
+    """Instantiate a SPEC OMP2012 benchmark by name."""
+    if name not in SPECOMP_BENCHMARKS:
+        raise KeyError(
+            f"unknown SPEC OMP2012 benchmark {name!r}; "
+            f"known: {sorted(SPECOMP_BENCHMARKS)}"
+        )
+    return SPECOMP_BENCHMARKS[name](threads=threads, scale=scale)

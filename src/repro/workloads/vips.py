@@ -1,0 +1,236 @@
+"""Synthetic vips: the Figure 5 and Figure 6 case studies.
+
+vips is a data-parallel image processing library; the PARSEC 2.1
+benchmark runs its threaded pipeline on large images.  Two of its
+routines star in the paper:
+
+* ``im_generate`` (Figure 5) — the region evaluation driver.  Worker
+  threads compute pixel tiles into a shared region buffer that the
+  driver consumes tile after tile.  The buffer is reused, so the rms of
+  an ``im_generate`` activation is capped near the buffer size; the drms
+  counts every worker-produced pixel (thread input) and grows with the
+  image.  As with MySQL, the rms cost plot fakes a superlinear trend.
+
+* ``wbuffer_write_thread`` (Figure 6) — the background write-behind
+  thread.  Each call drains an accumulation region filled by worker
+  threads (thread input, different size every call), consults a journal
+  refilled from disk (external input, sizes drawn from a small set), and
+  writes the result out.  The paper observes 110 calls collapsing onto
+  just 2 distinct rms values, while drms with external input only yields
+  an intermediate number of points and full drms gives all 110 — the
+  same 2 / intermediate / all-distinct structure these parameters
+  reproduce at reduced scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.vm import FileDevice, Machine, Semaphore, SinkDevice
+
+__all__ = ["im_generate_sweep", "wbuffer_workload", "vips_pipeline"]
+
+
+def im_generate_sweep(
+    tile_counts: Sequence[int] = (4, 8, 16, 32, 64),
+    tile_size: int = 16,
+    workers: int = 2,
+    machine: Optional[Machine] = None,
+) -> Machine:
+    """Figure 5 experiment: ``im_generate`` on images of growing size.
+
+    One image per entry of ``tile_counts``; each image is processed tile
+    by tile by ``workers`` threads writing into a shared region buffer.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    if machine is None:
+        machine = Machine()
+    region = machine.memory.alloc(tile_size, "region_buffer")
+    # image descriptors: a log-sized header chain read per image, the
+    # slowly-growing rms component
+    descriptors = machine.memory.alloc(64, "im_descriptors")
+    for i in range(64):
+        machine.memory.store(descriptors + i, i * 3)
+
+    def tile_worker(ctx, tiles, lane, work_sem, done_sem):
+        for t in range(tiles):
+            yield from work_sem.wait(ctx)
+            for i in range(lane, tile_size, workers):
+                ctx.compute(3)  # evaluate the pixel
+                ctx.write(region + i, (t * tile_size + i) % 251)
+            done_sem.signal(ctx)
+            yield
+
+    def im_generate(ctx, tiles, work_sems, done_sems, out_base):
+        depth = max(1, int(math.log2(tiles + 1)) * 2)
+        for level in range(depth):
+            ctx.read(descriptors + level)
+            ctx.compute(1)
+        for t in range(tiles):
+            for sem in work_sems:
+                sem.signal(ctx)
+            for sem in done_sems:
+                yield from sem.wait(ctx)
+            acc = 0
+            for i in range(tile_size):
+                acc += ctx.read(region + i)
+                ctx.compute(1)
+            ctx.write(out_base + t, acc)
+            yield
+        return None
+
+    def main(ctx):
+        for image_index, tiles in enumerate(tile_counts):
+            work_sems = [Semaphore(0, f"work{image_index}.{w}") for w in range(workers)]
+            done_sems = [Semaphore(0, f"done{image_index}.{w}") for w in range(workers)]
+            handles = [
+                ctx.spawn(
+                    tile_worker,
+                    tiles,
+                    lane,
+                    work_sems[lane],
+                    done_sems[lane],
+                    name=f"tile_worker_{image_index}_{lane}",
+                )
+                for lane in range(workers)
+            ]
+            out_base = ctx.alloc(tiles, f"image{image_index}")
+            yield from ctx.call(
+                im_generate, tiles, work_sems, done_sems, out_base,
+                name="im_generate",
+            )
+            for handle in handles:
+                yield from ctx.join(handle)
+            yield
+
+    machine.spawn(main, name="vips_main")
+    return machine
+
+
+def wbuffer_workload(
+    calls: int = 110,
+    header_size: int = 65,
+    journal_size: int = 2,
+    journal_rounds_mod: int = 25,
+    staging_size: int = 6,
+    staging_rounds_base: int = 3,
+    staging_rounds_step: int = 9,
+    machine: Optional[Machine] = None,
+) -> Machine:
+    """Figure 6 experiment: the write-behind thread.
+
+    Call ``i`` of ``wbuffer_write_thread`` works over *reused,
+    fixed-size* buffers — so its rms is (almost) constant — but the
+    buffers are *refilled* a call-dependent number of times:
+
+    * it reads a fixed header: ``header_size`` cells, plus 2 more for a
+      subset of calls — exactly **2 distinct rms classes**;
+    * it processes ``1 + i % journal_rounds_mod`` rounds of a
+      ``journal_size``-cell journal buffer, refilled from disk between
+      rounds — **external input** with ``journal_rounds_mod`` distinct
+      per-call volumes;
+    * it drains ``staging_rounds_base + i * staging_rounds_step``
+      rounds of a ``staging_size``-cell staging buffer refilled by the
+      producer thread between rounds — **thread input**, strictly
+      increasing with ``i`` in steps that exceed the header + journal
+      spread, so the full drms of every call is distinct;
+    * it pushes each drained staging round back out through ``write(2)``.
+
+    The resulting profile reproduces Figure 6's structure: the rms
+    collapses all calls onto 2 points, drms with external input only
+    yields an intermediate number of points (up to
+    ``2 * journal_rounds_mod``), and the full drms yields one point per
+    call.
+    """
+    if calls < 1:
+        raise ValueError("need at least one call")
+    journal_spread = journal_size * (journal_rounds_mod - 1)
+    if staging_size * staging_rounds_step <= journal_spread + 3:
+        raise ValueError(
+            "staging step must exceed the journal+header spread to keep "
+            "all full-drms values distinct"
+        )
+    if machine is None:
+        machine = Machine()
+
+    header = machine.memory.alloc(header_size + 3, "wbuffer_header")
+    for i in range(header_size + 3):
+        machine.memory.store(header + i, i)
+    staging = machine.memory.alloc(staging_size, "staging_buffer")
+    journal_buf = machine.memory.alloc(journal_size, "journal")
+    journal_fd = machine.kernel.open(FileDevice(list(range(100_000))))
+    disk_out = SinkDevice()
+    out_fd = machine.kernel.open(disk_out)
+
+    need_data = Semaphore(0, "staging_need")
+    have_data = Semaphore(0, "staging_have")
+    total_rounds = sum(
+        staging_rounds_base + i * staging_rounds_step for i in range(calls)
+    )
+
+    def staging_producer(ctx):
+        for round_index in range(total_rounds):
+            yield from need_data.wait(ctx)
+            for cell in range(staging_size):
+                ctx.write(staging + cell, (round_index * 31 + cell) % 199)
+            have_data.signal(ctx)
+            yield
+
+    def wbuffer_write_thread(ctx, i):
+        # header scan: 2 distinct rms classes over all calls (the extra
+        # is odd so header classes never alias under even-sized journal
+        # volumes)
+        extra = 3 if (i * 7) % calls < int(calls * 0.41) else 0
+        for cell in range(header_size + extra):
+            ctx.read(header + cell)
+        # journal rounds: external input, few distinct per-call volumes
+        journal_rounds = 1 + i % journal_rounds_mod
+        for r in range(journal_rounds):
+            got = ctx.sys_pread64(
+                journal_fd,
+                journal_buf,
+                journal_size,
+                offset=(i * journal_rounds_mod + r) * journal_size,
+            )
+            for cell in range(got):
+                ctx.read(journal_buf + cell)
+                ctx.compute(1)
+        # staging rounds: thread input, strictly increasing with i
+        staging_rounds = staging_rounds_base + i * staging_rounds_step
+        checksum = 0
+        for _ in range(staging_rounds):
+            need_data.signal(ctx)
+            yield from have_data.wait(ctx)
+            for cell in range(staging_size):
+                checksum += ctx.read(staging + cell)
+        # write behind: one flush per call
+        ctx.sys_write(out_fd, staging, staging_size)
+        return checksum
+
+    def write_loop(ctx):
+        for i in range(calls):
+            yield from ctx.call(
+                wbuffer_write_thread, i, name="wbuffer_write_thread"
+            )
+            yield
+
+    machine.spawn(staging_producer)
+    machine.spawn(write_loop)
+    return machine
+
+
+def vips_pipeline(
+    tile_counts: Sequence[int] = (4, 8, 16),
+    wbuffer_calls: int = 20,
+    machine: Optional[Machine] = None,
+) -> Machine:
+    """The combined vips benchmark used by the suite-level experiments
+    (Figures 11-15): region evaluation plus the write-behind thread.
+    Thread input dominates, as in the paper's Figure 13(b)."""
+    if machine is None:
+        machine = Machine()
+    im_generate_sweep(tile_counts=tile_counts, machine=machine)
+    wbuffer_workload(calls=wbuffer_calls, machine=machine)
+    return machine

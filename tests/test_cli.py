@@ -1,0 +1,151 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_suites(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for tag in ("parsec:", "specomp:", "apps:", "micro:"):
+            assert tag in out
+        assert "dedup" in out
+        assert "mysqlslap" in out
+
+
+class TestProfile:
+    def test_profile_default_metric(self, capsys):
+        assert main(["profile", "producer_consumer"]) == 0
+        out = capsys.readouterr().out
+        assert "metric = drms" in out
+        assert "consumer" in out
+
+    def test_profile_rms_metric(self, capsys):
+        assert main(["profile", "producer_consumer", "--metric", "rms"]) == 0
+        assert "metric = rms" in capsys.readouterr().out
+
+    def test_profile_single_routine_with_points(self, capsys):
+        assert (
+            main(
+                [
+                    "profile",
+                    "mysql_select",
+                    "--routine",
+                    "mysql_select",
+                    "--points",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mysql_select" in out
+        assert "worst-case cost" in out
+        assert "fit=O(n)" in out
+
+    def test_profile_unknown_routine_fails(self, capsys):
+        assert (
+            main(["profile", "producer_consumer", "--routine", "nope"]) == 1
+        )
+        assert "no profile" in capsys.readouterr().err
+
+    def test_profile_unknown_workload_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "not_a_workload"])
+
+
+class TestCharacterize:
+    def test_characterize_output(self, capsys):
+        assert main(["characterize", "dedup"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic input volume" in out
+        assert "induced first-reads" in out
+        assert "thread" in out
+
+
+class TestOverhead:
+    def test_overhead_on_one_benchmark(self, capsys):
+        assert (
+            main(
+                [
+                    "overhead",
+                    "--suite",
+                    "specomp",
+                    "--benchmarks",
+                    "md",
+                    "--repeats",
+                    "1",
+                    "--scale",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for tool in (
+            "nulgrind",
+            "memcheck",
+            "callgrind",
+            "helgrind",
+            "aprof",
+            "aprof-drms",
+        ):
+            assert tool in out
+
+
+class TestTrace:
+    def test_trace_dump(self, capsys):
+        assert main(["trace", "stream_reader", "--limit", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "call(" in out
+        assert "kernelToUser(" in out
+        assert "more events" in out
+
+
+class TestCommunicate:
+    def test_communicate_output(self, capsys):
+        assert main(["communicate", "dedup"]) == 0
+        out = capsys.readouterr().out
+        assert "communicated cells" in out
+        assert "producer" in out
+        assert "<kernel>" in out
+
+    def test_no_kernel_flag(self, capsys):
+        assert main(["communicate", "stream_reader", "--no-kernel"]) == 0
+        out = capsys.readouterr().out
+        assert "<kernel>" not in out
+
+
+class TestDiagnose:
+    def test_rms_flags_wbuffer(self, capsys):
+        assert main(["diagnose", "vips_wbuffer", "--metric", "rms"]) == 0
+        out = capsys.readouterr().out
+        assert "suspicious cost variance" in out
+        assert "wbuffer_write_thread" in out
+
+    def test_drms_is_clean(self, capsys):
+        assert main(["diagnose", "vips_wbuffer", "--metric", "drms"]) == 0
+        assert "no suspicious" in capsys.readouterr().out
+
+
+class TestSaveOptions:
+    def test_profile_json(self, tmp_path, capsys):
+        target = tmp_path / "profile.json"
+        assert (
+            main(["profile", "stream_reader", "--json", str(target)]) == 0
+        )
+        from repro.core.serialize import loads_report
+
+        report = loads_report(target.read_text())
+        assert "streamReader" in report.by_routine()
+
+    def test_trace_save_roundtrip(self, tmp_path):
+        target = tmp_path / "trace.txt"
+        assert main(["trace", "stream_reader", "--save", str(target)]) == 0
+        from repro.core.tracefile import load_trace
+
+        with open(target) as handle:
+            events = load_trace(handle)
+        assert len(events) > 50

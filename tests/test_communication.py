@@ -1,0 +1,177 @@
+"""Tests for the routine-granularity communication analyzer
+(the paper's Section 6 future-work tool)."""
+
+import pytest
+
+from repro.analysis.communication import (
+    KERNEL_PRODUCER,
+    OUTSIDE,
+    analyze_communication,
+)
+from repro.core import profile_events
+from repro.core.events import Call, KernelToUser, Read, Return, Write
+from repro.core.tracing import with_switches
+from repro.workloads.patterns import pipeline_chain, producer_consumer
+
+
+def trace(*events):
+    return with_switches(list(events))
+
+
+class TestBasicAttribution:
+    def test_producer_consumer_edge(self):
+        analyzer = analyze_communication(
+            trace(
+                Call(1, "produce"),
+                Write(1, 100),
+                Return(1),
+                Call(2, "consume"),
+                Read(2, 100),
+                Return(2),
+            )
+        )
+        assert analyzer.routine_matrix() == {("produce", "consume"): 1}
+        assert analyzer.thread_matrix() == {(1, 2): 1}
+
+    def test_own_values_are_not_communication(self):
+        analyzer = analyze_communication(
+            trace(Call(1, "f"), Write(1, 100), Read(1, 100), Return(1))
+        )
+        assert analyzer.total_cells() == 0
+
+    def test_repeated_reads_count_once_per_production(self):
+        analyzer = analyze_communication(
+            trace(
+                Call(1, "p"),
+                Write(1, 100),
+                Call(2, "c"),
+                Read(2, 100),
+                Read(2, 100),  # same value again: no new communication
+                Return(2),
+                Return(1),
+            )
+        )
+        assert analyzer.total_cells() == 1
+
+    def test_reproduction_after_rewrite_counts_again(self):
+        analyzer = analyze_communication(
+            trace(
+                Call(1, "p"),
+                Call(2, "c"),
+                Write(1, 100),
+                Read(2, 100),
+                Write(1, 100),
+                Read(2, 100),
+                Return(2),
+                Return(1),
+            )
+        )
+        assert analyzer.routine_matrix() == {("p", "c"): 2}
+
+    def test_kernel_production(self):
+        analyzer = analyze_communication(
+            trace(Call(1, "reader"), KernelToUser(1, 50), Read(1, 50), Return(1))
+        )
+        assert analyzer.routine_matrix() == {(KERNEL_PRODUCER, "reader"): 1}
+
+    def test_kernel_excluded_when_disabled(self):
+        analyzer = analyze_communication(
+            trace(Call(1, "reader"), KernelToUser(1, 50), Read(1, 50), Return(1)),
+            include_kernel=False,
+        )
+        assert analyzer.total_cells() == 0
+
+    def test_accesses_outside_routines(self):
+        analyzer = analyze_communication(
+            trace(Write(1, 5), Read(2, 5))
+        )
+        assert analyzer.routine_matrix() == {(OUTSIDE, OUTSIDE): 1}
+
+    def test_attribution_uses_the_topmost_routine(self):
+        analyzer = analyze_communication(
+            trace(
+                Call(1, "outer_p"),
+                Call(1, "inner_p"),
+                Write(1, 9),
+                Return(1),
+                Return(1),
+                Call(2, "outer_c"),
+                Call(2, "inner_c"),
+                Read(2, 9),
+                Return(2),
+                Return(2),
+            )
+        )
+        assert analyzer.routine_matrix() == {("inner_p", "inner_c"): 1}
+
+
+class TestViews:
+    def build(self):
+        return analyze_communication(
+            trace(
+                Call(1, "p1"),
+                Write(1, 1),
+                Write(1, 2),
+                Return(1),
+                Call(2, "c1"),
+                Read(2, 1),
+                Return(2),
+                Call(3, "c2"),
+                Read(3, 1),
+                Read(3, 2),
+                Return(3),
+            )
+        )
+
+    def test_edges_sorted_heaviest_first(self):
+        edges = self.build().edges()
+        assert edges[0].cells >= edges[-1].cells
+        assert {(e.producer, e.consumer) for e in edges} == {
+            ("p1", "c1"),
+            ("p1", "c2"),
+        }
+
+    def test_min_cells_filter(self):
+        edges = self.build().edges(min_cells=2)
+        assert [(e.producer, e.consumer) for e in edges] == [("p1", "c2")]
+
+    def test_fan_out_and_in(self):
+        analyzer = self.build()
+        assert analyzer.fan_out() == {"p1": 2}
+        assert analyzer.fan_in() == {"c1": 1, "c2": 1}
+
+
+class TestConsistencyWithDrms:
+    @pytest.mark.parametrize("n", [5, 17])
+    def test_total_cells_equals_thread_induced_reads(self, n):
+        """Every communication cell is exactly one thread-induced
+        first-read of the drms algorithm — the two analyses must agree
+        on the total (the analyzer reuses the same discipline)."""
+        machine = producer_consumer(n)
+        machine.run()
+        analyzer = analyze_communication(machine.trace, include_kernel=False)
+        report = profile_events(machine.trace)
+        thread_induced_total, _ = report.total_induced()
+        assert analyzer.total_cells() == thread_induced_total
+
+    def test_pipeline_communication_structure(self):
+        machine = pipeline_chain(n_items=10, stages=4)
+        machine.run()
+        analyzer = analyze_communication(machine.trace, include_kernel=False)
+        matrix = analyzer.routine_matrix()
+        # the chain topology is visible at routine granularity
+        assert matrix[("stage0_source", "stage1_transform")] == 10
+        assert matrix[("stage1_transform", "stage2_transform")] == 10
+        assert matrix[("stage2_transform", "stage3_sink")] == 10
+        # and nothing flows backwards
+        assert ("stage2_transform", "stage1_transform") not in matrix
+
+    def test_limited_interaction_observation(self):
+        """The [12] observation our tool is meant to support: compute-
+        bound benchmarks communicate through very few routine pairs."""
+        from repro.workloads.parsec import swaptions
+
+        machine = swaptions(threads=4)
+        machine.run()
+        analyzer = analyze_communication(machine.trace, include_kernel=False)
+        assert len(analyzer.routine_matrix()) <= 4

@@ -1,0 +1,130 @@
+"""Tests for empirical cost-function fitting."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.costfunc import (
+    MODELS,
+    best_fit,
+    classify_trend,
+    fit_model,
+    powerlaw_exponent,
+)
+
+
+def synth(shape, sizes=(4, 8, 16, 32, 64, 128, 256), a=7.0, b=3.0):
+    return [(n, a + b * shape(n)) for n in sizes]
+
+
+class TestFitModel:
+    def test_perfect_linear_fit(self):
+        points = synth(lambda n: n)
+        model = next(m for m in MODELS if m.name == "O(n)")
+        fit = fit_model(points, model)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(7.0)
+
+    def test_constant_model(self):
+        points = [(n, 42.0) for n in (1, 2, 4, 8)]
+        model = next(m for m in MODELS if m.name == "O(1)")
+        fit = fit_model(points, model)
+        assert fit.intercept == pytest.approx(42.0)
+        assert fit.slope == 0.0
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_decreasing_data_falls_back_to_constant(self):
+        points = [(1, 100.0), (10, 50.0), (100, 10.0)]
+        model = next(m for m in MODELS if m.name == "O(n)")
+        fit = fit_model(points, model)
+        assert fit.slope == 0.0
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            fit_model([(1, 1.0)], MODELS[0])
+
+    def test_predict(self):
+        fit = fit_model(synth(lambda n: n), MODELS[2])
+        assert fit.predict(1000) == pytest.approx(7.0 + 3.0 * 1000)
+
+
+class TestBestFit:
+    @pytest.mark.parametrize(
+        "name,shape",
+        [
+            ("O(1)", lambda n: 0.0),
+            ("O(log n)", lambda n: math.log(n)),
+            ("O(n)", lambda n: n),
+            ("O(n log n)", lambda n: n * math.log(n)),
+            ("O(n^2)", lambda n: n * n),
+            ("O(n^3)", lambda n: n**3),
+        ],
+    )
+    def test_recovers_generating_model(self, name, shape):
+        assert best_fit(synth(shape)).model == name
+
+    def test_parsimony_prefers_linear_over_nlogn_on_linear_data(self):
+        fit = best_fit(synth(lambda n: n))
+        assert fit.model == "O(n)"
+
+    def test_noisy_quadratic(self):
+        import random
+
+        rng = random.Random(0)
+        points = [
+            (n, 5 + 2 * n * n * rng.uniform(0.97, 1.03))
+            for n in (4, 8, 16, 32, 64, 128)
+        ]
+        assert best_fit(points).model == "O(n^2)"
+
+
+class TestPowerlawExponent:
+    def test_linear(self):
+        assert powerlaw_exponent(synth(lambda n: n, a=0.0)) == pytest.approx(
+            1.0
+        )
+
+    def test_quadratic(self):
+        assert powerlaw_exponent(
+            synth(lambda n: n * n, a=0.0)
+        ) == pytest.approx(2.0)
+
+    def test_constant_is_near_zero(self):
+        exponent = powerlaw_exponent([(n, 50.0) for n in (2, 4, 8, 16)])
+        assert abs(exponent) < 0.01
+
+    def test_filters_nonpositive_points(self):
+        points = [(0, 10.0), (-5, 3.0), (2, 4.0), (4, 8.0)]
+        assert powerlaw_exponent(points) == pytest.approx(1.0)
+
+    def test_all_equal_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            powerlaw_exponent([(5, 1.0), (5, 2.0)])
+
+    def test_too_few_usable_points_rejected(self):
+        with pytest.raises(ValueError):
+            powerlaw_exponent([(0, 0.0), (5, 2.0)])
+
+    @given(
+        st.floats(0.5, 3.0),
+        st.floats(0.1, 100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_recovers_arbitrary_exponent(self, exponent, scale):
+        points = [(n, scale * n**exponent) for n in (2, 4, 8, 16, 32, 64)]
+        assert powerlaw_exponent(points) == pytest.approx(exponent, abs=1e-6)
+
+
+class TestClassifyTrend:
+    def test_bundle(self):
+        result = classify_trend(synth(lambda n: n, a=0.0))
+        assert result["model"] == "O(n)"
+        assert result["r_squared"] == pytest.approx(1.0)
+        assert result["exponent"] == pytest.approx(1.0)
+
+    def test_exponent_nan_when_undefined(self):
+        result = classify_trend([(5, 1.0), (5, 2.0), (5, 3.0)])
+        assert math.isnan(result["exponent"])

@@ -1,0 +1,30 @@
+"""Smoke tests: every example script must run to completion and make
+its point (each example carries its own assertions where applicable)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples should narrate their findings"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the paper reproduction ships >= 3 examples"
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

@@ -1,0 +1,121 @@
+"""End-to-end integration: the full stack composed at once.
+
+Runs one workload with every analysis tool attached simultaneously,
+pipes a trace through the persistence layer and back into a different
+metric, and drives the record-once / analyse-many workflow a real user
+of the library would follow.
+"""
+
+import io
+
+from repro.analysis.communication import analyze_communication
+from repro.analysis.metrics import dynamic_input_volume
+from repro.analysis.prediction import predictor_for
+from repro.analysis.variance import suspicion_report
+from repro.core import (
+    EXTERNAL_ONLY_POLICY,
+    FULL_POLICY,
+    RMS_POLICY,
+    profile_events,
+)
+from repro.core.serialize import dumps_report, loads_report
+from repro.core.tracefile import load_trace, save_trace
+from repro.tools import (
+    AprofDrmsTool,
+    AprofTool,
+    Callgrind,
+    Helgrind,
+    Memcheck,
+    Nulgrind,
+)
+from repro.vm import Machine
+from repro.workloads.mysql import mysqlslap
+from repro.workloads.vips import wbuffer_workload
+
+
+class TestAllToolsAtOnce:
+    def test_fanout_sink_feeds_every_tool(self):
+        tools = [
+            Nulgrind(),
+            Memcheck(),
+            Callgrind(),
+            Helgrind(),
+            AprofTool(),
+            AprofDrmsTool(),
+        ]
+
+        def fanout(event):
+            for tool in tools:
+                tool.consume(event)
+
+        machine = mysqlslap(
+            clients=3, queries_per_client=3, machine=Machine(sink=fanout)
+        )
+        machine.run()
+        summaries = {tool.name: tool.finish() for tool in tools}
+        assert summaries["nulgrind"]["events"] > 0
+        assert summaries["memcheck"]["reads"] > 0
+        assert "mysql_select" in summaries["callgrind"]["routines"]
+        # properly synchronised workload: no data races
+        assert summaries["helgrind"]["races"] == []
+        # both profilers saw the same routines
+        assert (
+            summaries["aprof"]["routines"]
+            == summaries["aprof-drms"]["routines"]
+        )
+
+
+class TestRecordOnceAnalyseMany:
+    def test_full_workflow(self):
+        # 1. record
+        machine = wbuffer_workload(calls=15)
+        machine.run()
+        buffer = io.StringIO()
+        save_trace(machine.trace, buffer)
+
+        # 2. reload and profile under all three metrics
+        buffer.seek(0)
+        events = load_trace(buffer)
+        reports = {
+            policy.label(): profile_events(events, policy=policy)
+            for policy in (RMS_POLICY, EXTERNAL_ONLY_POLICY, FULL_POLICY)
+        }
+        counts = {
+            label: report.distinct_sizes("wbuffer_write_thread")
+            for label, report in reports.items()
+        }
+        assert counts["rms"] < counts["drms"]
+        assert counts["drms"] == 15
+
+        # 3. diagnostics on the blind metric, clean bill for the drms
+        assert "wbuffer_write_thread" in suspicion_report(reports["rms"])
+        assert "wbuffer_write_thread" not in suspicion_report(reports["drms"])
+
+        # 4. volume + communication + archive round-trip
+        volume = dynamic_input_volume(reports["rms"], reports["drms"])
+        assert volume > 0.5
+        analyzer = analyze_communication(events)
+        assert analyzer.total_cells() > 0
+        restored = loads_report(dumps_report(reports["drms"]))
+        assert restored.worst_case_plot("wbuffer_write_thread") == reports[
+            "drms"
+        ].worst_case_plot("wbuffer_write_thread")
+
+
+class TestPredictionWorkflow:
+    def test_profile_fit_predict_validate(self):
+        from repro.workloads.mysql import select_sweep
+
+        profiled = select_sweep(table_rows=(64, 128, 256, 512))
+        profiled.run()
+        report = profile_events(profiled.trace)
+        predictor = predictor_for(report, "mysql_select")
+        assert predictor.is_trustworthy(4096)
+
+        truth = select_sweep(table_rows=(4096,))
+        truth.run()
+        ((size, actual),) = profile_events(truth.trace).worst_case_plot(
+            "mysql_select"
+        )
+        predicted = predictor.predict(size)
+        assert abs(predicted - actual) / actual < 0.05

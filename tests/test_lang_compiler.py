@@ -1,0 +1,113 @@
+"""Tests for the AST → basic-block bytecode compiler."""
+
+import pytest
+
+from repro.lang import CompileError, compile_source
+
+
+def blocks_of(source, name):
+    return compile_source(source).functions[name].blocks
+
+
+class TestCfgStructure:
+    def test_straight_line_is_one_block(self):
+        blocks = blocks_of("fn f() { var x = 1; x = x + 1; }", "f")
+        assert len(blocks) == 1
+        assert blocks[0].terminator.op == "RET"
+
+    def test_implicit_return_zero(self):
+        blocks = blocks_of("fn f() { }", "f")
+        assert blocks[0].instrs[-1].op == "CONST"
+        assert blocks[0].instrs[-1].arg == 0
+        assert blocks[0].terminator.op == "RET"
+
+    def test_every_block_is_terminated(self):
+        source = """
+        fn f(n) {
+          var s = 0;
+          var i = 0;
+          while (i < n) {
+            if (i % 2 == 0) { s = s + i; } else { s = s - i; }
+            i = i + 1;
+          }
+          return s;
+        }
+        """
+        program = compile_source(source)
+        program.validate()  # would raise on an unterminated block
+        for block in program.functions["f"].blocks:
+            assert block.terminated
+
+    def test_if_produces_diamond(self):
+        blocks = blocks_of(
+            "fn f(x) { if (x) { x = 1; } else { x = 2; } return x; }", "f"
+        )
+        branch = blocks[0].terminator
+        assert branch.op == "BRANCH"
+        then_block = blocks[branch.target]
+        else_block = blocks[branch.else_target]
+        assert then_block.terminator.op == "JUMP"
+        assert else_block.terminator.op == "JUMP"
+        assert then_block.terminator.target == else_block.terminator.target
+
+    def test_while_produces_back_edge(self):
+        blocks = blocks_of("fn f(n) { while (n > 0) { n = n - 1; } }", "f")
+        back_edges = [
+            (block.index, target)
+            for block in blocks
+            for target in block.successors()
+            if target <= block.index
+        ]
+        assert back_edges, "a loop must compile to a back edge"
+
+    def test_code_after_return_is_dead_but_valid(self):
+        program = compile_source("fn f() { return 1; var x = 2; }")
+        program.validate()
+
+    def test_dump_is_readable(self):
+        program = compile_source("fn f(n) { return n * 2; }")
+        text = program.dump()
+        assert "fn f(n):" in text
+        assert "BINOP *" in text
+        assert "RET" in text
+
+
+class TestShortCircuit:
+    def test_and_compiles_to_branches(self):
+        blocks = blocks_of("fn f(a, b) { return a and b; }", "f")
+        assert any(b.terminator.op == "BRANCH" for b in blocks)
+
+    def test_or_compiles_to_branches(self):
+        blocks = blocks_of("fn f(a, b) { return a or b; }", "f")
+        assert any(b.terminator.op == "BRANCH" for b in blocks)
+
+
+class TestSemanticChecks:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(CompileError, match="unknown function"):
+            compile_source("fn f() { return missing(); }")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CompileError, match="takes 2 argument"):
+            compile_source("fn g(a, b) { } fn f() { return g(1); }")
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(CompileError, match="takes 1 argument"):
+            compile_source("fn f() { return alloc(1, 2); }")
+
+    def test_shadowing_builtin_rejected(self):
+        with pytest.raises(CompileError, match="shadows a builtin"):
+            compile_source("fn alloc(n) { }")
+
+    def test_forward_references_allowed(self):
+        program = compile_source(
+            "fn f() { return g(); } fn g() { return 1; }"
+        )
+        assert set(program.functions) == {"f", "g"}
+
+    def test_recursion_allowed(self):
+        program = compile_source(
+            "fn fact(n) { if (n < 2) { return 1; } "
+            "return n * fact(n - 1); }"
+        )
+        assert "fact" in program.functions

@@ -1,0 +1,212 @@
+"""Behavioural tests for the mini-language interpreter."""
+
+import pytest
+
+from repro.lang import MiniLangError, run_source
+
+
+def result_of(source, *args, **kwargs):
+    _machine, _runtime, result = run_source(source, *args, **kwargs)
+    return result
+
+
+class TestArithmetic:
+    def test_basic_expression(self):
+        assert result_of("fn main() { return 2 + 3 * 4; }") == 14
+
+    def test_unary_minus_and_precedence(self):
+        assert result_of("fn main() { return -(2 + 3) * 4; }") == -20
+
+    def test_division_and_modulo(self):
+        assert result_of("fn main() { return 17 / 5; }") == 3
+        assert result_of("fn main() { return 17 % 5; }") == 2
+
+    def test_division_by_zero(self):
+        with pytest.raises(MiniLangError, match="division by zero"):
+            result_of("fn main() { return 1 / 0; }")
+
+    def test_comparisons_yield_ints(self):
+        assert result_of("fn main() { return 3 < 4; }") == 1
+        assert result_of("fn main() { return (3 > 4) + (1 == 1); }") == 1
+
+    def test_booleans(self):
+        assert result_of("fn main() { return true; }") == 1
+        assert result_of("fn main() { return not false; }") == 1
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        source = "fn main(x) { if (x > 0) { return 1; } else { return 2; } }"
+        assert result_of(source, 5) == 1
+        assert result_of(source, -5) == 2
+
+    def test_else_if_chain(self):
+        source = """
+        fn sign(x) {
+          if (x > 0) { return 1; }
+          else if (x < 0) { return 0 - 1; }
+          else { return 0; }
+        }
+        fn main(x) { return sign(x); }
+        """
+        assert result_of(source, 9) == 1
+        assert result_of(source, -9) == -1
+        assert result_of(source, 0) == 0
+
+    def test_while_loop(self):
+        source = """
+        fn main(n) {
+          var total = 0;
+          var i = 1;
+          while (i <= n) { total = total + i; i = i + 1; }
+          return total;
+        }
+        """
+        assert result_of(source, 10) == 55
+        assert result_of(source, 0) == 0
+
+    def test_short_circuit_and_avoids_crash(self):
+        source = """
+        fn main(x) {
+          if (x != 0 and 10 / x > 1) { return 1; }
+          return 0;
+        }
+        """
+        assert result_of(source, 0) == 0  # would divide by zero if eager
+        assert result_of(source, 4) == 1
+
+    def test_short_circuit_or(self):
+        source = """
+        fn main(x) {
+          if (x == 0 or 10 / x > 1) { return 1; }
+          return 0;
+        }
+        """
+        assert result_of(source, 0) == 1
+        assert result_of(source, 100) == 0
+
+
+class TestFunctions:
+    def test_recursion_fibonacci(self):
+        source = """
+        fn fib(n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        fn main(n) { return fib(n); }
+        """
+        assert result_of(source, 10) == 55
+
+    def test_mutual_recursion(self):
+        source = """
+        fn is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        fn is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        fn main(n) { return is_even(n); }
+        """
+        assert result_of(source, 10) == 1
+        assert result_of(source, 7) == 0
+
+    def test_gcd(self):
+        source = """
+        fn gcd(a, b) {
+          while (b != 0) { var t = b; b = a % b; a = t; }
+          return a;
+        }
+        fn main() { return gcd(252, 105); }
+        """
+        assert result_of(source) == 21
+
+    def test_undefined_variable(self):
+        with pytest.raises(MiniLangError, match="undefined variable"):
+            result_of("fn main() { return ghost; }")
+
+    def test_locals_are_function_scoped(self):
+        source = """
+        fn child() { var x = 99; return x; }
+        fn main() { var x = 1; child(); return x; }
+        """
+        assert result_of(source) == 1
+
+
+class TestMemoryAndIO:
+    def test_alloc_and_indexing(self):
+        source = """
+        fn main() {
+          var a = alloc(3);
+          a[0] = 10; a[1] = 20; a[2] = 30;
+          return a[0] + a[1] + a[2];
+        }
+        """
+        assert result_of(source) == 60
+
+    def test_input_builtin_reads_stream(self):
+        source = """
+        fn main() {
+          var buf = alloc(4);
+          var got = input(buf, 4);
+          return buf[0] + buf[1] + buf[2] + buf[3] + got * 1000;
+        }
+        """
+        assert result_of(source, input_data=[1, 2, 3, 4]) == 4010
+
+    def test_output_builtin(self):
+        source = """
+        fn main() {
+          var a = alloc(2);
+          a[0] = 7; a[1] = 8;
+          return output(a, 2);
+        }
+        """
+        machine, runtime, result = run_source(source)
+        assert result == 2
+        assert runtime.output_device.received == [7, 8]
+
+    def test_print_builtin(self):
+        source = "fn main() { print(1); print(2 + 3); return 0; }"
+        _machine, runtime, _result = run_source(source)
+        assert runtime.printed == [1, 5]
+
+    def test_out_of_bounds_access_faults(self):
+        from repro.vm.memory import OutOfRange
+
+        source = "fn main() { var a = alloc(2); return a[500]; }"
+        with pytest.raises(OutOfRange):
+            result_of(source)
+
+    def test_selection_sort_program_sorts(self):
+        source = """
+        fn sort(a, n) {
+          var i = 0;
+          while (i < n - 1) {
+            var m = i;
+            var j = i + 1;
+            while (j < n) {
+              if (a[j] < a[m]) { m = j; }
+              j = j + 1;
+            }
+            var t = a[i]; a[i] = a[m]; a[m] = t;
+            i = i + 1;
+          }
+          return 0;
+        }
+        fn main(n) {
+          var a = alloc(n);
+          var i = 0;
+          while (i < n) { a[i] = (n - i) * 13 % 31; i = i + 1; }
+          sort(a, n);
+          output(a, n);
+          return 0;
+        }
+        """
+        _machine, runtime, _result = run_source(source, 20)
+        values = runtime.output_device.received
+        assert len(values) == 20
+        assert values == sorted(values)
+
+    def test_wrong_main_arity(self):
+        with pytest.raises(MiniLangError, match="takes 1 argument"):
+            result_of("fn main(n) { return n; }")
+
+    def test_missing_main(self):
+        with pytest.raises(MiniLangError, match="no function"):
+            result_of("fn helper() { return 0; }")

@@ -1,0 +1,171 @@
+"""Tests for the mini-language lexer and parser."""
+
+import pytest
+
+from repro.lang import LexError, ParseError, TokenType, parse, tokenize
+from repro.lang import ast
+
+
+class TestLexer:
+    def test_numbers_and_identifiers(self):
+        tokens = tokenize("foo 42 _bar9")
+        assert [(t.type, t.value) for t in tokens[:-1]] == [
+            (TokenType.IDENT, "foo"),
+            (TokenType.NUMBER, "42"),
+            (TokenType.IDENT, "_bar9"),
+        ]
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_keywords_are_distinguished(self):
+        tokens = tokenize("while whileish")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENT
+
+    def test_maximal_munch_on_operators(self):
+        values = [t.value for t in tokenize("a<=b == c < d")[:-1]]
+        assert values == ["a", "<=", "b", "==", "c", "<", "d"]
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("a // the rest vanishes\nb")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["a", "b"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a $ b")
+
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+
+class TestParserStructure:
+    def test_function_with_params(self):
+        program = parse("fn add(a, b) { return a + b; }")
+        fn = program.function("add")
+        assert fn.params == ("a", "b")
+        (ret,) = fn.body.statements
+        assert isinstance(ret, ast.Return)
+        assert isinstance(ret.value, ast.Binary)
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(ParseError, match="duplicate function"):
+            parse("fn f() { } fn f() { }")
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ParseError, match="duplicate parameter"):
+            parse("fn f(a, a) { }")
+
+    def test_if_else_chain(self):
+        program = parse(
+            "fn f(x) { if (x > 0) { return 1; } else if (x < 0) "
+            "{ return 2; } else { return 3; } }"
+        )
+        (if_stmt,) = program.function("f").body.statements
+        assert isinstance(if_stmt, ast.If)
+        (nested,) = if_stmt.else_body.statements
+        assert isinstance(nested, ast.If)
+        assert nested.else_body is not None
+
+    def test_while_and_indexing(self):
+        program = parse(
+            "fn f(a) { while (a[0] < 10) { a[0] = a[0] + 1; } }"
+        )
+        (loop,) = program.function("f").body.statements
+        assert isinstance(loop, ast.While)
+        (store,) = loop.body.statements
+        assert isinstance(store, ast.StoreIndex)
+
+    def test_var_decl_and_assign(self):
+        program = parse("fn f() { var x = 1; x = 2; }")
+        decl, assign = program.function("f").body.statements
+        assert isinstance(decl, ast.VarDecl)
+        assert isinstance(assign, ast.Assign)
+
+    def test_bare_return(self):
+        program = parse("fn f() { return; }")
+        (ret,) = program.function("f").body.statements
+        assert ret.value is None
+
+
+class TestParserPrecedence:
+    def expr_of(self, text):
+        program = parse(f"fn f() {{ return {text}; }}")
+        return program.function("f").body.statements[0].value
+
+    def test_multiplication_binds_tighter(self):
+        expr = self.expr_of("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = self.expr_of("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_over_arithmetic(self):
+        expr = self.expr_of("a + 1 < b * 2")
+        assert expr.op == "<"
+        assert expr.left.op == "+"
+        assert expr.right.op == "*"
+
+    def test_logical_layers(self):
+        expr = self.expr_of("a < 1 or b < 2 and c < 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = self.expr_of("not a and b")
+        assert expr.op == "and"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_unary_minus(self):
+        expr = self.expr_of("-x * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_left_associativity(self):
+        expr = self.expr_of("10 - 3 - 2")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.value == 2
+
+    def test_nested_indexing(self):
+        expr = self.expr_of("a[b[0]]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.index, ast.Index)
+
+    def test_call_with_args(self):
+        expr = self.expr_of("f(1, g(2), 3)")
+        assert isinstance(expr, ast.CallExpr)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[1], ast.CallExpr)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "fn f( { }",
+            "fn f() { var = 1; }",
+            "fn f() { return 1 }",
+            "fn f() { 1 + ; }",
+            "fn f() { if x { } }",
+            "fn f() {",
+            "fn f() { 3 = x; }",
+            "garbage",
+        ],
+    )
+    def test_malformed_input_raises(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse("fn f() {\n  var x 1;\n}")

@@ -1,0 +1,209 @@
+"""Integration: profiling mini-language guest programs.
+
+The point of the language layer: guest programs exhibit the same
+rms/drms behaviour as hand-written workloads, with a cost metric that
+is literally executed basic blocks.
+"""
+
+import pytest
+
+from repro.analysis.costfunc import best_fit, powerlaw_exponent
+from repro.core import FULL_POLICY, RMS_POLICY, profile_events
+from repro.core.events import Call, KernelToUser, Read, Return, Write
+from repro.lang import compile_source, run_program, run_source
+from repro.vm import Machine
+
+SORT_SWEEP = """
+fn fill(a, n, salt) {
+  var i = 0;
+  while (i < n) { a[i] = (n - i) * 13 % 97 + salt; i = i + 1; }
+  return 0;
+}
+fn selection_sort(a, n) {
+  var i = 0;
+  while (i < n - 1) {
+    var m = i;
+    var j = i + 1;
+    while (j < n) {
+      if (a[j] < a[m]) { m = j; }
+      j = j + 1;
+    }
+    var t = a[i]; a[i] = a[m]; a[m] = t;
+    i = i + 1;
+  }
+  return 0;
+}
+fn run_one(n) {
+  var a = alloc(n);
+  fill(a, n, n);
+  selection_sort(a, n);
+  return 0;
+}
+fn main() {
+  var n = 4;
+  while (n <= 64) {
+    run_one(n);
+    n = n * 2;
+  }
+  return 0;
+}
+"""
+
+STREAM_READER = """
+fn stream_reader(iters) {
+  var b = alloc(2);
+  var total = 0;
+  var i = 0;
+  while (i < iters) {
+    input(b, 2);
+    total = total + b[0];
+    i = i + 1;
+  }
+  return total;
+}
+fn main(iters) { return stream_reader(iters); }
+"""
+
+
+class TestTraceShape:
+    def test_call_return_events_for_guest_functions(self):
+        machine, _runtime, _result = run_source(
+            "fn child() { return 1; } fn main() { return child(); }"
+        )
+        calls = [e.routine for e in machine.trace if isinstance(e, Call)]
+        returns = [e for e in machine.trace if isinstance(e, Return)]
+        assert calls == ["main", "child"]
+        assert len(returns) == 2
+
+    def test_array_traffic_is_traced(self):
+        machine, _runtime, _result = run_source(
+            "fn main() { var a = alloc(2); a[0] = 1; return a[0]; }"
+        )
+        assert sum(isinstance(e, Write) for e in machine.trace) == 1
+        assert sum(isinstance(e, Read) for e in machine.trace) == 1
+
+    def test_locals_generate_no_memory_events(self):
+        machine, _runtime, _result = run_source(
+            "fn main() { var x = 1; var y = x + 2; return y; }"
+        )
+        assert not any(
+            isinstance(e, (Read, Write)) for e in machine.trace
+        ), "scalar locals are registers, not traced memory"
+
+    def test_input_builtin_emits_kernel_events(self):
+        machine, _runtime, _result = run_source(
+            STREAM_READER, 3, input_data=iter(range(100))
+        )
+        fills = [e for e in machine.trace if isinstance(e, KernelToUser)]
+        assert len(fills) == 6
+
+    def test_cost_is_block_count(self):
+        source = "fn main() { return 1 + 2; }"
+        machine, _runtime, _result = run_source(source)
+        report = profile_events(machine.trace)
+        (plot_point,) = report.worst_case_plot("main")
+        _size, cost = plot_point
+        blocks = len(compile_source(source).functions["main"].blocks)
+        # straight-line main: cost equals its (single) executed block
+        assert cost == blocks == 1
+
+
+class TestGuestRmsDrms:
+    def test_selection_sort_sweep_is_quadratic(self):
+        machine, _runtime, _result = run_source(SORT_SWEEP)
+        report = profile_events(machine.trace)
+        plot = report.worst_case_plot("selection_sort")
+        assert len(plot) == 5  # n = 4, 8, 16, 32, 64
+        assert 1.7 <= powerlaw_exponent(plot) <= 2.2
+        assert best_fit(plot).model == "O(n^2)"
+
+    def test_guest_stream_reader_reproduces_figure_3(self):
+        """The Figure 3 pattern written in the guest language: rms
+        pinned at the buffer, drms equal to the iteration count."""
+        for iters in (5, 20):
+            machine, _runtime, _result = run_source(
+                STREAM_READER, iters, input_data=iter(range(10_000))
+            )
+            rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+            drms_report = profile_events(machine.trace, policy=FULL_POLICY)
+            (rms_size,) = rms_report.routine("stream_reader").points
+            (drms_size,) = drms_report.routine("stream_reader").points
+            # the paper's exact Figure 3 values: only b[0] is consumed
+            assert rms_size == 1
+            assert drms_size == iters
+
+    def test_two_guest_programs_share_memory_thread_input(self):
+        """Two mini-language threads around a shared mailbox: the reader
+        thread's drms counts every value the writer passes."""
+        program = compile_source(
+            """
+            fn writer(mailbox, n) {
+              var i = 0;
+              while (i < n) {
+                while (mailbox[1] != 0) { }
+                mailbox[0] = i * 3;
+                mailbox[1] = 1;
+                i = i + 1;
+              }
+              return 0;
+            }
+            fn reader(mailbox, n) {
+              var total = 0;
+              var i = 0;
+              while (i < n) {
+                while (mailbox[1] != 1) { }
+                total = total + mailbox[0];
+                mailbox[1] = 0;
+                i = i + 1;
+              }
+              return total;
+            }
+            """
+        )
+        from repro.lang.interp import MiniRuntime
+
+        machine = Machine()
+        runtime = MiniRuntime(program, machine)
+        mailbox = machine.memory.alloc(2, "mailbox")
+        machine.memory.store(mailbox, 0)
+        machine.memory.store(mailbox + 1, 0)
+        n = 12
+        runtime.spawn_main(mailbox, n, main="writer")
+        reader_handle = runtime.spawn_main(mailbox, n, main="reader")
+        machine.run()
+        assert reader_handle.result == sum(i * 3 for i in range(n))
+        drms_report = profile_events(machine.trace)
+        rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+        (rms_size,) = rms_report.routine("reader").points
+        (drms_size,) = drms_report.routine("reader").points
+        assert rms_size == 2  # the two mailbox cells
+        assert drms_size > rms_size  # thread input makes the rest visible
+        _plain, thread_induced, kernel_induced = drms_report.induced_split(
+            "reader"
+        )
+        assert thread_induced >= n
+        assert kernel_induced == 0
+
+
+class TestProfilesAcrossRuns:
+    @pytest.mark.parametrize("n", [6, 10])
+    def test_guest_fibonacci_call_counts(self, n):
+        source = """
+        fn fib(n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        fn main(n) { return fib(n); }
+        """
+        machine, _runtime, result = run_source(source, n)
+        report = profile_events(machine.trace)
+        fib_profile = report.routine("fib")
+
+        def calls(k):
+            if k < 2:
+                return 1
+            return 1 + calls(k - 1) + calls(k - 2)
+
+        assert fib_profile.calls == calls(n)
+        expected = [0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55][n]
+        assert result == expected

@@ -1,0 +1,120 @@
+"""Tests for guest-level threading: ``spawn f(args)`` and ``join(h)``."""
+
+import pytest
+
+from repro.core import FULL_POLICY, RMS_POLICY, profile_events
+from repro.core.events import ThreadStart
+from repro.lang import CompileError, MiniLangError, run_source
+
+GUEST_PRODUCER_CONSUMER = """
+fn producer(mailbox, n) {
+  var i = 0;
+  while (i < n) {
+    while (mailbox[1] != 0) { }
+    mailbox[0] = i * 3;
+    mailbox[1] = 1;
+    i = i + 1;
+  }
+  return 0;
+}
+fn consumer(mailbox, n) {
+  var total = 0;
+  var i = 0;
+  while (i < n) {
+    while (mailbox[1] != 1) { }
+    total = total + mailbox[0];
+    mailbox[1] = 0;
+    i = i + 1;
+  }
+  return total;
+}
+fn main(n) {
+  var mailbox = alloc(2);
+  mailbox[0] = 0;
+  mailbox[1] = 0;
+  var p = spawn producer(mailbox, n);
+  var c = spawn consumer(mailbox, n);
+  join(p);
+  return join(c);
+}
+"""
+
+
+class TestSpawnJoin:
+    def test_guest_producer_consumer_result(self):
+        _machine, _runtime, result = run_source(GUEST_PRODUCER_CONSUMER, 10)
+        assert result == sum(i * 3 for i in range(10))
+
+    def test_spawned_threads_appear_in_trace(self):
+        machine, _runtime, _result = run_source(GUEST_PRODUCER_CONSUMER, 3)
+        starts = [e for e in machine.trace if isinstance(e, ThreadStart)]
+        assert len(starts) == 3  # main + producer + consumer
+        assert starts[1].parent == starts[0].thread
+
+    def test_guest_figure_2_semantics(self):
+        """The complete Figure 2 story, entirely in the guest language:
+        rms(consumer) stays at the mailbox footprint while drms grows
+        with the number of produced items."""
+        for n in (4, 12):
+            machine, _runtime, _result = run_source(
+                GUEST_PRODUCER_CONSUMER, n
+            )
+            drms_report = profile_events(machine.trace, policy=FULL_POLICY)
+            rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+            (rms_size,) = rms_report.routine("consumer").points
+            (drms_size,) = drms_report.routine("consumer").points
+            assert rms_size == 2  # the two mailbox cells
+            assert drms_size == 2 * n  # every flag+value handoff
+
+    def test_join_returns_thread_result(self):
+        source = """
+        fn worker(x) { return x * x; }
+        fn main() {
+          var h = spawn worker(9);
+          return join(h);
+        }
+        """
+        _machine, _runtime, result = run_source(source)
+        assert result == 81
+
+    def test_parallel_workers_with_private_buffers(self):
+        source = """
+        fn worker(out, slot, n) {
+          var total = 0;
+          var i = 0;
+          while (i < n) { total = total + i; i = i + 1; }
+          out[slot] = total;
+          return total;
+        }
+        fn main() {
+          var out = alloc(3);
+          var a = spawn worker(out, 0, 10);
+          var b = spawn worker(out, 1, 20);
+          var c = spawn worker(out, 2, 30);
+          join(a); join(b); join(c);
+          return out[0] + out[1] + out[2];
+        }
+        """
+        _machine, _runtime, result = run_source(source)
+        assert result == 45 + 190 + 435
+
+    def test_join_of_non_handle_rejected(self):
+        with pytest.raises(MiniLangError, match="spawn handle"):
+            run_source("fn main() { return join(3); }")
+
+
+class TestSpawnErrors:
+    def test_spawn_unknown_function(self):
+        with pytest.raises(CompileError, match="spawn of unknown"):
+            run_source("fn main() { var h = spawn ghost(); return 0; }")
+
+    def test_spawn_builtin_rejected(self):
+        with pytest.raises(CompileError, match="cannot spawn builtin"):
+            run_source("fn main() { var h = spawn alloc(4); return 0; }")
+
+    def test_spawn_arity_checked(self):
+        with pytest.raises(CompileError, match="takes 1 argument"):
+            run_source(
+                "fn w(a) { return a; } "
+                "fn main() { var h = spawn w(); return 0; }"
+            )

@@ -1,0 +1,163 @@
+"""Edge-case tests for the Machine runtime."""
+
+import pytest
+
+from repro.core.events import SwitchThread, ThreadExit, ThreadStart
+from repro.vm import Machine, Semaphore
+from repro.vm.machine import ThreadHandle
+
+
+class TestSpawning:
+    def test_thread_ids_are_sequential(self):
+        machine = Machine()
+
+        def nop(ctx):
+            return None
+            yield  # pragma: no cover
+
+        handles = [machine.spawn(nop) for _ in range(3)]
+        assert [h.tid for h in handles] == [1, 2, 3]
+
+    def test_spawn_mid_run(self):
+        machine = Machine()
+        order = []
+
+        def child(ctx, n):
+            order.append(f"child{n}")
+            yield
+
+        def parent(ctx):
+            order.append("parent")
+            first = ctx.spawn(child, 1)
+            yield from ctx.join(first)
+            second = ctx.spawn(child, 2)
+            yield from ctx.join(second)
+
+        machine.spawn(parent)
+        machine.run()
+        assert order == ["parent", "child1", "child2"]
+
+    def test_thread_start_events_carry_parent(self):
+        machine = Machine()
+
+        def child(ctx):
+            yield
+
+        def parent(ctx):
+            ctx.spawn(child)
+            yield
+
+        machine.spawn(parent)
+        machine.run()
+        starts = [e for e in machine.trace if isinstance(e, ThreadStart)]
+        assert starts[0].parent == 0
+        assert starts[1].parent == 1
+
+    def test_thread_exit_events(self):
+        machine = Machine()
+
+        def nop(ctx):
+            return 7
+            yield  # pragma: no cover
+
+        handle = machine.spawn(nop)
+        machine.run()
+        exits = [e for e in machine.trace if isinstance(e, ThreadExit)]
+        assert [e.thread for e in exits] == [1]
+        assert handle.result == 7
+        assert handle.state == ThreadHandle.DONE
+
+
+class TestRunGuards:
+    def test_switch_budget(self):
+        machine = Machine()
+
+        def spinner(ctx):
+            while True:
+                yield
+
+        machine.spawn(spinner)
+        machine.spawn(spinner)
+        with pytest.raises(RuntimeError, match="switch budget"):
+            machine.run(max_switches=100)
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            Machine(quantum=0)
+
+    def test_bad_yield_value_rejected(self):
+        machine = Machine()
+
+        def confused(ctx):
+            yield "what"
+
+        machine.spawn(confused)
+        with pytest.raises(TypeError, match="unexpected"):
+            machine.run()
+
+    def test_run_with_no_threads_is_a_noop(self):
+        machine = Machine()
+        machine.run()
+        assert machine.trace == []
+
+
+class TestQuantum:
+    def count_switches(self, quantum):
+        machine = Machine(quantum=quantum)
+
+        def worker(ctx):
+            for _ in range(20):
+                ctx.compute(1)
+                yield
+
+        machine.spawn(worker)
+        machine.spawn(worker)
+        machine.run()
+        return machine.switches
+
+    def test_longer_quantum_fewer_switches(self):
+        assert self.count_switches(5) < self.count_switches(1)
+
+    def test_switch_markers_match_counter(self):
+        machine = Machine()
+
+        def worker(ctx):
+            for _ in range(5):
+                yield
+
+        machine.spawn(worker)
+        machine.spawn(worker)
+        machine.run()
+        markers = sum(isinstance(e, SwitchThread) for e in machine.trace)
+        assert markers == machine.switches
+
+
+class TestResults:
+    def test_results_in_spawn_order(self):
+        machine = Machine()
+
+        def value(ctx, v):
+            return v
+            yield  # pragma: no cover
+
+        for v in (10, 20, 30):
+            machine.spawn(value, v)
+        machine.run()
+        assert machine.results() == [10, 20, 30]
+
+    def test_blocked_then_completed(self):
+        machine = Machine()
+        gate = Semaphore(0, "gate")
+
+        def waiter(ctx):
+            yield from gate.wait(ctx)
+            return "through"
+
+        def opener(ctx):
+            gate.signal(ctx)
+            yield
+
+        first = machine.spawn(waiter)
+        machine.spawn(opener)
+        machine.run()
+        assert first.result == "through"

@@ -1,0 +1,176 @@
+"""Tests for the Section 4.1 evaluation metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FULL_POLICY, RMS_POLICY, profile_events
+from repro.core.policy import InputPolicy
+from repro.core.profiler import ProfileReport
+from repro.core.profiles import ProfileSet
+from repro.analysis.metrics import (
+    RoutineInputShare,
+    dynamic_input_volume,
+    dynamic_input_volume_per_routine,
+    induced_first_read_split,
+    profile_richness,
+    routine_input_shares,
+    tail_curve,
+)
+
+
+def make_report(policy, records, counters=None):
+    profiles = ProfileSet()
+    for routine, thread, size, cost in records:
+        profiles.collect(routine, thread, size, cost)
+    return ProfileReport(
+        policy=policy,
+        profiles=profiles,
+        read_counters=counters or {},
+    )
+
+
+class TestProfileRichness:
+    def test_positive_when_drms_adds_points(self):
+        rms = make_report(RMS_POLICY, [("f", 1, 5, 10), ("f", 1, 5, 20)])
+        drms = make_report(FULL_POLICY, [("f", 1, 5, 10), ("f", 1, 9, 20)])
+        assert profile_richness(rms, drms) == {"f": 1.0}
+
+    def test_zero_when_counts_match(self):
+        rms = make_report(RMS_POLICY, [("f", 1, 5, 10)])
+        drms = make_report(FULL_POLICY, [("f", 1, 7, 10)])
+        assert profile_richness(rms, drms) == {"f": 0.0}
+
+    def test_negative_possible(self):
+        # two rms values collapsing onto one drms value
+        rms = make_report(RMS_POLICY, [("f", 1, 5, 1), ("f", 1, 6, 1)])
+        drms = make_report(FULL_POLICY, [("f", 1, 9, 1), ("f", 1, 9, 1)])
+        assert profile_richness(rms, drms) == {"f": -0.5}
+
+    def test_counts_merge_across_threads(self):
+        rms = make_report(RMS_POLICY, [("f", 1, 5, 1), ("f", 2, 5, 1)])
+        drms = make_report(FULL_POLICY, [("f", 1, 6, 1), ("f", 2, 7, 1)])
+        assert profile_richness(rms, drms) == {"f": 1.0}
+
+    def test_same_policy_twice_rejected(self):
+        report = make_report(FULL_POLICY, [("f", 1, 5, 1)])
+        with pytest.raises(ValueError, match="different policies"):
+            profile_richness(report, report)
+
+
+class TestDynamicInputVolume:
+    def test_zero_when_equal(self):
+        rms = make_report(RMS_POLICY, [("f", 1, 10, 1)])
+        drms = make_report(FULL_POLICY, [("f", 1, 10, 1)])
+        assert dynamic_input_volume(rms, drms) == 0.0
+
+    def test_half(self):
+        rms = make_report(RMS_POLICY, [("f", 1, 10, 1)])
+        drms = make_report(FULL_POLICY, [("f", 1, 20, 1)])
+        assert dynamic_input_volume(rms, drms) == pytest.approx(0.5)
+
+    def test_empty_execution(self):
+        rms = make_report(RMS_POLICY, [])
+        drms = make_report(FULL_POLICY, [])
+        assert dynamic_input_volume(rms, drms) == 0.0
+
+    def test_per_routine(self):
+        rms = make_report(RMS_POLICY, [("f", 1, 10, 1), ("g", 1, 4, 1)])
+        drms = make_report(FULL_POLICY, [("f", 1, 40, 1), ("g", 1, 4, 1)])
+        volumes = dynamic_input_volume_per_routine(rms, drms)
+        assert volumes["f"] == pytest.approx(0.75)
+        assert volumes["g"] == 0.0
+
+    def test_routine_with_zero_drms_input(self):
+        rms = make_report(RMS_POLICY, [("f", 1, 0, 1)])
+        drms = make_report(FULL_POLICY, [("f", 1, 0, 1)])
+        assert dynamic_input_volume_per_routine(rms, drms) == {"f": 0.0}
+
+
+class TestInputShares:
+    def test_percentages(self):
+        report = make_report(
+            FULL_POLICY, [], counters={"f": [5, 3, 2], "g": [10, 0, 0]}
+        )
+        shares = routine_input_shares(report)
+        assert [s.routine for s in shares] == ["f", "g"]
+        f = shares[0]
+        assert f.first_reads == 10
+        assert f.thread_pct == pytest.approx(30.0)
+        assert f.external_pct == pytest.approx(20.0)
+        assert f.induced_pct == pytest.approx(50.0)
+        assert shares[1].induced_pct == 0.0
+
+    def test_zero_first_reads_skipped(self):
+        report = make_report(FULL_POLICY, [], counters={"f": [0, 0, 0]})
+        assert routine_input_shares(report) == []
+
+    def test_split_totals(self):
+        report = make_report(
+            FULL_POLICY, [], counters={"f": [1, 3, 1], "g": [0, 1, 3]}
+        )
+        thread_pct, external_pct = induced_first_read_split(report)
+        assert thread_pct == pytest.approx(50.0)
+        assert external_pct == pytest.approx(50.0)
+
+    def test_split_with_no_induced_reads(self):
+        report = make_report(FULL_POLICY, [], counters={"f": [9, 0, 0]})
+        assert induced_first_read_split(report) == (0.0, 0.0)
+
+
+class TestTailCurve:
+    def test_basic_shape(self):
+        values = {"a": 10.0, "b": 5.0, "c": 1.0}
+        curve = tail_curve(values)
+        assert curve == [
+            (pytest.approx(100 / 3), 10.0),
+            (pytest.approx(200 / 3), 5.0),
+            (100.0, 1.0),
+        ]
+
+    def test_sampled_points(self):
+        values = {f"r{i}": float(100 - i) for i in range(100)}
+        curve = tail_curve(values, points=(1, 10, 50))
+        assert curve == [(1, 100.0), (10, 91.0), (50, 51.0)]
+
+    def test_empty(self):
+        assert tail_curve({}) == []
+
+    def test_points_beyond_population(self):
+        curve = tail_curve({"a": 1.0}, points=(50, 100, 200))
+        assert curve == [(50, 1.0), (100, 1.0)]
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=4),
+            st.floats(0, 1000),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_curve_is_non_increasing(self, values):
+        curve = tail_curve(values)
+        ys = [y for _, y in curve]
+        assert ys == sorted(ys, reverse=True)
+        xs = [x for x, _ in curve]
+        assert xs == sorted(xs)
+        assert xs[-1] == pytest.approx(100.0)
+
+
+class TestEndToEndInvariant:
+    @given(st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_volume_bounds_on_real_traces(self, n):
+        from repro.workloads.patterns import producer_consumer
+
+        machine = producer_consumer(n)
+        machine.run()
+        rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+        drms_report = profile_events(machine.trace, policy=FULL_POLICY)
+        volume = dynamic_input_volume(rms_report, drms_report)
+        assert 0.0 <= volume < 1.0
+        for value in dynamic_input_volume_per_routine(
+            rms_report, drms_report
+        ).values():
+            assert 0.0 <= value < 1.0

@@ -1,0 +1,196 @@
+"""Exact-value tests for every worked example in the paper.
+
+Each test spells out a trace from the paper (Figures 1a, 1b, 2 and 3 and
+the inline h/f/g discussion of Section 2) and checks the rms/drms values
+the paper states, under both the naive oracle and the efficient
+timestamping algorithm.
+"""
+
+import pytest
+
+from repro.core import (
+    FULL_POLICY,
+    RMS_POLICY,
+    NaiveDrmsProfiler,
+    TraceBuilder,
+    merge_traces,
+    profile_events,
+)
+
+X = 0x1000
+B0 = 0x2000
+B1 = 0x2001
+
+
+def drms_of(events, routine, policy=FULL_POLICY):
+    report = profile_events(events, policy=policy)
+    sizes = [
+        size
+        for rtn, _thread, size, _cost in report.profiles.activations
+        if rtn == routine
+    ]
+    assert len(sizes) == 1, f"expected one activation of {routine}"
+    return sizes[0]
+
+
+def naive_drms_of(events, routine, policy=FULL_POLICY):
+    profiler = NaiveDrmsProfiler(policy=policy)
+    profiler.run(events)
+    sizes = [
+        size
+        for rtn, _thread, size, _cost in profiler.profiles.activations
+        if rtn == routine
+    ]
+    assert len(sizes) == 1
+    return sizes[0]
+
+
+def figure_1a_events():
+    """T1: f reads x twice; T2's g overwrites x between the two reads."""
+    t1 = TraceBuilder(thread=1)
+    t1.at(0).call("f").at(2).read(X).at(6).read(X).at(8).ret()
+    t2 = TraceBuilder(thread=2)
+    t2.at(3).call("g").at(4).write(X).at(5).ret()
+    return merge_traces([t1.build(), t2.build()], seed=None)
+
+
+def figure_1b_events():
+    """f reads x, T2 writes x, f's child h reads x, then f reads x again."""
+    t1 = TraceBuilder(thread=1)
+    (
+        t1.at(0)
+        .call("f")
+        .at(2)
+        .read(X)
+        .at(6)
+        .call("h")
+        .at(7)
+        .read(X)
+        .at(8)
+        .ret()  # return from h
+        .at(9)
+        .read(X)
+        .at(10)
+        .ret()  # return from f
+    )
+    t2 = TraceBuilder(thread=2)
+    t2.at(3).call("g").at(4).write(X).at(5).ret()
+    return merge_traces([t1.build(), t2.build()], seed=None)
+
+
+class TestFigure1a:
+    def test_rms_is_one(self):
+        assert drms_of(figure_1a_events(), "f", policy=RMS_POLICY) == 1
+
+    def test_drms_is_two(self):
+        assert drms_of(figure_1a_events(), "f") == 2
+
+    def test_naive_agrees(self):
+        events = figure_1a_events()
+        assert naive_drms_of(events, "f") == 2
+        assert naive_drms_of(events, "f", policy=RMS_POLICY) == 1
+
+
+class TestFigure1b:
+    def test_rms_values(self):
+        events = figure_1b_events()
+        assert drms_of(events, "f", policy=RMS_POLICY) == 1
+        assert drms_of(events, "h", policy=RMS_POLICY) == 1
+
+    def test_drms_values(self):
+        events = figure_1b_events()
+        # The read by h is an induced first-read for f; the third read is
+        # not (f already re-accessed x through h since T2's write).
+        assert drms_of(events, "f") == 2
+        assert drms_of(events, "h") == 1
+
+    def test_naive_agrees(self):
+        events = figure_1b_events()
+        assert naive_drms_of(events, "f") == 2
+        assert naive_drms_of(events, "h") == 1
+
+
+def producer_consumer_events(n):
+    """Figure 2 with semaphore interleaving: strict write/read alternation.
+
+    ``consumer`` stays pending while performing n reads of x, each
+    preceded by a ``produceData`` write from the producer thread.
+    """
+    producer = TraceBuilder(thread=1)
+    consumer = TraceBuilder(thread=2)
+    producer.at(0).call("producer")
+    consumer.at(1).call("consumer")
+    time = 2
+    for _ in range(n):
+        producer.at(time).call("produceData").write(X).ret()
+        time += 10
+        consumer.at(time).call("consumeData").read(X).ret()
+        time += 10
+    producer.at(time).ret()
+    consumer.at(time + 1).ret()
+    return merge_traces([producer.build(), consumer.build()], seed=None)
+
+
+class TestFigure2ProducerConsumer:
+    @pytest.mark.parametrize("n", [1, 2, 5, 20])
+    def test_consumer_drms_equals_n(self, n):
+        assert drms_of(producer_consumer_events(n), "consumer") == n
+
+    @pytest.mark.parametrize("n", [1, 5, 20])
+    def test_consumer_rms_is_one(self, n):
+        assert (
+            drms_of(producer_consumer_events(n), "consumer", policy=RMS_POLICY)
+            == 1
+        )
+
+    def test_each_consume_data_activation_reads_one_cell(self):
+        report = profile_events(producer_consumer_events(4))
+        sizes = [
+            size
+            for rtn, _t, size, _c in report.profiles.activations
+            if rtn == "consumeData"
+        ]
+        assert sizes == [1, 1, 1, 1]
+
+
+def stream_reader_events(n):
+    """Figure 3: the kernel refills a 2-cell buffer n times; only b[0]
+    is read back each iteration."""
+    t = TraceBuilder(thread=1)
+    t.at(0).call("streamReader")
+    for _ in range(n):
+        t.kernel_to_user(B0).kernel_to_user(B1).read(B0)
+    t.ret()
+    return merge_traces([t.build()], seed=None)
+
+
+class TestFigure3StreamReader:
+    @pytest.mark.parametrize("n", [1, 3, 10, 50])
+    def test_drms_equals_n(self, n):
+        assert drms_of(stream_reader_events(n), "streamReader") == n
+
+    @pytest.mark.parametrize("n", [1, 10, 50])
+    def test_rms_is_one(self, n):
+        assert (
+            drms_of(stream_reader_events(n), "streamReader", policy=RMS_POLICY)
+            == 1
+        )
+
+    def test_induced_reads_attributed_to_external_input(self, n=8):
+        report = profile_events(stream_reader_events(n))
+        plain, thread_induced, kernel_induced = report.induced_split(
+            "streamReader"
+        )
+        assert kernel_induced == n
+        assert thread_induced == 0
+        assert plain == 0
+
+
+class TestInducedAttribution:
+    def test_thread_induced_attribution(self):
+        plain, thread_induced, kernel_induced = (
+            profile_events(figure_1a_events()).induced_split("f")
+        )
+        assert plain == 1  # the first read of x
+        assert thread_induced == 1  # the read after g's store
+        assert kernel_induced == 0

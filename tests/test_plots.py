@@ -1,0 +1,99 @@
+"""Tests for plot series and terminal rendering."""
+
+from repro.analysis.plots import (
+    Series,
+    ascii_histogram,
+    ascii_scatter,
+    stacked_histogram,
+    to_csv,
+)
+
+
+class TestSeries:
+    def test_add_and_accessors(self):
+        series = Series("s")
+        series.add(1, 10)
+        series.add(2, 20)
+        assert series.xs() == [1, 2]
+        assert series.ys() == [10, 20]
+
+    def test_scaled(self):
+        series = Series("s", [(2.0, 4.0)])
+        scaled = series.scaled(x_factor=10, y_factor=0.5)
+        assert scaled.points == [(20.0, 2.0)]
+        assert series.points == [(2.0, 4.0)]  # original untouched
+
+
+class TestAsciiScatter:
+    def test_renders_title_legend_and_axes(self):
+        out = ascii_scatter(
+            [Series("a", [(0, 0), (10, 100)])],
+            title="hello",
+            x_label="size",
+            y_label="cost",
+        )
+        assert "hello" in out
+        assert "*=a" in out
+        assert "size" in out
+        assert "100" in out
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = ascii_scatter(
+            [Series("a", [(0, 0)]), Series("b", [(1, 1)])]
+        )
+        assert "*=a" in out
+        assert "o=b" in out
+
+    def test_empty(self):
+        assert ascii_scatter([]) == "(no data)\n"
+        assert ascii_scatter([Series("a")]) == "(no data)\n"
+
+    def test_degenerate_single_point(self):
+        out = ascii_scatter([Series("a", [(5, 5)])])
+        assert "*" in out
+
+    def test_all_points_land_inside_grid(self):
+        points = [(float(i), float(i * i)) for i in range(50)]
+        out = ascii_scatter([Series("a", points)], width=30, height=8)
+        assert out.count("*") <= 30 * 8
+        assert out.count("*") >= 8
+
+
+class TestAsciiHistogram:
+    def test_bars_scale_to_peak(self):
+        out = ascii_histogram([("big", 100.0), ("small", 50.0)], width=10)
+        lines = out.strip().split("\n")
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_empty(self):
+        assert ascii_histogram([]) == "(no data)\n"
+
+    def test_unit_suffix(self):
+        out = ascii_histogram([("a", 3.0)], unit="%")
+        assert "3.0%" in out
+
+
+class TestStackedHistogram:
+    def test_components_render(self):
+        out = stacked_histogram([("bench", 60.0, 40.0)], width=10)
+        assert "██████" in out
+        assert "░░░░" in out
+        assert "60.0%" in out
+        assert "40.0%" in out
+
+    def test_zero_bar(self):
+        out = stacked_histogram([("empty", 0.0, 0.0)])
+        assert "no induced first-reads" in out
+
+    def test_empty(self):
+        assert stacked_histogram([]) == "(no data)\n"
+
+
+class TestCsv:
+    def test_export(self):
+        csv = to_csv([Series("a", [(1, 2)]), Series("b", [(3, 4.5)])])
+        assert csv.splitlines() == ["series,x,y", "a,1,2", "b,3,4.5"]
+
+    def test_empty(self):
+        assert to_csv([]) == "series,x,y\n"

@@ -1,0 +1,39 @@
+"""Tests for the input-source policies."""
+
+from repro.core.policy import (
+    EXTERNAL_ONLY_POLICY,
+    FULL_POLICY,
+    RMS_POLICY,
+    InputPolicy,
+)
+
+
+class TestInputPolicy:
+    def test_default_is_full(self):
+        policy = InputPolicy()
+        assert policy.thread_input
+        assert policy.external_input
+        assert not policy.is_rms
+
+    def test_rms_degenerate(self):
+        assert RMS_POLICY.is_rms
+        assert not FULL_POLICY.is_rms
+        assert not EXTERNAL_ONLY_POLICY.is_rms
+
+    def test_labels(self):
+        assert RMS_POLICY.label() == "rms"
+        assert FULL_POLICY.label() == "drms"
+        assert EXTERNAL_ONLY_POLICY.label() == "drms[external]"
+        assert InputPolicy(True, False).label() == "drms[thread]"
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FULL_POLICY.thread_input = False
+
+    def test_equality_and_hash(self):
+        assert InputPolicy() == FULL_POLICY
+        assert len({InputPolicy(), FULL_POLICY}) == 1

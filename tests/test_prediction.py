@@ -1,0 +1,113 @@
+"""Tests for performance prediction and multi-run merging."""
+
+import pytest
+
+from repro.analysis.prediction import (
+    Predictor,
+    merge_reports,
+    prediction_error,
+    predictor_for,
+)
+from repro.core import FULL_POLICY, RMS_POLICY, profile_events
+from repro.workloads.mysql import select_sweep
+from repro.workloads.sorting import selection_sort_sweep
+
+
+def mysql_report(table_rows):
+    machine = select_sweep(table_rows=table_rows)
+    machine.run()
+    return profile_events(machine.trace)
+
+
+class TestPredictor:
+    def test_linear_extrapolation_on_mysql(self):
+        report = mysql_report((64, 128, 256, 512, 1024))
+        predictor = predictor_for(report, "mysql_select")
+        assert predictor.fit.model == "O(n)"
+
+        # ground truth at 4x the largest profiled table
+        truth_report = mysql_report((64, 128, 256, 512, 1024, 4096))
+        big_size, actual = max(
+            truth_report.worst_case_plot("mysql_select")
+        )
+        error = prediction_error(predictor, big_size, actual)
+        assert error < 0.02, f"extrapolation error {error:.3%}"
+
+    def test_quadratic_prediction_on_selection_sort(self):
+        machine = selection_sort_sweep(sizes=(8, 16, 32, 64))
+        machine.run()
+        report = profile_events(machine.trace)
+        predictor = predictor_for(report, "selection_sort")
+        assert predictor.fit.model == "O(n^2)"
+
+        truth = selection_sort_sweep(sizes=(128,))
+        truth.run()
+        ((size, actual),) = profile_events(truth.trace).worst_case_plot(
+            "selection_sort"
+        )
+        assert prediction_error(predictor, size, actual) < 0.10
+
+    def test_trust_gate(self):
+        report = mysql_report((64, 128, 256, 512))
+        predictor = predictor_for(report, "mysql_select")
+        inside = predictor.observed_max
+        assert predictor.is_trustworthy(inside)
+        assert not predictor.is_trustworthy(inside * 1000)
+        assert predictor.extrapolation_factor(inside // 2) == 1.0
+        assert predictor.extrapolation_factor(inside * 4) == pytest.approx(
+            4.0
+        )
+
+    def test_negative_size_rejected(self):
+        report = mysql_report((64, 128))
+        predictor = predictor_for(report, "mysql_select")
+        with pytest.raises(ValueError):
+            predictor.predict(-1)
+
+    def test_error_requires_positive_actual(self):
+        report = mysql_report((64, 128))
+        predictor = predictor_for(report, "mysql_select")
+        with pytest.raises(ValueError):
+            prediction_error(predictor, 10, 0)
+
+
+class TestMergeReports:
+    def test_union_of_points(self):
+        small = mysql_report((64, 128))
+        large = mysql_report((256, 512))
+        merged = merge_reports([small, large])
+        assert merged.distinct_sizes("mysql_select") == 4
+        predictor = predictor_for(merged, "mysql_select")
+        assert predictor.fit.model == "O(n)"
+
+    def test_max_cost_aggregation_across_runs(self):
+        first = mysql_report((64,))
+        second = mysql_report((64,))
+        merged = merge_reports([first, second])
+        (point,) = merged.worst_case_plot("mysql_select")
+        (expected,) = first.worst_case_plot("mysql_select")
+        assert point == expected
+
+    def test_counters_summed(self):
+        a = mysql_report((64,))
+        b = mysql_report((64,))
+        merged = merge_reports([a, b])
+        for routine, counts in merged.read_counters.items():
+            expected = [
+                a.read_counters.get(routine, [0, 0, 0])[i]
+                + b.read_counters.get(routine, [0, 0, 0])[i]
+                for i in range(3)
+            ]
+            assert counts == expected
+
+    def test_mixed_policies_rejected(self):
+        machine = select_sweep(table_rows=(64,))
+        machine.run()
+        drms = profile_events(machine.trace, policy=FULL_POLICY)
+        rms = profile_events(machine.trace, policy=RMS_POLICY)
+        with pytest.raises(ValueError, match="different metrics"):
+            merge_reports([drms, rms])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_reports([])

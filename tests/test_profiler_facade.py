@@ -1,0 +1,105 @@
+"""Tests for the high-level profiling facade and event descriptions."""
+
+import pytest
+
+from repro.core import (
+    EXTERNAL_ONLY_POLICY,
+    FULL_POLICY,
+    RMS_POLICY,
+    TraceBuilder,
+    compare_metrics,
+    merge_traces,
+    profile_events,
+    profile_traces,
+)
+from repro.core.events import (
+    Call,
+    KernelToUser,
+    LockAcquire,
+    LockRelease,
+    Read,
+    Return,
+    SwitchThread,
+    ThreadExit,
+    ThreadStart,
+    UserToKernel,
+    Write,
+    describe,
+)
+
+
+def small_trace():
+    t1 = TraceBuilder(thread=1)
+    t1.at(0).call("f").read(0x10).read(0x11).ret()
+    t2 = TraceBuilder(thread=2)
+    t2.at(10).call("g").write(0x10).ret()
+    return [t1.build(), t2.build()]
+
+
+class TestProfileTraces:
+    def test_merges_then_profiles(self):
+        report = profile_traces(small_trace(), seed=None)
+        assert report.routine("f").calls == 1
+        assert report.routine("g").calls == 1
+
+    def test_events_count_recorded(self):
+        report = profile_events(merge_traces(small_trace(), seed=None))
+        assert report.events == len(merge_traces(small_trace(), seed=None))
+
+    def test_routine_lookup_error_is_helpful(self):
+        report = profile_traces(small_trace(), seed=None)
+        with pytest.raises(KeyError, match="not profiled"):
+            report.routine("missing")
+
+    def test_distinct_sizes_helper(self):
+        report = profile_traces(small_trace(), seed=None)
+        assert report.distinct_sizes("f") == 1
+
+
+class TestCompareMetrics:
+    def test_default_pair(self):
+        events = merge_traces(small_trace(), seed=None)
+        reports = compare_metrics(events)
+        assert set(reports) == {"rms", "drms"}
+        assert reports["rms"].policy is RMS_POLICY
+        assert reports["drms"].policy is FULL_POLICY
+
+    def test_three_way(self):
+        events = merge_traces(small_trace(), seed=None)
+        reports = compare_metrics(
+            events, policies=(RMS_POLICY, EXTERNAL_ONLY_POLICY, FULL_POLICY)
+        )
+        assert set(reports) == {"rms", "drms[external]", "drms"}
+
+    def test_counter_limit_plumbed_through(self):
+        events = merge_traces(small_trace(), seed=None)
+        limited = profile_events(events, counter_limit=4)
+        unlimited = profile_events(events)
+        assert (
+            limited.profiles.activations == unlimited.profiles.activations
+        )
+
+
+class TestDescribe:
+    @pytest.mark.parametrize(
+        "event,expected",
+        [
+            (Call(1, "f"), "call(f, T1)"),
+            (Return(2), "return(T2)"),
+            (Read(1, 0x10), "read(0x10, T1)"),
+            (Write(3, 255), "write(0xff, T3)"),
+            (UserToKernel(1, 1), "userToKernel(0x1, T1)"),
+            (KernelToUser(1, 2), "kernelToUser(0x2, T1)"),
+            (SwitchThread(), "switchThread()"),
+            (LockAcquire(1, "m"), "lockAcquire(m, T1)"),
+            (LockRelease(1, "m"), "lockRelease(m, T1)"),
+            (ThreadStart(2, 1), "threadStart(T2 by T1)"),
+            (ThreadExit(2), "threadExit(T2)"),
+        ],
+    )
+    def test_descriptions(self, event, expected):
+        assert describe(event) == expected
+
+    def test_non_event_rejected(self):
+        with pytest.raises(TypeError):
+            describe("not an event")

@@ -1,0 +1,168 @@
+"""Tests for performance points and routine profiles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiles import (
+    PointStats,
+    ProfileSet,
+    RoutineProfile,
+    merge_thread_profiles,
+)
+
+
+class TestPointStats:
+    def test_first_add_sets_min_and_max(self):
+        stats = PointStats()
+        stats.add(10)
+        assert stats.min_cost == 10
+        assert stats.max_cost == 10
+        assert stats.calls == 1
+
+    def test_running_aggregates(self):
+        stats = PointStats()
+        for cost in (5, 20, 10):
+            stats.add(cost)
+        assert stats.min_cost == 5
+        assert stats.max_cost == 20
+        assert stats.total_cost == 35
+        assert stats.mean_cost == pytest.approx(35 / 3)
+
+    def test_mean_of_empty_is_zero(self):
+        assert PointStats().mean_cost == 0.0
+
+    def test_merged_with(self):
+        a = PointStats()
+        a.add(5)
+        a.add(7)
+        b = PointStats()
+        b.add(1)
+        merged = a.merged_with(b)
+        assert merged.calls == 3
+        assert merged.min_cost == 1
+        assert merged.max_cost == 7
+        assert merged.total_cost == 13
+
+    def test_merged_with_empty(self):
+        a = PointStats()
+        a.add(4)
+        assert a.merged_with(PointStats()).min_cost == 4
+        assert PointStats().merged_with(a).max_cost == 4
+
+
+class TestRoutineProfile:
+    def test_record_and_plot(self):
+        profile = RoutineProfile("f")
+        profile.record(10, 100)
+        profile.record(10, 300)
+        profile.record(5, 50)
+        assert profile.distinct_sizes == 2
+        assert profile.calls == 3
+        assert profile.total_input == 25
+        assert profile.worst_case_plot() == [(5, 50), (10, 300)]
+
+    def test_mean_plot(self):
+        profile = RoutineProfile("f")
+        profile.record(10, 100)
+        profile.record(10, 200)
+        assert profile.mean_plot() == [(10, 150.0)]
+
+    def test_merge_rejects_different_routines(self):
+        with pytest.raises(ValueError):
+            RoutineProfile("f").merged_with(RoutineProfile("g"))
+
+    def test_merge_combines_points(self):
+        a = RoutineProfile("f")
+        a.record(10, 100)
+        b = RoutineProfile("f")
+        b.record(10, 400)
+        b.record(20, 50)
+        merged = a.merged_with(b)
+        assert merged.worst_case_plot() == [(10, 400), (20, 50)]
+        assert merged.calls == 3
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = RoutineProfile("f")
+        a.record(10, 100)
+        b = RoutineProfile("f")
+        b.record(10, 400)
+        a.merged_with(b)
+        assert a.points[10].max_cost == 100
+        assert b.points[10].max_cost == 400
+
+
+class TestProfileSet:
+    def test_collect_keys_by_routine_and_thread(self):
+        profiles = ProfileSet()
+        profiles.collect("f", 1, 10, 100)
+        profiles.collect("f", 2, 12, 120)
+        profiles.collect("g", 1, 3, 30)
+        assert len(profiles) == 3
+        assert profiles.threads() == [1, 2]
+        assert profiles.routines() == ["f", "g"]
+        assert profiles.get("f", 1).calls == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            ProfileSet().get("f", 1)
+
+    def test_activations_recorded_in_order(self):
+        profiles = ProfileSet()
+        profiles.collect("f", 1, 10, 100)
+        profiles.collect("g", 1, 5, 50)
+        assert profiles.activations == [("f", 1, 10, 100), ("g", 1, 5, 50)]
+
+    def test_keep_activations_off(self):
+        profiles = ProfileSet()
+        profiles.keep_activations = False
+        profiles.collect("f", 1, 10, 100)
+        assert profiles.activations == []
+        assert profiles.get("f", 1).calls == 1
+
+    def test_by_routine_merges_threads(self):
+        profiles = ProfileSet()
+        profiles.collect("f", 1, 10, 100)
+        profiles.collect("f", 2, 10, 900)
+        profiles.collect("f", 2, 20, 50)
+        merged = profiles.by_routine()
+        assert merged["f"].worst_case_plot() == [(10, 900), (20, 50)]
+        assert merged["f"].calls == 3
+
+    def test_total_input(self):
+        profiles = ProfileSet()
+        profiles.collect("f", 1, 10, 0)
+        profiles.collect("g", 2, 32, 0)
+        assert profiles.total_input() == 42
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["f", "g", "h"]),
+            st.integers(1, 3),
+            st.integers(0, 50),
+            st.integers(0, 1000),
+        ),
+        max_size=100,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_merge_preserves_totals_property(records):
+    profiles = ProfileSet()
+    for routine, thread, size, cost in records:
+        profiles.collect(routine, thread, size, cost)
+    merged = merge_thread_profiles(profiles)
+    assert sum(p.calls for p in merged.values()) == len(records)
+    assert sum(p.total_input for p in merged.values()) == sum(
+        size for _, _, size, _ in records
+    )
+    # the worst case over merged points equals the global worst case
+    for routine in merged:
+        for size, stats in merged[routine].points.items():
+            expected = max(
+                cost
+                for r, _, s, cost in records
+                if r == routine and s == size
+            )
+            assert stats.max_cost == expected

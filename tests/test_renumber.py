@@ -1,0 +1,112 @@
+"""Tests for the timestamp renumbering pass (counter-overflow handling)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.renumber import renumber_state
+from repro.core.shadow import ShadowMemory
+from repro.core.shadow_stack import ShadowStack
+
+
+def build_state(wts_values, ts_values, stack_ts, count):
+    wts = ShadowMemory()
+    for addr, value in wts_values.items():
+        wts[addr] = value
+    thread_ts = {1: ShadowMemory()}
+    for addr, value in ts_values.items():
+        thread_ts[1][addr] = value
+    stacks = {1: ShadowStack()}
+    for i, ts in enumerate(sorted(stack_ts)):
+        stacks[1].push(f"r{i}", ts=ts)
+    return wts, thread_ts, stacks, count
+
+
+class TestRenumber:
+    def test_simple_compaction(self):
+        wts, thread_ts, stacks, count = build_state(
+            {10: 100, 11: 500}, {10: 100, 12: 900}, [300], 1000
+        )
+        new_count = renumber_state(count, wts, thread_ts, stacks)
+        # live values {100, 300, 500, 900, 1000} -> {1, 2, 3, 4, 5}
+        assert new_count == 5
+        assert wts[10] == 1
+        assert wts[11] == 3
+        assert thread_ts[1][10] == 1
+        assert thread_ts[1][12] == 4
+        assert stacks[1][0].ts == 2
+
+    def test_zero_stays_zero(self):
+        wts, thread_ts, stacks, count = build_state({}, {5: 77}, [], 100)
+        renumber_state(count, wts, thread_ts, stacks)
+        assert wts[5] == 0  # never written -> still "never"
+        assert thread_ts[1][6] == 0
+
+    def test_count_is_always_the_max(self):
+        wts, thread_ts, stacks, count = build_state({1: 7}, {2: 3}, [5], 9)
+        new_count = renumber_state(count, wts, thread_ts, stacks)
+        assert new_count == 4  # {3, 5, 7, 9}
+        assert new_count >= wts[1]
+        assert new_count >= thread_ts[1][2]
+
+    def test_idempotent_after_compaction(self):
+        wts, thread_ts, stacks, count = build_state(
+            {1: 20, 2: 40}, {3: 60}, [10, 30], 80
+        )
+        first = renumber_state(count, wts, thread_ts, stacks)
+        snapshot = (
+            dict(wts.items()),
+            dict(thread_ts[1].items()),
+            [e.ts for e in stacks[1].entries],
+        )
+        second = renumber_state(first, wts, thread_ts, stacks)
+        assert second == first
+        assert (
+            dict(wts.items()),
+            dict(thread_ts[1].items()),
+            [e.ts for e in stacks[1].entries],
+        ) == snapshot
+
+    @given(
+        st.dictionaries(st.integers(0, 50), st.integers(1, 10**9), max_size=20),
+        st.dictionaries(st.integers(0, 50), st.integers(1, 10**9), max_size=20),
+        st.lists(st.integers(1, 10**9), unique=True, max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_order_preservation_property(self, wts_values, ts_values, stack_ts):
+        count = 2 * 10**9
+        wts, thread_ts, stacks, count = build_state(
+            wts_values, ts_values, stack_ts, count
+        )
+        before = []
+        for addr in wts_values:
+            before.append(("wts", addr, wts[addr]))
+        for addr in ts_values:
+            before.append(("ts", addr, thread_ts[1][addr]))
+        for i, entry in enumerate(stacks[1].entries):
+            before.append(("stack", i, entry.ts))
+        before.append(("count", 0, count))
+
+        new_count = renumber_state(count, wts, thread_ts, stacks)
+
+        after = []
+        for addr in wts_values:
+            after.append(("wts", addr, wts[addr]))
+        for addr in ts_values:
+            after.append(("ts", addr, thread_ts[1][addr]))
+        for i, entry in enumerate(stacks[1].entries):
+            after.append(("stack", i, entry.ts))
+        after.append(("count", 0, new_count))
+
+        # every pairwise order relation (<, ==, >) is preserved
+        for (k1, a1, v1), (k1b, a1b, v1b) in zip(before, after):
+            assert (k1, a1) == (k1b, a1b)
+        for i in range(len(before)):
+            for j in range(i + 1, len(before)):
+                old_i, old_j = before[i][2], before[j][2]
+                new_i, new_j = after[i][2], after[j][2]
+                assert (old_i < old_j) == (new_i < new_j)
+                assert (old_i == old_j) == (new_i == new_j)
+
+        # compaction: new values are dense in [1, #distinct live values]
+        live = {v for _, _, v in after}
+        assert max(live) == len(live)

@@ -1,0 +1,55 @@
+"""Tests for the full-report generator."""
+
+import pytest
+
+from repro.analysis.report import workload_report
+from repro.workloads.mysql import select_sweep
+from repro.workloads.patterns import producer_consumer
+from repro.workloads.vips import wbuffer_workload
+
+
+class TestWorkloadReport:
+    def test_contains_all_sections(self):
+        machine = wbuffer_workload(calls=12)
+        machine.run()
+        text = workload_report(machine.trace, title="wbuffer")
+        assert "Input-sensitive profile: wbuffer" in text
+        assert "dynamic input volume" in text
+        assert "wbuffer_write_thread" in text
+        assert "suspicious cost variance" in text
+        assert "communication channels" in text
+        assert "worst-case cost plot" in text
+
+    def test_clean_workload_reports_no_suspicions(self):
+        machine = select_sweep(table_rows=(64, 128, 256))
+        machine.run()
+        text = workload_report(machine.trace, title="mysql")
+        assert "no suspicious cost variance" in text
+        assert "O(n)" in text
+
+    def test_explicit_plot_routines(self):
+        machine = select_sweep(table_rows=(64, 128, 256))
+        machine.run()
+        text = workload_report(
+            machine.trace, plot_routines=["mysql_select"]
+        )
+        assert "worst-case cost plot: mysql_select" in text
+
+    def test_unknown_plot_routine_is_skipped(self):
+        machine = producer_consumer(5)
+        machine.run()
+        text = workload_report(machine.trace, plot_routines=["ghost"])
+        assert "ghost" not in text
+
+    def test_max_rows_truncation(self):
+        machine = select_sweep(table_rows=(64,))
+        machine.run()
+        text = workload_report(machine.trace, max_rows=1)
+        assert "more routines" in text
+
+    def test_thread_heavy_workload_composition(self):
+        machine = producer_consumer(30)
+        machine.run()
+        text = workload_report(machine.trace, title="pc")
+        assert "100.0% thread / 0.0% external" in text
+        assert "produceData -> consumeData" in text

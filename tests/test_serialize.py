@@ -1,0 +1,79 @@
+"""Round-trip tests for JSON profile persistence."""
+
+import json
+
+import pytest
+
+from repro.core import FULL_POLICY, RMS_POLICY, profile_events
+from repro.core.serialize import (
+    dumps_report,
+    loads_report,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.workloads.patterns import producer_consumer
+from repro.workloads.mysql import select_sweep
+
+
+def reports_equal(a, b):
+    assert a.policy == b.policy
+    assert a.events == b.events
+    assert a.space_cells == b.space_cells
+    assert a.read_counters == b.read_counters
+    assert a.profiles.routines() == b.profiles.routines()
+    assert a.profiles.threads() == b.profiles.threads()
+    for (key, profile_a) in a.profiles:
+        profile_b = b.profiles.get(*key)
+        assert profile_a.calls == profile_b.calls
+        assert profile_a.total_input == profile_b.total_input
+        assert profile_a.worst_case_plot() == profile_b.worst_case_plot()
+        for size in profile_a.points:
+            sa, sb = profile_a.points[size], profile_b.points[size]
+            assert (sa.calls, sa.min_cost, sa.max_cost, sa.total_cost) == (
+                sb.calls,
+                sb.min_cost,
+                sb.max_cost,
+                sb.total_cost,
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("policy", [FULL_POLICY, RMS_POLICY])
+    def test_producer_consumer_roundtrip(self, policy):
+        machine = producer_consumer(12)
+        machine.run()
+        report = profile_events(machine.trace, policy=policy)
+        restored = loads_report(dumps_report(report))
+        reports_equal(report, restored)
+
+    def test_mysql_roundtrip_preserves_plots_and_fits(self):
+        from repro.analysis.costfunc import best_fit
+
+        machine = select_sweep()
+        machine.run()
+        report = profile_events(machine.trace)
+        restored = loads_report(dumps_report(report))
+        original_plot = report.worst_case_plot("mysql_select")
+        assert restored.worst_case_plot("mysql_select") == original_plot
+        assert (
+            best_fit(restored.worst_case_plot("mysql_select")).model
+            == best_fit(original_plot).model
+        )
+
+    def test_document_shape(self):
+        machine = producer_consumer(3)
+        machine.run()
+        data = report_to_dict(profile_events(machine.trace))
+        assert data["format"] == "repro-profile"
+        assert data["version"] == 1
+        json.dumps(data)  # must be pure-JSON serialisable
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-profile"):
+            report_from_dict({"format": "other", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="unsupported version"):
+            report_from_dict({"format": "repro-profile", "version": 99})

@@ -1,0 +1,160 @@
+"""Unit and property tests for the three-level shadow memory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shadow import ShadowMemory
+
+
+class TestBasics:
+    def test_default_reads_back_for_untouched_addresses(self):
+        mem = ShadowMemory()
+        assert mem[0] == 0
+        assert mem[123456789] == 0
+
+    def test_custom_default(self):
+        mem = ShadowMemory(default=-1)
+        assert mem[42] == -1
+        mem[42] = 7
+        assert mem[42] == 7
+
+    def test_set_and_get_roundtrip(self):
+        mem = ShadowMemory()
+        mem[100] = 5
+        mem[101] = 6
+        assert mem[100] == 5
+        assert mem[101] == 6
+        assert mem[102] == 0
+
+    def test_overwrite(self):
+        mem = ShadowMemory()
+        mem[7] = 1
+        mem[7] = 2
+        assert mem[7] == 2
+
+    def test_negative_address_rejected(self):
+        mem = ShadowMemory()
+        with pytest.raises(ValueError, match="negative"):
+            mem[-1] = 3
+        with pytest.raises(ValueError, match="negative"):
+            mem[-5]
+
+    def test_huge_addresses_supported(self):
+        mem = ShadowMemory()
+        mem[2**48 + 17] = 9
+        assert mem[2**48 + 17] == 9
+        assert mem[2**48 + 18] == 0
+
+    def test_invalid_level_widths(self):
+        with pytest.raises(ValueError):
+            ShadowMemory(leaf_bits=0)
+        with pytest.raises(ValueError):
+            ShadowMemory(mid_bits=0)
+
+    def test_get_with_fallback_default(self):
+        mem = ShadowMemory()
+        assert mem.get(5, default=99) == 99
+        mem[5] = 3
+        assert mem.get(5, default=99) == 3
+
+
+class TestChunking:
+    def test_chunk_allocation_is_lazy(self):
+        mem = ShadowMemory(leaf_bits=4)
+        assert mem.chunks_allocated == 0
+        mem[0] = 1
+        assert mem.chunks_allocated == 1
+        mem[15] = 1  # same 16-cell chunk
+        assert mem.chunks_allocated == 1
+        mem[16] = 1  # next chunk
+        assert mem.chunks_allocated == 2
+
+    def test_space_cells_counts_whole_chunks(self):
+        mem = ShadowMemory(leaf_bits=4)
+        mem[3] = 1
+        assert mem.space_cells() == 16
+
+    def test_reading_does_not_allocate(self):
+        mem = ShadowMemory()
+        for addr in range(0, 10_000, 97):
+            assert mem[addr] == 0
+        assert mem.chunks_allocated == 0
+
+    def test_clear(self):
+        mem = ShadowMemory()
+        mem[10] = 4
+        mem.clear()
+        assert mem[10] == 0
+        assert mem.chunks_allocated == 0
+
+
+class TestBulk:
+    def test_items_yields_sorted_nondefault_cells(self):
+        mem = ShadowMemory(leaf_bits=3, mid_bits=3)
+        values = {500: 2, 3: 1, 70_000: 9, 8: 5}
+        for addr, value in values.items():
+            mem[addr] = value
+        assert list(mem.items()) == sorted(values.items())
+
+    def test_items_skips_default_values(self):
+        mem = ShadowMemory()
+        mem[5] = 3
+        mem[5] = 0  # back to default
+        assert list(mem.items()) == []
+
+    def test_map_values(self):
+        mem = ShadowMemory()
+        mem[1] = 10
+        mem[2] = 20
+        mem.map_values(lambda v: v + 1)
+        assert mem[1] == 11
+        assert mem[2] == 21
+        assert mem[3] == 0  # untouched cells keep the default
+
+
+@st.composite
+def operations(draw):
+    n = draw(st.integers(0, 200))
+    ops = []
+    for _ in range(n):
+        addr = draw(st.integers(0, 5000))
+        value = draw(st.integers(0, 1000))
+        ops.append((addr, value))
+    return ops
+
+
+class TestDictEquivalence:
+    @given(operations())
+    @settings(max_examples=100, deadline=None)
+    def test_behaves_like_a_defaulting_dict(self, ops):
+        mem = ShadowMemory(leaf_bits=3, mid_bits=4)
+        model = {}
+        for addr, value in ops:
+            mem[addr] = value
+            model[addr] = value
+        for addr in {a for a, _ in ops} | {0, 1, 4999, 5000}:
+            assert mem[addr] == model.get(addr, 0)
+
+    @given(operations())
+    @settings(max_examples=50, deadline=None)
+    def test_items_matches_model(self, ops):
+        mem = ShadowMemory(leaf_bits=3, mid_bits=4)
+        model = {}
+        for addr, value in ops:
+            mem[addr] = value
+            model[addr] = value
+        expected = sorted((a, v) for a, v in model.items() if v != 0)
+        assert list(mem.items()) == expected
+
+    @given(operations(), st.integers(1, 9), st.integers(1, 9))
+    @settings(max_examples=50, deadline=None)
+    def test_level_geometry_is_observationally_irrelevant(
+        self, ops, leaf_bits, mid_bits
+    ):
+        narrow = ShadowMemory(leaf_bits=leaf_bits, mid_bits=mid_bits)
+        wide = ShadowMemory(leaf_bits=9, mid_bits=9)
+        for addr, value in ops:
+            narrow[addr] = value
+            wide[addr] = value
+        assert list(narrow.items()) == list(wide.items())

@@ -1,0 +1,101 @@
+"""Unit and property tests for the shadow run-time stack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shadow_stack import ShadowStack, StackEntry
+
+
+class TestPushPop:
+    def test_empty_stack(self):
+        stack = ShadowStack()
+        assert len(stack) == 0
+        assert not stack
+
+    def test_push_returns_entry(self):
+        stack = ShadowStack()
+        entry = stack.push("main", ts=1, cost=10)
+        assert isinstance(entry, StackEntry)
+        assert entry.rtn == "main"
+        assert entry.ts == 1
+        assert entry.drms == 0
+        assert entry.cost == 10
+
+    def test_top_is_last_pushed(self):
+        stack = ShadowStack()
+        stack.push("a", ts=1)
+        stack.push("b", ts=2)
+        assert stack.top.rtn == "b"
+
+    def test_pop_order(self):
+        stack = ShadowStack()
+        stack.push("a", ts=1)
+        stack.push("b", ts=2)
+        assert stack.pop().rtn == "b"
+        assert stack.pop().rtn == "a"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            ShadowStack().pop()
+
+    def test_top_empty_raises(self):
+        with pytest.raises(IndexError):
+            ShadowStack().top
+
+    def test_timestamps_must_strictly_increase(self):
+        stack = ShadowStack()
+        stack.push("a", ts=5)
+        with pytest.raises(ValueError):
+            stack.push("b", ts=5)
+        with pytest.raises(ValueError):
+            stack.push("b", ts=4)
+
+    def test_indexing(self):
+        stack = ShadowStack()
+        stack.push("a", ts=1)
+        stack.push("b", ts=3)
+        assert stack[0].rtn == "a"
+        assert stack[1].rtn == "b"
+
+
+class TestAncestorSearch:
+    def build(self, timestamps):
+        stack = ShadowStack()
+        for i, ts in enumerate(timestamps):
+            stack.push(f"r{i}", ts=ts)
+        return stack
+
+    def test_exact_match(self):
+        stack = self.build([1, 5, 9])
+        assert stack.deepest_ancestor_at(5) == 1
+
+    def test_between_entries(self):
+        stack = self.build([1, 5, 9])
+        assert stack.deepest_ancestor_at(7) == 1
+        assert stack.deepest_ancestor_at(4) == 0
+
+    def test_above_top(self):
+        stack = self.build([1, 5, 9])
+        assert stack.deepest_ancestor_at(100) == 2
+
+    def test_below_bottom_returns_none(self):
+        stack = self.build([5, 9])
+        assert stack.deepest_ancestor_at(4) is None
+
+    def test_empty_stack_returns_none(self):
+        assert ShadowStack().deepest_ancestor_at(3) is None
+
+    @given(
+        st.lists(st.integers(1, 10_000), min_size=1, max_size=60, unique=True),
+        st.integers(0, 11_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_binary_search_matches_linear_scan(self, timestamps, query):
+        timestamps = sorted(timestamps)
+        stack = self.build(timestamps)
+        expected = None
+        for i, ts in enumerate(timestamps):
+            if ts <= query:
+                expected = i
+        assert stack.deepest_ancestor_at(query) == expected

@@ -1,0 +1,202 @@
+"""Targeted unit tests for the timestamping engine's edge cases
+(the property tests in test_oracle_property.py cover the bulk)."""
+
+import pytest
+
+from repro.core import (
+    EXTERNAL_ONLY_POLICY,
+    FULL_POLICY,
+    RMS_POLICY,
+    DrmsProfiler,
+    RmsProfiler,
+)
+from repro.core.events import (
+    Call,
+    KernelToUser,
+    Read,
+    Return,
+    SwitchThread,
+    UserToKernel,
+    Write,
+)
+
+
+class TestCounterDiscipline:
+    def test_counter_starts_above_reserved_zero(self):
+        engine = DrmsProfiler()
+        assert engine.count == 1
+
+    def test_calls_and_switches_bump_the_counter(self):
+        engine = DrmsProfiler()
+        engine.consume(Call(1, "f"))
+        after_call = engine.count
+        engine.consume(SwitchThread())
+        assert engine.count == after_call + 1
+
+    def test_reads_and_writes_do_not_bump(self):
+        engine = DrmsProfiler()
+        engine.consume(Call(1, "f"))
+        before = engine.count
+        engine.consume(Read(1, 5))
+        engine.consume(Write(1, 6))
+        assert engine.count == before
+
+    def test_kernel_to_user_bumps_only_when_tracked(self):
+        tracked = DrmsProfiler(policy=FULL_POLICY)
+        untracked = DrmsProfiler(policy=RMS_POLICY)
+        for engine in (tracked, untracked):
+            engine.consume(KernelToUser(1, 5))
+        assert tracked.count == 2
+        assert untracked.count == 1
+
+    def test_counter_limit_validation(self):
+        with pytest.raises(ValueError):
+            DrmsProfiler(counter_limit=3)
+
+
+class TestEdgeCases:
+    def test_return_with_empty_stack_raises(self):
+        with pytest.raises(ValueError, match="empty stack"):
+            DrmsProfiler().consume(Return(1))
+        with pytest.raises(ValueError, match="empty stack"):
+            RmsProfiler().consume(Return(1))
+
+    def test_reads_outside_any_routine_are_tolerated(self):
+        engine = DrmsProfiler()
+        engine.consume(Read(1, 5))
+        engine.consume(Write(1, 5))
+        engine.consume(Call(1, "f"))
+        # the pre-routine access is remembered: this read is NOT a
+        # first access for f's thread ... but f never saw the address,
+        # so it still counts as f's first read with an ancestor search
+        # that finds nothing to decrement.
+        engine.consume(Read(1, 5))
+        engine.consume(Return(1))
+        assert engine.profiles.activations == [("f", 1, 1, 0)]
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(TypeError):
+            DrmsProfiler().consume(object())
+
+    def test_keep_activations_off(self):
+        engine = DrmsProfiler(keep_activations=False)
+        engine.consume(Call(1, "f"))
+        engine.consume(Return(1))
+        assert engine.profiles.activations == []
+        assert engine.profiles.get("f", 1).calls == 1
+
+    def test_cost_attribution(self):
+        engine = DrmsProfiler()
+        engine.consume(Call(1, "f", cost=100))
+        engine.consume(Return(1, cost=175))
+        (_, _, _, cost) = engine.profiles.activations[0]
+        assert cost == 75
+
+
+class TestInducedAttribution:
+    def test_thread_source(self):
+        engine = DrmsProfiler()
+        engine.consume(Call(1, "f"))
+        engine.consume(Read(1, 5))
+        engine.consume(SwitchThread())
+        engine.consume(Write(2, 5))
+        engine.consume(SwitchThread())
+        engine.consume(Read(1, 5))
+        assert engine.read_counters["f"] == [1, 1, 0]
+
+    def test_kernel_source(self):
+        engine = DrmsProfiler()
+        engine.consume(Call(1, "f"))
+        engine.consume(KernelToUser(1, 5))
+        engine.consume(Read(1, 5))
+        assert engine.read_counters["f"] == [0, 0, 1]
+
+    def test_own_write_never_induces(self):
+        engine = DrmsProfiler()
+        engine.consume(Call(1, "f"))
+        engine.consume(Write(1, 5))
+        engine.consume(Read(1, 5))
+        assert engine.read_counters.get("f", [0, 0, 0]) == [0, 0, 0]
+
+    def test_kernel_fill_induces_even_for_the_issuing_thread(self):
+        """Figure 9: kernelToUser gets a timestamp larger than any
+        thread-local one, so even the issuing thread's next read is an
+        induced first-read."""
+        engine = DrmsProfiler()
+        engine.consume(Call(1, "f"))
+        engine.consume(Write(1, 5))  # thread owns the buffer
+        engine.consume(KernelToUser(1, 5))  # kernel refills it
+        engine.consume(Read(1, 5))
+        assert engine.read_counters["f"] == [0, 0, 1]
+
+    def test_user_to_kernel_policy_visibility(self):
+        for policy, expected in (
+            (FULL_POLICY, 1),
+            (EXTERNAL_ONLY_POLICY, 1),
+            (RMS_POLICY, 0),
+        ):
+            engine = DrmsProfiler(policy=policy)
+            engine.consume(Call(1, "f"))
+            engine.consume(UserToKernel(1, 9))
+            engine.consume(Return(1))
+            (_, _, size, _) = engine.profiles.activations[0]
+            assert size == expected, policy.label()
+
+
+class TestSpaceAccounting:
+    def test_rms_policy_allocates_no_global_shadow(self):
+        engine = DrmsProfiler(policy=RMS_POLICY)
+        engine.consume(Call(1, "f"))
+        for addr in range(100):
+            engine.consume(Write(1, addr))
+        assert engine.wts.chunks_allocated == 0
+
+    def test_full_policy_allocates_global_shadow(self):
+        engine = DrmsProfiler(policy=FULL_POLICY)
+        engine.consume(Call(1, "f"))
+        engine.consume(Write(1, 5))
+        assert engine.wts.chunks_allocated > 0
+
+    def test_space_cells_counts_stacks(self):
+        engine = DrmsProfiler()
+        engine.consume(Call(1, "f"))
+        engine.consume(Call(1, "g"))
+        base = engine.space_cells()
+        engine.consume(Call(1, "h"))
+        assert engine.space_cells() == base + 4
+
+
+class TestNestedPropagation:
+    def test_child_drms_flows_to_parent_on_return(self):
+        engine = DrmsProfiler()
+        engine.consume(Call(1, "parent"))
+        engine.consume(Call(1, "child"))
+        engine.consume(Read(1, 5))
+        engine.consume(Read(1, 6))
+        engine.consume(Return(1))  # child: drms 2
+        engine.consume(Return(1))  # parent inherits both
+        sizes = {r: s for r, _, s, _ in engine.profiles.activations}
+        assert sizes == {"child": 2, "parent": 2}
+
+    def test_parent_own_reads_plus_child(self):
+        engine = DrmsProfiler()
+        engine.consume(Call(1, "parent"))
+        engine.consume(Read(1, 1))
+        engine.consume(Call(1, "child"))
+        engine.consume(Read(1, 2))
+        engine.consume(Return(1))
+        engine.consume(Read(1, 3))
+        engine.consume(Return(1))
+        sizes = {r: s for r, _, s, _ in engine.profiles.activations}
+        assert sizes == {"child": 1, "parent": 3}
+
+    def test_rereading_descendants_location_not_counted_twice(self):
+        engine = DrmsProfiler()
+        engine.consume(Call(1, "parent"))
+        engine.consume(Call(1, "child"))
+        engine.consume(Read(1, 5))
+        engine.consume(Return(1))
+        engine.consume(Read(1, 5))  # parent re-reads what child read
+        engine.consume(Return(1))
+        sizes = {r: s for r, _, s, _ in engine.profiles.activations}
+        assert sizes == {"child": 1, "parent": 1}

@@ -1,0 +1,100 @@
+"""Tests for the mini-callgrind call-graph profiler."""
+
+from repro.core.events import Call, Read, Return, Write
+from repro.tools.callgrind import Callgrind
+from repro.vm import Machine
+
+
+def feed(tool, events):
+    for event in events:
+        tool.consume(event)
+
+
+class TestFlatProfile:
+    def test_exclusive_vs_inclusive(self):
+        tool = Callgrind()
+        feed(
+            tool,
+            [
+                Call(1, "parent"),
+                Read(1, 1),
+                Call(1, "child"),
+                Read(1, 2),
+                Read(1, 3),
+                Return(1),
+                Write(1, 4),
+                Return(1),
+            ],
+        )
+        summary = tool.finish()["routines"]
+        assert summary["child"] == {"calls": 1, "exclusive": 2, "inclusive": 2}
+        assert summary["parent"] == {"calls": 1, "exclusive": 2, "inclusive": 4}
+
+    def test_call_counts_accumulate(self):
+        tool = Callgrind()
+        for _ in range(3):
+            feed(tool, [Call(1, "f"), Return(1)])
+        assert tool.finish()["routines"]["f"]["calls"] == 3
+
+    def test_edges(self):
+        tool = Callgrind()
+        feed(
+            tool,
+            [
+                Call(1, "a"),
+                Call(1, "b"),
+                Return(1),
+                Call(1, "b"),
+                Return(1),
+                Return(1),
+            ],
+        )
+        edges = tool.finish()["edges"]
+        assert edges[("<root>", "a")] == 1
+        assert edges[("a", "b")] == 2
+
+    def test_threads_have_independent_stacks(self):
+        tool = Callgrind()
+        feed(
+            tool,
+            [
+                Call(1, "f"),
+                Call(2, "g"),
+                Read(1, 1),
+                Read(2, 2),
+                Return(2),
+                Return(1),
+            ],
+        )
+        summary = tool.finish()["routines"]
+        assert summary["f"]["exclusive"] == 1
+        assert summary["g"]["exclusive"] == 1
+
+    def test_events_outside_any_routine_ignored(self):
+        tool = Callgrind()
+        feed(tool, [Read(1, 1), Return(1)])
+        assert tool.finish()["routines"] == {}
+
+    def test_space_grows_with_routines(self):
+        tool = Callgrind()
+        assert tool.space_cells() == 0
+        feed(tool, [Call(1, "f"), Return(1)])
+        assert tool.space_cells() > 0
+
+
+class TestOnMachine:
+    def test_inclusive_matches_profiler_cost_ordering(self):
+        from repro.workloads.sorting import selection_sort_sweep
+
+        tool = Callgrind()
+        machine = selection_sort_sweep(sizes=(8, 16))
+        machine._sink = tool.consume
+        machine.run()
+        summary = tool.finish()["routines"]
+        assert summary["selection_sort"]["calls"] == 2
+        assert (
+            summary["selection_sort"]["inclusive"]
+            >= summary["selection_sort"]["exclusive"]
+        )
+        edges = tool.finish()["edges"]
+        assert ("main", "selection_sort") in edges

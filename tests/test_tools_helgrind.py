@@ -1,0 +1,219 @@
+"""Tests for the mini-helgrind happens-before race detector."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import (
+    KernelToUser,
+    LockAcquire,
+    LockRelease,
+    Read,
+    ThreadStart,
+    Write,
+)
+from repro.tools.helgrind import Helgrind, VectorClock
+from repro.vm import Machine, Mutex, Semaphore
+
+
+def feed(tool, events):
+    for event in events:
+        tool.consume(event)
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        vc = VectorClock()
+        assert vc.get(1) == 0
+        vc.tick(1)
+        vc.tick(1)
+        assert vc.get(1) == 2
+
+    def test_join_takes_pointwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({2: 5, 3: 2})
+        a.join(b)
+        assert a.clocks == {1: 3, 2: 5, 3: 2}
+
+    def test_dominates_epoch(self):
+        vc = VectorClock({1: 3})
+        assert vc.dominates_epoch(1, 3)
+        assert vc.dominates_epoch(1, 2)
+        assert not vc.dominates_epoch(1, 4)
+        assert not vc.dominates_epoch(2, 1)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        b.tick(1)
+        assert a.get(1) == 1
+
+    @given(
+        st.dictionaries(st.integers(1, 4), st.integers(1, 100), max_size=4),
+        st.dictionaries(st.integers(1, 4), st.integers(1, 100), max_size=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_join_is_lub(self, clocks_a, clocks_b):
+        a = VectorClock(clocks_a)
+        a.join(VectorClock(clocks_b))
+        for tid in set(clocks_a) | set(clocks_b):
+            assert a.get(tid) == max(
+                clocks_a.get(tid, 0), clocks_b.get(tid, 0)
+            )
+        # join is idempotent
+        snapshot = dict(a.clocks)
+        a.join(VectorClock(clocks_b))
+        assert a.clocks == snapshot
+
+
+class TestRaceDetection:
+    def test_unordered_write_write_races(self):
+        tool = Helgrind()
+        feed(tool, [Write(1, 10), Write(2, 10)])
+        assert any(kind == "write-after-write" for _, kind, _, _ in tool.races)
+
+    def test_unordered_read_after_write_races(self):
+        tool = Helgrind()
+        feed(tool, [Write(1, 10), Read(2, 10)])
+        assert any(kind == "read-after-write" for _, kind, _, _ in tool.races)
+
+    def test_unordered_write_after_read_races(self):
+        tool = Helgrind()
+        feed(tool, [Write(1, 10), Read(1, 10), Write(2, 10)])
+        kinds = {kind for _, kind, _, _ in tool.races}
+        assert "write-after-read" in kinds or "write-after-write" in kinds
+
+    def test_lock_ordering_suppresses_race(self):
+        tool = Helgrind()
+        feed(
+            tool,
+            [
+                LockAcquire(1, "m"),
+                Write(1, 10),
+                LockRelease(1, "m"),
+                LockAcquire(2, "m"),
+                Read(2, 10),
+                Write(2, 10),
+                LockRelease(2, "m"),
+            ],
+        )
+        assert tool.races == []
+
+    def test_different_locks_do_not_order(self):
+        tool = Helgrind()
+        feed(
+            tool,
+            [
+                LockAcquire(1, "m1"),
+                Write(1, 10),
+                LockRelease(1, "m1"),
+                LockAcquire(2, "m2"),
+                Write(2, 10),
+                LockRelease(2, "m2"),
+            ],
+        )
+        assert tool.races
+
+    def test_thread_start_orders_parent_writes(self):
+        tool = Helgrind()
+        feed(
+            tool,
+            [
+                ThreadStart(1, 0),
+                Write(1, 10),
+                # T1's writes so far happen-before T2's start... but the
+                # start edge comes from T1's clock at spawn time:
+                ThreadStart(2, 1),
+                Read(2, 10),
+            ],
+        )
+        assert tool.races == []
+
+    def test_same_thread_never_races_with_itself(self):
+        tool = Helgrind()
+        feed(tool, [Write(1, 5), Read(1, 5), Write(1, 5)])
+        assert tool.races == []
+
+    def test_kernel_fill_is_synchronised(self):
+        tool = Helgrind()
+        feed(tool, [KernelToUser(1, 7), Read(1, 7)])
+        assert tool.races == []
+
+    def test_report_cap(self):
+        tool = Helgrind(max_reports=2)
+        for addr in range(10):
+            feed(tool, [Write(1, addr), Write(2, addr)])
+        assert len(tool.races) == 2
+
+    def test_lockset_suspects(self):
+        tool = Helgrind()
+        feed(
+            tool,
+            [
+                LockAcquire(1, "m"),
+                Write(1, 10),
+                LockRelease(1, "m"),
+                Write(2, 10),  # no lock held: candidate set drains
+            ],
+        )
+        assert 10 in tool.lockset_suspects
+
+
+class TestOnMachine:
+    def run_under(self, machine):
+        tool = Helgrind()
+        machine._sink = tool.consume
+        machine.run()
+        return tool
+
+    def test_semaphore_ordered_producer_consumer_is_clean(self):
+        from repro.workloads.patterns import producer_consumer
+
+        machine = producer_consumer(15)
+        tool = self.run_under(machine)
+        assert tool.races == []
+
+    def test_pipeline_is_clean(self):
+        from repro.workloads.patterns import pipeline_chain
+
+        machine = pipeline_chain(n_items=8, stages=3)
+        tool = self.run_under(machine)
+        assert tool.races == []
+
+    def test_fork_join_suite_benchmark_is_clean(self):
+        from repro.workloads.specomp import build_specomp
+
+        machine = build_specomp("md", threads=4)
+        tool = self.run_under(machine)
+        assert tool.races == []
+
+    def test_unsynchronised_sharing_is_flagged(self):
+        machine = Machine()
+        cell = machine.memory.alloc(1)
+        machine.memory.store(cell, 0)
+
+        def toucher(ctx):
+            ctx.write(cell, ctx.tid)
+            yield
+            ctx.write(cell, ctx.tid)
+            yield
+
+        machine.spawn(toucher)
+        machine.spawn(toucher)
+        tool = self.run_under(machine)
+        assert tool.races
+
+    def test_space_accounts_vector_clocks(self):
+        machine = Machine()
+        cell = machine.memory.alloc(1)
+        machine.memory.store(cell, 0)
+        lock = Mutex("m")
+
+        def toucher(ctx):
+            yield from lock.acquire(ctx)
+            ctx.write(cell, 1)
+            lock.release(ctx)
+
+        machine.spawn(toucher)
+        machine.spawn(toucher)
+        tool = self.run_under(machine)
+        assert tool.space_cells() > 0

@@ -1,0 +1,84 @@
+"""Tests for the mini-memcheck validity checker."""
+
+from repro.core.events import KernelToUser, Read, UserToKernel, Write
+from repro.tools.memcheck import Memcheck
+from repro.vm import Machine
+
+
+class TestValidityBits:
+    def test_read_of_undefined_is_reported(self):
+        tool = Memcheck()
+        tool.consume(Read(1, 100))
+        assert tool.undefined_reads == [(1, 100)]
+
+    def test_write_defines(self):
+        tool = Memcheck()
+        tool.consume(Write(1, 100))
+        tool.consume(Read(1, 100))
+        assert tool.undefined_reads == []
+
+    def test_kernel_fill_defines(self):
+        tool = Memcheck()
+        tool.consume(KernelToUser(1, 50))
+        tool.consume(Read(2, 50))
+        assert tool.undefined_reads == []
+
+    def test_syscall_param_check(self):
+        tool = Memcheck()
+        tool.consume(UserToKernel(1, 7))
+        assert tool.undefined_reads == [(1, 7)]
+        tool.consume(Write(1, 8))
+        tool.consume(UserToKernel(1, 8))
+        assert len(tool.undefined_reads) == 1
+
+    def test_report_cap(self):
+        tool = Memcheck(max_reports=3)
+        for addr in range(10):
+            tool.consume(Read(1, addr))
+        assert len(tool.undefined_reads) == 3
+
+    def test_finish_summary(self):
+        tool = Memcheck()
+        tool.consume(Write(1, 1))
+        tool.consume(Read(1, 1))
+        tool.consume(Read(1, 2))
+        summary = tool.finish()
+        assert summary["reads"] == 2
+        assert summary["writes"] == 1
+        assert summary["undefined_reads"] == [(1, 2)]
+
+    def test_space_tracks_shadowed_cells(self):
+        tool = Memcheck()
+        assert tool.space_cells() == 0
+        tool.consume(Write(1, 1))
+        assert tool.space_cells() > 0
+
+
+class TestOnMachine:
+    def test_clean_workload_has_no_reports(self):
+        from repro.workloads.patterns import producer_consumer
+
+        tool = Memcheck()
+        machine = producer_consumer(10, machine=Machine(sink=tool.consume))
+        machine.run()
+        assert tool.undefined_reads == []
+
+    def test_catches_workload_reading_junk(self):
+        tool = Memcheck()
+        machine = Machine(sink=tool.consume, strict_memory=False)
+        base = machine.memory.alloc(2, "buf")
+        machine.memory.store(base, 1)
+
+        def sloppy(ctx):
+            ctx.read(base)      # defined? no - written before tracing...
+            ctx.write(base, 2)
+            ctx.read(base)      # fine
+            ctx.read(base + 1)  # never written: undefined
+            yield
+
+        machine.spawn(sloppy)
+        machine.run()
+        # the pre-initialised cell was stored outside the event stream,
+        # so memcheck flags both it and the genuinely-junk cell
+        flagged = {addr for _tid, addr in tool.undefined_reads}
+        assert base + 1 in flagged

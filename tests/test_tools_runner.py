@@ -1,0 +1,128 @@
+"""Tests for the measurement harness and the tool adapters."""
+
+import math
+
+import pytest
+
+from repro.core.events import Call, Read, Return, Write
+from repro.tools import (
+    AprofDrmsTool,
+    AprofTool,
+    DEFAULT_TOOLS,
+    Nulgrind,
+    geometric_mean,
+    measure_workload,
+    suite_summary,
+)
+from repro.workloads.patterns import producer_consumer
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([0.0, -1.0, 4.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+
+class TestNulgrind:
+    def test_counts_events_and_nothing_else(self):
+        tool = Nulgrind()
+        tool.consume(Read(1, 5))
+        tool.consume(Write(1, 5))
+        assert tool.finish() == {"events": 2}
+        assert tool.space_cells() == 0
+
+
+class TestProfilerAdapters:
+    def feed_activation(self, tool):
+        tool.consume(Call(1, "f", cost=0))
+        tool.consume(Read(1, 100))
+        tool.consume(Return(1, cost=5))
+
+    def test_aprof_tool(self):
+        tool = AprofTool()
+        self.feed_activation(tool)
+        summary = tool.finish()
+        assert summary["routines"] == 1
+        assert tool.space_cells() > 0
+
+    def test_aprof_drms_tool(self):
+        tool = AprofDrmsTool()
+        self.feed_activation(tool)
+        summary = tool.finish()
+        assert summary["routines"] == 1
+        assert "read_counters" in summary
+
+    def test_drms_tool_space_exceeds_aprof_on_shared_writes(self):
+        events = [Call(1, "f")]
+        for addr in range(300):
+            events.append(Write(1, addr))
+        events.append(Return(1))
+        aprof = AprofTool()
+        drms = AprofDrmsTool()
+        for event in events:
+            aprof.consume(event)
+            drms.consume(event)
+        # the drms tool additionally maintains the global wts shadow
+        assert drms.space_cells() > aprof.space_cells()
+
+
+class TestMeasureWorkload:
+    def test_structure_and_sanity(self):
+        measurement = measure_workload(
+            "pc", lambda: producer_consumer(20), repeats=1
+        )
+        assert measurement.workload == "pc"
+        assert measurement.native_time > 0
+        assert set(measurement.tools) == set(DEFAULT_TOOLS)
+        for tool_measurement in measurement.tools.values():
+            assert tool_measurement.wall_time > 0
+            assert tool_measurement.slowdown > 0
+            assert math.isfinite(tool_measurement.slowdown)
+            assert tool_measurement.space_overhead >= 1.0
+            assert tool_measurement.events > 0
+
+    def test_all_tools_see_the_same_event_count(self):
+        measurement = measure_workload(
+            "pc", lambda: producer_consumer(20), repeats=1
+        )
+        counts = {t.events for t in measurement.tools.values()}
+        assert len(counts) == 1
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            measure_workload("pc", lambda: producer_consumer(1), repeats=0)
+
+    def test_subset_of_tools(self):
+        measurement = measure_workload(
+            "pc",
+            lambda: producer_consumer(5),
+            tools={"nulgrind": Nulgrind},
+            repeats=1,
+        )
+        assert list(measurement.tools) == ["nulgrind"]
+
+
+class TestSuiteSummary:
+    def test_geo_means_across_workloads(self):
+        measurements = [
+            measure_workload(
+                f"pc{n}",
+                lambda n=n: producer_consumer(n),
+                tools={"nulgrind": Nulgrind},
+                repeats=1,
+            )
+            for n in (5, 10)
+        ]
+        summary = suite_summary(measurements)
+        assert "nulgrind" in summary
+        assert summary["nulgrind"]["slowdown"] > 0
+        assert summary["nulgrind"]["space_overhead"] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert suite_summary([]) == {}

@@ -1,0 +1,120 @@
+"""Round-trip tests for trace persistence."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import profile_events
+from repro.core.events import (
+    Call,
+    KernelToUser,
+    LockAcquire,
+    LockRelease,
+    Read,
+    Return,
+    SwitchThread,
+    ThreadExit,
+    ThreadStart,
+    UserToKernel,
+    Write,
+)
+from repro.core.tracefile import (
+    TraceFormatError,
+    event_to_line,
+    iter_trace,
+    line_to_event,
+    load_trace,
+    save_trace,
+)
+from repro.workloads.mysql import select_sweep
+
+ALL_EVENT_EXAMPLES = [
+    Call(1, "f", 42),
+    Call(2, "name with spaces", 0),
+    Return(1, 99),
+    Read(1, 65536),
+    Write(2, 0),
+    UserToKernel(1, 7),
+    KernelToUser(3, 8),
+    SwitchThread(),
+    LockAcquire(1, "m"),
+    LockRelease(1, "weird lock\tname"),
+    ThreadStart(2, 1),
+    ThreadExit(2),
+]
+
+
+class TestLineRoundTrip:
+    @pytest.mark.parametrize("event", ALL_EVENT_EXAMPLES, ids=repr)
+    def test_every_event_kind(self, event):
+        assert line_to_event(event_to_line(event)) == event
+
+    def test_names_with_whitespace_survive(self):
+        event = Call(1, "a b\tc\nd", 0)
+        line = event_to_line(event)
+        assert "\n" not in line
+        assert line_to_event(line) == event
+
+    @pytest.mark.parametrize(
+        "line", ["", "X 1 2", "C 1", "R one 2", "L+ 1"]
+    )
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(TraceFormatError):
+            line_to_event(line)
+
+
+class TestFileRoundTrip:
+    def test_whole_workload_trace(self):
+        machine = select_sweep()
+        machine.run()
+        buffer = io.StringIO()
+        written = save_trace(machine.trace, buffer)
+        assert written == len(machine.trace)
+        buffer.seek(0)
+        restored = load_trace(buffer)
+        assert restored == machine.trace
+
+    def test_reprofile_from_file_matches_live(self):
+        machine = select_sweep()
+        machine.run()
+        buffer = io.StringIO()
+        save_trace(machine.trace, buffer)
+        buffer.seek(0)
+        live = profile_events(machine.trace)
+        replayed = profile_events(load_trace(buffer))
+        assert (
+            live.profiles.activations == replayed.profiles.activations
+        )
+
+    def test_iter_trace_skips_comments_and_blanks(self):
+        text = "# header\n\nS\nR 1 5\n"
+        events = list(iter_trace(io.StringIO(text)))
+        assert events == [SwitchThread(), Read(1, 5)]
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.builds(Read, st.integers(1, 4), st.integers(0, 10**6)),
+            st.builds(Write, st.integers(1, 4), st.integers(0, 10**6)),
+            st.builds(
+                Call,
+                st.integers(1, 4),
+                st.text(min_size=1, max_size=10),
+                st.integers(0, 10**9),
+            ),
+            st.builds(Return, st.integers(1, 4), st.integers(0, 10**9)),
+            st.just(SwitchThread()),
+            st.builds(KernelToUser, st.integers(1, 4), st.integers(0, 10**6)),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_arbitrary_trace_roundtrip_property(events):
+    buffer = io.StringIO()
+    save_trace(events, buffer)
+    buffer.seek(0)
+    assert load_trace(buffer) == events

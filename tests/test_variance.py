@@ -1,0 +1,78 @@
+"""Tests for the cost-variance diagnostics."""
+
+import pytest
+
+from repro.analysis.variance import suspicion_report, suspicious_points
+from repro.core import RMS_POLICY, profile_events
+from repro.core.profiles import RoutineProfile
+from repro.workloads.vips import wbuffer_workload
+
+
+def profile_with(points):
+    profile = RoutineProfile("r")
+    for size, cost in points:
+        profile.record(size, cost)
+    return profile
+
+
+class TestSuspiciousPoints:
+    def test_high_spread_is_flagged(self):
+        profile = profile_with([(10, 100), (10, 500)])
+        (point,) = suspicious_points(profile)
+        assert point.input_size == 10
+        assert point.spread == 5.0
+        assert point.calls == 2
+
+    def test_low_spread_is_not(self):
+        profile = profile_with([(10, 100), (10, 150)])
+        assert suspicious_points(profile) == []
+
+    def test_single_call_points_skipped(self):
+        profile = profile_with([(10, 100), (20, 9000)])
+        assert suspicious_points(profile) == []
+
+    def test_zero_min_cost_with_positive_max(self):
+        profile = profile_with([(5, 0), (5, 100)])
+        (point,) = suspicious_points(profile)
+        assert point.spread == float("inf")
+
+    def test_all_zero_costs_not_flagged(self):
+        profile = profile_with([(5, 0), (5, 0)])
+        assert suspicious_points(profile) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            suspicious_points(profile_with([(1, 1)]), spread_threshold=0.5)
+
+    def test_custom_threshold(self):
+        profile = profile_with([(10, 100), (10, 160)])
+        assert suspicious_points(profile, spread_threshold=1.5)
+        assert not suspicious_points(profile, spread_threshold=2.0)
+
+
+class TestSuspicionReport:
+    def test_wbuffer_rms_profile_is_suspicious_and_drms_is_not(self):
+        """The Figure 6 narrative as a diagnostic: the rms profile of
+        wbuffer_write_thread screams variance; the full drms profile is
+        clean (every call its own point)."""
+        machine = wbuffer_workload(calls=24)
+        machine.run()
+        rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+        drms_report = profile_events(machine.trace)
+        rms_flags = suspicion_report(rms_report)
+        drms_flags = suspicion_report(drms_report)
+        assert "wbuffer_write_thread" in rms_flags
+        assert "wbuffer_write_thread" not in drms_flags
+
+    def test_sorted_by_spread(self):
+        from repro.core.profiler import ProfileReport
+        from repro.core.profiles import ProfileSet
+
+        profiles = ProfileSet()
+        for cost in (10, 20):
+            profiles.collect("r", 1, 1, cost)
+        for cost in (10, 900):
+            profiles.collect("r", 1, 2, cost)
+        report = ProfileReport(policy=RMS_POLICY, profiles=profiles)
+        (points,) = suspicion_report(report, spread_threshold=1.5).values()
+        assert [p.input_size for p in points] == [2, 1]

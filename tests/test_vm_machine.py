@@ -1,0 +1,363 @@
+"""Tests for the trace virtual machine: threading, scheduling, sync,
+syscalls, memory faults, and the traces it emits."""
+
+import pytest
+
+from repro.core import FULL_POLICY, RMS_POLICY, profile_events
+from repro.core.events import (
+    Call,
+    KernelToUser,
+    Read,
+    Return,
+    SwitchThread,
+    UserToKernel,
+    Write,
+)
+from repro.vm import (
+    Barrier,
+    DeadlockError,
+    FileDevice,
+    Machine,
+    Mutex,
+    OutOfRange,
+    RandomScheduler,
+    Semaphore,
+    SinkDevice,
+    StickyScheduler,
+    StreamDevice,
+    UseAfterFree,
+)
+from repro.workloads.patterns import pipeline_chain, producer_consumer, stream_reader
+
+
+def drms_of(machine, routine, policy=FULL_POLICY):
+    report = profile_events(machine.trace, policy=policy)
+    return report.routine(routine)
+
+
+class TestSingleThread:
+    def test_simple_routine_trace_and_result(self):
+        machine = Machine()
+        base = machine.memory.alloc(4, "arr")
+
+        def init_and_sum(ctx):
+            for i in range(4):
+                ctx.write(base + i, i * 10)
+            total = 0
+            for i in range(4):
+                total += ctx.read(base + i)
+            return total
+            yield  # pragma: no cover
+
+        machine.spawn(init_and_sum)
+        machine.run()
+        assert machine.results() == [60]
+        kinds = [type(e) for e in machine.trace]
+        assert kinds.count(Write) == 4
+        assert kinds.count(Read) == 4
+        assert kinds.count(Call) == 1
+        assert kinds.count(Return) == 1
+        assert SwitchThread not in kinds
+
+    def test_rms_zero_for_self_initialised_data(self):
+        """A routine that writes before reading has rms == drms == 0."""
+        machine = Machine()
+        base = machine.memory.alloc(8, "arr")
+
+        def self_contained(ctx):
+            for i in range(8):
+                ctx.write(base + i, i)
+            acc = 0
+            for i in range(8):
+                acc += ctx.read(base + i)
+            return acc
+            yield  # pragma: no cover
+
+        machine.spawn(self_contained)
+        machine.run()
+        profile = drms_of(machine, "self_contained")
+        assert list(profile.points) == [0]
+
+    def test_subroutine_costs_are_inclusive(self):
+        machine = Machine()
+
+        def child(ctx):
+            ctx.compute(10)
+            return None
+            yield  # pragma: no cover
+
+        def parent(ctx):
+            yield from ctx.call(child)
+            ctx.compute(5)
+
+        machine.spawn(parent)
+        machine.run()
+        report = profile_events(machine.trace)
+        child_cost = report.routine("child").worst_case_plot()[0][1]
+        parent_cost = report.routine("parent").worst_case_plot()[0][1]
+        assert child_cost >= 10
+        assert parent_cost >= child_cost + 5
+
+    def test_uninstrumented_run_emits_nothing(self):
+        machine = producer_consumer(10, machine=Machine(instrument=False))
+        machine.run()
+        assert machine.trace == []
+        assert machine.total_blocks > 0
+
+
+class TestProducerConsumer:
+    @pytest.mark.parametrize("n", [1, 7, 25])
+    def test_consumer_drms_is_n(self, n):
+        machine = producer_consumer(n)
+        machine.run()
+        assert list(drms_of(machine, "consumer").points) == [n]
+
+    @pytest.mark.parametrize("n", [1, 7, 25])
+    def test_consumer_rms_is_one(self, n):
+        machine = producer_consumer(n)
+        machine.run()
+        assert list(drms_of(machine, "consumer", RMS_POLICY).points) == [1]
+
+    def test_consumer_checksum(self):
+        machine = producer_consumer(5)
+        machine.run()
+        # consumer returns sum of i*i for i in range(5)
+        assert machine.results()[1] == sum(i * i for i in range(5))
+
+    def test_every_consume_data_activation_has_drms_one(self):
+        machine = producer_consumer(6)
+        machine.run()
+        profile = drms_of(machine, "consumeData")
+        assert profile.calls == 6
+        assert list(profile.points) == [1]
+
+
+class TestStreamReader:
+    @pytest.mark.parametrize("n", [1, 5, 40])
+    def test_drms_is_n_and_rms_is_one(self, n):
+        machine = stream_reader(n)
+        machine.run()
+        assert list(drms_of(machine, "streamReader").points) == [n]
+        assert list(drms_of(machine, "streamReader", RMS_POLICY).points) == [1]
+
+    def test_finite_stream_stops_early(self):
+        machine = stream_reader(100, data=iter(range(10)))
+        machine.run()
+        # 2 cells per fill, so 5 complete iterations then EOF
+        assert list(drms_of(machine, "streamReader").points) == [5]
+
+    def test_kernel_events_present(self):
+        machine = stream_reader(3)
+        machine.run()
+        fills = [e for e in machine.trace if isinstance(e, KernelToUser)]
+        assert len(fills) == 6  # 2 cells x 3 iterations
+
+
+class TestPipeline:
+    def test_items_flow_through_all_stages(self):
+        machine = pipeline_chain(n_items=8, stages=4)
+        machine.run()
+        # each of the 2 transform stages adds 1 to each item
+        assert machine.results()[-1] == sum(i + 2 for i in range(8))
+
+    def test_every_stage_has_thread_input(self):
+        machine = pipeline_chain(n_items=10, stages=3)
+        machine.run()
+        report = profile_events(machine.trace)
+        for routine in ("stage1_transform", "stage2_sink"):
+            _plain, thread_induced, kernel_induced = report.induced_split(routine)
+            assert thread_induced >= 9
+            assert kernel_induced == 0
+
+
+class TestSchedulers:
+    def test_random_scheduler_is_deterministic_per_seed(self):
+        traces = []
+        for _ in range(2):
+            machine = producer_consumer(
+                12, machine=Machine(scheduler=RandomScheduler(seed=42))
+            )
+            machine.run()
+            traces.append(machine.trace)
+        assert traces[0] == traces[1]
+
+    def test_different_seeds_can_change_interleaving(self):
+        outcomes = set()
+        for seed in range(6):
+            machine = producer_consumer(
+                12, machine=Machine(scheduler=RandomScheduler(seed=seed))
+            )
+            machine.run()
+            outcomes.add(machine.switches)
+        assert len(outcomes) > 1
+
+    def test_sticky_scheduler_completes(self):
+        machine = producer_consumer(5, machine=Machine(scheduler=StickyScheduler()))
+        machine.run()
+        assert list(drms_of(machine, "consumer").points) == [5]
+
+    def test_interleaving_does_not_change_drms(self):
+        """Scheduling choices move costs around but the consumer's drms
+        is n under every scheduler (the paper's Section 4.2 stability
+        observation, in its sharpest form for this workload)."""
+        for scheduler in [RandomScheduler(3), RandomScheduler(9), StickyScheduler()]:
+            machine = producer_consumer(15, machine=Machine(scheduler=scheduler))
+            machine.run()
+            assert list(drms_of(machine, "consumer").points) == [15]
+
+
+class TestSyncPrimitives:
+    def test_deadlock_detection(self):
+        machine = Machine()
+        sem = Semaphore(0, "never")
+
+        def waiter(ctx):
+            yield from sem.wait(ctx)
+
+        machine.spawn(waiter)
+        with pytest.raises(DeadlockError):
+            machine.run()
+
+    def test_mutex_mutual_exclusion_and_events(self):
+        machine = Machine()
+        mutex = Mutex("m")
+        counter = machine.memory.alloc(1, "counter")
+        machine.memory.store(counter, 0)
+
+        def incrementer(ctx):
+            for _ in range(50):
+                yield from mutex.acquire(ctx)
+                value = ctx.read(counter)
+                yield  # tempt a lost update: switch inside the section
+                ctx.write(counter, value + 1)
+                mutex.release(ctx)
+                yield
+
+        machine.spawn(incrementer)
+        machine.spawn(incrementer)
+        machine.run()
+        assert machine.memory.load(counter) == 100
+
+    def test_mutex_release_by_non_owner_raises(self):
+        machine = Machine()
+        mutex = Mutex("m")
+
+        def bad(ctx):
+            mutex.release(ctx)
+            yield
+
+        machine.spawn(bad)
+        with pytest.raises(RuntimeError, match="releasing"):
+            machine.run()
+
+    def test_barrier_synchronises_all_parties(self):
+        machine = Machine()
+        barrier = Barrier(3, "b")
+        log_base = machine.memory.alloc(6, "log")
+        slot = [0]
+
+        def worker(ctx, wid):
+            ctx.write(log_base + slot[0], ("before", wid))
+            slot[0] += 1
+            yield from barrier.wait(ctx)
+            ctx.write(log_base + slot[0], ("after", wid))
+            slot[0] += 1
+
+        for wid in range(3):
+            machine.spawn(worker, wid)
+        machine.run()
+        phases = [
+            machine.memory.load(log_base + i)[0] for i in range(6)
+        ]
+        assert phases == ["before"] * 3 + ["after"] * 3
+
+
+class TestMemoryFaults:
+    def test_out_of_range_read(self):
+        machine = Machine()
+
+        def bad(ctx):
+            ctx.read(0xDEAD)
+            yield
+
+        machine.spawn(bad)
+        with pytest.raises(OutOfRange):
+            machine.run()
+
+    def test_use_after_free(self):
+        machine = Machine()
+
+        def bad(ctx):
+            base = ctx.alloc(4, "tmp")
+            ctx.write(base, 1)
+            ctx.free(base)
+            ctx.read(base)
+            yield
+
+        machine.spawn(bad)
+        with pytest.raises(UseAfterFree):
+            machine.run()
+
+    def test_non_strict_memory_allows_wild_reads(self):
+        machine = Machine(strict_memory=False)
+
+        def wild(ctx):
+            assert ctx.read(0xDEAD) == 0
+            yield
+
+        machine.spawn(wild)
+        machine.run()
+
+
+class TestSyscalls:
+    def test_file_device_positional_read(self):
+        machine = Machine()
+        fd = machine.kernel.open(FileDevice(list(range(100))))
+        buf = machine.memory.alloc(4, "buf")
+
+        def reader(ctx):
+            filled = ctx.sys_pread64(fd, buf, 4, offset=50)
+            assert filled == 4
+            return [ctx.read(buf + i) for i in range(4)]
+            yield  # pragma: no cover
+
+        machine.spawn(reader)
+        machine.run()
+        assert machine.results() == [[50, 51, 52, 53]]
+
+    def test_outbound_write_reaches_device_and_emits_u2k(self):
+        machine = Machine()
+        sink = SinkDevice()
+        fd = machine.kernel.open(sink)
+        buf = machine.memory.alloc(3, "out")
+
+        def writer(ctx):
+            for i in range(3):
+                ctx.write(buf + i, i + 7)
+            written = ctx.sys_write(fd, buf, 3)
+            assert written == 3
+            yield
+
+        machine.spawn(writer)
+        machine.run()
+        assert sink.received == [7, 8, 9]
+        drains = [e for e in machine.trace if isinstance(e, UserToKernel)]
+        assert len(drains) == 3
+
+    def test_user_to_kernel_counts_as_input_for_rms_and_drms(self):
+        """Writing a buffer produced elsewhere: the kernel's reads are
+        the routine's input."""
+        machine = Machine()
+        fd = machine.kernel.open(SinkDevice())
+        buf = machine.memory.alloc(5, "payload")
+        for i in range(5):
+            machine.memory.store(buf + i, i)
+
+        def sender(ctx):
+            ctx.sys_sendto(fd, buf, 5)
+            yield
+
+        machine.spawn(sender)
+        machine.run()
+        report = profile_events(machine.trace)
+        assert list(report.routine("sender").points) == [5]

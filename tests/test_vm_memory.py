@@ -1,0 +1,109 @@
+"""Tests for the VM address space and allocator."""
+
+import pytest
+
+from repro.vm.memory import Memory, MemoryError_, OutOfRange, UseAfterFree
+
+
+class TestAlloc:
+    def test_alloc_returns_distinct_regions(self):
+        mem = Memory()
+        a = mem.alloc(10, "a")
+        b = mem.alloc(10, "b")
+        assert b >= a + 10  # red zone between regions
+
+    def test_zero_or_negative_size_rejected(self):
+        mem = Memory()
+        with pytest.raises(ValueError):
+            mem.alloc(0)
+        with pytest.raises(ValueError):
+            mem.alloc(-3)
+
+    def test_region_at(self):
+        mem = Memory()
+        base = mem.alloc(4, "arr")
+        region = mem.region_at(base + 3)
+        assert region is not None
+        assert region.name == "arr"
+        assert mem.region_at(base + 4) is None  # red zone
+
+    def test_allocated_cells(self):
+        mem = Memory()
+        mem.alloc(10)
+        base = mem.alloc(5)
+        assert mem.allocated_cells == 15
+        mem.free(base)
+        assert mem.allocated_cells == 10
+
+
+class TestLoadStore:
+    def test_roundtrip(self):
+        mem = Memory()
+        base = mem.alloc(2)
+        mem.store(base, "hello")
+        mem.store(base + 1, 42)
+        assert mem.load(base) == "hello"
+        assert mem.load(base + 1) == 42
+
+    def test_strict_uninitialised_read_raises(self):
+        mem = Memory()
+        base = mem.alloc(1)
+        with pytest.raises(MemoryError_, match="uninitialised"):
+            mem.load(base)
+
+    def test_strict_out_of_range(self):
+        mem = Memory()
+        with pytest.raises(OutOfRange):
+            mem.load(12345)
+        with pytest.raises(OutOfRange):
+            mem.store(12345, 1)
+
+    def test_non_strict_returns_zero(self):
+        mem = Memory(strict=False)
+        assert mem.load(999) == 0
+        mem.store(999, 5)
+        assert mem.load(999) == 5
+
+    def test_initialised(self):
+        mem = Memory()
+        base = mem.alloc(1)
+        assert not mem.initialised(base)
+        mem.store(base, 1)
+        assert mem.initialised(base)
+
+    def test_snapshot(self):
+        mem = Memory()
+        base = mem.alloc(3)
+        mem.store(base, 1)
+        mem.store(base + 2, 3)
+        assert mem.snapshot(base, 3) == (1, 0, 3)
+
+
+class TestFree:
+    def test_use_after_free(self):
+        mem = Memory()
+        base = mem.alloc(2)
+        mem.store(base, 1)
+        mem.free(base)
+        with pytest.raises(UseAfterFree):
+            mem.load(base)
+        with pytest.raises(UseAfterFree):
+            mem.store(base, 2)
+
+    def test_double_free(self):
+        mem = Memory()
+        base = mem.alloc(2)
+        mem.free(base)
+        with pytest.raises(UseAfterFree, match="double free"):
+            mem.free(base)
+
+    def test_free_of_interior_pointer_rejected(self):
+        mem = Memory()
+        base = mem.alloc(4)
+        with pytest.raises(MemoryError_):
+            mem.free(base + 1)
+
+    def test_free_of_wild_pointer_rejected(self):
+        mem = Memory()
+        with pytest.raises(MemoryError_):
+            mem.free(0xDEAD)

@@ -1,0 +1,174 @@
+"""Tests for the synchronisation primitives and schedulers."""
+
+import pytest
+
+from repro.core.events import LockAcquire, LockRelease
+from repro.vm import (
+    Barrier,
+    Condition,
+    Machine,
+    Mutex,
+    Semaphore,
+)
+from repro.vm.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    StickyScheduler,
+    make_scheduler,
+)
+
+
+class TestSemaphore:
+    def test_initial_value_validation(self):
+        with pytest.raises(ValueError):
+            Semaphore(-1)
+
+    def test_wait_signal_order(self):
+        machine = Machine()
+        sem = Semaphore(0, "s")
+        log = []
+
+        def waiter(ctx):
+            yield from sem.wait(ctx)
+            log.append("woke")
+
+        def signaller(ctx):
+            log.append("signalling")
+            sem.signal(ctx)
+            yield
+
+        machine.spawn(waiter)
+        machine.spawn(signaller)
+        machine.run()
+        assert log == ["signalling", "woke"]
+
+    def test_try_wait(self):
+        machine = Machine()
+        sem = Semaphore(1, "s")
+        results = []
+
+        def prober(ctx):
+            results.append(sem.try_wait(ctx))
+            results.append(sem.try_wait(ctx))
+            yield
+
+        machine.spawn(prober)
+        machine.run()
+        assert results == [True, False]
+
+    def test_counting_behaviour(self):
+        machine = Machine()
+        sem = Semaphore(3, "s")
+
+        def taker(ctx):
+            for _ in range(3):
+                yield from sem.wait(ctx)
+            assert sem.value == 0
+
+        machine.spawn(taker)
+        machine.run()
+
+    def test_emits_hb_events(self):
+        machine = Machine()
+        sem = Semaphore(1, "hb_sem")
+
+        def user(ctx):
+            yield from sem.wait(ctx)
+            sem.signal(ctx)
+
+        machine.spawn(user)
+        machine.run()
+        acquires = [e for e in machine.trace if isinstance(e, LockAcquire)]
+        releases = [e for e in machine.trace if isinstance(e, LockRelease)]
+        assert any(e.lock == "hb_sem" for e in acquires)
+        assert any(e.lock == "hb_sem" for e in releases)
+
+
+class TestCondition:
+    def test_wait_notify(self):
+        machine = Machine()
+        mutex = Mutex("m")
+        cond = Condition(mutex, "c")
+        state = {"ready": False}
+        log = []
+
+        def waiter(ctx):
+            yield from mutex.acquire(ctx)
+            while not state["ready"]:
+                yield from cond.wait(ctx)
+            log.append("proceeded")
+            mutex.release(ctx)
+
+        def notifier(ctx):
+            yield  # let the waiter block first
+            yield from mutex.acquire(ctx)
+            state["ready"] = True
+            cond.notify_all(ctx)
+            log.append("notified")
+            mutex.release(ctx)
+
+        machine.spawn(waiter)
+        machine.spawn(notifier)
+        machine.run()
+        assert log == ["notified", "proceeded"]
+
+
+class TestBarrier:
+    def test_parties_validation(self):
+        with pytest.raises(ValueError):
+            Barrier(0)
+
+    def test_barrier_is_reusable(self):
+        machine = Machine()
+        barrier = Barrier(2, "b")
+        log = []
+
+        def party(ctx, pid):
+            for round_index in range(3):
+                log.append(("arrive", round_index, pid))
+                yield from barrier.wait(ctx)
+                log.append(("leave", round_index, pid))
+                yield
+
+        machine.spawn(party, 0)
+        machine.spawn(party, 1)
+        machine.run()
+        # within each round, both arrivals precede both departures
+        for round_index in range(3):
+            arrivals = [
+                i for i, e in enumerate(log) if e[:2] == ("arrive", round_index)
+            ]
+            departures = [
+                i for i, e in enumerate(log) if e[:2] == ("leave", round_index)
+            ]
+            assert max(arrivals) < min(departures)
+
+
+class TestSchedulers:
+    def test_round_robin_rotates(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.pick([1, 2, 3], current=1) == 2
+        assert scheduler.pick([1, 2, 3], current=3) == 1
+        assert scheduler.pick([1, 2, 3], current=None) == 1
+        assert scheduler.pick([5], current=5) == 5
+
+    def test_sticky_stays(self):
+        scheduler = StickyScheduler()
+        assert scheduler.pick([1, 2, 3], current=2) == 2
+        assert scheduler.pick([1, 3], current=2) == 1
+        assert scheduler.pick([4, 7], current=None) == 4
+
+    def test_random_is_seed_deterministic(self):
+        a = RandomScheduler(seed=3)
+        b = RandomScheduler(seed=3)
+        picks_a = [a.pick([1, 2, 3, 4], None) for _ in range(20)]
+        picks_b = [b.pick([1, 2, 3, 4], None) for _ in range(20)]
+        assert picks_a == picks_b
+        assert len(set(picks_a)) > 1
+
+    def test_make_scheduler(self):
+        assert isinstance(make_scheduler("round-robin"), RoundRobinScheduler)
+        assert isinstance(make_scheduler("random", seed=1), RandomScheduler)
+        assert isinstance(make_scheduler("sticky"), StickyScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler("fair")

@@ -1,0 +1,194 @@
+"""Tests for the kernel model: devices, fds, transfer directions."""
+
+import pytest
+
+from repro.core.events import KernelToUser, UserToKernel
+from repro.vm import Machine
+from repro.vm.syscalls import (
+    INBOUND_SYSCALLS,
+    OUTBOUND_SYSCALLS,
+    BadFileDescriptor,
+    FileDevice,
+    Kernel,
+    SinkDevice,
+    StreamDevice,
+)
+
+
+class FakeCtx:
+    """Minimal context standing in for a VM thread in kernel unit tests."""
+
+    def __init__(self):
+        self.tid = 1
+        self.cells = {}
+        self.fills = []
+        self.drains = []
+        self.charged = 0
+
+    def charge(self, blocks):
+        self.charged += blocks
+
+    def kernel_fill(self, addr, value):
+        self.cells[addr] = value
+        self.fills.append(addr)
+
+    def kernel_drain(self, addr):
+        self.drains.append(addr)
+        return self.cells.get(addr, 0)
+
+
+class TestDevices:
+    def test_stream_device_default_is_seeded_prng(self):
+        a = StreamDevice(seed=5)
+        b = StreamDevice(seed=5)
+        assert a.pull(10) == b.pull(10)
+
+    def test_stream_device_custom_data_and_eof(self):
+        device = StreamDevice(data=iter([1, 2, 3]))
+        assert device.pull(2) == [1, 2]
+        assert device.pull(5) == [3]
+        assert device.pull(5) == []
+        assert device.delivered == 3
+
+    def test_stream_device_not_seekable(self):
+        with pytest.raises(BadFileDescriptor):
+            StreamDevice(data=iter([1])).pull(1, offset=0)
+
+    def test_stream_device_not_writable(self):
+        with pytest.raises(BadFileDescriptor):
+            StreamDevice(data=iter([])).push([1])
+
+    def test_file_device_sequential_cursor(self):
+        device = FileDevice([10, 11, 12, 13])
+        assert device.pull(2) == [10, 11]
+        assert device.pull(2) == [12, 13]
+        assert device.pull(2) == []
+
+    def test_file_device_positional_read_leaves_cursor(self):
+        device = FileDevice([10, 11, 12, 13])
+        assert device.pull(2, offset=2) == [12, 13]
+        assert device.pull(1) == [10]
+
+    def test_file_device_append_and_positional_write(self):
+        device = FileDevice()
+        device.push([1, 2])
+        device.push([9], offset=5)
+        assert device.contents == [1, 2, 0, 0, 0, 9]
+        device.push([7], offset=1)
+        assert device.contents[1] == 7
+
+    def test_sink_device(self):
+        sink = SinkDevice()
+        assert sink.push([1, 2]) == 2
+        assert sink.received == [1, 2]
+        with pytest.raises(BadFileDescriptor):
+            sink.pull(1)
+
+
+class TestKernel:
+    def test_fd_lifecycle(self):
+        kernel = Kernel()
+        fd = kernel.open(SinkDevice())
+        assert fd >= 3
+        kernel.close(fd)
+        with pytest.raises(BadFileDescriptor):
+            kernel.device(fd)
+        with pytest.raises(BadFileDescriptor):
+            kernel.close(fd)
+
+    def test_inbound_fills_and_counts(self):
+        kernel = Kernel()
+        fd = kernel.open(FileDevice([5, 6, 7]))
+        ctx = FakeCtx()
+        got = kernel.inbound("read", ctx, fd, 100, 3)
+        assert got == 3
+        assert ctx.cells == {100: 5, 101: 6, 102: 7}
+        assert ctx.fills == [100, 101, 102]
+        assert kernel.cells_in == 3
+        assert ctx.charged == 4  # 1 + one per cell
+
+    def test_outbound_drains_and_counts(self):
+        kernel = Kernel()
+        sink = SinkDevice()
+        fd = kernel.open(sink)
+        ctx = FakeCtx()
+        ctx.cells = {50: "a", 51: "b"}
+        written = kernel.outbound("write", ctx, fd, 50, 2)
+        assert written == 2
+        assert sink.received == ["a", "b"]
+        assert ctx.drains == [50, 51]
+        assert kernel.cells_out == 2
+
+    def test_direction_validation(self):
+        kernel = Kernel()
+        fd = kernel.open(FileDevice([1]))
+        ctx = FakeCtx()
+        with pytest.raises(ValueError, match="not an inbound"):
+            kernel.inbound("write", ctx, fd, 0, 1)
+        with pytest.raises(ValueError, match="not an outbound"):
+            kernel.outbound("read", ctx, fd, 0, 1)
+
+    def test_reading_a_sink_rejected(self):
+        kernel = Kernel()
+        fd = kernel.open(SinkDevice())
+        with pytest.raises(BadFileDescriptor, match="not readable"):
+            kernel.inbound("read", FakeCtx(), fd, 0, 1)
+
+    def test_writing_a_stream_rejected(self):
+        kernel = Kernel()
+        fd = kernel.open(StreamDevice(data=iter([])))
+        with pytest.raises(BadFileDescriptor, match="not writable"):
+            kernel.outbound("write", FakeCtx(), fd, 0, 1)
+
+    def test_paper_syscall_table(self):
+        assert set(INBOUND_SYSCALLS) == {
+            "read",
+            "recvfrom",
+            "pread64",
+            "readv",
+            "msgrcv",
+            "preadv",
+        }
+        assert set(OUTBOUND_SYSCALLS) == {
+            "write",
+            "sendto",
+            "pwrite64",
+            "writev",
+            "msgsnd",
+            "pwritev",
+        }
+
+
+class TestSyscallEventsEndToEnd:
+    def test_recvfrom_emits_kernel_to_user(self):
+        machine = Machine()
+        fd = machine.kernel.open(StreamDevice(data=iter(range(4))))
+        buf = machine.memory.alloc(4)
+
+        def receiver(ctx):
+            ctx.sys_recvfrom(fd, buf, 4)
+            yield
+
+        machine.spawn(receiver)
+        machine.run()
+        fills = [e for e in machine.trace if isinstance(e, KernelToUser)]
+        assert [e.addr for e in fills] == [buf, buf + 1, buf + 2, buf + 3]
+        assert all(e.thread == 1 for e in fills)
+
+    def test_pwrite64_emits_user_to_kernel_at_offset(self):
+        machine = Machine()
+        file_device = FileDevice([0] * 10)
+        fd = machine.kernel.open(file_device)
+        buf = machine.memory.alloc(2)
+        machine.memory.store(buf, 8)
+        machine.memory.store(buf + 1, 9)
+
+        def writer(ctx):
+            ctx.sys_pwrite64(fd, buf, 2, offset=4)
+            yield
+
+        machine.spawn(writer)
+        machine.run()
+        drains = [e for e in machine.trace if isinstance(e, UserToKernel)]
+        assert len(drains) == 2
+        assert file_device.contents[4:6] == [8, 9]

@@ -1,0 +1,192 @@
+"""Unit tests for the workload building blocks themselves: the kernels
+compute what they claim, and the MySQL/vips models behave like the
+systems they imitate."""
+
+import pytest
+
+from repro.core import EXTERNAL_ONLY_POLICY, FULL_POLICY, RMS_POLICY, profile_events
+from repro.vm import Machine
+from repro.workloads.kernels import (
+    fork_join_kernel,
+    montecarlo_kernel,
+    pipeline_io_kernel,
+    stencil_kernel,
+    wavefront_kernel,
+)
+from repro.workloads.mysql import GROUP_SIZE, MysqlServer, mysqlslap, select_sweep
+from repro.workloads.vips import im_generate_sweep, wbuffer_workload
+
+
+class TestForkJoin:
+    def test_reduction_totals_match_master_data(self):
+        machine = Machine()
+        fork_join_kernel(
+            machine, "fj", workers=3, rounds=2, chunk_size=5, seed=42
+        )
+        machine.run()
+        # the master's return value is the total of all worker partials,
+        # which must equal the sum of everything it wrote
+        master = next(t for t in machine.threads if t.name == "fj_master")
+        import random
+
+        rng = random.Random(42)
+        expected = sum(rng.randint(0, 997) for _ in range(2 * 3 * 5))
+        assert master.result == expected
+
+    def test_worker_count_matches_parameter(self):
+        machine = Machine()
+        fork_join_kernel(machine, "fj", workers=5, rounds=1, chunk_size=2)
+        machine.run()
+        workers = [t for t in machine.threads if "worker" in t.name]
+        assert len(workers) == 5
+
+    def test_refresh_routine_has_varying_drms(self):
+        machine = Machine()
+        fork_join_kernel(
+            machine, "fj", workers=2, rounds=6, chunk_size=4, io_cells=3
+        )
+        machine.run()
+        report = profile_events(machine.trace)
+        refresh = report.routine("fj_refresh")
+        assert refresh.calls == 6
+        assert refresh.distinct_sizes >= 3  # 1..3 refill rounds
+
+
+class TestWavefront:
+    def test_dp_matrix_is_fully_computed(self):
+        machine = Machine()
+        wavefront_kernel(machine, "wf", workers=2, size=6, passes=1)
+        machine.run()
+        # every matrix cell was written: snapshot has no zeros beyond
+        # what the recurrence itself produces at (0, 0)
+        region = machine.memory.region_at(machine.memory.BASE)
+        values = machine.memory.snapshot(region.base, region.size)
+        assert len(values) == 36
+        # monotone along each row: scores never decrease left to right
+        for i in range(6):
+            row = values[i * 6 : (i + 1) * 6]
+            assert all(b >= a - 4 for a, b in zip(row, row[1:]))
+
+    def test_border_routine_is_pure_thread_input(self):
+        machine = Machine()
+        wavefront_kernel(machine, "wf", workers=3, size=9, passes=1)
+        machine.run()
+        report = profile_events(machine.trace)
+        plain, thread_induced, kernel = report.induced_split("wf_border")
+        assert thread_induced > 0
+        assert kernel == 0
+        assert plain == 0
+
+
+class TestPipeline:
+    def test_unique_digests_reach_the_sink(self):
+        machine = Machine()
+        pipeline_io_kernel(machine, "pipe", items=10, max_rounds=4)
+        machine.run()
+        writer = next(t for t in machine.threads if t.name == "pipe_writer")
+        assert writer.result >= 1  # at least one unique chunk written
+
+    def test_fetch_and_process_have_collapsed_rms(self):
+        machine = Machine()
+        pipeline_io_kernel(machine, "pipe", items=12, max_rounds=6)
+        machine.run()
+        rms = profile_events(machine.trace, policy=RMS_POLICY)
+        drms = profile_events(machine.trace, policy=FULL_POLICY)
+        for routine in ("pipe_fetch", "pipe_process"):
+            assert rms.distinct_sizes(routine) < drms.distinct_sizes(routine)
+
+
+class TestMontecarlo:
+    def test_workers_read_master_parameters(self):
+        machine = Machine()
+        montecarlo_kernel(machine, "mc", workers=3, trials=5, params=4)
+        machine.run()
+        report = profile_events(machine.trace)
+        total_thread, _ = report.total_induced()
+        assert total_thread >= 3 * 4  # every worker reads every param
+
+
+class TestStencil:
+    def test_grid_values_relax(self):
+        machine = Machine()
+        stencil_kernel(
+            machine, "st", workers=2, cells_per_worker=8, iterations=5
+        )
+        machine.run()
+        region = machine.memory.region_at(machine.memory.BASE)
+        values = machine.memory.snapshot(region.base, region.size)
+        interior = values[1:-1]
+        # Jacobi averaging contracts the range
+        assert max(interior) - min(interior) < 13
+
+
+class TestMysqlServer:
+    def test_select_returns_correct_checksum(self):
+        machine = Machine()
+        server = MysqlServer(machine)
+        server.create_table("t", 100, seed=3)
+        import random
+
+        rng = random.Random(3)
+        expected = sum(rng.randint(0, 1_000_000) for _ in range(100))
+
+        def client(ctx):
+            rows, checksum = yield from ctx.call(
+                server.mysql_select, "t", name="mysql_select"
+            )
+            return rows, checksum
+
+        handle = machine.spawn(client)
+        machine.run()
+        assert handle.result == (100, expected)
+
+    def test_rms_is_capped_near_buffer_size(self):
+        machine = select_sweep(table_rows=(64, 512, 2048))
+        machine.run()
+        report = profile_events(machine.trace, policy=RMS_POLICY)
+        for size, _cost in report.worst_case_plot("mysql_select"):
+            assert size <= GROUP_SIZE + 10
+
+    def test_mysqlslap_clients_param(self):
+        machine = mysqlslap(clients=3, queries_per_client=2)
+        machine.run()
+        assert len(machine.threads) == 3
+
+    def test_mysqlslap_validation(self):
+        with pytest.raises(ValueError):
+            mysqlslap(clients=0)
+
+
+class TestVipsModels:
+    def test_im_generate_output_images_are_written(self):
+        machine = im_generate_sweep(tile_counts=(4, 8))
+        machine.run()
+        # every image cell holds a tile reduction > 0
+        for region in machine.memory._regions:
+            if region.name.startswith("image"):
+                values = machine.memory.snapshot(region.base, region.size)
+                assert all(v > 0 for v in values)
+
+    def test_wbuffer_parameter_validation(self):
+        with pytest.raises(ValueError, match="at least one call"):
+            wbuffer_workload(calls=0)
+        with pytest.raises(ValueError, match="staging step"):
+            wbuffer_workload(
+                calls=2, staging_size=1, staging_rounds_step=1
+            )
+
+    def test_wbuffer_external_only_sits_between(self):
+        # enough calls that the journal volumes (25 distinct) repeat,
+        # making the external-only point count strictly intermediate
+        machine = wbuffer_workload(calls=60)
+        machine.run()
+        counts = {}
+        for label, policy in (
+            ("rms", RMS_POLICY),
+            ("ext", EXTERNAL_ONLY_POLICY),
+            ("full", FULL_POLICY),
+        ):
+            report = profile_events(machine.trace, policy=policy)
+            counts[label] = report.distinct_sizes("wbuffer_write_thread")
+        assert counts["rms"] < counts["ext"] < counts["full"]
+        assert counts["full"] == 60

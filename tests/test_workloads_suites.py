@@ -1,0 +1,199 @@
+"""Integration tests over the synthetic benchmark suites.
+
+Every registered workload must build, run to completion, emit a
+non-trivial trace, profile cleanly under both metrics, and satisfy
+Inequality 1.  Suite-level characterization shapes from the paper's
+evaluation are asserted where the workload models encode them.
+"""
+
+import pytest
+
+from repro.core import FULL_POLICY, RMS_POLICY, profile_events
+from repro.analysis.metrics import (
+    dynamic_input_volume,
+    induced_first_read_split,
+)
+from repro.workloads.registry import REGISTRY, SUITES, get_workload, suite
+
+ALL_NAMES = sorted(REGISTRY)
+
+
+class TestRegistry:
+    def test_suites_cover_registry(self):
+        covered = {w.name for tag in SUITES for w in suite(tag)}
+        assert covered == set(REGISTRY)
+
+    def test_expected_suite_sizes(self):
+        assert len(suite("parsec")) == 13  # PARSEC 2.1 has 13 apps
+        assert len(suite("specomp")) == 14  # SPEC OMP2012 has 14 apps
+        assert len(suite("apps")) == 1
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(KeyError):
+            get_workload("nonexistent")
+        with pytest.raises(KeyError):
+            suite("nonexistent")
+
+    def test_paper_benchmark_names_present(self):
+        for name in (
+            "dedup",
+            "fluidanimate",
+            "vips",
+            "x264",
+            "swaptions",
+            "bodytrack",
+            "nab",
+            "smithwa",
+            "botsalgn",
+            "kdtree",
+            "imagick",
+            "mysqlslap",
+        ):
+            assert name in REGISTRY, name
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryWorkload:
+    def test_runs_and_profiles(self, name):
+        machine = get_workload(name).build(threads=4, scale=1)
+        machine.run()
+        assert len(machine.trace) > 20, "trace suspiciously small"
+        assert machine.total_blocks > 0
+        drms_report = profile_events(machine.trace)
+        rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+        assert len(drms_report.profiles) > 0
+        # Inequality 1 per activation
+        for (r_d, t_d, s_d, _), (r_r, t_r, s_r, _) in zip(
+            drms_report.profiles.activations, rms_report.profiles.activations
+        ):
+            assert (r_d, t_d) == (r_r, t_r)
+            assert s_d >= s_r
+
+    def test_deterministic_trace(self, name):
+        first = get_workload(name).build(threads=4, scale=1)
+        first.run()
+        second = get_workload(name).build(threads=4, scale=1)
+        second.run()
+        assert first.trace == second.trace
+
+
+@pytest.mark.parametrize("name", [w.name for w in suite("specomp")])
+def test_specomp_thread_input_above_69_percent(name):
+    """The Figure 15 clustering claim, per benchmark."""
+    machine = get_workload(name).build(threads=4, scale=1)
+    machine.run()
+    thread_pct, _external = induced_first_read_split(
+        profile_events(machine.trace)
+    )
+    assert thread_pct > 69.0
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", ["dedup", "md", "mysqlslap"])
+    def test_scale_parameter_grows_work(self, name):
+        small = get_workload(name).build(threads=4, scale=1)
+        small.run()
+        large = get_workload(name).build(threads=4, scale=3)
+        large.run()
+        assert large.total_blocks > small.total_blocks
+
+    @pytest.mark.parametrize("name", ["md", "fluidanimate", "smithwa"])
+    def test_thread_parameter_spawns_threads(self, name):
+        two = get_workload(name).build(threads=2, scale=1)
+        two.run()
+        eight = get_workload(name).build(threads=8, scale=1)
+        eight.run()
+        assert len(eight.threads) > len(two.threads)
+
+
+class TestCaseStudyShapes:
+    def test_mysqlslap_external_dominates(self):
+        machine = get_workload("mysqlslap").build(threads=4, scale=1)
+        machine.run()
+        thread_pct, external_pct = induced_first_read_split(
+            profile_events(machine.trace)
+        )
+        assert external_pct > thread_pct
+
+    def test_vips_thread_dominates(self):
+        machine = get_workload("vips").build(threads=4, scale=1)
+        machine.run()
+        thread_pct, external_pct = induced_first_read_split(
+            profile_events(machine.trace)
+        )
+        assert thread_pct > external_pct
+
+    def test_dedup_has_high_dynamic_volume(self):
+        machine = get_workload("dedup").build(threads=4, scale=1)
+        machine.run()
+        rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+        drms_report = profile_events(machine.trace)
+        assert dynamic_input_volume(rms_report, drms_report) > 0.4
+
+    def test_selection_sort_has_no_dynamic_input(self):
+        machine = get_workload("selection_sort").build()
+        machine.run()
+        rms_report = profile_events(machine.trace, policy=RMS_POLICY)
+        drms_report = profile_events(machine.trace)
+        assert dynamic_input_volume(rms_report, drms_report) == 0.0
+
+
+class TestSortingAlgorithms:
+    def test_merge_sort_actually_sorts(self):
+        from repro.workloads.sorting import merge_sort_sweep
+
+        machine = merge_sort_sweep(sizes=(16,))
+        machine.run()
+        # find the sorted array in memory: the first 16-cell region
+        region = machine.memory.region_at(machine.memory.BASE)
+        values = machine.memory.snapshot(region.base, region.size)
+        assert list(values) == sorted(values)
+
+    def test_insertion_sort_sorts(self):
+        from repro.workloads.sorting import insertion_sort_sweep
+
+        machine = insertion_sort_sweep(sizes=(12,))
+        machine.run()
+        region = machine.memory.region_at(machine.memory.BASE)
+        values = machine.memory.snapshot(region.base, region.size)
+        assert list(values) == sorted(values)
+
+    def test_binary_search_reads_logarithmic_input(self):
+        """A read-based input metric measures what the routine *reads*:
+        binary search touches ~log2(n) cells, so its measured input size
+        grows logarithmically with the array and its cost is linear in
+        that measured input — the PLDI'12 characteristic behaviour."""
+        import math
+
+        from repro.analysis.costfunc import best_fit
+        from repro.workloads.sorting import binary_search_sweep
+
+        sizes = (16, 64, 256, 1024, 4096)
+        machine = binary_search_sweep(sizes=sizes)
+        machine.run()
+        report = profile_events(machine.trace)
+        plot = report.worst_case_plot("binary_search")
+        measured_inputs = [n for n, _ in plot]
+        for measured, array_size in zip(measured_inputs, sizes):
+            assert abs(measured - math.log2(array_size)) <= 2
+        assert best_fit(plot).model == "O(n)"  # linear in cells probed
+
+    def test_merge_sort_is_nlogn_and_selection_quadratic(self):
+        from repro.analysis.costfunc import powerlaw_exponent
+        from repro.workloads.sorting import (
+            merge_sort_sweep,
+            selection_sort_sweep,
+        )
+
+        merge_machine = merge_sort_sweep(sizes=(16, 32, 64, 128, 256))
+        merge_machine.run()
+        merge_plot = profile_events(merge_machine.trace).worst_case_plot(
+            "merge_sort"
+        )
+        selection_machine = selection_sort_sweep(sizes=(16, 32, 64, 128))
+        selection_machine.run()
+        selection_plot = profile_events(
+            selection_machine.trace
+        ).worst_case_plot("selection_sort")
+        assert 1.0 <= powerlaw_exponent(merge_plot) <= 1.35
+        assert 1.7 <= powerlaw_exponent(selection_plot) <= 2.2
