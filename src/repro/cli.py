@@ -126,6 +126,13 @@ def cmd_overhead(args) -> int:
     names = [w.name for w in suite(args.suite)]
     if args.benchmarks:
         names = [n for n in names if n in args.benchmarks]
+    if not names:
+        print(
+            f"no workloads in suite {args.suite!r} match"
+            f" {args.benchmarks}",
+            file=sys.stderr,
+        )
+        return 2
     measurements = []
     for name in names:
         workload = get_workload(name)
@@ -134,10 +141,46 @@ def cmd_overhead(args) -> int:
                 name,
                 lambda w=workload: w.build(threads=args.threads, scale=args.scale),
                 repeats=args.repeats,
+                parallel=args.parallel,
             )
         )
         print(f"  measured {name}", file=sys.stderr)
     summary = suite_summary(measurements)
+    if args.json:
+        import json
+
+        payload = {
+            "suite": args.suite,
+            "threads": args.threads,
+            "scale": args.scale,
+            "repeats": args.repeats,
+            "parallel": args.parallel,
+            "summary": summary,
+            "workloads": [
+                {
+                    "workload": m.workload,
+                    "native_time": m.native_time,
+                    "native_cells": m.native_cells,
+                    "record_time": m.record_time,
+                    "trace_events": m.trace_events,
+                    "tools": {
+                        t.tool: {
+                            "wall_time": t.wall_time,
+                            "replay_time": t.replay_time,
+                            "slowdown": t.slowdown,
+                            "space_cells": t.space_cells,
+                            "space_overhead": t.space_overhead,
+                            "events": t.events,
+                        }
+                        for t in m.tools.values()
+                    },
+                }
+                for m in measurements
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"measurements written to {args.json}", file=sys.stderr)
     tool_names = list(DEFAULT_TOOLS)
     print(f"{'tool':>12} {'slowdown':>10} {'space':>8}")
     for tool in tool_names:
@@ -257,6 +300,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--scale", type=int, default=2)
     p.add_argument("--repeats", type=int, default=3)
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay the recorded trace under the tools in N processes",
+    )
+    p.add_argument("--json", help="write the full measurements to FILE")
     p.set_defaults(func=cmd_overhead)
 
     p = sub.add_parser(

@@ -4,13 +4,17 @@ dynamic-read-memory-size (drms) algorithms of the paper."""
 from repro.core.events import (
     Call,
     Event,
+    EventBatch,
     EventKind,
     KernelToUser,
     Read,
     Return,
     SwitchThread,
+    TraceEncoder,
     UserToKernel,
     Write,
+    decode_batch,
+    encode_events,
 )
 from repro.core.naive import NaiveDrmsProfiler
 from repro.core.policy import (
@@ -48,6 +52,10 @@ __all__ = [
     "SwitchThread",
     "Event",
     "EventKind",
+    "EventBatch",
+    "TraceEncoder",
+    "encode_events",
+    "decode_batch",
     "InputPolicy",
     "RMS_POLICY",
     "EXTERNAL_ONLY_POLICY",

@@ -30,6 +30,7 @@ from repro.core.events import (
     AUXILIARY_EVENTS,
     Call,
     Event,
+    EventBatch,
     KernelToUser,
     Read,
     Return,
@@ -192,6 +193,17 @@ class NaiveDrmsProfiler:
 
     def run(self, events: Iterable[Event]) -> ProfileSet:
         for event in events:
+            self.consume(event)
+        return self.profiles
+
+    def run_batch(self, batch: "EventBatch") -> ProfileSet:
+        """Profile an opcode-encoded batch by decoding it event by event.
+
+        The oracle deliberately has **no** fast path: it stays the
+        unambiguous scalar reference that the batched pipelines are
+        property-tested against.
+        """
+        for event in batch.iter_events():
             self.consume(event)
         return self.profiles
 

@@ -40,8 +40,10 @@ class PointStats:
             self.min_cost = cost
             self.max_cost = cost
         else:
-            self.min_cost = min(self.min_cost, cost)
-            self.max_cost = max(self.max_cost, cost)
+            if cost < self.min_cost:
+                self.min_cost = cost
+            if cost > self.max_cost:
+                self.max_cost = cost
         self.calls += 1
         self.total_cost += cost
 

@@ -58,6 +58,13 @@ class ShadowMemory:
         # middle levels are lists of (possibly None) leaf chunks.
         self._top: Dict[int, List[Optional[List[int]]]] = {}
         self._chunks_allocated = 0
+        # Last-leaf cache: most traces exhibit strong spatial locality, so
+        # consecutive accesses usually land in the same leaf chunk.  The
+        # tag is ``addr >> leaf_bits`` (negative addresses can never match
+        # a cached tag, so the negative-address check stays on the slow
+        # path only).
+        self._cache_tag = -1
+        self._cache_chunk: Optional[List[int]] = None
 
     # -- indexing -------------------------------------------------------
 
@@ -70,6 +77,9 @@ class ShadowMemory:
         return top, mid, off
 
     def __getitem__(self, addr: int) -> int:
+        tag = addr >> self._leaf_bits
+        if tag == self._cache_tag and self._cache_chunk is not None:
+            return self._cache_chunk[addr & self._leaf_mask]
         top, mid, off = self._split(addr)
         table = self._top.get(top)
         if table is None:
@@ -77,9 +87,52 @@ class ShadowMemory:
         chunk = table[mid]
         if chunk is None:
             return self.default
+        self._cache_tag = tag
+        self._cache_chunk = chunk
         return chunk[off]
 
     def __setitem__(self, addr: int, value: int) -> None:
+        tag = addr >> self._leaf_bits
+        if tag == self._cache_tag and self._cache_chunk is not None:
+            self._cache_chunk[addr & self._leaf_mask] = value
+            return
+        self.leaf_create(addr)[addr & self._leaf_mask] = value
+
+    def get(self, addr: int, default: Optional[int] = None) -> int:
+        """Value at ``addr``; ``default`` only when the cell was never
+        *allocated* (an allocated cell returns its stored value even when
+        that value happens to equal the memory-wide default)."""
+        tag = addr >> self._leaf_bits
+        if tag == self._cache_tag and self._cache_chunk is not None:
+            return self._cache_chunk[addr & self._leaf_mask]
+        top, mid, off = self._split(addr)
+        table = self._top.get(top)
+        chunk = table[mid] if table is not None else None
+        if chunk is None:
+            return self.default if default is None else default
+        self._cache_tag = tag
+        self._cache_chunk = chunk
+        return chunk[off]
+
+    # -- fast-path API ---------------------------------------------------
+    #
+    # Batch consumers (repro.core.timestamping.consume_batch and friends)
+    # keep their own (tag, chunk) pair in locals and only fall back to
+    # these calls on a leaf miss, skipping the three-level walk for runs
+    # of accesses with spatial locality.
+
+    @property
+    def leaf_bits(self) -> int:
+        """Width of the offset field: ``addr >> leaf_bits`` is the leaf tag."""
+        return self._leaf_bits
+
+    @property
+    def leaf_mask(self) -> int:
+        """Mask selecting the in-leaf offset: ``addr & leaf_mask``."""
+        return self._leaf_mask
+
+    def leaf_create(self, addr: int) -> List[int]:
+        """The leaf chunk covering ``addr``, materialising it if absent."""
         top, mid, off = self._split(addr)
         table = self._top.get(top)
         if table is None:
@@ -90,13 +143,58 @@ class ShadowMemory:
             chunk = [self.default] * self._leaf_size
             table[mid] = chunk
             self._chunks_allocated += 1
-        chunk[off] = value
+        self._cache_tag = addr >> self._leaf_bits
+        self._cache_chunk = chunk
+        return chunk
 
-    def get(self, addr: int, default: Optional[int] = None) -> int:
-        value = self[addr]
-        if value == self.default and default is not None:
-            return default
-        return value
+    def leaf_peek(self, addr: int) -> Optional[List[int]]:
+        """The leaf chunk covering ``addr`` or ``None`` — never allocates,
+        so read-only consumers keep the allocation profile of plain
+        ``__getitem__``."""
+        top, mid, _off = self._split(addr)
+        table = self._top.get(top)
+        if table is None:
+            return None
+        chunk = table[mid]
+        if chunk is not None:
+            self._cache_tag = addr >> self._leaf_bits
+            self._cache_chunk = chunk
+        return chunk
+
+    def get_set(self, addr: int, value: int) -> int:
+        """Read the cell then overwrite it, in one walk (the profiler's
+        read handler does exactly this: load the old timestamp, stamp the
+        new one)."""
+        tag = addr >> self._leaf_bits
+        if tag == self._cache_tag and self._cache_chunk is not None:
+            chunk = self._cache_chunk
+        else:
+            chunk = self.leaf_create(addr)
+        off = addr & self._leaf_mask
+        old = chunk[off]
+        chunk[off] = value
+        return old
+
+    def get_set_batch(self, addrs, value: int) -> List[int]:
+        """Bulk :meth:`get_set`: stamp every address in ``addrs`` with
+        ``value`` and return the previous values, exploiting leaf
+        locality across the run (one walk per distinct leaf, not per
+        access)."""
+        leaf_bits = self._leaf_bits
+        leaf_mask = self._leaf_mask
+        tag = -1
+        chunk: Optional[List[int]] = None
+        out: List[int] = []
+        append = out.append
+        for addr in addrs:
+            t = addr >> leaf_bits
+            if t != tag or chunk is None:
+                chunk = self.leaf_create(addr)
+                tag = t
+            off = addr & leaf_mask
+            append(chunk[off])
+            chunk[off] = value
+        return out
 
     # -- bulk operations -------------------------------------------------
 
@@ -132,6 +230,8 @@ class ShadowMemory:
     def clear(self) -> None:
         self._top.clear()
         self._chunks_allocated = 0
+        self._cache_tag = -1
+        self._cache_chunk = None
 
     # -- accounting -------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Trace persistence: a compact line-oriented text format.
+"""Trace persistence: a line-oriented text format and a binary format.
 
 The paper's profiler is "given as input multiple traces of program
 operations" — traces are artifacts.  This module serialises event
@@ -19,16 +19,26 @@ another machine:
 
 Routine and lock names are percent-encoded so whitespace cannot break
 the framing.
+
+For the measurement fast path there is additionally a **binary** format:
+the opcode-encoded struct-of-arrays of :class:`repro.core.events.EventBatch`
+serialised with an interned string table up front (see
+``EventBatch.to_bytes`` for the layout).  It loads straight into flat
+arrays with no per-line parsing and no per-event object construction,
+and is what the record-once/replay runner ships to its worker
+processes.  Both formats round-trip through each other
+(property-tested).
 """
 
 from __future__ import annotations
 
 import urllib.parse
-from typing import IO, Iterable, Iterator, List
+from typing import IO, Iterable, Iterator, List, Union
 
 from repro.core.events import (
     Call,
     Event,
+    EventBatch,
     KernelToUser,
     LockAcquire,
     LockRelease,
@@ -39,9 +49,18 @@ from repro.core.events import (
     ThreadStart,
     UserToKernel,
     Write,
+    encode_events,
 )
 
-__all__ = ["event_to_line", "line_to_event", "save_trace", "load_trace"]
+__all__ = [
+    "event_to_line",
+    "line_to_event",
+    "save_trace",
+    "load_trace",
+    "save_trace_binary",
+    "load_trace_binary",
+    "load_batch",
+]
 
 
 class TraceFormatError(ValueError):
@@ -136,3 +155,33 @@ def iter_trace(stream: IO[str]) -> Iterator[Event]:
         line = line.strip()
         if line and not line.startswith("#"):
             yield line_to_event(line)
+
+
+# -- binary format -----------------------------------------------------------
+
+
+def save_trace_binary(
+    trace: Union[EventBatch, Iterable[Event]], stream: IO[bytes]
+) -> int:
+    """Write a trace in the binary opcode format; returns events written.
+
+    Accepts either an already-encoded :class:`EventBatch` (zero-copy
+    path) or any iterable of dataclass events.
+    """
+    batch = trace if isinstance(trace, EventBatch) else encode_events(trace)
+    stream.write(batch.to_bytes())
+    return len(batch)
+
+
+def load_batch(stream: IO[bytes]) -> EventBatch:
+    """Read a binary trace back as an :class:`EventBatch` (fast path)."""
+    data = stream.read()
+    try:
+        return EventBatch.from_bytes(data)
+    except ValueError as exc:
+        raise TraceFormatError(str(exc)) from exc
+
+
+def load_trace_binary(stream: IO[bytes]) -> List[Event]:
+    """Read a binary trace back as a list of dataclass events."""
+    return list(load_batch(stream).iter_events())

@@ -15,6 +15,8 @@ from repro.tools.runner import (
     WorkloadMeasurement,
     geometric_mean,
     measure_workload,
+    record_trace,
+    replay_tool,
     suite_summary,
 )
 
@@ -30,6 +32,8 @@ __all__ = [
     "DEFAULT_TOOLS",
     "ToolMeasurement",
     "WorkloadMeasurement",
+    "record_trace",
+    "replay_tool",
     "measure_workload",
     "geometric_mean",
     "suite_summary",

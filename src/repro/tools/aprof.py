@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
-from repro.core.events import Event
+from repro.core.events import Event, EventBatch
 from repro.core.rms import RmsProfiler
 from repro.tools.base import AnalysisTool
 
@@ -26,6 +26,9 @@ class AprofTool(AnalysisTool):
 
     def consume(self, event: Event) -> None:
         self.engine.consume(event)
+
+    def consume_batch(self, batch: EventBatch) -> None:
+        self.engine.consume_batch(batch)
 
     def finish(self) -> Dict[str, Any]:
         profiles = self.engine.profiles

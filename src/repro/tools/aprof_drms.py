@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.core.events import Event
+from repro.core.events import Event, EventBatch
 from repro.core.policy import FULL_POLICY, InputPolicy
 from repro.core.timestamping import DrmsProfiler
 from repro.tools.base import AnalysisTool
@@ -33,6 +33,9 @@ class AprofDrmsTool(AnalysisTool):
 
     def consume(self, event: Event) -> None:
         self.engine.consume(event)
+
+    def consume_batch(self, batch: EventBatch) -> None:
+        self.engine.consume_batch(batch)
 
     def finish(self) -> Dict[str, Any]:
         profiles = self.engine.profiles

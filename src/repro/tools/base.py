@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
-from repro.core.events import Event
+from repro.core.events import Event, EventBatch
 
 __all__ = ["AnalysisTool"]
 
@@ -29,6 +29,19 @@ class AnalysisTool:
     def consume(self, event: Event) -> None:
         """Process one trace event (hot path)."""
         raise NotImplementedError
+
+    def consume_batch(self, batch: EventBatch) -> None:
+        """Process an opcode-encoded event batch.
+
+        The default decodes each opcode back into a dataclass event and
+        feeds :meth:`consume`, so any tool is batch-capable; the tools of
+        the Table 1 harness override this with integer-opcode dispatch
+        loops that never materialise event objects.  Overrides must be
+        state-equivalent to the default (property-tested).
+        """
+        consume = self.consume
+        for event in batch.iter_events():
+            consume(event)
 
     def finish(self) -> Dict[str, Any]:
         """End-of-run hook; returns the tool's findings summary."""

@@ -14,8 +14,12 @@ from collections import defaultdict
 from typing import Any, Dict, List, Tuple
 
 from repro.core.events import (
+    OP_CALL,
+    OP_KERNEL_TO_USER,
+    OP_RETURN,
     Call,
     Event,
+    EventBatch,
     KernelToUser,
     Read,
     Return,
@@ -64,6 +68,55 @@ class Callgrind(AnalysisTool):
             record[2] += exclusive + descendants
             if stack:
                 stack[-1][1] += exclusive + descendants
+
+    def consume_batch(self, batch: EventBatch) -> None:
+        """Opcode-dispatched fast path (state-equivalent to scalar
+        :meth:`consume`).  Memory opcodes are 2/3 and 4/5 around the
+        call/return pair, so one range test separates "bump the frame"
+        from stack maintenance; the current thread's stack and name list
+        stay bound to locals across runs of same-thread events."""
+        ops = batch.ops
+        n = len(ops)
+        if not n:
+            return
+        threads_a = batch.threads
+        args_a = batch.args
+        batch_names = batch.names
+        routines = self.routines
+        edges = self.edges
+        stacks = self._stacks
+        names_map = self._names
+        cur = None
+        stack = []
+        names = []
+
+        i = 0
+        while i < n:
+            op = ops[i]
+            if op <= OP_KERNEL_TO_USER:  # call/return/read/write/u2k/k2u
+                tid = threads_a[i]
+                if tid != cur:
+                    stack = stacks[tid]
+                    names = names_map[tid]
+                    cur = tid
+                if op == OP_CALL:
+                    routine = batch_names[args_a[i]]
+                    caller = names[-1] if names else "<root>"
+                    edges[(caller, routine)] += 1
+                    routines[routine][0] += 1
+                    stack.append([0, 0])  # [exclusive, descendants]
+                    names.append(routine)
+                elif op == OP_RETURN:
+                    if stack:
+                        exclusive, descendants = stack.pop()
+                        record = routines[names.pop()]
+                        record[1] += exclusive
+                        record[2] += exclusive + descendants
+                        if stack:
+                            stack[-1][1] += exclusive + descendants
+                elif stack:  # read/write/u2k/k2u
+                    stack[-1][0] += 1
+            i += 1
 
     def finish(self) -> Dict[str, Any]:
         flat = {

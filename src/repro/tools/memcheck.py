@@ -15,7 +15,12 @@ from __future__ import annotations
 from typing import Any, Dict, List, Tuple
 
 from repro.core.events import (
+    OP_KERNEL_TO_USER,
+    OP_READ,
+    OP_USER_TO_KERNEL,
+    OP_WRITE,
     Event,
+    EventBatch,
     KernelToUser,
     Read,
     UserToKernel,
@@ -57,6 +62,57 @@ class Memcheck(AnalysisTool):
             if self.vbits[event.addr] == UNDEFINED:
                 if len(self.undefined_reads) < self.max_reports:
                     self.undefined_reads.append((event.thread, event.addr))
+
+    def consume_batch(self, batch: EventBatch) -> None:
+        """Opcode-dispatched fast path (state-equivalent to scalar
+        :meth:`consume`): the validity shadow is walked through a cached
+        ``(tag, chunk)`` leaf pair, and read-side checks use the
+        non-allocating :meth:`ShadowMemory.leaf_peek` so the shadowed
+        footprint matches the scalar path cell for cell."""
+        ops = batch.ops
+        n = len(ops)
+        if not n:
+            return
+        threads_a = batch.threads
+        args_a = batch.args
+        vbits = self.vbits
+        leaf_bits = vbits.leaf_bits
+        leaf_mask = vbits.leaf_mask
+        reports = self.undefined_reads
+        max_reports = self.max_reports
+        reads = self.reads
+        writes = self.writes
+        tag = -1
+        chunk = None  # cached leaf; None may mean "leaf not allocated"
+
+        i = 0
+        while i < n:
+            op = ops[i]
+            if op == OP_READ or op == OP_USER_TO_KERNEL:
+                if op == OP_READ:
+                    reads += 1
+                addr = args_a[i]
+                t = addr >> leaf_bits
+                if t != tag:
+                    chunk = vbits.leaf_peek(addr)
+                    tag = t
+                undefined = (
+                    chunk is None or chunk[addr & leaf_mask] == UNDEFINED
+                )
+                if undefined and len(reports) < max_reports:
+                    reports.append((threads_a[i], addr))
+            elif op == OP_WRITE or op == OP_KERNEL_TO_USER:
+                if op == OP_WRITE:
+                    writes += 1
+                addr = args_a[i]
+                t = addr >> leaf_bits
+                if t != tag or chunk is None:
+                    chunk = vbits.leaf_create(addr)
+                    tag = t
+                chunk[addr & leaf_mask] = DEFINED
+            i += 1
+        self.reads = reads
+        self.writes = writes
 
     def finish(self) -> Dict[str, Any]:
         return {

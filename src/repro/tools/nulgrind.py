@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
-from repro.core.events import Event
+from repro.core.events import Event, EventBatch
 from repro.tools.base import AnalysisTool
 
 __all__ = ["Nulgrind"]
@@ -25,6 +25,9 @@ class Nulgrind(AnalysisTool):
 
     def consume(self, event: Event) -> None:
         self.events += 1
+
+    def consume_batch(self, batch: EventBatch) -> None:
+        self.events += len(batch)
 
     def finish(self) -> Dict[str, Any]:
         return {"events": self.events}

@@ -1,31 +1,45 @@
-"""Measurement harness: run workloads natively and under each tool.
+"""Measurement harness: record the trace once, replay it under each tool.
 
 Regenerates the Table 1 / Figure 16 methodology:
 
 * **native execution** — the machine runs uninstrumented
   (``instrument=False``): primitive ops skip event construction, the
   closest analogue of running the benchmark outside Valgrind;
-* **tool execution** — the machine runs instrumented with the tool
-  attached as the event sink, so the measured time includes both the
-  instrumentation infrastructure (event construction/dispatch — what
-  nulgrind isolates) and the tool's per-event analysis work;
-* **slowdown** — tool wall-clock over native wall-clock (geometric means
-  across a suite, as in Table 1);
+* **recorded execution** — the machine runs instrumented *once* with a
+  batched opcode encoder attached (:meth:`Machine.set_batch_sink`),
+  producing the compact struct-of-arrays trace of
+  :class:`repro.core.events.EventBatch`.  The recording time is the
+  shared instrumentation-infrastructure cost every tool pays — exactly
+  what nulgrind isolates in the paper;
+* **tool replay** — each tool's :meth:`consume_batch` replays the same
+  recorded batch, so per-tool analysis work is measured over *identical*
+  event streams instead of re-executing the workload ``tools x repeats``
+  times.  Tool time = record time + best replay time;
+* **slowdown** — tool time over native time (geometric means across a
+  suite, as in Table 1);
 * **space overhead** — (workload cells + tool shadow cells) over
   workload cells.
 
-Wall-clock timing of small workloads is noisy, so each measurement takes
-the best of ``repeats`` runs; every run rebuilds the machine from its
-factory so state never leaks between runs.
+Because the trace is an artifact, replays are embarrassingly parallel:
+``measure_workload(..., parallel=N)`` ships the serialised batch
+(``EventBatch.to_bytes``) to ``N`` worker processes and replays the
+tools concurrently, falling back to serial replay if the tool factories
+cannot cross a process boundary (e.g. closures).
+
+Wall-clock timing of small workloads is noisy, so native runs and
+replays take the best of ``repeats`` attempts; every replay builds a
+fresh tool so state never leaks between runs.
 """
 
 from __future__ import annotations
 
 import math
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.events import EventBatch
 from repro.tools.aprof import AprofTool
 from repro.tools.aprof_drms import AprofDrmsTool
 from repro.tools.base import AnalysisTool
@@ -39,6 +53,8 @@ __all__ = [
     "DEFAULT_TOOLS",
     "ToolMeasurement",
     "WorkloadMeasurement",
+    "record_trace",
+    "replay_tool",
     "measure_workload",
     "geometric_mean",
     "suite_summary",
@@ -65,6 +81,9 @@ class ToolMeasurement:
     space_cells: int
     space_overhead: float
     events: int
+    #: this tool's own replay time (``wall_time`` minus the shared
+    #: record time)
+    replay_time: float = 0.0
 
 
 @dataclass
@@ -75,18 +94,73 @@ class WorkloadMeasurement:
     native_time: float
     native_cells: int
     tools: Dict[str, ToolMeasurement] = field(default_factory=dict)
+    #: wall time of the single instrumented recording run (the shared
+    #: infrastructure cost included in every tool's ``wall_time``)
+    record_time: float = 0.0
+    #: events in the recorded trace
+    trace_events: int = 0
 
 
-def _time_run(build: Callable[[], Machine], **kwargs) -> tuple:
+def record_trace(build: Callable[[], Machine]) -> Tuple[float, EventBatch, Machine]:
+    """Run the workload instrumented once, recording the opcode trace.
+
+    Returns ``(wall_time, batch, machine)``; the wall time covers the
+    instrumented execution plus encoding — the infrastructure cost that
+    every tool-attached run would pay.
+    """
     machine = build()
-    machine.instrument = kwargs.get("instrument", True)
-    sink = kwargs.get("sink")
-    if sink is not None:
-        machine._sink = sink
+    machine.instrument = True
+    machine.set_batch_sink()  # record; no consumer
     start = time.perf_counter()
     machine.run()
     elapsed = time.perf_counter() - start
-    return elapsed, machine
+    batch = machine.encoded_trace
+    assert batch is not None
+    return elapsed, batch, machine
+
+
+def replay_tool(
+    factory: Callable[[], AnalysisTool],
+    batch: EventBatch,
+    repeats: int = 3,
+) -> Tuple[float, int]:
+    """Replay ``batch`` under ``repeats`` fresh tools; returns the best
+    wall time and the matching tool's shadow-state cells."""
+    best_time = math.inf
+    space = 0
+    for _ in range(repeats):
+        tool = factory()
+        start = time.perf_counter()
+        tool.consume_batch(batch)
+        elapsed = time.perf_counter() - start
+        if elapsed < best_time:
+            best_time = elapsed
+            space = tool.space_cells()
+    return best_time, space
+
+
+def _replay_worker(
+    factory: Callable[[], AnalysisTool], payload: bytes, repeats: int
+) -> Tuple[float, int]:
+    """Process-pool entry point: decode the shipped trace and replay."""
+    return replay_tool(factory, EventBatch.from_bytes(payload), repeats)
+
+
+def _replay_all_parallel(
+    tools: Dict[str, Callable[[], AnalysisTool]],
+    batch: EventBatch,
+    repeats: int,
+    workers: int,
+) -> Dict[str, Tuple[float, int]]:
+    """Replay every tool in ``workers`` processes; raises if the factories
+    or the pool cannot be used (caller falls back to serial)."""
+    payload = batch.to_bytes()
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            name: pool.submit(_replay_worker, factory, payload, repeats)
+            for name, factory in tools.items()
+        }
+        return {name: future.result() for name, future in futures.items()}
 
 
 def measure_workload(
@@ -94,46 +168,64 @@ def measure_workload(
     build: Callable[[], Machine],
     tools: Optional[Dict[str, Callable[[], AnalysisTool]]] = None,
     repeats: int = 3,
+    parallel: Optional[int] = None,
 ) -> WorkloadMeasurement:
-    """Measure native and per-tool execution of one workload factory."""
+    """Measure native and per-tool execution of one workload factory.
+
+    ``parallel=N`` replays the recorded trace under the tools in ``N``
+    worker processes instead of serially; results are identical because
+    every replay consumes the same recorded batch.
+    """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if parallel is not None and parallel < 1:
+        raise ValueError("parallel must be >= 1")
     if tools is None:
         tools = DEFAULT_TOOLS
 
     native_time = math.inf
     native_cells = 0
     for _ in range(repeats):
-        elapsed, machine = _time_run(build, instrument=False)
+        machine = build()
+        machine.instrument = False
+        start = time.perf_counter()
+        machine.run()
+        elapsed = time.perf_counter() - start
         native_time = min(native_time, elapsed)
         native_cells = max(native_cells, machine.space_cells())
     native_cells = max(native_cells, 1)
 
-    result = WorkloadMeasurement(name, native_time, native_cells)
+    record_time, batch, _machine = record_trace(build)
+    events = len(batch)
+
+    replays: Dict[str, Tuple[float, int]] = {}
+    if parallel is not None and parallel > 1:
+        try:
+            replays = _replay_all_parallel(tools, batch, repeats, parallel)
+        except Exception:
+            replays = {}  # unpicklable factory or no pool: replay serially
     for tool_name, tool_factory in tools.items():
-        best_time = math.inf
-        space = 0
-        events = 0
-        for _ in range(repeats):
-            tool = tool_factory()
-            counter = [0]
+        if tool_name not in replays:
+            replays[tool_name] = replay_tool(tool_factory, batch, repeats)
 
-            def sink(event, _tool=tool, _counter=counter):
-                _counter[0] += 1
-                _tool.consume(event)
-
-            elapsed, _machine = _time_run(build, instrument=True, sink=sink)
-            if elapsed < best_time:
-                best_time = elapsed
-                space = tool.space_cells()
-                events = counter[0]
+    result = WorkloadMeasurement(
+        name,
+        native_time,
+        native_cells,
+        record_time=record_time,
+        trace_events=events,
+    )
+    for tool_name in tools:
+        replay_time, space = replays[tool_name]
+        wall_time = record_time + replay_time
         result.tools[tool_name] = ToolMeasurement(
             tool=tool_name,
-            wall_time=best_time,
-            slowdown=best_time / native_time if native_time > 0 else math.inf,
+            wall_time=wall_time,
+            slowdown=wall_time / native_time if native_time > 0 else math.inf,
             space_cells=space,
             space_overhead=(native_cells + space) / native_cells,
             events=events,
+            replay_time=replay_time,
         )
     return result
 

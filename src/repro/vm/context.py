@@ -28,16 +28,6 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Optional
 
-from repro.core.events import (
-    Call,
-    KernelToUser,
-    LockAcquire,
-    LockRelease,
-    Read,
-    Return,
-    UserToKernel,
-    Write,
-)
 from repro.vm.cost import CostCounter
 from repro.vm.memory import Memory
 from repro.vm.sync import Blocked
@@ -62,13 +52,13 @@ class ThreadContext:
     def read(self, addr: int) -> Any:
         """Load one cell: one basic block, one ``read`` trace event."""
         self.cost.charge(1)
-        self.machine.emit(Read(self.tid, addr))
+        self.machine.emit_read(self.tid, addr)
         return self.memory.load(addr)
 
     def write(self, addr: int, value: Any) -> None:
         """Store one cell: one basic block, one ``write`` trace event."""
         self.cost.charge(1)
-        self.machine.emit(Write(self.tid, addr))
+        self.machine.emit_write(self.tid, addr)
         self.memory.store(addr, value)
 
     def compute(self, blocks: int = 1) -> None:
@@ -98,9 +88,9 @@ class ThreadContext:
         """
         routine_name = name if name is not None else routine.__name__
         self.cost.charge(1)
-        self.machine.emit(Call(self.tid, routine_name, cost=self.cost.blocks))
+        self.machine.emit_call(self.tid, routine_name, self.cost.blocks)
         result = yield from routine(self, *args)
-        self.machine.emit(Return(self.tid, cost=self.cost.blocks))
+        self.machine.emit_return(self.tid, self.cost.blocks)
         return result
 
     # -- system calls -------------------------------------------------------
@@ -133,11 +123,11 @@ class ThreadContext:
     # accesses, so they bypass the read/write event path.
 
     def kernel_fill(self, addr: int, value: Any) -> None:
-        self.machine.emit(KernelToUser(self.tid, addr))
+        self.machine.emit_kernel_to_user(self.tid, addr)
         self.memory.store(addr, value)
 
     def kernel_drain(self, addr: int) -> Any:
-        self.machine.emit(UserToKernel(self.tid, addr))
+        self.machine.emit_user_to_kernel(self.tid, addr)
         return self.memory.load(addr)
 
     # -- threads -----------------------------------------------------------
@@ -155,17 +145,17 @@ class ThreadContext:
     # -- tool hooks -----------------------------------------------------------
 
     def on_lock_acquired(self, mutex) -> None:
-        self.machine.emit(LockAcquire(self.tid, mutex.name))
+        self.machine.emit_lock_acquire(self.tid, mutex.name)
 
     def on_lock_released(self, mutex) -> None:
-        self.machine.emit(LockRelease(self.tid, mutex.name))
+        self.machine.emit_lock_release(self.tid, mutex.name)
 
     # Semaphores, barriers and condition variables establish the same
     # happens-before edges as locks for race-detection purposes, so they
     # reuse the lock acquire/release events keyed by primitive name.
 
     def on_sync_acquire(self, name: str) -> None:
-        self.machine.emit(LockAcquire(self.tid, name))
+        self.machine.emit_lock_acquire(self.tid, name)
 
     def on_sync_release(self, name: str) -> None:
-        self.machine.emit(LockRelease(self.tid, name))
+        self.machine.emit_lock_release(self.tid, name)

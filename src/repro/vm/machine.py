@@ -25,7 +25,33 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
-from repro.core.events import Event, SwitchThread, ThreadExit, ThreadStart
+from repro.core.events import (
+    OP_CALL,
+    OP_KERNEL_TO_USER,
+    OP_LOCK_ACQUIRE,
+    OP_LOCK_RELEASE,
+    OP_READ,
+    OP_RETURN,
+    OP_SWITCH_THREAD,
+    OP_THREAD_EXIT,
+    OP_THREAD_START,
+    OP_USER_TO_KERNEL,
+    OP_WRITE,
+    Call,
+    Event,
+    EventBatch,
+    KernelToUser,
+    LockAcquire,
+    LockRelease,
+    Read,
+    Return,
+    SwitchThread,
+    ThreadExit,
+    ThreadStart,
+    TraceEncoder,
+    UserToKernel,
+    Write,
+)
 from repro.vm.context import ThreadContext
 from repro.vm.memory import Memory
 from repro.vm.scheduler import RoundRobinScheduler, Scheduler
@@ -83,6 +109,9 @@ class Machine:
         #: collected trace (only when no external sink is given)
         self.trace: List[Event] = []
         self._sink = sink if sink is not None else self.trace.append
+        #: opcode encoder when batched emission is active (see
+        #: :meth:`set_batch_sink`); ``None`` means scalar event objects
+        self._encoder: Optional[TraceEncoder] = None
         self._threads: List[ThreadHandle] = []
         self._next_tid = 1
         self._current: Optional[ThreadHandle] = None
@@ -93,9 +122,160 @@ class Machine:
 
     # -- instrumentation ------------------------------------------------------
 
+    def set_sink(self, sink: Optional[Callable[[Event], None]]) -> None:
+        """Attach ``sink`` as the scalar event consumer (e.g. a tool's
+        ``consume`` method); ``None`` restores trace collection.  This is
+        the public seam the measurement harness uses — tools never reach
+        into machine internals."""
+        self._sink = sink if sink is not None else self.trace.append
+        self._encoder = None
+
+    def set_batch_sink(
+        self,
+        consumer: Optional[Callable[[EventBatch], None]] = None,
+        flush_events: int = 8192,
+    ) -> TraceEncoder:
+        """Switch to batched, opcode-encoded emission (the fast path).
+
+        Events are appended as flat integers to struct-of-arrays batches
+        — no event objects are allocated.  With a ``consumer`` (e.g. a
+        tool's ``consume_batch``) a batch is handed over every
+        ``flush_events`` events and at the end of :meth:`run`; without
+        one the machine simply records, and the full trace is available
+        as :attr:`encoded_trace`.  Returns the encoder.
+
+        Events already collected in :attr:`trace` (e.g. the
+        ``threadStart`` prefix emitted by ``spawn`` before the sink is
+        switched) are carried over into the encoder, so the encoded
+        trace is complete.
+        """
+        encoder = TraceEncoder(consumer=consumer, flush_events=flush_events)
+        for event in self.trace:
+            encoder.append_event(event)
+        self._encoder = encoder
+        return encoder
+
+    @property
+    def encoded_trace(self) -> Optional[EventBatch]:
+        """The recorded opcode batch (batch mode only)."""
+        return self._encoder.batch if self._encoder is not None else None
+
+    def flush_trace(self) -> None:
+        """Deliver any buffered batch to the batch consumer."""
+        if self._encoder is not None:
+            self._encoder.flush()
+
     def emit(self, event: Event) -> None:
+        """Generic (slow-path) emission of an already-built event."""
         if self.instrument:
-            self._sink(event)
+            if self._encoder is not None:
+                self._encoder.append_event(event)
+            else:
+                self._sink(event)
+
+    # Fast emitters: one per event kind, called by the instrumentation
+    # surface (ThreadContext) with raw integers.  In batch mode nothing
+    # is allocated per event; in scalar mode they build the dataclass the
+    # attached sink expects.  Uninstrumented runs return before either.
+
+    def emit_read(self, tid: int, addr: int) -> None:
+        if not self.instrument:
+            return
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.append(OP_READ, tid, addr)
+        else:
+            self._sink(Read(tid, addr))
+
+    def emit_write(self, tid: int, addr: int) -> None:
+        if not self.instrument:
+            return
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.append(OP_WRITE, tid, addr)
+        else:
+            self._sink(Write(tid, addr))
+
+    def emit_call(self, tid: int, routine: str, cost: int) -> None:
+        if not self.instrument:
+            return
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.append(OP_CALL, tid, encoder.intern(routine), cost)
+        else:
+            self._sink(Call(tid, routine, cost))
+
+    def emit_return(self, tid: int, cost: int) -> None:
+        if not self.instrument:
+            return
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.append(OP_RETURN, tid, 0, cost)
+        else:
+            self._sink(Return(tid, cost))
+
+    def emit_user_to_kernel(self, tid: int, addr: int) -> None:
+        if not self.instrument:
+            return
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.append(OP_USER_TO_KERNEL, tid, addr)
+        else:
+            self._sink(UserToKernel(tid, addr))
+
+    def emit_kernel_to_user(self, tid: int, addr: int) -> None:
+        if not self.instrument:
+            return
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.append(OP_KERNEL_TO_USER, tid, addr)
+        else:
+            self._sink(KernelToUser(tid, addr))
+
+    def emit_switch_thread(self) -> None:
+        if not self.instrument:
+            return
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.append(OP_SWITCH_THREAD)
+        else:
+            self._sink(SwitchThread())
+
+    def emit_lock_acquire(self, tid: int, lock: str) -> None:
+        if not self.instrument:
+            return
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.append(OP_LOCK_ACQUIRE, tid, encoder.intern(lock))
+        else:
+            self._sink(LockAcquire(tid, lock))
+
+    def emit_lock_release(self, tid: int, lock: str) -> None:
+        if not self.instrument:
+            return
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.append(OP_LOCK_RELEASE, tid, encoder.intern(lock))
+        else:
+            self._sink(LockRelease(tid, lock))
+
+    def emit_thread_start(self, tid: int, parent: int) -> None:
+        if not self.instrument:
+            return
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.append(OP_THREAD_START, tid, parent)
+        else:
+            self._sink(ThreadStart(tid, parent))
+
+    def emit_thread_exit(self, tid: int) -> None:
+        if not self.instrument:
+            return
+        encoder = self._encoder
+        if encoder is not None:
+            encoder.append(OP_THREAD_EXIT, tid)
+        else:
+            self._sink(ThreadExit(tid))
 
     # -- threads ---------------------------------------------------------------
 
@@ -114,7 +294,7 @@ class Machine:
         handle = ThreadHandle(tid, name or routine.__name__, generator)
         handle.ctx = ctx
         self._threads.append(handle)
-        self.emit(ThreadStart(tid, parent))
+        self.emit_thread_start(tid, parent)
         return handle
 
     def _wake_blocked(self) -> None:
@@ -152,6 +332,7 @@ class Machine:
                     t for t in self._threads if t.state == ThreadHandle.BLOCKED
                 ]
                 if not blocked:
+                    self.flush_trace()
                     break  # all done
                 reasons = ", ".join(
                     f"T{t.tid}:{t.block.reason or '?'}" for t in blocked
@@ -162,7 +343,7 @@ class Machine:
             tid = self.scheduler.pick(runnable, current_tid)
             thread = self._by_tid(tid)
             if self._current is not None and self._current is not thread:
-                self.emit(SwitchThread())
+                self.emit_switch_thread()
                 self.switches += 1
                 switch_budget -= 1
                 if switch_budget <= 0:
@@ -179,7 +360,7 @@ class Machine:
                 thread.state = ThreadHandle.DONE
                 thread.result = stop.value
                 self.total_blocks += thread.ctx.cost.blocks
-                self.emit(ThreadExit(thread.tid))
+                self.emit_thread_exit(thread.tid)
                 return
             if isinstance(token, Blocked):
                 if token.predicate():

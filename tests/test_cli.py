@@ -94,6 +94,68 @@ class TestOverhead:
         ):
             assert tool in out
 
+    def test_overhead_parallel_replay(self, capsys):
+        assert (
+            main(
+                [
+                    "overhead",
+                    "--suite",
+                    "specomp",
+                    "--benchmarks",
+                    "md",
+                    "--repeats",
+                    "1",
+                    "--scale",
+                    "1",
+                    "--parallel",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "aprof-drms" in out
+
+    def test_overhead_json(self, tmp_path, capsys):
+        target = tmp_path / "overhead.json"
+        assert (
+            main(
+                [
+                    "overhead",
+                    "--suite",
+                    "specomp",
+                    "--benchmarks",
+                    "md",
+                    "--repeats",
+                    "1",
+                    "--scale",
+                    "1",
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["suite"] == "specomp"
+        assert set(payload["summary"]) == {
+            "nulgrind",
+            "memcheck",
+            "callgrind",
+            "helgrind",
+            "aprof",
+            "aprof-drms",
+        }
+        (workload,) = payload["workloads"]
+        assert workload["workload"] == "md"
+        assert workload["trace_events"] > 0
+        assert workload["record_time"] > 0
+        for tool in workload["tools"].values():
+            assert tool["wall_time"] >= tool["replay_time"]
+            assert tool["events"] == workload["trace_events"]
+
 
 class TestTrace:
     def test_trace_dump(self, capsys):

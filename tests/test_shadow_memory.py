@@ -58,6 +58,19 @@ class TestBasics:
         mem[5] = 3
         assert mem.get(5, default=99) == 3
 
+    def test_get_distinguishes_stored_default_from_never_written(self):
+        # An allocated cell whose stored value happens to equal the
+        # fallback (or the memory-wide default) must return the stored
+        # value, not the fallback.
+        mem = ShadowMemory()
+        mem[5] = 0  # allocates the leaf; stores the default value
+        assert mem.get(5, default=99) == 0
+        # a different cell in the same (now allocated) leaf also reads
+        # its stored value, not the fallback
+        assert mem.get(6, default=99) == 0
+        # a cell in a never-allocated leaf still falls back
+        assert mem.get(5_000_000, default=99) == 99
+
 
 class TestChunking:
     def test_chunk_allocation_is_lazy(self):
@@ -158,3 +171,77 @@ class TestDictEquivalence:
             narrow[addr] = value
             wide[addr] = value
         assert list(narrow.items()) == list(wide.items())
+
+
+class TestFastPath:
+    def test_leaf_geometry_properties(self):
+        mem = ShadowMemory(leaf_bits=4)
+        assert mem.leaf_bits == 4
+        assert mem.leaf_mask == 15
+
+    def test_leaf_create_materialises_and_returns_chunk(self):
+        mem = ShadowMemory(leaf_bits=4)
+        chunk = mem.leaf_create(37)
+        assert mem.chunks_allocated == 1
+        assert len(chunk) == 16
+        chunk[37 & 15] = 8  # direct chunk write is visible via getitem
+        assert mem[37] == 8
+        assert mem.leaf_create(37) is chunk  # idempotent
+
+    def test_leaf_peek_never_allocates(self):
+        mem = ShadowMemory(leaf_bits=4)
+        assert mem.leaf_peek(37) is None
+        assert mem.chunks_allocated == 0
+        mem[37] = 5
+        chunk = mem.leaf_peek(37)
+        assert chunk is not None
+        assert chunk[37 & 15] == 5
+        assert mem.chunks_allocated == 1
+
+    def test_get_set_returns_old_value(self):
+        mem = ShadowMemory()
+        assert mem.get_set(10, 3) == 0
+        assert mem.get_set(10, 7) == 3
+        assert mem[10] == 7
+
+    def test_get_set_batch_matches_scalar(self):
+        scalar = ShadowMemory(leaf_bits=3)
+        bulk = ShadowMemory(leaf_bits=3)
+        addrs = [1, 2, 9, 1, 300, 301, 2]
+        expected = [scalar.get_set(a, 42) for a in addrs]
+        assert bulk.get_set_batch(addrs, 42) == expected
+        assert list(bulk.items()) == list(scalar.items())
+        assert bulk.chunks_allocated == scalar.chunks_allocated
+
+    def test_clear_resets_leaf_cache(self):
+        mem = ShadowMemory()
+        mem[5] = 3
+        assert mem[5] == 3  # populates the cache
+        mem.clear()
+        assert mem[5] == 0  # stale cached chunk must not be consulted
+        assert mem.chunks_allocated == 0
+
+    @given(operations())
+    @settings(max_examples=100, deadline=None)
+    def test_mixed_fast_and_slow_ops_match_dict(self, ops):
+        """Interleaving the fast-path entry points with plain item access
+        must stay observationally equivalent to a defaulting dict — in
+        particular the last-leaf cache can never serve stale values."""
+        mem = ShadowMemory(leaf_bits=3, mid_bits=4)
+        model = {}
+        for i, (addr, value) in enumerate(ops):
+            kind = i % 4
+            if kind == 0:
+                mem[addr] = value
+                model[addr] = value
+            elif kind == 1:
+                assert mem.get_set(addr, value) == model.get(addr, 0)
+                model[addr] = value
+            elif kind == 2:
+                chunk = mem.leaf_peek(addr)
+                got = chunk[addr & mem.leaf_mask] if chunk else 0
+                assert got == model.get(addr, 0)
+            else:
+                assert mem[addr] == model.get(addr, 0)
+        for addr in {a for a, _ in ops}:
+            assert mem[addr] == model.get(addr, 0)

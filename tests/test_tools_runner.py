@@ -12,6 +12,8 @@ from repro.tools import (
     Nulgrind,
     geometric_mean,
     measure_workload,
+    record_trace,
+    replay_tool,
     suite_summary,
 )
 from repro.workloads.patterns import producer_consumer
@@ -106,6 +108,88 @@ class TestMeasureWorkload:
             repeats=1,
         )
         assert list(measurement.tools) == ["nulgrind"]
+
+    def test_parallel_validation(self):
+        with pytest.raises(ValueError):
+            measure_workload(
+                "pc", lambda: producer_consumer(1), repeats=1, parallel=0
+            )
+
+    def test_parallel_replay_matches_serial(self):
+        serial = measure_workload(
+            "pc", lambda: producer_consumer(20), repeats=1
+        )
+        parallel = measure_workload(
+            "pc", lambda: producer_consumer(20), repeats=1, parallel=2
+        )
+        # timing differs; the deterministic outputs must not
+        assert serial.trace_events == parallel.trace_events
+        for name in DEFAULT_TOOLS:
+            assert (
+                serial.tools[name].space_cells
+                == parallel.tools[name].space_cells
+            ), name
+            assert serial.tools[name].events == parallel.tools[name].events
+
+    def test_unpicklable_factories_fall_back_to_serial(self):
+        measurement = measure_workload(
+            "pc",
+            lambda: producer_consumer(10),
+            tools={"nulgrind": lambda: Nulgrind()},  # lambdas don't pickle
+            repeats=1,
+            parallel=2,
+        )
+        assert measurement.tools["nulgrind"].events > 0
+
+
+class TestRecordReplay:
+    def test_record_trace_captures_full_trace(self):
+        record_time, batch, machine = record_trace(
+            lambda: producer_consumer(20)
+        )
+        assert record_time > 0
+        reference = producer_consumer(20)
+        reference.run()
+        assert list(batch.iter_events()) == reference.trace
+        assert machine.total_blocks == reference.total_blocks
+
+    def test_replay_tool_reproduces_attached_run(self):
+        _time, batch, _machine = record_trace(lambda: producer_consumer(20))
+        _best, space = replay_tool(AprofDrmsTool, batch, repeats=1)
+
+        attached = AprofDrmsTool()
+        machine = producer_consumer(20)
+        machine.set_sink(attached.consume)
+        machine.run()
+        assert space == attached.space_cells()
+
+    def test_tool_time_includes_shared_record_time(self):
+        measurement = measure_workload(
+            "pc", lambda: producer_consumer(20), repeats=1
+        )
+        assert measurement.record_time > 0
+        for tool_measurement in measurement.tools.values():
+            assert tool_measurement.wall_time == pytest.approx(
+                measurement.record_time + tool_measurement.replay_time
+            )
+
+
+class TestSetSink:
+    def test_set_sink_feeds_tool_without_trace_collection(self):
+        tool = Nulgrind()
+        machine = producer_consumer(10)
+        prefix = len(machine.trace)  # threadStart events from spawn
+        machine.set_sink(tool.consume)
+        machine.run()
+        assert tool.events > 0
+        assert len(machine.trace) == prefix  # later events went to the tool
+
+    def test_set_sink_none_restores_trace_collection(self):
+        machine = producer_consumer(10)
+        machine.set_sink(lambda event: None)
+        machine.set_sink(None)
+        machine.run()
+        assert len(machine.trace) > 0
 
 
 class TestSuiteSummary:

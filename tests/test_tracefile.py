@@ -25,8 +25,11 @@ from repro.core.tracefile import (
     event_to_line,
     iter_trace,
     line_to_event,
+    load_batch,
     load_trace,
+    load_trace_binary,
     save_trace,
+    save_trace_binary,
 )
 from repro.workloads.mysql import select_sweep
 
@@ -94,6 +97,53 @@ class TestFileRoundTrip:
         assert events == [SwitchThread(), Read(1, 5)]
 
 
+class TestBinaryRoundTrip:
+    @pytest.mark.parametrize("event", ALL_EVENT_EXAMPLES, ids=repr)
+    def test_every_event_kind(self, event):
+        buffer = io.BytesIO()
+        assert save_trace_binary([event], buffer) == 1
+        buffer.seek(0)
+        assert load_trace_binary(buffer) == [event]
+
+    def test_whole_workload_trace(self):
+        machine = select_sweep()
+        machine.run()
+        buffer = io.BytesIO()
+        written = save_trace_binary(machine.trace, buffer)
+        assert written == len(machine.trace)
+        buffer.seek(0)
+        assert load_trace_binary(buffer) == machine.trace
+
+    def test_binary_equals_text_round_trip(self):
+        machine = select_sweep()
+        machine.run()
+        text = io.StringIO()
+        save_trace(machine.trace, text)
+        text.seek(0)
+        binary = io.BytesIO()
+        save_trace_binary(machine.trace, binary)
+        binary.seek(0)
+        assert load_trace_binary(binary) == load_trace(text)
+
+    def test_load_batch_preserves_encoding(self):
+        from repro.core.events import encode_events
+
+        events = [Call(1, "f", 0), Read(1, 5), Return(1, 3)]
+        buffer = io.BytesIO()
+        save_trace_binary(encode_events(events), buffer)
+        buffer.seek(0)
+        batch = load_batch(buffer)
+        assert len(batch) == 3
+        assert list(batch.iter_events()) == events
+
+    @pytest.mark.parametrize(
+        "data", [b"", b"NOPE", b"RPRB\x01", b"RPRB\x01" + b"\x00" * 3]
+    )
+    def test_malformed_binary_rejected(self, data):
+        with pytest.raises(TraceFormatError):
+            load_batch(io.BytesIO(data))
+
+
 @given(
     st.lists(
         st.one_of(
@@ -118,3 +168,8 @@ def test_arbitrary_trace_roundtrip_property(events):
     save_trace(events, buffer)
     buffer.seek(0)
     assert load_trace(buffer) == events
+
+    binary = io.BytesIO()
+    save_trace_binary(events, binary)
+    binary.seek(0)
+    assert load_trace_binary(binary) == events
