@@ -12,9 +12,12 @@ Subcommands:
   communication matrix (the paper's Section 6 future-work tool).
 * ``repro report WORKLOAD`` — everything at once: profiles, fits,
   metrics, diagnostics and communication channels.
-* ``repro trace WORKLOAD`` — dump or save the event trace.
+* ``repro trace WORKLOAD`` — dump or save the event trace (text or
+  binary).
 * ``repro diagnose WORKLOAD`` — cost-variance diagnostics: routines whose
   measured input sizes look untrustworthy (Section 2.1's indicator).
+* ``repro doctor --trace PATH`` — integrity-check a binary trace and
+  optionally recover its longest valid prefix.
 """
 
 from __future__ import annotations
@@ -133,13 +136,28 @@ def cmd_overhead(args) -> int:
             file=sys.stderr,
         )
         return 2
+
+    def make_builder(workload):
+        def build():
+            machine = workload.build(threads=args.threads, scale=args.scale)
+            if args.faults is not None:
+                # A fresh plan per build: fault decisions are a pure
+                # function of (seed, decision index), so every build
+                # sees the identical fault schedule.
+                from repro.vm.faults import FaultPlan
+
+                machine.set_fault_plan(FaultPlan(seed=args.faults))
+            return machine
+
+        return build
+
     measurements = []
     for name in names:
         workload = get_workload(name)
         measurements.append(
             measure_workload(
                 name,
-                lambda w=workload: w.build(threads=args.threads, scale=args.scale),
+                make_builder(workload),
                 repeats=args.repeats,
                 parallel=args.parallel,
             )
@@ -155,6 +173,7 @@ def cmd_overhead(args) -> int:
             "scale": args.scale,
             "repeats": args.repeats,
             "parallel": args.parallel,
+            "faults": args.faults,
             "summary": summary,
             "workloads": [
                 {
@@ -163,6 +182,16 @@ def cmd_overhead(args) -> int:
                     "native_cells": m.native_cells,
                     "record_time": m.record_time,
                     "trace_events": m.trace_events,
+                    "degradations": [
+                        {
+                            "stage": d.stage,
+                            "tool": d.tool,
+                            "attempt": d.attempt,
+                            "reason": d.reason,
+                            "action": d.action,
+                        }
+                        for d in m.degradations
+                    ],
                     "tools": {
                         t.tool: {
                             "wall_time": t.wall_time,
@@ -181,13 +210,21 @@ def cmd_overhead(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"measurements written to {args.json}", file=sys.stderr)
-    tool_names = list(DEFAULT_TOOLS)
+    tool_names = [t for t in DEFAULT_TOOLS if t in summary]
     print(f"{'tool':>12} {'slowdown':>10} {'space':>8}")
     for tool in tool_names:
         row = summary[tool]
         print(
             f"{tool:>12} {row['slowdown']:>9.2f}x {row['space_overhead']:>7.2f}x"
         )
+    degradations = [d for m in measurements for d in m.degradations]
+    if degradations:
+        print(f"{len(degradations)} degradation(s):", file=sys.stderr)
+        for d in degradations:
+            print(
+                f"  [{d.stage}] {d.tool}: {d.reason} -> {d.action}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -222,12 +259,21 @@ def cmd_report(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    if args.binary and not args.save:
+        print("--binary requires --save FILE", file=sys.stderr)
+        return 2
     machine = _run_workload(args.workload, args.threads, args.scale)
     if args.save:
-        from repro.core.tracefile import save_trace
+        if args.binary:
+            from repro.core.tracefile import save_trace_binary
 
-        with open(args.save, "w") as handle:
-            written = save_trace(machine.trace, handle)
+            with open(args.save, "wb") as handle:
+                written = save_trace_binary(machine.trace, handle)
+        else:
+            from repro.core.tracefile import save_trace
+
+            with open(args.save, "w") as handle:
+                written = save_trace(machine.trace, handle)
         print(f"{written} events written to {args.save}", file=sys.stderr)
         return 0
     for event in machine.trace[: args.limit]:
@@ -262,6 +308,37 @@ def cmd_diagnose(args) -> int:
             f"({worst.calls} calls, cost {worst.min_cost}..{worst.max_cost})"
         )
     return 0
+
+
+def cmd_doctor(args) -> int:
+    """Integrity-check a binary trace; optionally salvage the prefix."""
+    from repro.core.events import scan_batch_bytes
+
+    try:
+        with open(args.trace, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    scan = scan_batch_bytes(data)
+    print(f"trace:     {args.trace} ({len(data)} bytes)")
+    print(f"format:    v{scan.version}" if scan.version else "format:    unknown")
+    print(f"declared:  {scan.declared_events} events")
+    print(f"recovered: {scan.events_loaded} events "
+          f"({scan.sections_valid} valid section(s), "
+          f"{scan.valid_bytes} clean bytes)")
+    print(f"names:     {len(scan.batch.names)} interned")
+    if scan.intact:
+        print("status:    intact")
+    else:
+        print(f"status:    CORRUPT — {scan.error}")
+    if args.recover:
+        from repro.core.tracefile import save_trace_binary
+
+        with open(args.recover, "wb") as handle:
+            written = save_trace_binary(scan.batch, handle)
+        print(f"recovered prefix ({written} events) written to {args.recover}")
+    return 0 if scan.intact else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -308,6 +385,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the recorded trace under the tools in N processes",
     )
     p.add_argument("--json", help="write the full measurements to FILE")
+    p.add_argument(
+        "--faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="run with deterministic fault injection (FaultPlan seed)",
+    )
     p.set_defaults(func=cmd_overhead)
 
     p = sub.add_parser(
@@ -324,6 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(p)
     p.add_argument("--limit", type=int, default=50)
     p.add_argument("--save", help="write the full trace to FILE instead")
+    p.add_argument(
+        "--binary",
+        action="store_true",
+        help="with --save: write the crash-safe binary format",
+    )
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("report", help="full analysis report")
@@ -337,6 +426,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metric", choices=sorted(POLICIES), default="rms")
     p.add_argument("--spread", type=float, default=2.0)
     p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser(
+        "doctor", help="integrity-check a binary trace file"
+    )
+    p.add_argument("--trace", required=True, help="binary trace to examine")
+    p.add_argument(
+        "--recover",
+        metavar="OUT",
+        help="write the longest valid prefix to OUT",
+    )
+    p.set_defaults(func=cmd_doctor)
 
     return parser
 

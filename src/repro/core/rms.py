@@ -282,6 +282,11 @@ class RmsProfiler:
         out.reverse()
         return out
 
+    def live_activations(self) -> int:
+        """Pending shadow-stack entries across threads (0 after a
+        well-formed trace, fault-unwound or not)."""
+        return sum(len(stack) for stack in self.stacks.values())
+
     def space_cells(self) -> int:
         cells = 0
         for mem in self.ts.values():

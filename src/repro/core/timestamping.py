@@ -544,6 +544,13 @@ class DrmsProfiler:
         out.reverse()
         return out
 
+    def live_activations(self) -> int:
+        """Shadow-stack entries still pending across all threads.  After a
+        well-formed trace — including one where the VM fault-aborted
+        threads via synthetic returns — this is 0; anything else means a
+        leaked activation."""
+        return sum(len(stack) for stack in self.stacks.values())
+
     def space_cells(self) -> int:
         """Shadowed cells across all shadow memories plus stack entries —
         the space-overhead figure used by the Table 1 harness."""

@@ -47,12 +47,15 @@ from repro.core.events import (
     SwitchThread,
     ThreadExit,
     ThreadStart,
+    TraceScan,
     UserToKernel,
     Write,
     encode_events,
+    scan_batch_bytes,
 )
 
 __all__ = [
+    "TraceFormatError",
     "event_to_line",
     "line_to_event",
     "save_trace",
@@ -60,11 +63,19 @@ __all__ = [
     "save_trace_binary",
     "load_trace_binary",
     "load_batch",
+    "scan_trace",
 ]
 
 
 class TraceFormatError(ValueError):
-    """Malformed trace line."""
+    """Malformed trace content — text line or binary stream.
+
+    For binary traces ``offset`` carries the byte position where the
+    stream stopped making sense (-1 when not applicable)."""
+
+    def __init__(self, message: str, offset: int = -1) -> None:
+        super().__init__(message)
+        self.offset = offset
 
 
 def _quote(name: str) -> str:
@@ -173,15 +184,28 @@ def save_trace_binary(
     return len(batch)
 
 
-def load_batch(stream: IO[bytes]) -> EventBatch:
-    """Read a binary trace back as an :class:`EventBatch` (fast path)."""
+def load_batch(stream: IO[bytes], strict: bool = True) -> EventBatch:
+    """Read a binary trace back as an :class:`EventBatch` (fast path).
+
+    ``strict`` (the default) raises :class:`TraceFormatError` — with a
+    byte-offset context, never a raw ``struct.error`` — on truncation or
+    corruption.  ``strict=False`` recovers the longest valid prefix
+    (crash-salvage mode; possibly empty)."""
     data = stream.read()
     try:
-        return EventBatch.from_bytes(data)
+        return EventBatch.from_bytes(data, lenient=not strict)
     except ValueError as exc:
-        raise TraceFormatError(str(exc)) from exc
+        offset = getattr(exc, "offset", -1)
+        raise TraceFormatError(str(exc), offset) from exc
 
 
-def load_trace_binary(stream: IO[bytes]) -> List[Event]:
+def load_trace_binary(stream: IO[bytes], strict: bool = True) -> List[Event]:
     """Read a binary trace back as a list of dataclass events."""
-    return list(load_batch(stream).iter_events())
+    return list(load_batch(stream, strict=strict).iter_events())
+
+
+def scan_trace(stream: IO[bytes]) -> TraceScan:
+    """Diagnose a binary trace: version, declared vs recovered events,
+    valid sections and the first integrity error.  Never raises on
+    malformed input — this is the engine behind ``repro doctor``."""
+    return scan_batch_bytes(stream.read())

@@ -23,8 +23,14 @@ Regenerates the Table 1 / Figure 16 methodology:
 Because the trace is an artifact, replays are embarrassingly parallel:
 ``measure_workload(..., parallel=N)`` ships the serialised batch
 (``EventBatch.to_bytes``) to ``N`` worker processes and replays the
-tools concurrently, falling back to serial replay if the tool factories
-cannot cross a process boundary (e.g. closures).
+tools concurrently.  Workers are *supervised*: every replay has a
+timeout, transient failures (a stuck or killed worker, a broken pool)
+are retried a bounded number of times with exponential backoff and
+jitter, and a tool that keeps failing degrades to serial replay — or,
+if it fails even serially, is excluded from the measurement.  Every
+such decision is recorded as a :class:`Degradation` on the returned
+measurement, so a run never hangs and never dies with an opaque
+``BrokenProcessPool``.
 
 Wall-clock timing of small workloads is noisy, so native runs and
 replays take the best of ``repeats`` attempts; every replay builds a
@@ -34,8 +40,11 @@ fresh tool so state never leaks between runs.
 from __future__ import annotations
 
 import math
+import random
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -51,6 +60,7 @@ from repro.vm import Machine
 
 __all__ = [
     "DEFAULT_TOOLS",
+    "Degradation",
     "ToolMeasurement",
     "WorkloadMeasurement",
     "record_trace",
@@ -59,6 +69,9 @@ __all__ = [
     "geometric_mean",
     "suite_summary",
 ]
+
+#: ceiling on the inter-retry backoff sleep, seconds
+_MAX_BACKOFF = 5.0
 
 #: factories for the six tools of Table 1, in the paper's column order
 DEFAULT_TOOLS: Dict[str, Callable[[], AnalysisTool]] = {
@@ -86,6 +99,22 @@ class ToolMeasurement:
     replay_time: float = 0.0
 
 
+@dataclass(frozen=True)
+class Degradation:
+    """One self-healing action the measurement pipeline had to take.
+
+    ``stage`` is where the problem surfaced (``parallel-replay`` or
+    ``serial-replay``), ``attempt`` which try failed, and ``action``
+    what the supervisor did about it (``retried``, ``serial-fallback``
+    or ``excluded``)."""
+
+    stage: str
+    tool: str
+    attempt: int
+    reason: str
+    action: str
+
+
 @dataclass
 class WorkloadMeasurement:
     """All measurements for one workload."""
@@ -99,6 +128,9 @@ class WorkloadMeasurement:
     record_time: float = 0.0
     #: events in the recorded trace
     trace_events: int = 0
+    #: self-healing actions taken while measuring (empty = clean run);
+    #: a tool that was ``excluded`` has no entry in :attr:`tools`
+    degradations: List[Degradation] = field(default_factory=list)
 
 
 def record_trace(build: Callable[[], Machine]) -> Tuple[float, EventBatch, Machine]:
@@ -146,21 +178,129 @@ def _replay_worker(
     return replay_tool(factory, EventBatch.from_bytes(payload), repeats)
 
 
-def _replay_all_parallel(
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when a worker is wedged: cancel what can be
+    cancelled, then terminate the worker processes outright.  Without
+    this a single stuck replay would hang ``shutdown(wait=True)``
+    forever."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5)
+
+
+def _replay_all_supervised(
     tools: Dict[str, Callable[[], AnalysisTool]],
     batch: EventBatch,
     repeats: int,
     workers: int,
-) -> Dict[str, Tuple[float, int]]:
-    """Replay every tool in ``workers`` processes; raises if the factories
-    or the pool cannot be used (caller falls back to serial)."""
+    timeout: float,
+    max_retries: int,
+    backoff_base: float,
+) -> Tuple[Dict[str, Tuple[float, int]], List[Degradation]]:
+    """Replay every tool in worker processes under supervision.
+
+    Transient failures — a replay exceeding ``timeout``, a worker dying
+    and breaking the pool — are retried up to ``max_retries`` times with
+    exponential backoff plus jitter (fresh pool per round).  A tool that
+    exhausts its retries, or fails for a deterministic reason (its
+    factory cannot be pickled, its replay raises), is left out of the
+    returned results for the caller's serial fallback.  Every decision
+    is recorded as a :class:`Degradation`.  Never raises, never hangs.
+    """
     payload = batch.to_bytes()
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            name: pool.submit(_replay_worker, factory, payload, repeats)
-            for name, factory in tools.items()
-        }
-        return {name: future.result() for name, future in futures.items()}
+    results: Dict[str, Tuple[float, int]] = {}
+    degradations: List[Degradation] = []
+    attempts: Dict[str, int] = {name: 0 for name in tools}
+    pending: Dict[str, Callable[[], AnalysisTool]] = dict(tools)
+    round_no = 0
+    while pending and round_no <= max_retries:
+        round_no += 1
+        if round_no > 1:
+            # exponential backoff with jitter before re-provisioning the
+            # pool (jitter only shifts wall-clock pacing, never results)
+            delay = backoff_base * 2.0 ** (round_no - 2)
+            delay = min(delay + random.uniform(0, backoff_base), _MAX_BACKOFF)
+            time.sleep(delay)
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+            futures = {
+                name: pool.submit(_replay_worker, factory, payload, repeats)
+                for name, factory in pending.items()
+            }
+        except Exception as exc:  # no fork/spawn available at all
+            for name in pending:
+                degradations.append(
+                    Degradation(
+                        "parallel-replay",
+                        name,
+                        attempts[name] + 1,
+                        f"pool unavailable: {type(exc).__name__}: {exc}",
+                        "serial-fallback",
+                    )
+                )
+            return results, degradations
+        stuck = False
+        transient: List[str] = []
+        for name, future in futures.items():
+            try:
+                results[name] = future.result(timeout=timeout)
+                del pending[name]
+            except FutureTimeoutError:
+                attempts[name] += 1
+                stuck = True
+                transient.append(name)
+                degradations.append(
+                    Degradation(
+                        "parallel-replay",
+                        name,
+                        attempts[name],
+                        f"replay exceeded {timeout:g}s timeout",
+                        "retried"
+                        if attempts[name] <= max_retries
+                        else "serial-fallback",
+                    )
+                )
+            except BrokenProcessPool as exc:
+                attempts[name] += 1
+                transient.append(name)
+                degradations.append(
+                    Degradation(
+                        "parallel-replay",
+                        name,
+                        attempts[name],
+                        f"worker pool broke: {exc}",
+                        "retried"
+                        if attempts[name] <= max_retries
+                        else "serial-fallback",
+                    )
+                )
+            except Exception as exc:
+                # A deterministic failure (unpicklable factory, a tool
+                # raising on the trace): retrying in a process cannot
+                # help — go straight to the serial fallback.
+                attempts[name] = max_retries + 1
+                del pending[name]
+                degradations.append(
+                    Degradation(
+                        "parallel-replay",
+                        name,
+                        1,
+                        f"{type(exc).__name__}: {exc}",
+                        "serial-fallback",
+                    )
+                )
+        if stuck:
+            _terminate_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+        for name in transient:
+            if attempts[name] > max_retries and name in pending:
+                del pending[name]  # exhausted: caller replays serially
+    return results, degradations
 
 
 def measure_workload(
@@ -169,17 +309,30 @@ def measure_workload(
     tools: Optional[Dict[str, Callable[[], AnalysisTool]]] = None,
     repeats: int = 3,
     parallel: Optional[int] = None,
+    replay_timeout: float = 120.0,
+    max_retries: int = 2,
+    backoff_base: float = 0.25,
 ) -> WorkloadMeasurement:
     """Measure native and per-tool execution of one workload factory.
 
     ``parallel=N`` replays the recorded trace under the tools in ``N``
-    worker processes instead of serially; results are identical because
-    every replay consumes the same recorded batch.
+    supervised worker processes instead of serially; results are
+    identical because every replay consumes the same recorded batch.
+    Each parallel replay gets ``replay_timeout`` seconds and up to
+    ``max_retries`` retries (exponential backoff starting at
+    ``backoff_base`` seconds, with jitter) before degrading to serial
+    replay; a tool failing even serially is excluded.  Self-healing
+    actions are reported in ``.degradations`` — the call itself never
+    hangs or raises on worker trouble.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     if parallel is not None and parallel < 1:
         raise ValueError("parallel must be >= 1")
+    if replay_timeout <= 0:
+        raise ValueError("replay_timeout must be > 0")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
     if tools is None:
         tools = DEFAULT_TOOLS
 
@@ -198,14 +351,39 @@ def measure_workload(
     record_time, batch, _machine = record_trace(build)
     events = len(batch)
 
+    supervised = parallel is not None and parallel > 1
     replays: Dict[str, Tuple[float, int]] = {}
-    if parallel is not None and parallel > 1:
-        try:
-            replays = _replay_all_parallel(tools, batch, repeats, parallel)
-        except Exception:
-            replays = {}  # unpicklable factory or no pool: replay serially
+    degradations: List[Degradation] = []
+    if supervised:
+        replays, degradations = _replay_all_supervised(
+            tools,
+            batch,
+            repeats,
+            parallel,
+            replay_timeout,
+            max_retries,
+            backoff_base,
+        )
     for tool_name, tool_factory in tools.items():
-        if tool_name not in replays:
+        if tool_name in replays:
+            continue
+        if supervised:
+            # Graceful degradation: the pool could not produce a result
+            # for this tool, so replay it serially — and if even that
+            # fails, exclude the tool rather than losing the run.
+            try:
+                replays[tool_name] = replay_tool(tool_factory, batch, repeats)
+            except Exception as exc:
+                degradations.append(
+                    Degradation(
+                        "serial-replay",
+                        tool_name,
+                        1,
+                        f"{type(exc).__name__}: {exc}",
+                        "excluded",
+                    )
+                )
+        else:
             replays[tool_name] = replay_tool(tool_factory, batch, repeats)
 
     result = WorkloadMeasurement(
@@ -214,8 +392,11 @@ def measure_workload(
         native_cells,
         record_time=record_time,
         trace_events=events,
+        degradations=degradations,
     )
     for tool_name in tools:
+        if tool_name not in replays:
+            continue  # excluded after repeated failures (see degradations)
         replay_time, space = replays[tool_name]
         wall_time = record_time + replay_time
         result.tools[tool_name] = ToolMeasurement(
@@ -244,13 +425,17 @@ def suite_summary(
     one Table 1 block."""
     if not measurements:
         return {}
-    tool_names: List[str] = list(measurements[0].tools)
+    tool_names: List[str] = []
+    for m in measurements:
+        for tool_name in m.tools:
+            if tool_name not in tool_names:
+                tool_names.append(tool_name)
     summary: Dict[str, Dict[str, float]] = {}
     for tool_name in tool_names:
-        slowdowns = [m.tools[tool_name].slowdown for m in measurements]
-        overheads = [m.tools[tool_name].space_overhead for m in measurements]
+        # a tool excluded on some workload contributes only where it ran
+        rows = [m.tools[tool_name] for m in measurements if tool_name in m.tools]
         summary[tool_name] = {
-            "slowdown": geometric_mean(slowdowns),
-            "space_overhead": geometric_mean(overheads),
+            "slowdown": geometric_mean([r.slowdown for r in rows]),
+            "space_overhead": geometric_mean([r.space_overhead for r in rows]),
         }
     return summary

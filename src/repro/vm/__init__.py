@@ -6,9 +6,11 @@ consume."""
 
 from repro.vm.context import ThreadContext
 from repro.vm.cost import CostCounter, TimeModel
+from repro.vm.faults import FaultPlan, FaultRecord, InjectedSyscallError
 from repro.vm.machine import DeadlockError, Machine, ThreadHandle
 from repro.vm.memory import Memory, MemoryError_, OutOfRange, Region, UseAfterFree
 from repro.vm.scheduler import (
+    PerturbedScheduler,
     RandomScheduler,
     RoundRobinScheduler,
     Scheduler,
@@ -23,6 +25,7 @@ from repro.vm.syscalls import (
     Device,
     FileDevice,
     Kernel,
+    KernelDiagnostic,
     SinkDevice,
     StreamDevice,
 )
@@ -43,7 +46,11 @@ __all__ = [
     "RoundRobinScheduler",
     "RandomScheduler",
     "StickyScheduler",
+    "PerturbedScheduler",
     "make_scheduler",
+    "FaultPlan",
+    "FaultRecord",
+    "InjectedSyscallError",
     "Semaphore",
     "Mutex",
     "Condition",
@@ -54,6 +61,7 @@ __all__ = [
     "StreamDevice",
     "FileDevice",
     "SinkDevice",
+    "KernelDiagnostic",
     "BadFileDescriptor",
     "INBOUND_SYSCALLS",
     "OUTBOUND_SYSCALLS",

@@ -26,7 +26,7 @@ Subroutine calls go through :meth:`call` so the profiler sees proper
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, List, Optional
 
 from repro.vm.cost import CostCounter
 from repro.vm.memory import Memory
@@ -42,6 +42,12 @@ class ThreadContext:
         self.tid = tid
         self.machine = machine
         self.cost = CostCounter()
+        #: pending (call-without-return) activations; the machine uses
+        #: this to emit synthetic returns when a fault aborts the thread
+        self.call_depth = 0
+        #: mutexes currently held, in acquisition order — force-released
+        #: (robust-futex style) if the thread is fault-aborted
+        self.held_locks: List = []
 
     # -- memory ----------------------------------------------------------
 
@@ -89,8 +95,10 @@ class ThreadContext:
         routine_name = name if name is not None else routine.__name__
         self.cost.charge(1)
         self.machine.emit_call(self.tid, routine_name, self.cost.blocks)
+        self.call_depth += 1
         result = yield from routine(self, *args)
         self.machine.emit_return(self.tid, self.cost.blocks)
+        self.call_depth -= 1
         return result
 
     # -- system calls -------------------------------------------------------
@@ -145,9 +153,14 @@ class ThreadContext:
     # -- tool hooks -----------------------------------------------------------
 
     def on_lock_acquired(self, mutex) -> None:
+        self.held_locks.append(mutex)
         self.machine.emit_lock_acquire(self.tid, mutex.name)
 
     def on_lock_released(self, mutex) -> None:
+        try:
+            self.held_locks.remove(mutex)
+        except ValueError:
+            pass  # e.g. force-released by a fault abort
         self.machine.emit_lock_release(self.tid, mutex.name)
 
     # Semaphores, barriers and condition variables establish the same

@@ -1,0 +1,248 @@
+"""Deterministic fault injection for the VM (the self-healing layer).
+
+The paper's profiler must stay correct when a routine's input mutates
+*under it* — kernel system calls failing halfway, peer threads dying
+mid-activation, the scheduler picking adversarial interleavings.  Real
+Valgrind-era tooling survives arbitrary guest behaviour; this module
+gives the reproduction the same property **deterministically**: a
+:class:`FaultPlan` is a seeded oracle the :class:`~repro.vm.machine.Machine`,
+:class:`~repro.vm.syscalls.Kernel` and scheduler consult at well-defined
+decision sites, and every decision is a pure function of the seed and
+the per-site decision index.  Because the VM itself is deterministic
+(serialised threads, seeded devices and schedulers), the same seed
+yields byte-identical traces and identical drms profiles on every run —
+faults are replayable artifacts, not flakes.
+
+Injectable faults:
+
+* **syscall errors** — ``read``/``write``-family calls raise an
+  ``EIO``-style :class:`InjectedSyscallError` before any transfer;
+* **short transfers** — ``Device.pull``/``push`` move fewer cells than
+  requested (the classic partial ``read(2)``);
+* **delayed I/O completions** — extra basic blocks charged to the
+  calling thread, modelling a slow device in virtual time;
+* **mid-activation thread kills** — the machine aborts a thread at a
+  scheduling point, unwinding its pending activations (see
+  ``Machine._abort_thread``: partial drms is collected per Invariant 2
+  and no shadow-stack entries leak);
+* **scheduler perturbation** — deterministic overrides of the inner
+  scheduling policy's pick (Section 4.2's "multiple scheduling
+  configurations", adversarial edition).
+
+Every injected fault is logged in :attr:`FaultPlan.records` with the
+VM's virtual clock, so a run's fault history is itself an inspectable,
+reproducible artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "FaultPlan",
+    "FaultRecord",
+    "InjectedSyscallError",
+]
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+# decision channels: each fault class consumes rolls from its own
+# counter, so e.g. a burst of syscalls does not shift scheduling rolls
+_CH_SYSCALL_ERROR = 1
+_CH_SHORT_IO = 2
+_CH_SHORT_IO_AMOUNT = 3
+_CH_IO_DELAY = 4
+_CH_IO_DELAY_AMOUNT = 5
+_CH_THREAD_KILL = 6
+_CH_SCHED = 7
+_CH_SCHED_PICK = 8
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finaliser: cheap, well-distributed 64-bit hash."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class InjectedSyscallError(OSError):
+    """A deterministic, plan-injected system-call failure (``EIO``).
+
+    Subclasses :class:`OSError` so fault-aware workloads may catch it
+    like a real errno; workloads that do not are aborted by the machine
+    with a clean activation unwind.
+    """
+
+    def __init__(self, syscall: str, fd: int, errno_name: str = "EIO") -> None:
+        super().__init__(f"injected {errno_name} in {syscall}(fd={fd})")
+        self.syscall = syscall
+        self.fd = fd
+        self.errno_name = errno_name
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault: what, to whom, and at which virtual time."""
+
+    kind: str
+    thread: int
+    time: int
+    site: str
+    detail: str = ""
+
+
+class FaultPlan:
+    """Seeded oracle deciding which faults fire where.
+
+    All rates are probabilities in ``[0, 1]`` evaluated per decision
+    site.  Decisions are derived by hashing ``(seed, channel, index)``
+    — no shared PRNG stream — so the plan is deterministic for a given
+    VM execution and insensitive to unrelated fault classes.
+
+    A plan is **single-use state** (per-channel counters, kill budget,
+    records): attach a *fresh* ``FaultPlan(seed=s)`` to every machine
+    build when comparing runs.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        syscall_error_rate: float = 0.02,
+        short_io_rate: float = 0.05,
+        io_delay_rate: float = 0.05,
+        max_io_delay: int = 8,
+        thread_kill_rate: float = 0.002,
+        max_kills: int = 2,
+        sched_perturb_rate: float = 0.05,
+    ) -> None:
+        for label, rate in (
+            ("syscall_error_rate", syscall_error_rate),
+            ("short_io_rate", short_io_rate),
+            ("io_delay_rate", io_delay_rate),
+            ("thread_kill_rate", thread_kill_rate),
+            ("sched_perturb_rate", sched_perturb_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+        if max_io_delay < 1:
+            raise ValueError("max_io_delay must be >= 1")
+        if max_kills < 0:
+            raise ValueError("max_kills must be >= 0")
+        self.seed = seed
+        self.syscall_error_rate = syscall_error_rate
+        self.short_io_rate = short_io_rate
+        self.io_delay_rate = io_delay_rate
+        self.max_io_delay = max_io_delay
+        self.thread_kill_rate = thread_kill_rate
+        self.max_kills = max_kills
+        self.sched_perturb_rate = sched_perturb_rate
+        self._base = _mix64(seed ^ _GOLDEN)
+        self._counters: Dict[int, int] = {}
+        #: injected faults in execution order
+        self.records: List[FaultRecord] = []
+        self.kills = 0
+        self._clock: Callable[[], int] = lambda: 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Attach the VM's virtual-clock callable (used for records only;
+        decisions never depend on it)."""
+        self._clock = clock
+
+    def _roll(self, channel: int) -> float:
+        """Deterministic uniform value in ``[0, 1)`` for this channel's
+        next decision."""
+        index = self._counters.get(channel, 0)
+        self._counters[channel] = index + 1
+        h = _mix64(self._base + channel * _GOLDEN + index * 0xC2B2AE3D27D4EB4F)
+        return h / 2.0**64
+
+    def note(self, kind: str, thread: int, site: str, detail: str = "") -> None:
+        """Record a fault consequence decided outside the plan (e.g. the
+        machine aborting an activation or breaking a deadlock)."""
+        self.records.append(
+            FaultRecord(kind, thread, self._clock(), site, detail)
+        )
+
+    # -- decision sites -----------------------------------------------------
+
+    def syscall_error(
+        self, syscall: str, fd: int, thread: int
+    ) -> Optional[InjectedSyscallError]:
+        """Should this system call fail outright?  Returns the error to
+        raise, or ``None``."""
+        if self.syscall_error_rate <= 0.0:
+            return None
+        if self._roll(_CH_SYSCALL_ERROR) < self.syscall_error_rate:
+            self.note("syscall-error", thread, f"{syscall}(fd={fd})", "EIO")
+            return InjectedSyscallError(syscall, fd)
+        return None
+
+    def transfer_count(
+        self, syscall: str, count: int, thread: int, inbound: bool
+    ) -> int:
+        """Possibly truncate an I/O transfer (short read/write).  The
+        returned count is in ``[1, count]``."""
+        if count <= 1 or self.short_io_rate <= 0.0:
+            return count
+        if self._roll(_CH_SHORT_IO) < self.short_io_rate:
+            truncated = 1 + int(self._roll(_CH_SHORT_IO_AMOUNT) * (count - 1))
+            kind = "short-read" if inbound else "short-write"
+            self.note(
+                kind, thread, f"{syscall}", f"{count} -> {truncated} cells"
+            )
+            return truncated
+        return count
+
+    def io_delay(self, syscall: str, thread: int) -> int:
+        """Extra basic blocks modelling a delayed I/O completion
+        (0 = no delay)."""
+        if self.io_delay_rate <= 0.0:
+            return 0
+        if self._roll(_CH_IO_DELAY) < self.io_delay_rate:
+            delay = 1 + int(self._roll(_CH_IO_DELAY_AMOUNT) * (self.max_io_delay - 1))
+            self.note("io-delay", thread, syscall, f"{delay} blocks")
+            return delay
+        return 0
+
+    def should_kill(self, thread: int) -> bool:
+        """Kill the thread at this scheduling point?  Bounded by
+        ``max_kills``."""
+        if self.kills >= self.max_kills or self.thread_kill_rate <= 0.0:
+            return False
+        if self._roll(_CH_THREAD_KILL) < self.thread_kill_rate:
+            self.kills += 1
+            self.note("thread-kill", thread, "scheduler")
+            return True
+        return False
+
+    def perturb(self, runnable: Sequence[int], pick: int) -> int:
+        """Possibly override the inner scheduler's ``pick`` with another
+        runnable thread (adversarial interleaving)."""
+        if len(runnable) <= 1 or self.sched_perturb_rate <= 0.0:
+            return pick
+        if self._roll(_CH_SCHED) < self.sched_perturb_rate:
+            others = sorted(tid for tid in runnable if tid != pick)
+            if not others:
+                return pick
+            choice = others[int(self._roll(_CH_SCHED_PICK) * len(others)) % len(others)]
+            self.note("sched-perturb", choice, "scheduler", f"over T{pick}")
+            return choice
+        return pick
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Injected-fault counts by kind."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, {len(self.records)} records)"

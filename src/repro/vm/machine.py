@@ -53,8 +53,9 @@ from repro.core.events import (
     Write,
 )
 from repro.vm.context import ThreadContext
+from repro.vm.faults import FaultPlan, InjectedSyscallError
 from repro.vm.memory import Memory
-from repro.vm.scheduler import RoundRobinScheduler, Scheduler
+from repro.vm.scheduler import PerturbedScheduler, RoundRobinScheduler, Scheduler
 from repro.vm.sync import Blocked
 from repro.vm.syscalls import Kernel
 
@@ -79,6 +80,8 @@ class ThreadHandle:
         self.state = self.RUNNABLE
         self.block: Optional[Blocked] = None
         self.result: Any = None
+        #: abort reason when the thread was fault-killed, else ``None``
+        self.fault: Optional[str] = None
 
     @property
     def done(self) -> bool:
@@ -98,6 +101,7 @@ class Machine:
         sink: Optional[Callable[[Event], None]] = None,
         quantum: int = 1,
         strict_memory: bool = True,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if quantum < 1:
             raise ValueError("quantum must be >= 1")
@@ -119,6 +123,77 @@ class Machine:
         self.total_blocks = 0
         #: number of thread switches performed
         self.switches = 0
+        #: attached fault plan (``None`` = the happy path, bit-identical
+        #: to pre-fault-layer behaviour)
+        self.faults: Optional[FaultPlan] = None
+        self._fault_aborts = 0
+        if faults is not None:
+            self.set_fault_plan(faults)
+
+    # -- fault injection ------------------------------------------------------
+
+    def set_fault_plan(self, plan: FaultPlan) -> None:
+        """Attach a fault plan: the kernel consults it on every system
+        call, the scheduler is wrapped for deterministic perturbation,
+        and the run loop rolls for thread kills.  Plans are single-use —
+        attach a fresh ``FaultPlan(seed=s)`` per machine build."""
+        self.faults = plan
+        plan.bind_clock(self.virtual_time)
+        self.kernel.faults = plan
+        if plan.sched_perturb_rate > 0 and not isinstance(
+            self.scheduler, PerturbedScheduler
+        ):
+            self.scheduler = PerturbedScheduler(self.scheduler, plan)
+
+    def virtual_time(self) -> int:
+        """The VM's virtual clock: basic blocks charged so far across
+        all threads plus thread switches.  Monotone and deterministic;
+        fault records are stamped with it."""
+        return sum(t.ctx.cost.blocks for t in self._threads) + self.switches
+
+    def _abort_thread(self, thread: ThreadHandle, reason: str) -> None:
+        """Fault-abort ``thread``: unwind its pending activations and
+        mark it done, leaving trace and shadow state consistent.
+
+        Synthetic ``return`` events (one per pending activation, at the
+        thread's current cost) make the profilers pop the thread's
+        shadow stack exactly as Invariant 2 requires: each aborted
+        activation's partial drms is collected and the parent inherits
+        it, so no shadow-stack entries leak and every other thread's
+        profile is unaffected.  Mutexes the dead thread holds are
+        force-released (robust-futex ``EOWNERDEAD`` semantics) so peers
+        are not blocked forever."""
+        ctx = thread.ctx
+        tid = thread.tid
+        self._fault_aborts += 1
+        for mutex in list(ctx.held_locks):
+            mutex.force_release()
+            self.emit_lock_release(tid, mutex.name)
+            if self.faults is not None:
+                self.faults.note(
+                    "lock-steal", tid, mutex.name, "released for dead owner"
+                )
+        ctx.held_locks.clear()
+        for _ in range(ctx.call_depth):
+            self.emit_return(tid, ctx.cost.blocks)
+        ctx.call_depth = 0
+        thread.state = ThreadHandle.DONE
+        thread.block = None
+        thread.fault = reason
+        self.total_blocks += ctx.cost.blocks
+        self.emit_thread_exit(tid)
+        if self.faults is not None:
+            self.faults.note("thread-abort", tid, reason)
+        # Close the generator without letting cleanup code emit stray
+        # events after the synthetic unwind.
+        instrument = self.instrument
+        self.instrument = False
+        try:
+            thread.generator.close()
+        except Exception:
+            pass
+        finally:
+            self.instrument = instrument
 
     # -- instrumentation ------------------------------------------------------
 
@@ -334,6 +409,14 @@ class Machine:
                 if not blocked:
                     self.flush_trace()
                     break  # all done
+                if self.faults is not None and self._fault_aborts:
+                    # Self-heal: a fault-killed thread can leave peers
+                    # blocked forever (a semaphore never signalled, a
+                    # barrier party missing).  Abort them deterministically
+                    # — tid order — instead of failing the run.
+                    for stuck in sorted(blocked, key=lambda t: t.tid):
+                        self._abort_thread(stuck, "fault-deadlock")
+                    continue
                 reasons = ", ".join(
                     f"T{t.tid}:{t.block.reason or '?'}" for t in blocked
                 )
@@ -342,6 +425,9 @@ class Machine:
             current_tid = self._current.tid if self._current is not None else None
             tid = self.scheduler.pick(runnable, current_tid)
             thread = self._by_tid(tid)
+            if self.faults is not None and self.faults.should_kill(tid):
+                self._abort_thread(thread, "thread-kill")
+                continue
             if self._current is not None and self._current is not thread:
                 self.emit_switch_thread()
                 self.switches += 1
@@ -361,6 +447,11 @@ class Machine:
                 thread.result = stop.value
                 self.total_blocks += thread.ctx.cost.blocks
                 self.emit_thread_exit(thread.tid)
+                return
+            except InjectedSyscallError as exc:
+                # An injected fault the workload chose not to handle
+                # kills the thread mid-activation; unwind cleanly.
+                self._abort_thread(thread, f"syscall-error: {exc}")
                 return
             if isinstance(token, Blocked):
                 if token.predicate():

@@ -10,7 +10,10 @@ configurations"*), so the VM supports pluggable policies:
 * :class:`RandomScheduler` — seeded pseudo-random pick each switch,
   modelling Valgrind's ``--fair-sched=no`` timing wobble;
 * :class:`StickyScheduler` — keeps the current thread running as long as
-  it is runnable (maximally unfair; the degenerate interleaving).
+  it is runnable (maximally unfair; the degenerate interleaving);
+* :class:`PerturbedScheduler` — wraps any of the above and lets a
+  :class:`~repro.vm.faults.FaultPlan` deterministically override picks
+  (adversarial interleavings that replay bit-identically per seed).
 
 A scheduler only ever sees *runnable* threads; blocked threads are parked
 by the machine until their wake-up predicate holds.
@@ -26,6 +29,7 @@ __all__ = [
     "RoundRobinScheduler",
     "RandomScheduler",
     "StickyScheduler",
+    "PerturbedScheduler",
     "make_scheduler",
 ]
 
@@ -67,6 +71,22 @@ class StickyScheduler(Scheduler):
         if current is not None and current in runnable:
             return current
         return sorted(runnable)[0]
+
+
+class PerturbedScheduler(Scheduler):
+    """Delegate to ``inner`` but let a fault plan override the pick.
+
+    The plan's :meth:`~repro.vm.faults.FaultPlan.perturb` decision is a
+    pure function of its seed and decision index, so the perturbed
+    interleaving is exactly as reproducible as the inner policy's.
+    """
+
+    def __init__(self, inner: Scheduler, plan) -> None:
+        self.inner = inner
+        self.plan = plan
+
+    def pick(self, runnable: Sequence[int], current: Optional[int]) -> int:
+        return self.plan.perturb(runnable, self.inner.pick(runnable, current))
 
 
 def make_scheduler(spec: str = "round-robin", seed: int = 0) -> Scheduler:

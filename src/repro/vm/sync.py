@@ -104,6 +104,14 @@ class Mutex:
         self.owner = None
         ctx.on_lock_released(self)
 
+    def force_release(self) -> None:
+        """Release on behalf of a dead owner (robust-futex ``EOWNERDEAD``
+        semantics).  Only the machine's fault-abort path calls this: a
+        thread killed mid-critical-section must not leave peers blocked
+        forever.  No cost is charged and no event is emitted here — the
+        machine emits the ``lockRelease`` on the dead thread's behalf."""
+        self.owner = None
+
 
 class Condition:
     """Condition variable associated with a :class:`Mutex`."""

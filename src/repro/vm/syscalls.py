@@ -25,6 +25,7 @@ paper's MySQL case study.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "FileDevice",
     "SinkDevice",
     "Kernel",
+    "KernelDiagnostic",
     "INBOUND_SYSCALLS",
     "OUTBOUND_SYSCALLS",
     "BadFileDescriptor",
@@ -47,6 +49,19 @@ OUTBOUND_SYSCALLS = ("write", "sendto", "pwrite64", "writev", "msgsnd", "pwritev
 
 class BadFileDescriptor(OSError):
     """Operation on an unknown or direction-mismatched file descriptor."""
+
+
+@dataclass(frozen=True)
+class KernelDiagnostic:
+    """One rejected kernel operation (``EBADF``-style), kept for doctors.
+
+    The fd table is never mutated on a rejected operation, so a buggy
+    workload cannot corrupt kernel state — it just collects diagnostics
+    and a :class:`BadFileDescriptor`."""
+
+    op: str
+    fd: int
+    detail: str
 
 
 class Device:
@@ -139,6 +154,17 @@ class Kernel:
         #: total cells moved in each direction (workload statistics)
         self.cells_in = 0
         self.cells_out = 0
+        #: attached fault plan (see :class:`repro.vm.faults.FaultPlan`);
+        #: ``None`` = faults disabled, the bit-identical happy path
+        self.faults = None
+        #: rejected operations, in order (``EBADF``-style audit trail)
+        self.diagnostics: List[KernelDiagnostic] = []
+
+    def _reject(self, op: str, fd: int, detail: str) -> None:
+        """Record and raise a bad-descriptor rejection; fd table state is
+        untouched, so the kernel stays consistent after workload bugs."""
+        self.diagnostics.append(KernelDiagnostic(op, fd, detail))
+        raise BadFileDescriptor(f"{op}: {detail} (fd {fd})")
 
     def open(self, device: Device) -> int:
         fd = self._next_fd
@@ -148,12 +174,12 @@ class Kernel:
 
     def close(self, fd: int) -> None:
         if fd not in self._fds:
-            raise BadFileDescriptor(f"close of unknown fd {fd}")
+            self._reject("close", fd, "unknown or already-closed fd")
         del self._fds[fd]
 
     def device(self, fd: int) -> Device:
         if fd not in self._fds:
-            raise BadFileDescriptor(f"unknown fd {fd}")
+            self._reject("device", fd, "unknown or already-closed fd")
         return self._fds[fd]
 
     def inbound(
@@ -172,9 +198,22 @@ class Kernel:
         """
         if syscall not in INBOUND_SYSCALLS:
             raise ValueError(f"{syscall!r} is not an inbound syscall")
-        device = self.device(fd)
+        if fd not in self._fds:
+            self._reject(syscall, fd, "unknown or already-closed fd")
+        device = self._fds[fd]
         if not device.readable:
-            raise BadFileDescriptor(f"fd {fd} is not readable")
+            self._reject(syscall, fd, "not readable")
+        if self.faults is not None:
+            error = self.faults.syscall_error(syscall, fd, ctx.tid)
+            if error is not None:
+                ctx.charge(1)  # the failed call still entered the kernel
+                raise error
+            count = self.faults.transfer_count(
+                syscall, count, ctx.tid, inbound=True
+            )
+            delay = self.faults.io_delay(syscall, ctx.tid)
+            if delay:
+                ctx.charge(delay)
         values = device.pull(count, offset)
         ctx.charge(1 + len(values))
         for i, value in enumerate(values):
@@ -198,9 +237,22 @@ class Kernel:
         as a read by the calling thread)."""
         if syscall not in OUTBOUND_SYSCALLS:
             raise ValueError(f"{syscall!r} is not an outbound syscall")
-        device = self.device(fd)
+        if fd not in self._fds:
+            self._reject(syscall, fd, "unknown or already-closed fd")
+        device = self._fds[fd]
         if not device.writable:
-            raise BadFileDescriptor(f"fd {fd} is not writable")
+            self._reject(syscall, fd, "not writable")
+        if self.faults is not None:
+            error = self.faults.syscall_error(syscall, fd, ctx.tid)
+            if error is not None:
+                ctx.charge(1)  # the failed call still entered the kernel
+                raise error
+            count = self.faults.transfer_count(
+                syscall, count, ctx.tid, inbound=False
+            )
+            delay = self.faults.io_delay(syscall, ctx.tid)
+            if delay:
+                ctx.charge(delay)
         ctx.charge(1 + count)
         values = [ctx.kernel_drain(addr + i) for i in range(count)]
         written = device.push(values, offset)
