@@ -18,6 +18,10 @@ Subcommands:
   measured input sizes look untrustworthy (Section 2.1's indicator).
 * ``repro doctor --trace PATH`` — integrity-check a binary trace and
   optionally recover its longest valid prefix.
+* ``repro stats WORKLOAD`` — run a workload under full telemetry and
+  print the metrics registry (table, ``--json`` or ``--prom``
+  Prometheus text), optionally saving a Perfetto-viewable span timeline
+  with ``--trace-out``.
 """
 
 from __future__ import annotations
@@ -50,11 +54,104 @@ POLICIES = {
     "external": EXTERNAL_ONLY_POLICY,
 }
 
+# doctor prints a per-section salvage line; cap the listing so a huge
+# multi-section trace doesn't flood the terminal.
+_DOCTOR_SECTION_LIMIT = 20
 
-def _run_workload(name: str, threads: int, scale: int):
+
+def _run_workload(name: str, threads: int, scale: int, registry=None):
     machine = get_workload(name).build(threads=threads, scale=scale)
+    if registry is not None:
+        machine.enable_metrics(registry)
     machine.run()
     return machine
+
+
+def _print_metrics(registry, stream=None) -> None:
+    """Render a registry as an aligned two-column table."""
+    data = registry.as_dict()
+    if not data:
+        print("(no metrics recorded)", file=stream)
+        return
+    width = max(len(key) for key in data)
+    for key, value in data.items():
+        print(f"{key:<{width}}  {value}", file=stream)
+
+
+def _emit_registry(registry, args) -> None:
+    """Shared ``--json`` / ``--prom`` / table output for a registry.
+
+    Both flags take an optional FILE; bare ``--json`` / ``--prom``
+    (or ``-``) write to stdout."""
+
+    def write(text: str, dest: str, label: str) -> None:
+        if dest == "-":
+            sys.stdout.write(text)
+        else:
+            with open(dest, "w") as handle:
+                handle.write(text)
+            print(f"{label} written to {dest}", file=sys.stderr)
+
+    if args.json is not None:
+        import json
+
+        payload = {
+            "workload": args.workload,
+            "threads": args.threads,
+            "scale": args.scale,
+            "metrics": registry.as_dict(),
+        }
+        write(json.dumps(payload, indent=2) + "\n", args.json, "metrics JSON")
+    if args.prom is not None:
+        write(registry.to_prometheus(), args.prom, "Prometheus exposition")
+    if args.json is None and args.prom is None:
+        _print_metrics(registry)
+
+
+def cmd_stats(args) -> int:
+    """Run one workload under full telemetry and report the registry."""
+    from repro.core.timestamping import DrmsProfiler
+    from repro.obs import MetricsRegistry, SpanTracer
+
+    name = args.workload_opt or args.workload
+    if not name:
+        print("stats: a workload is required (positional or --workload)",
+              file=sys.stderr)
+        return 2
+    args.workload = name
+
+    registry = MetricsRegistry()
+    tracer = SpanTracer(process_name=f"repro stats {name}")
+    with tracer.span("build", track="main", workload=name):
+        machine = get_workload(name).build(
+            threads=args.threads, scale=args.scale
+        )
+    if args.faults is not None:
+        from repro.vm.faults import FaultPlan
+
+        machine.set_fault_plan(FaultPlan(seed=args.faults))
+    machine.enable_metrics(registry, tracer=tracer)
+    profiler = DrmsProfiler(
+        policy=POLICIES[args.metric],
+        counter_limit=args.counter_limit,
+        keep_activations=False,
+        metrics=registry,
+    )
+    machine.set_batch_sink(profiler.consume_batch)
+    with tracer.span("run", track="main", workload=name):
+        machine.run()
+    with tracer.span("publish", track="main"):
+        machine.publish_metrics(registry)
+        profiler.publish_metrics(registry)
+    _emit_registry(registry, args)
+    if args.trace_out:
+        tracer.save(args.trace_out)
+        print(
+            f"span trace written to {args.trace_out} "
+            "(open in https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def cmd_list(_args) -> int:
@@ -151,6 +248,14 @@ def cmd_overhead(args) -> int:
 
         return build
 
+    registry = None
+    tracer = None
+    if getattr(args, "metrics", False):
+        from repro.obs import MetricsRegistry, SpanTracer
+
+        registry = MetricsRegistry()
+        tracer = SpanTracer(process_name=f"repro overhead {args.suite}")
+
     measurements = []
     for name in names:
         workload = get_workload(name)
@@ -160,10 +265,16 @@ def cmd_overhead(args) -> int:
                 make_builder(workload),
                 repeats=args.repeats,
                 parallel=args.parallel,
+                metrics=registry,
+                tracer=tracer,
             )
         )
         print(f"  measured {name}", file=sys.stderr)
-    summary = suite_summary(measurements)
+    try:
+        summary = suite_summary(measurements)
+    except ValueError as exc:
+        print(f"overhead: {exc}", file=sys.stderr)
+        return 1
     if args.json:
         import json
 
@@ -175,6 +286,9 @@ def cmd_overhead(args) -> int:
             "parallel": args.parallel,
             "faults": args.faults,
             "summary": summary,
+            "excluded": sorted(
+                {t for m in measurements for t in m.excluded_tools}
+            ),
             "workloads": [
                 {
                     "workload": m.workload,
@@ -182,6 +296,7 @@ def cmd_overhead(args) -> int:
                     "native_cells": m.native_cells,
                     "record_time": m.record_time,
                     "trace_events": m.trace_events,
+                    "excluded": m.excluded_tools,
                     "degradations": [
                         {
                             "stage": d.stage,
@@ -207,6 +322,8 @@ def cmd_overhead(args) -> int:
                 for m in measurements
             ],
         }
+        if registry is not None:
+            payload["metrics"] = registry.as_dict()
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"measurements written to {args.json}", file=sys.stderr)
@@ -225,6 +342,9 @@ def cmd_overhead(args) -> int:
                 f"  [{d.stage}] {d.tool}: {d.reason} -> {d.action}",
                 file=sys.stderr,
             )
+    if registry is not None:
+        print("-- metrics --")
+        _print_metrics(registry)
     return 0
 
 
@@ -262,7 +382,18 @@ def cmd_trace(args) -> int:
     if args.binary and not args.save:
         print("--binary requires --save FILE", file=sys.stderr)
         return 2
-    machine = _run_workload(args.workload, args.threads, args.scale)
+    registry = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    machine = _run_workload(
+        args.workload, args.threads, args.scale, registry=registry
+    )
+    if registry is not None:
+        machine.publish_metrics(registry)
+        print("-- metrics --", file=sys.stderr)
+        _print_metrics(registry, stream=sys.stderr)
     if args.save:
         if args.binary:
             from repro.core.tracefile import save_trace_binary
@@ -327,11 +458,21 @@ def cmd_doctor(args) -> int:
     print(f"recovered: {scan.events_loaded} events "
           f"({scan.sections_valid} valid section(s), "
           f"{scan.valid_bytes} clean bytes)")
+    shown = scan.section_events[:_DOCTOR_SECTION_LIMIT]
+    for index, count in enumerate(shown):
+        print(f"  section {index:>3}: {count} event(s) salvaged")
+    if len(scan.section_events) > len(shown):
+        print(f"  ... ({len(scan.section_events) - len(shown)} more sections)")
     print(f"names:     {len(scan.batch.names)} interned")
     if scan.intact:
         print("status:    intact")
     else:
-        print(f"status:    CORRUPT — {scan.error}")
+        where = (
+            f" in section {scan.error_section}"
+            if scan.error_section is not None
+            else ""
+        )
+        print(f"status:    CORRUPT{where} — {scan.error}")
     if args.recover:
         from repro.core.tracefile import save_trace_binary
 
@@ -392,6 +533,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="run with deterministic fault injection (FaultPlan seed)",
     )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect runner telemetry and print the metrics table",
+    )
     p.set_defaults(func=cmd_overhead)
 
     p = sub.add_parser(
@@ -412,6 +558,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--binary",
         action="store_true",
         help="with --save: write the crash-safe binary format",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect VM telemetry and print the metrics table to stderr",
     )
     p.set_defaults(func=cmd_trace)
 
@@ -437,6 +588,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the longest valid prefix to OUT",
     )
     p.set_defaults(func=cmd_doctor)
+
+    p = sub.add_parser(
+        "stats", help="run a workload under full telemetry"
+    )
+    p.add_argument(
+        "workload", nargs="?", choices=sorted(REGISTRY), default=None
+    )
+    p.add_argument(
+        "--workload",
+        dest="workload_opt",
+        choices=sorted(REGISTRY),
+        default=None,
+        help="alternative to the positional workload",
+    )
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--metric", choices=sorted(POLICIES), default="drms")
+    p.add_argument(
+        "--counter-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drms timestamp-counter limit (triggers renumbering)",
+    )
+    p.add_argument(
+        "--faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="run with deterministic fault injection (FaultPlan seed)",
+    )
+    p.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit metrics as JSON (to FILE, or stdout if omitted)",
+    )
+    p.add_argument(
+        "--prom",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit metrics as Prometheus text (to FILE, or stdout)",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome trace-event span timeline (Perfetto)",
+    )
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

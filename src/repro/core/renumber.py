@@ -34,9 +34,16 @@ def renumber_state(
     wts: ShadowMemory,
     thread_ts: Mapping[int, ShadowMemory],
     stacks: Mapping[int, ShadowStack],
+    observer=None,
 ) -> int:
     """Compact all live timestamps in place; return the renumbered
-    ``count`` (always the largest live value, hence ``len(live)``)."""
+    ``count`` (always the largest live value, hence ``len(live)``).
+
+    ``observer``, when given, is called once per pass with
+    ``(live_values, old_count, new_count)`` — the telemetry hook behind
+    the compaction-ratio metric.  It runs after the remap and must not
+    mutate profiler state.
+    """
     live = {count}
     for _addr, value in wts.items():
         live.add(value)
@@ -60,4 +67,6 @@ def renumber_state(
     for stack in stacks.values():
         for entry in stack.entries:
             entry.ts = mapping[entry.ts]
+    if observer is not None:
+        observer(len(live), count, mapping[count])
     return mapping[count]

@@ -59,6 +59,9 @@ class RmsProfiler:
         self.stacks: Dict[int, ShadowStack] = {}
         self.profiles = ProfileSet()
         self.profiles.keep_activations = keep_activations
+        #: deepest shadow stack seen across all threads (maintained by
+        #: both consumption paths, like the drms profiler's)
+        self.stack_depth_hwm = 0
 
     def _thread_ts(self, thread: int) -> ShadowMemory:
         mem = self.ts.get(thread)
@@ -76,11 +79,18 @@ class RmsProfiler:
 
     def on_call(self, event: Call) -> None:
         self.count += 1
-        self._stack(event.thread).push(
-            event.routine, ts=self.count, cost=event.cost
-        )
+        # Touch the thread-ts map too: the batch loop materialises both
+        # per thread, and the telemetry snapshot must not depend on
+        # which consumption path ran.
+        self._thread_ts(event.thread)
+        stack = self._stack(event.thread)
+        stack.push(event.routine, ts=self.count, cost=event.cost)
+        depth = len(stack)
+        if depth > self.stack_depth_hwm:
+            self.stack_depth_hwm = depth
 
     def on_return(self, event: Return) -> None:
+        self._thread_ts(event.thread)
         stack = self._stack(event.thread)
         if not stack:
             raise ValueError(f"return with empty stack on thread {event.thread}")
@@ -104,6 +114,7 @@ class RmsProfiler:
         ts[addr] = self.count
 
     def on_write(self, thread: int, addr: int) -> None:
+        self._stack(thread)  # keep lazy allocation batch-identical
         self._thread_ts(thread)[addr] = self.count
 
     def consume(self, event: Event) -> None:
@@ -162,6 +173,7 @@ class RmsProfiler:
         # whenever the top changes (call/return/thread switch) and at
         # batch end; nonzero only while the matching entry is in `top`.
         top_drms = 0
+        hwm = self.stack_depth_hwm
 
         for op, tid, arg, cost in zip(
             batch.ops, batch.threads, batch.args, batch.costs
@@ -239,6 +251,8 @@ class RmsProfiler:
                         top_drms = 0
                     top = StackEntry(names[arg], count, 0, cost)
                     stack_entries.append(top)
+                    if len(stack_entries) > hwm:
+                        hwm = len(stack_entries)
                 else:  # OP_RETURN
                     if top is None:
                         self.count = count
@@ -266,6 +280,7 @@ class RmsProfiler:
             # userToKernel, kernelToUser, sync and lifecycle events are
             # invisible to the rms baseline
         self.count = count
+        self.stack_depth_hwm = hwm
 
     def run_batch(self, batch: EventBatch) -> ProfileSet:
         self.consume_batch(batch)
@@ -294,3 +309,34 @@ class RmsProfiler:
         for stack in self.stacks.values():
             cells += 4 * len(stack)
         return cells
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def publish_metrics(self, registry) -> None:
+        """Publish aggregate statistics (``rms.*`` namespace; the
+        baseline has no global shadow memory, renumbering, or read
+        split, so the series are the per-thread subset of the drms
+        profiler's)."""
+        if registry is None or not registry.enabled:
+            return
+        registry.gauge("rms.count").set(self.count)
+        registry.gauge("rms.stack.depth_hwm").set(self.stack_depth_hwm)
+        registry.gauge("rms.stacks").set(len(self.stacks))
+        registry.gauge("rms.live_activations").set(self.live_activations())
+        registry.gauge("rms.space.cells").set(self.space_cells())
+        registry.gauge("rms.shadow.leaves", {"scope": "thread"}).set(
+            sum(m.chunks_allocated for m in self.ts.values())
+        )
+        registry.gauge("rms.shadow.peak_bytes", {"scope": "thread"}).set(
+            sum(m.space_bytes() for m in self.ts.values())
+        )
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Flat plain-dict form of :meth:`publish_metrics` — a pure
+        function of profiler state, compared directly by the scalar ≡
+        batched equivalence suite."""
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        self.publish_metrics(registry)
+        return registry.as_dict()

@@ -245,6 +245,12 @@ class ShadowMemory:
         space-overhead driver for shadow memories."""
         return self._chunks_allocated * self._leaf_size
 
+    def space_bytes(self) -> int:
+        """Shadowed cells priced at the 8 bytes/cell a native 64-bit
+        shadow word costs.  Leaves are never freed short of
+        :meth:`clear`, so the current figure is also the peak."""
+        return self._chunks_allocated * self._leaf_size * 8
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShadowMemory(chunks={self._chunks_allocated}, "

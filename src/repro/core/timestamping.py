@@ -87,6 +87,13 @@ class DrmsProfiler:
         relies on this — just slower.
     keep_activations:
         Whether the profile set records every raw activation tuple.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` for *live* telemetry
+        (currently the renumbering counter and compaction histogram —
+        rare events, so attaching a registry costs nothing per event).
+        Aggregate statistics are always tracked as plain state and can
+        be published to any registry afterwards via
+        :meth:`publish_metrics` / :meth:`metrics_snapshot`.
     """
 
     def __init__(
@@ -94,6 +101,7 @@ class DrmsProfiler:
         policy: InputPolicy = FULL_POLICY,
         counter_limit: Optional[int] = None,
         keep_activations: bool = True,
+        metrics=None,
     ) -> None:
         if counter_limit is not None and counter_limit < 4:
             raise ValueError("counter_limit must be at least 4")
@@ -119,6 +127,15 @@ class DrmsProfiler:
         #: [plain first-reads, thread-induced, kernel-induced]
         self.read_counters: Dict[str, List[int]] = {}
         self.renumber_passes = 0
+        #: live registry for rare events; ``None`` unless an *enabled*
+        #: registry was passed, so hot paths never consult it
+        self.metrics = metrics if metrics is not None and metrics.enabled else None
+        #: deepest shadow stack seen across all threads (both paths
+        #: maintain it, so batch ≡ scalar includes the high-water mark)
+        self.stack_depth_hwm = 0
+        #: summed pre-/post-renumbering counter values (compaction ratio)
+        self.renumber_before_total = 0
+        self.renumber_after_total = 0
 
     # -- state access -------------------------------------------------------
 
@@ -150,18 +167,37 @@ class DrmsProfiler:
             wts=self.wts,
             thread_ts=self.ts,
             stacks=self.stacks,
+            observer=self._note_renumber,
         )
         self.renumber_passes += 1
+
+    def _note_renumber(self, live: int, old: int, new: int) -> None:
+        """Renumbering observer: aggregate the compaction ratio and feed
+        the live registry (renumbering is rare, so this is off the hot
+        path by construction)."""
+        self.renumber_before_total += old
+        self.renumber_after_total += new
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("drms.renumber.passes").inc()
+            metrics.histogram("drms.renumber.live").observe(live)
 
     # -- event handlers (Figure 8) -------------------------------------------
 
     def on_call(self, event: Call) -> None:
         self._bump_count()
-        self._stack(event.thread).push(
-            event.routine, ts=self.count, cost=event.cost
-        )
+        # Touch the thread-ts map too so lazy state allocation matches
+        # the batch loop (which materialises both per thread) and the
+        # telemetry snapshot is identical across consumption paths.
+        self._thread_ts(event.thread)
+        stack = self._stack(event.thread)
+        stack.push(event.routine, ts=self.count, cost=event.cost)
+        depth = len(stack)
+        if depth > self.stack_depth_hwm:
+            self.stack_depth_hwm = depth
 
     def on_return(self, event: Return) -> None:
+        self._thread_ts(event.thread)
         stack = self._stack(event.thread)
         if not stack:
             raise ValueError(f"return with empty stack on thread {event.thread}")
@@ -203,6 +239,7 @@ class DrmsProfiler:
         ts[addr] = self.count
 
     def on_write(self, thread: int, addr: int) -> None:
+        self._stack(thread)  # keep lazy allocation batch-identical
         self._thread_ts(thread)[addr] = self.count
         if self.policy.thread_input:
             self.wts[addr] = self.count
@@ -327,6 +364,7 @@ class DrmsProfiler:
         c_plain = 0
         c_thread = 0
         c_kernel = 0
+        hwm = self.stack_depth_hwm
 
         for op, tid, arg, cost in zip(
             ops, batch.threads, batch.args, batch.costs
@@ -468,6 +506,8 @@ class DrmsProfiler:
                     top = StackEntry(names[arg], count, 0, cost)
                     top_counters = None
                     stack_entries.append(top)
+                    if len(stack_entries) > hwm:
+                        hwm = len(stack_entries)
                 else:  # OP_RETURN
                     if top is None:
                         self.count = count
@@ -524,6 +564,7 @@ class DrmsProfiler:
             top_counters[1] += c_thread
             top_counters[2] += c_kernel
         self.count = count
+        self.stack_depth_hwm = hwm
 
     def run_batch(self, batch: EventBatch) -> ProfileSet:
         self.consume_batch(batch)
@@ -560,3 +601,79 @@ class DrmsProfiler:
         for stack in self.stacks.values():
             cells += 4 * len(stack)
         return cells
+
+    # -- telemetry ---------------------------------------------------------------
+
+    _metric_prefix = "drms"
+
+    def publish_metrics(self, registry) -> None:
+        """Publish the profiler's aggregate statistics into ``registry``.
+
+        Everything is derived from always-on plain state (set-style
+        updates, so republishing is idempotent); the only live series —
+        the renumbering counter — is *set* to its authoritative value
+        here, which makes the published numbers identical whether or not
+        the profiler ran with a live registry attached.
+        """
+        if registry is None or not registry.enabled:
+            return
+        p = self._metric_prefix
+        registry.counter(p + ".renumber.passes").value = self.renumber_passes
+        registry.gauge(p + ".count").set(self.count)
+        registry.gauge(p + ".stack.depth_hwm").set(self.stack_depth_hwm)
+        registry.gauge(p + ".stacks").set(len(self.stacks))
+        registry.gauge(p + ".live_activations").set(self.live_activations())
+        registry.gauge(p + ".space.cells").set(self.space_cells())
+        if self.renumber_before_total:
+            registry.gauge(p + ".renumber.before_total").set(
+                self.renumber_before_total
+            )
+            registry.gauge(p + ".renumber.after_total").set(
+                self.renumber_after_total
+            )
+            registry.gauge(p + ".renumber.compaction_ratio").set(
+                round(
+                    self.renumber_after_total / self.renumber_before_total, 6
+                )
+            )
+        global_leaves = self.wts.chunks_allocated + self.wsrc.chunks_allocated
+        thread_leaves = sum(m.chunks_allocated for m in self.ts.values())
+        global_bytes = self.wts.space_bytes() + self.wsrc.space_bytes()
+        thread_bytes = sum(m.space_bytes() for m in self.ts.values())
+        registry.gauge(p + ".shadow.leaves", {"scope": "global"}).set(
+            global_leaves
+        )
+        registry.gauge(p + ".shadow.leaves", {"scope": "thread"}).set(
+            thread_leaves
+        )
+        registry.gauge(p + ".shadow.peak_bytes", {"scope": "global"}).set(
+            global_bytes
+        )
+        registry.gauge(p + ".shadow.peak_bytes", {"scope": "thread"}).set(
+            thread_bytes
+        )
+        registry.gauge(p + ".shadow.peak_bytes", {"scope": "total"}).set(
+            global_bytes + thread_bytes
+        )
+        totals = [0, 0, 0]
+        for routine, counts in sorted(self.read_counters.items()):
+            for slot, kind in enumerate(("first", "thread", "kernel")):
+                totals[slot] += counts[slot]
+                if counts[slot]:
+                    registry.gauge(
+                        p + ".reads.by_routine",
+                        {"kind": kind, "routine": routine},
+                    ).set(counts[slot])
+        for slot, kind in enumerate(("first", "thread", "kernel")):
+            registry.gauge(p + ".reads", {"kind": kind}).set(totals[slot])
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The aggregate statistics as a flat plain dict (a fresh
+        registry is populated and flattened).  A pure function of
+        profiler state, so the scalar and batched paths must agree on it
+        — the equivalence suite compares snapshots directly."""
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        self.publish_metrics(registry)
+        return registry.as_dict()

@@ -1,0 +1,39 @@
+"""``repro.obs`` — zero-dependency telemetry: metrics + span tracing.
+
+This package is the observability spine of the reproduction: a
+:class:`MetricsRegistry` (counters, gauges, log2-bucket histograms)
+that the VM, the profilers, and the measurement runner publish into,
+and a :class:`SpanTracer` that emits Chrome trace-event JSON viewable
+in Perfetto.  It imports nothing from the rest of ``repro`` so every
+layer can depend on it without cycles, and its disabled defaults
+(:data:`NULL_REGISTRY`, :data:`NULL_TRACER`) are near-free so telemetry
+costs ~nothing unless switched on.  See DESIGN.md §9.
+"""
+
+from repro.obs.registry import (
+    HISTOGRAM_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    bucket_index,
+    flatten_key,
+)
+from repro.obs.spans import NULL_TRACER, NullTracer, SpanTracer
+
+__all__ = [
+    "HISTOGRAM_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanTracer",
+    "bucket_index",
+    "flatten_key",
+]

@@ -1,0 +1,146 @@
+"""Span tracing to Chrome trace-event JSON (Perfetto-viewable).
+
+A :class:`SpanTracer` records named wall-clock intervals ("complete"
+events, phase ``X``) and point-in-time markers ("instant" events, phase
+``i``) in the `Chrome Trace Event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_,
+which both ``chrome://tracing`` and https://ui.perfetto.dev load
+directly.  Timestamps are microseconds from the tracer's creation, so
+traces start at t=0 regardless of host epoch.
+
+Use as a context manager around interesting phases::
+
+    tracer = SpanTracer()
+    with tracer.span("replay", tool="aprof-drms"):
+        ...
+    tracer.save("run.trace.json")
+
+The disabled default is :data:`NULL_TRACER`: ``span`` is a reusable
+no-op context manager, so instrumented code needs no ``if`` guards.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+__all__ = ["SpanTracer", "NullTracer", "NULL_TRACER"]
+
+
+class SpanTracer:
+    """Collects Chrome trace events with µs timestamps from creation."""
+
+    enabled = True
+
+    def __init__(self, process_name: str = "repro") -> None:
+        self._origin = time.perf_counter()
+        self.process_name = process_name
+        self.events: List[Dict[str, object]] = []
+
+    def _now_us(self) -> int:
+        return int((time.perf_counter() - self._origin) * 1_000_000)
+
+    @contextmanager
+    def span(self, name: str, track: str = "main", **args):
+        """Time a block as a complete ("X") event on the given track."""
+        start = self._now_us()
+        try:
+            yield self
+        finally:
+            end = self._now_us()
+            event: Dict[str, object] = {
+                "name": name,
+                "ph": "X",
+                "ts": start,
+                "dur": end - start,
+                "pid": 1,
+                "tid": track,
+            }
+            if args:
+                event["args"] = {k: _jsonable(v) for k, v in args.items()}
+            self.events.append(event)
+
+    def instant(self, name: str, track: str = "main", **args) -> None:
+        """Record a point-in-time marker ("i" event)."""
+        event: Dict[str, object] = {
+            "name": name,
+            "ph": "i",
+            "ts": self._now_us(),
+            "s": "t",
+            "pid": 1,
+            "tid": track,
+        }
+        if args:
+            event["args"] = {k: _jsonable(v) for k, v in args.items()}
+        self.events.append(event)
+
+    def to_chrome(self) -> Dict[str, object]:
+        """The full JSON-object form of the trace."""
+        meta = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "args": {"name": self.process_name},
+            }
+        ]
+        return {
+            "traceEvents": meta + self.events,
+            "displayTimeUnit": "ms",
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh, indent=1)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class _NullSpan:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled default: spans cost one attribute call and no allocation."""
+
+    enabled = False
+    events: List[Dict[str, object]] = []
+
+    def span(self, name: str, track: str = "main", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, track: str = "main", **args) -> None:
+        pass
+
+    def to_chrome(self) -> Dict[str, object]:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def save(self, path: str) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: shared process-wide no-op tracer; the default everywhere
+NULL_TRACER = NullTracer()

@@ -11,10 +11,12 @@ from repro.tools.memcheck import Memcheck
 from repro.tools.nulgrind import Nulgrind
 from repro.tools.runner import (
     DEFAULT_TOOLS,
+    Degradation,
     ToolMeasurement,
     WorkloadMeasurement,
     geometric_mean,
     measure_workload,
+    publish_measurement,
     record_trace,
     replay_tool,
     suite_summary,
@@ -30,11 +32,13 @@ __all__ = [
     "AprofTool",
     "AprofDrmsTool",
     "DEFAULT_TOOLS",
+    "Degradation",
     "ToolMeasurement",
     "WorkloadMeasurement",
     "record_trace",
     "replay_tool",
     "measure_workload",
+    "publish_measurement",
     "geometric_mean",
     "suite_summary",
 ]

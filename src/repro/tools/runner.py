@@ -66,6 +66,7 @@ __all__ = [
     "record_trace",
     "replay_tool",
     "measure_workload",
+    "publish_measurement",
     "geometric_mean",
     "suite_summary",
 ]
@@ -131,6 +132,13 @@ class WorkloadMeasurement:
     #: self-healing actions taken while measuring (empty = clean run);
     #: a tool that was ``excluded`` has no entry in :attr:`tools`
     degradations: List[Degradation] = field(default_factory=list)
+
+    @property
+    def excluded_tools(self) -> List[str]:
+        """Tools the supervisor dropped from this measurement, sorted."""
+        return sorted(
+            {d.tool for d in self.degradations if d.action == "excluded"}
+        )
 
 
 def record_trace(build: Callable[[], Machine]) -> Tuple[float, EventBatch, Machine]:
@@ -312,6 +320,8 @@ def measure_workload(
     replay_timeout: float = 120.0,
     max_retries: int = 2,
     backoff_base: float = 0.25,
+    metrics=None,
+    tracer=None,
 ) -> WorkloadMeasurement:
     """Measure native and per-tool execution of one workload factory.
 
@@ -324,6 +334,12 @@ def measure_workload(
     replay; a tool failing even serially is excluded.  Self-healing
     actions are reported in ``.degradations`` — the call itself never
     hangs or raises on worker trouble.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives the
+    measurement via :func:`publish_measurement`; ``tracer`` (a
+    :class:`repro.obs.SpanTracer`) gets one span per phase — native,
+    record, and the replay block — so a suite sweep renders as a
+    Perfetto timeline.  Both default to off and cost nothing then.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -335,56 +351,71 @@ def measure_workload(
         raise ValueError("max_retries must be >= 0")
     if tools is None:
         tools = DEFAULT_TOOLS
+    if tracer is None:
+        from repro.obs import NULL_TRACER
+
+        tracer = NULL_TRACER
 
     native_time = math.inf
     native_cells = 0
-    for _ in range(repeats):
-        machine = build()
-        machine.instrument = False
-        start = time.perf_counter()
-        machine.run()
-        elapsed = time.perf_counter() - start
-        native_time = min(native_time, elapsed)
-        native_cells = max(native_cells, machine.space_cells())
+    with tracer.span("native", track="runner", workload=name):
+        for _ in range(repeats):
+            machine = build()
+            machine.instrument = False
+            start = time.perf_counter()
+            machine.run()
+            elapsed = time.perf_counter() - start
+            native_time = min(native_time, elapsed)
+            native_cells = max(native_cells, machine.space_cells())
     native_cells = max(native_cells, 1)
 
-    record_time, batch, _machine = record_trace(build)
+    with tracer.span("record", track="runner", workload=name):
+        record_time, batch, _machine = record_trace(build)
     events = len(batch)
 
     supervised = parallel is not None and parallel > 1
     replays: Dict[str, Tuple[float, int]] = {}
     degradations: List[Degradation] = []
-    if supervised:
-        replays, degradations = _replay_all_supervised(
-            tools,
-            batch,
-            repeats,
-            parallel,
-            replay_timeout,
-            max_retries,
-            backoff_base,
-        )
-    for tool_name, tool_factory in tools.items():
-        if tool_name in replays:
-            continue
+    with tracer.span(
+        "replay",
+        track="runner",
+        workload=name,
+        mode="parallel" if supervised else "serial",
+    ):
         if supervised:
-            # Graceful degradation: the pool could not produce a result
-            # for this tool, so replay it serially — and if even that
-            # fails, exclude the tool rather than losing the run.
-            try:
-                replays[tool_name] = replay_tool(tool_factory, batch, repeats)
-            except Exception as exc:
-                degradations.append(
-                    Degradation(
-                        "serial-replay",
-                        tool_name,
-                        1,
-                        f"{type(exc).__name__}: {exc}",
-                        "excluded",
+            replays, degradations = _replay_all_supervised(
+                tools,
+                batch,
+                repeats,
+                parallel,
+                replay_timeout,
+                max_retries,
+                backoff_base,
+            )
+        for tool_name, tool_factory in tools.items():
+            if tool_name in replays:
+                continue
+            if supervised:
+                # Graceful degradation: the pool could not produce a
+                # result for this tool, so replay it serially — and if
+                # even that fails, exclude the tool rather than losing
+                # the run.
+                try:
+                    replays[tool_name] = replay_tool(
+                        tool_factory, batch, repeats
                     )
-                )
-        else:
-            replays[tool_name] = replay_tool(tool_factory, batch, repeats)
+                except Exception as exc:
+                    degradations.append(
+                        Degradation(
+                            "serial-replay",
+                            tool_name,
+                            1,
+                            f"{type(exc).__name__}: {exc}",
+                            "excluded",
+                        )
+                    )
+            else:
+                replays[tool_name] = replay_tool(tool_factory, batch, repeats)
 
     result = WorkloadMeasurement(
         name,
@@ -408,10 +439,61 @@ def measure_workload(
             events=events,
             replay_time=replay_time,
         )
+    if metrics is not None:
+        publish_measurement(result, metrics)
     return result
 
 
+def publish_measurement(measurement: WorkloadMeasurement, registry) -> None:
+    """Publish one workload's measurement into a metrics registry.
+
+    Times become microsecond gauges labelled by workload (and tool, for
+    replays); the supervision record folds into ``runner.retries`` /
+    ``runner.timeouts`` / ``runner.fallbacks`` / ``runner.exclusions``
+    counters plus a per-(stage, action) breakdown — the same
+    :class:`Degradation` data the JSON report carries, queryable as
+    metrics.
+    """
+    if registry is None or not registry.enabled:
+        return
+    w = {"workload": measurement.workload}
+    us = lambda seconds: int(seconds * 1e6)  # noqa: E731
+    registry.gauge("runner.native_us", w).set(us(measurement.native_time))
+    registry.gauge("runner.record_us", w).set(us(measurement.record_time))
+    registry.gauge("runner.trace_events", w).set(measurement.trace_events)
+    for tool_name, row in measurement.tools.items():
+        labels = {"workload": measurement.workload, "tool": tool_name}
+        registry.gauge("runner.replay_us", labels).set(us(row.replay_time))
+        registry.gauge("runner.space_cells", labels).set(row.space_cells)
+        registry.histogram("runner.replay_latency_us").observe(
+            us(row.replay_time)
+        )
+    for degradation in measurement.degradations:
+        if degradation.action == "retried":
+            registry.counter("runner.retries").inc()
+        elif degradation.action == "serial-fallback":
+            registry.counter("runner.fallbacks").inc()
+        elif degradation.action == "excluded":
+            registry.counter("runner.exclusions").inc()
+        if "timeout" in degradation.reason:
+            registry.counter("runner.timeouts").inc()
+        registry.counter(
+            "runner.degradations",
+            {"stage": degradation.stage, "action": degradation.action},
+        ).inc()
+
+
 def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of the positive entries of ``values``.
+
+    An empty input raises :class:`ValueError` (the caller has nothing
+    to average — historically this surfaced later as an opaque
+    ``ZeroDivisionError``); a non-empty input with no positive entries
+    keeps the legacy 0.0 so degenerate-but-present rows don't abort a
+    sweep.
+    """
+    if not values:
+        raise ValueError("geometric_mean() of an empty sequence")
     positive = [v for v in values if v > 0]
     if not positive:
         return 0.0
@@ -422,7 +504,15 @@ def suite_summary(
     measurements: Sequence[WorkloadMeasurement],
 ) -> Dict[str, Dict[str, float]]:
     """Geometric-mean slowdown and space overhead per tool over a suite —
-    one Table 1 block."""
+    one Table 1 block.
+
+    Raises a :class:`ValueError` naming the excluded tools when the
+    supervisor dropped *every* tool on *every* workload: there is no
+    row left to summarise, and silently returning ``{}`` used to let
+    the caller trip over ``ZeroDivisionError``/``StatisticsError``
+    far from the cause.  An empty ``measurements`` list still returns
+    ``{}`` (nothing was attempted, nothing to report).
+    """
     if not measurements:
         return {}
     tool_names: List[str] = []
@@ -430,6 +520,13 @@ def suite_summary(
         for tool_name in m.tools:
             if tool_name not in tool_names:
                 tool_names.append(tool_name)
+    if not tool_names:
+        excluded = sorted({t for m in measurements for t in m.excluded_tools})
+        raise ValueError(
+            "every tool was excluded by supervision; nothing to summarise "
+            f"(excluded: {', '.join(excluded) if excluded else 'unknown'} — "
+            "see the measurements' degradations for reasons)"
+        )
     summary: Dict[str, Dict[str, float]] = {}
     for tool_name in tool_names:
         # a tool excluded on some workload contributes only where it ran

@@ -37,6 +37,8 @@ from repro.core.events import (
     OP_THREAD_START,
     OP_USER_TO_KERNEL,
     OP_WRITE,
+    OPCODE_BY_KIND,
+    OPCODE_NAMES,
     Call,
     Event,
     EventBatch,
@@ -52,10 +54,16 @@ from repro.core.events import (
     UserToKernel,
     Write,
 )
+from repro.obs import NULL_TRACER, MetricsRegistry
 from repro.vm.context import ThreadContext
 from repro.vm.faults import FaultPlan, InjectedSyscallError
 from repro.vm.memory import Memory
-from repro.vm.scheduler import PerturbedScheduler, RoundRobinScheduler, Scheduler
+from repro.vm.scheduler import (
+    CountingScheduler,
+    PerturbedScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
 from repro.vm.sync import Blocked
 from repro.vm.syscalls import Kernel
 
@@ -127,8 +135,99 @@ class Machine:
         #: to pre-fault-layer behaviour)
         self.faults: Optional[FaultPlan] = None
         self._fault_aborts = 0
+        #: telemetry (see :mod:`repro.obs` and :meth:`enable_metrics`);
+        #: off by default — ``_op_counts is None`` keeps the per-event
+        #: cost of disabled metrics to a single predictable branch
+        self.metrics: Optional[MetricsRegistry] = None
+        self.tracer = NULL_TRACER
+        self._op_counts: Optional[List[int]] = None
         if faults is not None:
             self.set_fault_plan(faults)
+
+    # -- telemetry ------------------------------------------------------------
+
+    def enable_metrics(self, registry=None, tracer=None) -> MetricsRegistry:
+        """Switch telemetry on: count events by opcode, wrap the
+        scheduler in a :class:`CountingScheduler`, and feed syscall
+        latencies to the registry.  Returns the registry (a fresh
+        :class:`~repro.obs.MetricsRegistry` when none is given) so the
+        one-liner ``registry = machine.enable_metrics()`` works.
+
+        Passing a registry whose ``enabled`` flag is false (e.g.
+        :data:`~repro.obs.NULL_REGISTRY`) attaches it without paying for
+        any bookkeeping — the no-op configuration the overhead
+        benchmark pins at ~0%.
+        """
+        if registry is None:
+            registry = MetricsRegistry()
+        self.metrics = registry
+        if tracer is not None:
+            self.tracer = tracer
+        if registry.enabled:
+            if self._op_counts is None:
+                self._op_counts = [0] * (OP_THREAD_EXIT + 1)
+            if not isinstance(self.scheduler, CountingScheduler):
+                self.scheduler = CountingScheduler(self.scheduler)
+            self.kernel.metrics = registry
+        return registry
+
+    def publish_metrics(self, registry=None) -> None:
+        """Publish the machine's run statistics into ``registry``
+        (default: the one attached by :meth:`enable_metrics`).
+
+        Everything here is a gauge ``set`` over always-on plain state,
+        so publishing is idempotent — snapshot as often as you like.
+        """
+        registry = registry if registry is not None else self.metrics
+        if registry is None or not registry.enabled:
+            return
+        registry.gauge("vm.switches").set(self.switches)
+        registry.gauge("vm.total_blocks").set(self.total_blocks)
+        registry.gauge("vm.threads").set(len(self._threads))
+        registry.gauge("vm.fault_aborts").set(self._fault_aborts)
+        registry.gauge("vm.memory.cells").set(self.memory.allocated_cells)
+        registry.gauge("vm.kernel.cells_in").set(self.kernel.cells_in)
+        registry.gauge("vm.kernel.cells_out").set(self.kernel.cells_out)
+        registry.gauge("vm.kernel.rejections").set(len(self.kernel.diagnostics))
+        counts = self._op_counts
+        if counts is not None:
+            for op, count in enumerate(counts):
+                if count:
+                    registry.gauge(
+                        "vm.events", {"op": OPCODE_NAMES[op]}
+                    ).set(count)
+        for syscall, (calls, cells, blocks) in sorted(
+            self.kernel.syscall_stats.items()
+        ):
+            registry.gauge("vm.syscall.calls", {"syscall": syscall}).set(calls)
+            registry.gauge("vm.syscall.cells", {"syscall": syscall}).set(cells)
+            registry.gauge("vm.syscall.blocks", {"syscall": syscall}).set(blocks)
+        if self.faults is not None:
+            for kind, count in sorted(self.faults.summary().items()):
+                registry.gauge("vm.faults", {"kind": kind}).set(count)
+        scheduler = self.scheduler
+        if isinstance(scheduler, CountingScheduler):
+            for tid, count in sorted(scheduler.picks.items()):
+                registry.gauge("vm.sched.picks", {"thread": tid}).set(count)
+
+    def stats_snapshot(self) -> dict:
+        """The attached metrics registry as a plain flat dict (publishes
+        first, so the numbers are current).  With telemetry off this
+        returns the machine's base statistics so callers always get
+        *something* useful."""
+        registry = self.metrics
+        if registry is not None and registry.enabled:
+            self.publish_metrics(registry)
+            return registry.as_dict()
+        return {
+            "vm.switches": self.switches,
+            "vm.total_blocks": self.total_blocks,
+            "vm.threads": len(self._threads),
+            "vm.fault_aborts": self._fault_aborts,
+            "vm.memory.cells": self.memory.allocated_cells,
+            "vm.kernel.cells_in": self.kernel.cells_in,
+            "vm.kernel.cells_out": self.kernel.cells_out,
+        }
 
     # -- fault injection ------------------------------------------------------
 
@@ -166,6 +265,9 @@ class Machine:
         ctx = thread.ctx
         tid = thread.tid
         self._fault_aborts += 1
+        self.tracer.instant(
+            "fault-abort", track="vm", thread=tid, reason=reason
+        )
         for mutex in list(ctx.held_locks):
             mutex.force_release()
             self.emit_lock_release(tid, mutex.name)
@@ -243,6 +345,9 @@ class Machine:
     def emit(self, event: Event) -> None:
         """Generic (slow-path) emission of an already-built event."""
         if self.instrument:
+            counts = self._op_counts
+            if counts is not None:
+                counts[OPCODE_BY_KIND[event.kind]] += 1
             if self._encoder is not None:
                 self._encoder.append_event(event)
             else:
@@ -256,6 +361,9 @@ class Machine:
     def emit_read(self, tid: int, addr: int) -> None:
         if not self.instrument:
             return
+        counts = self._op_counts
+        if counts is not None:
+            counts[OP_READ] += 1
         encoder = self._encoder
         if encoder is not None:
             encoder.append(OP_READ, tid, addr)
@@ -265,6 +373,9 @@ class Machine:
     def emit_write(self, tid: int, addr: int) -> None:
         if not self.instrument:
             return
+        counts = self._op_counts
+        if counts is not None:
+            counts[OP_WRITE] += 1
         encoder = self._encoder
         if encoder is not None:
             encoder.append(OP_WRITE, tid, addr)
@@ -274,6 +385,9 @@ class Machine:
     def emit_call(self, tid: int, routine: str, cost: int) -> None:
         if not self.instrument:
             return
+        counts = self._op_counts
+        if counts is not None:
+            counts[OP_CALL] += 1
         encoder = self._encoder
         if encoder is not None:
             encoder.append(OP_CALL, tid, encoder.intern(routine), cost)
@@ -283,6 +397,9 @@ class Machine:
     def emit_return(self, tid: int, cost: int) -> None:
         if not self.instrument:
             return
+        counts = self._op_counts
+        if counts is not None:
+            counts[OP_RETURN] += 1
         encoder = self._encoder
         if encoder is not None:
             encoder.append(OP_RETURN, tid, 0, cost)
@@ -292,6 +409,9 @@ class Machine:
     def emit_user_to_kernel(self, tid: int, addr: int) -> None:
         if not self.instrument:
             return
+        counts = self._op_counts
+        if counts is not None:
+            counts[OP_USER_TO_KERNEL] += 1
         encoder = self._encoder
         if encoder is not None:
             encoder.append(OP_USER_TO_KERNEL, tid, addr)
@@ -301,6 +421,9 @@ class Machine:
     def emit_kernel_to_user(self, tid: int, addr: int) -> None:
         if not self.instrument:
             return
+        counts = self._op_counts
+        if counts is not None:
+            counts[OP_KERNEL_TO_USER] += 1
         encoder = self._encoder
         if encoder is not None:
             encoder.append(OP_KERNEL_TO_USER, tid, addr)
@@ -310,6 +433,9 @@ class Machine:
     def emit_switch_thread(self) -> None:
         if not self.instrument:
             return
+        counts = self._op_counts
+        if counts is not None:
+            counts[OP_SWITCH_THREAD] += 1
         encoder = self._encoder
         if encoder is not None:
             encoder.append(OP_SWITCH_THREAD)
@@ -319,6 +445,9 @@ class Machine:
     def emit_lock_acquire(self, tid: int, lock: str) -> None:
         if not self.instrument:
             return
+        counts = self._op_counts
+        if counts is not None:
+            counts[OP_LOCK_ACQUIRE] += 1
         encoder = self._encoder
         if encoder is not None:
             encoder.append(OP_LOCK_ACQUIRE, tid, encoder.intern(lock))
@@ -328,6 +457,9 @@ class Machine:
     def emit_lock_release(self, tid: int, lock: str) -> None:
         if not self.instrument:
             return
+        counts = self._op_counts
+        if counts is not None:
+            counts[OP_LOCK_RELEASE] += 1
         encoder = self._encoder
         if encoder is not None:
             encoder.append(OP_LOCK_RELEASE, tid, encoder.intern(lock))
@@ -337,6 +469,9 @@ class Machine:
     def emit_thread_start(self, tid: int, parent: int) -> None:
         if not self.instrument:
             return
+        counts = self._op_counts
+        if counts is not None:
+            counts[OP_THREAD_START] += 1
         encoder = self._encoder
         if encoder is not None:
             encoder.append(OP_THREAD_START, tid, parent)
@@ -346,6 +481,9 @@ class Machine:
     def emit_thread_exit(self, tid: int) -> None:
         if not self.instrument:
             return
+        counts = self._op_counts
+        if counts is not None:
+            counts[OP_THREAD_EXIT] += 1
         encoder = self._encoder
         if encoder is not None:
             encoder.append(OP_THREAD_EXIT, tid)

@@ -22,7 +22,7 @@ by the machine until their wake-up predicate holds.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 __all__ = [
     "Scheduler",
@@ -30,6 +30,7 @@ __all__ = [
     "RandomScheduler",
     "StickyScheduler",
     "PerturbedScheduler",
+    "CountingScheduler",
     "make_scheduler",
 ]
 
@@ -87,6 +88,25 @@ class PerturbedScheduler(Scheduler):
 
     def pick(self, runnable: Sequence[int], current: Optional[int]) -> int:
         return self.plan.perturb(runnable, self.inner.pick(runnable, current))
+
+
+class CountingScheduler(Scheduler):
+    """Transparent wrapper counting how often each thread is picked.
+
+    :meth:`Machine.enable_metrics` installs it (outermost, so perturbed
+    picks are counted as actually made); the counts surface as the
+    ``vm.sched.picks{thread=...}`` gauges.  Pure pass-through otherwise
+    — the inner policy's decisions are unchanged.
+    """
+
+    def __init__(self, inner: Scheduler) -> None:
+        self.inner = inner
+        self.picks: Dict[int, int] = {}
+
+    def pick(self, runnable: Sequence[int], current: Optional[int]) -> int:
+        tid = self.inner.pick(runnable, current)
+        self.picks[tid] = self.picks.get(tid, 0) + 1
+        return tid
 
 
 def make_scheduler(spec: str = "round-robin", seed: int = 0) -> Scheduler:

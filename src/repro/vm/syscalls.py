@@ -159,6 +159,26 @@ class Kernel:
         self.faults = None
         #: rejected operations, in order (``EBADF``-style audit trail)
         self.diagnostics: List[KernelDiagnostic] = []
+        #: per-syscall aggregates ``name -> [calls, cells, blocks]``;
+        #: always on (a dict update per *syscall*, not per cell, so the
+        #: cost is noise next to the per-cell transfer loop)
+        self.syscall_stats: Dict[str, List[int]] = {}
+        #: optional metrics registry (see :mod:`repro.obs`); when set,
+        #: each syscall's block latency lands in a log2 histogram
+        self.metrics = None
+
+    def _account(self, syscall: str, cells: int, blocks: int) -> None:
+        stats = self.syscall_stats.get(syscall)
+        if stats is None:
+            stats = self.syscall_stats[syscall] = [0, 0, 0]
+        stats[0] += 1
+        stats[1] += cells
+        stats[2] += blocks
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.histogram(
+                "vm.syscall.latency", {"syscall": syscall}
+            ).observe(blocks)
 
     def _reject(self, op: str, fd: int, detail: str) -> None:
         """Record and raise a bad-descriptor rejection; fd table state is
@@ -203,10 +223,12 @@ class Kernel:
         device = self._fds[fd]
         if not device.readable:
             self._reject(syscall, fd, "not readable")
+        delay = 0
         if self.faults is not None:
             error = self.faults.syscall_error(syscall, fd, ctx.tid)
             if error is not None:
                 ctx.charge(1)  # the failed call still entered the kernel
+                self._account(syscall, 0, 1)
                 raise error
             count = self.faults.transfer_count(
                 syscall, count, ctx.tid, inbound=True
@@ -219,6 +241,7 @@ class Kernel:
         for i, value in enumerate(values):
             ctx.kernel_fill(buf + i, value)
         self.cells_in += len(values)
+        self._account(syscall, len(values), 1 + len(values) + delay)
         return len(values)
 
     def outbound(
@@ -242,10 +265,12 @@ class Kernel:
         device = self._fds[fd]
         if not device.writable:
             self._reject(syscall, fd, "not writable")
+        delay = 0
         if self.faults is not None:
             error = self.faults.syscall_error(syscall, fd, ctx.tid)
             if error is not None:
                 ctx.charge(1)  # the failed call still entered the kernel
+                self._account(syscall, 0, 1)
                 raise error
             count = self.faults.transfer_count(
                 syscall, count, ctx.tid, inbound=False
@@ -257,4 +282,5 @@ class Kernel:
         values = [ctx.kernel_drain(addr + i) for i in range(count)]
         written = device.push(values, offset)
         self.cells_out += written
+        self._account(syscall, written, 1 + count + delay)
         return written

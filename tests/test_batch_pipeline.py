@@ -219,6 +219,65 @@ def test_batch_renumbering_invariance(events, counter_limit):
     )
 
 
+# -- telemetry equivalence ----------------------------------------------------
+
+
+@given(random_trace(), st.sampled_from([None, 24]))
+@settings(max_examples=60, deadline=None)
+def test_drms_metrics_snapshot_batch_equals_scalar(events, counter_limit):
+    """The telemetry snapshot is a pure function of profiler state, so
+    the batched and scalar consumption paths must report identical
+    metrics — including the renumbering counters and stack-depth
+    high-water mark, which are maintained separately in each path."""
+    batch = encode_events(events)
+    batched = DrmsProfiler(policy=FULL_POLICY, counter_limit=counter_limit)
+    scalar = DrmsProfiler(policy=FULL_POLICY, counter_limit=counter_limit)
+    batched.run_batch(batch)
+    scalar.run(events)
+    assert batched.metrics_snapshot() == scalar.metrics_snapshot()
+
+
+@given(random_trace())
+@settings(max_examples=60, deadline=None)
+def test_rms_metrics_snapshot_batch_equals_scalar(events):
+    batch = encode_events(events)
+    batched = RmsProfiler()
+    scalar = RmsProfiler()
+    batched.run_batch(batch)
+    scalar.run(events)
+    assert batched.metrics_snapshot() == scalar.metrics_snapshot()
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(5, 40))
+@settings(max_examples=25, deadline=None)
+def test_zero_rate_fault_plan_leaves_metrics_unchanged(seed, items):
+    """A FaultPlan whose every rate is zero must be telemetry-invisible:
+    the machine runs identically and the stats snapshot (VM counters,
+    per-opcode events, profiler state) matches the plan-free run."""
+    from repro.vm.faults import FaultPlan
+
+    def run(faults):
+        machine = producer_consumer(items)
+        if faults is not None:
+            machine.set_fault_plan(faults)
+        registry = machine.enable_metrics()
+        profiler = DrmsProfiler(keep_activations=False, metrics=registry)
+        machine.set_batch_sink(profiler.consume_batch)
+        machine.run()
+        profiler.publish_metrics(registry)
+        return machine.stats_snapshot()
+
+    zero_plan = FaultPlan(
+        seed=seed,
+        syscall_error_rate=0.0,
+        short_io_rate=0.0,
+        io_delay_rate=0.0,
+        thread_kill_rate=0.0,
+        sched_perturb_rate=0.0,
+    )
+    assert run(None) == run(zero_plan)
+
+
 # -- tool equivalence ---------------------------------------------------------
 
 

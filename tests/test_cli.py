@@ -165,6 +165,115 @@ class TestTrace:
         assert "kernelToUser(" in out
         assert "more events" in out
 
+    def test_trace_metrics_flag(self, capsys):
+        assert (
+            main(["trace", "stream_reader", "--limit", "5", "--metrics"]) == 0
+        )
+        captured = capsys.readouterr()
+        assert "call(" in captured.out
+        assert "vm.switches" in captured.err
+        assert "vm.events{op=read}" in captured.err
+
+
+class TestStats:
+    def test_stats_table(self, capsys):
+        assert main(["stats", "md"]) == 0
+        out = capsys.readouterr().out
+        assert "vm.switches" in out
+        assert "drms.count" in out
+        assert "drms.reads{kind=thread}" in out
+
+    def test_stats_requires_a_workload(self, capsys):
+        assert main(["stats"]) == 2
+        assert "workload is required" in capsys.readouterr().err
+
+    def test_stats_json_payload(self, capsys):
+        import json
+
+        assert main(["stats", "--workload", "md", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "md"
+        metrics = payload["metrics"]
+        assert metrics["vm.events{op=read}"] > 0
+        assert "drms.renumber.passes" in metrics
+        assert "drms.shadow.peak_bytes{scope=total}" in metrics
+        assert "drms.reads{kind=kernel}" in metrics
+
+    def test_stats_json_to_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert main(["stats", "md", "--json", str(target)]) == 0
+        assert "metrics JSON written" in capsys.readouterr().err
+        payload = json.loads(target.read_text())
+        assert payload["metrics"]["vm.threads"] > 0
+
+    def test_stats_prometheus(self, capsys):
+        assert main(["stats", "md", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE vm_events gauge" in out
+        assert "# TYPE drms_renumber_passes counter" in out
+        assert "# TYPE drms_count gauge" in out
+        # every non-comment line is `name[{labels}] value`
+        for line in out.splitlines():
+            if line and not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                float(value)
+
+    def test_stats_trace_out(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "run.trace.json"
+        assert main(["stats", "md", "--trace-out", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert {"build", "run", "publish"} <= names
+        assert "perfetto" in capsys.readouterr().err
+
+    def test_stats_counter_limit_triggers_renumbering(self, capsys):
+        import json
+
+        assert (
+            main(["stats", "md", "--json", "--counter-limit", "16"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["drms.renumber.passes"] >= 1
+
+    def test_stats_faults_channel_counts(self, capsys):
+        import json
+
+        assert main(["stats", "md", "--json", "--faults", "7"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # the fault plan's decisions are recorded by channel
+        assert any(
+            key.startswith("vm.faults{") for key in payload["metrics"]
+        )
+
+
+class TestOverheadMetrics:
+    def test_overhead_metrics_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "overhead",
+                    "--suite",
+                    "specomp",
+                    "--benchmarks",
+                    "md",
+                    "--repeats",
+                    "1",
+                    "--scale",
+                    "1",
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "-- metrics --" in out
+        assert "runner.native_us{workload=md}" in out
+        assert "runner.replay_us{tool=aprof-drms,workload=md}" in out
+
 
 class TestCommunicate:
     def test_communicate_output(self, capsys):

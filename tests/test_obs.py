@@ -1,0 +1,227 @@
+"""Tests for the zero-dependency telemetry subsystem (``repro.obs``).
+
+Covers the log-scale histogram bucketing edge cases the issue calls out
+(0, 1, the largest 64-bit value), registry identity semantics, the
+Prometheus text exposition, the Chrome trace-event span tracer, and the
+no-op null objects that keep the instrumented hot paths free when
+telemetry is disabled.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    HISTOGRAM_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    SpanTracer,
+    bucket_index,
+    flatten_key,
+)
+
+
+class TestBucketIndex:
+    def test_zero_goes_to_bucket_zero(self):
+        assert bucket_index(0) == 0
+
+    def test_one_goes_to_bucket_one(self):
+        assert bucket_index(1) == 1
+
+    def test_powers_of_two_step_buckets(self):
+        assert bucket_index(2) == 2
+        assert bucket_index(3) == 2
+        assert bucket_index(4) == 3
+        assert bucket_index(1023) == 10
+        assert bucket_index(1024) == 11
+
+    def test_max_int64_lands_in_bucket_63(self):
+        assert bucket_index(2**63 - 1) == 63
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        assert bucket_index(2**64 - 1) == 64
+        assert bucket_index(2**200) == 64
+        assert bucket_index(2**64 - 1) == HISTOGRAM_BUCKETS - 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bucket_index(-1)
+
+
+class TestHistogram:
+    def test_observe_accumulates_count_and_sum(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        for value in (0, 1, 1, 7, 2**63 - 1):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.sum == 9 + 2**63 - 1
+        assert dict(hist.nonzero_buckets()) == {0: 1, 1: 2, 3: 1, 63: 1}
+
+    def test_negative_observation_raises(self):
+        hist = MetricsRegistry().histogram("lat")
+        with pytest.raises(ValueError):
+            hist.observe(-5)
+
+
+class TestRegistry:
+    def test_instruments_are_identity_cached(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g", {"a": "1"}) is registry.gauge("g", {"a": "1"})
+        # label order must not matter
+        assert registry.counter("c", {"x": "1", "y": "2"}) is registry.counter(
+            "c", {"y": "2", "x": "1"}
+        )
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", {"op": "read"}).inc(3)
+        registry.counter("ops", {"op": "write"}).inc()
+        data = registry.as_dict()
+        assert data["ops{op=read}"] == 3
+        assert data["ops{op=write}"] == 1
+
+    def test_as_dict_is_sorted_and_flat(self):
+        registry = MetricsRegistry()
+        registry.gauge("z").set(1)
+        registry.counter("a").inc()
+        hist = registry.histogram("h")
+        hist.observe(5)
+        data = registry.as_dict()
+        assert list(data) == sorted(data)
+        assert data["h_count"] == 1
+        assert data["h_sum"] == 5
+        assert data["h_bucket{le=2^3}"] == 1  # bucket 3 covers 4..7
+
+    def test_gauge_helpers(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.max(3)
+        assert gauge.value == 5
+        gauge.max(9)
+        assert gauge.value == 9
+        gauge.inc(2)
+        assert gauge.value == 11
+
+    def test_flatten_key(self):
+        assert flatten_key("n", ()) == "n"
+        assert flatten_key("n", (("a", "1"), ("b", "2"))) == "n{a=1,b=2}"
+
+
+class TestPrometheus:
+    def test_exposition_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("vm.events", {"op": "read"}).inc(4)
+        registry.gauge("drms.count").set(82)
+        hist = registry.histogram("vm.syscall.latency", {"syscall": "read"})
+        hist.observe(0)
+        hist.observe(3)
+        text = registry.to_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE vm_events counter" in lines
+        assert 'vm_events{op="read"} 4' in lines
+        assert "drms_count 82" in lines
+        # cumulative buckets: le upper bounds are 2^i - 1, ending at +Inf
+        assert 'vm_syscall_latency_bucket{syscall="read",le="0.0"} 1' in lines
+        assert 'vm_syscall_latency_bucket{syscall="read",le="3.0"} 2' in lines
+        assert 'vm_syscall_latency_bucket{syscall="read",le="+Inf"} 2' in lines
+        assert 'vm_syscall_latency_sum{syscall="read"} 3' in lines
+        assert 'vm_syscall_latency_count{syscall="read"} 2' in lines
+
+    def test_buckets_are_cumulative_and_monotone(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in (1, 1, 100, 10000):
+            hist.observe(value)
+        counts = []
+        for line in registry.to_prometheus().splitlines():
+            if line.startswith("h_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts)
+        assert counts[-1] == 4  # +Inf sees everything
+
+    def test_name_sanitization_and_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b-c", {"k": 'va"l\\ue'}).inc()
+        text = registry.to_prometheus()
+        assert "a_b_c" in text
+        assert '\\"' in text and "\\\\" in text
+
+    def test_parses_as_prometheus_text(self):
+        """Every non-comment line must be `name{labels} value`."""
+        registry = MetricsRegistry()
+        registry.counter("c", {"op": "x"}).inc()
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(9)
+        for line in registry.to_prometheus().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            bare = name_part.split("{", 1)[0]
+            assert bare.replace("_", "").isalnum()
+
+
+class TestSpanTracer:
+    def test_spans_and_instants_become_chrome_events(self):
+        tracer = SpanTracer(process_name="t")
+        with tracer.span("outer", track="vm", workload="md"):
+            with tracer.span("inner", track="vm"):
+                pass
+        tracer.instant("fault", track="vm", reason="io")
+        doc = tracer.to_chrome()
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"  # process_name metadata
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        assert len(instants) == 1
+        assert instants[0]["s"] == "t"
+        for event in complete:
+            assert event["dur"] >= 0
+            assert event["tid"] == "vm"
+        outer = next(e for e in complete if e["name"] == "outer")
+        assert outer["args"]["workload"] == "md"
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_save_round_trips_as_json(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("work"):
+            pass
+        out = tmp_path / "run.trace.json"
+        tracer.save(str(out))
+        doc = json.loads(out.read_text())
+        assert any(e.get("name") == "work" for e in doc["traceEvents"])
+
+    def test_len_counts_events(self):
+        tracer = SpanTracer()
+        assert len(tracer) == 0
+        tracer.instant("x")
+        assert len(tracer) == 1
+
+
+class TestNullObjects:
+    def test_null_registry_is_inert(self):
+        assert not NULL_REGISTRY.enabled
+        NULL_REGISTRY.counter("c").inc()
+        NULL_REGISTRY.gauge("g", {"a": "b"}).set(9)
+        NULL_REGISTRY.histogram("h").observe(4)
+        assert NULL_REGISTRY.as_dict() == {}
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.to_prometheus() == "\n"
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("s", track="x", a=1):
+            NULL_TRACER.instant("i")
+        assert len(NULL_TRACER) == 0
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_real_registry_is_enabled(self):
+        assert MetricsRegistry().enabled
+        assert SpanTracer().enabled

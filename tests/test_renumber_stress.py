@@ -63,3 +63,43 @@ def test_renumbering_preserves_profiles_under_faults(name, build):
     plain = profile_events(trace)
     squeezed = profile_events(trace, counter_limit=64)
     assert plain.profiles.activations == squeezed.profiles.activations
+
+
+# Kernel sizes whose activation/switch counter genuinely exceeds 64, so
+# ``counter_limit=64`` must fire (montecarlo is omitted: its workers run
+# one long activation each, so its counter never reaches a realistic
+# limit no matter how many trials run).
+OVERFLOWING_KERNELS = [
+    ("fork_join", lambda m: fork_join_kernel(m, "fj", workers=4, rounds=6)),
+    ("wavefront", lambda m: wavefront_kernel(m, "wf", workers=3, size=8)),
+    ("pipeline_io", lambda m: pipeline_io_kernel(m, "pipe", items=8)),
+    ("stencil", lambda m: stencil_kernel(m, "st", workers=4, iterations=8)),
+]
+
+
+@pytest.mark.parametrize(
+    "name,build",
+    OVERFLOWING_KERNELS,
+    ids=[k[0] for k in OVERFLOWING_KERNELS],
+)
+def test_stats_snapshot_reports_renumbering(name, build):
+    """``Machine.stats_snapshot()`` must surface the compaction activity:
+    each of these kernels overflows ``counter_limit=64`` at least once,
+    and the renumbering telemetry has to say so."""
+    from repro.core.timestamping import DrmsProfiler
+
+    machine = Machine()
+    build(machine)
+    registry = machine.enable_metrics()
+    profiler = DrmsProfiler(
+        counter_limit=64, keep_activations=False, metrics=registry
+    )
+    machine.set_batch_sink(profiler.consume_batch)
+    machine.run()
+    profiler.publish_metrics(registry)
+    snapshot = machine.stats_snapshot()
+    assert snapshot["drms.renumber.passes"] >= 1
+    assert snapshot["drms.renumber.before_total"] > snapshot[
+        "drms.renumber.after_total"
+    ]
+    assert snapshot["vm.switches"] == machine.switches

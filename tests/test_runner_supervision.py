@@ -157,3 +157,67 @@ class TestSummaryWithExclusions:
         )
         assert record.attempt == 2
         assert record.action == "retried"
+
+    def test_excluded_tools_property(self):
+        measurement = measure_workload(
+            "pc",
+            build,
+            tools={"nulgrind": Nulgrind, "broken": AlwaysRaisesTool},
+            parallel=2,
+            **FAST,
+        )
+        assert measurement.excluded_tools == ["broken"]
+        clean = measure_workload(
+            "pc", build, tools={"nulgrind": Nulgrind}, repeats=1
+        )
+        assert clean.excluded_tools == []
+
+    def test_all_tools_excluded_raises_with_names(self):
+        measurement = measure_workload(
+            "pc",
+            build,
+            tools={"broken": AlwaysRaisesTool},
+            parallel=2,
+            **FAST,
+        )
+        assert measurement.tools == {}
+        with pytest.raises(ValueError) as info:
+            suite_summary([measurement])
+        assert "broken" in str(info.value)
+        assert "excluded" in str(info.value)
+
+
+class TestRunnerTelemetry:
+    def test_measurement_publishes_into_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        measure_workload(
+            "pc",
+            build,
+            tools={"nulgrind": Nulgrind},
+            repeats=1,
+            metrics=registry,
+        )
+        data = registry.as_dict()
+        assert data["runner.native_us{workload=pc}"] > 0
+        assert data["runner.trace_events{workload=pc}"] > 0
+        assert data["runner.replay_us{tool=nulgrind,workload=pc}"] > 0
+
+    def test_degradations_fold_into_counters(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        measure_workload(
+            "pc",
+            build,
+            tools={"nulgrind": Nulgrind, "broken": AlwaysRaisesTool},
+            parallel=2,
+            metrics=registry,
+            **FAST,
+        )
+        data = registry.as_dict()
+        assert data["runner.exclusions"] >= 1
+        assert any(
+            key.startswith("runner.degradations{") for key in data
+        )

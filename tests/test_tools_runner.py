@@ -27,8 +27,12 @@ class TestGeometricMean:
     def test_ignores_nonpositive(self):
         assert geometric_mean([0.0, -1.0, 4.0]) == pytest.approx(4.0)
 
-    def test_empty(self):
-        assert geometric_mean([]) == 0.0
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            geometric_mean([])
+
+    def test_nonpositive_only_keeps_legacy_zero(self):
+        assert geometric_mean([0.0, -1.0]) == 0.0
 
 
 class TestNulgrind:

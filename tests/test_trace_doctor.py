@@ -136,6 +136,36 @@ class TestCorruptionRecovery:
         assert "trailing" in str(scan.error)
 
 
+class TestSectionAccounting:
+    def test_intact_scan_lists_every_section(self):
+        events = sample_events(30)
+        scan = scan_batch_bytes(v2_bytes(events, section_events=8))
+        assert scan.sections_valid == len(scan.section_events)
+        assert sum(scan.section_events) == scan.events_loaded
+        assert all(0 < n <= 8 for n in scan.section_events)
+        assert scan.error_section is None
+
+    def test_corrupt_scan_names_the_damaged_section(self):
+        data = bytearray(v2_bytes(sample_events(), section_events=16))
+        data[len(data) // 2] ^= 0xFF
+        scan = scan_batch_bytes(bytes(data))
+        assert not scan.intact
+        assert scan.error_section == scan.sections_valid
+        assert len(scan.section_events) == scan.sections_valid
+        assert sum(scan.section_events) == scan.events_loaded
+
+    def test_v1_scan_is_one_section(self):
+        scan = scan_batch_bytes(v1_bytes(sample_events()))
+        assert scan.section_events == [scan.events_loaded]
+        assert scan.error_section is None
+
+    def test_v1_corrupt_scan_blames_section_zero(self):
+        scan = scan_batch_bytes(v1_bytes(sample_events())[:-5])
+        assert not scan.intact
+        assert scan.error_section == 0
+        assert scan.section_events == []
+
+
 class TestErrorHygiene:
     """Satellite: loaders raise TraceFormatError with offset context,
     never raw struct.error / IndexError."""
@@ -185,6 +215,15 @@ class TestDoctorCli:
         out = capsys.readouterr().out
         assert "intact" in out and "v2" in out
 
+    def test_doctor_intact_lists_sections(self, tmp_path, capsys):
+        path = self.trace_file(
+            tmp_path, v2_bytes(sample_events(30), section_events=8)
+        )
+        assert main(["doctor", "--trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "section   0:" in out
+        assert "salvaged" in out
+
     def test_doctor_corrupt_exit_code_and_recovery(self, tmp_path, capsys):
         events = sample_events()
         data = v2_bytes(events)
@@ -193,6 +232,7 @@ class TestDoctorCli:
         assert main(["doctor", "--trace", path, "--recover", out_path]) == 1
         out = capsys.readouterr().out
         assert "CORRUPT" in out
+        assert "in section" in out  # names the damaged section index
         with open(out_path, "rb") as handle:
             recovered = load_trace_binary(handle)
         assert recovered == events[: len(recovered)]
