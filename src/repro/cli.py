@@ -22,6 +22,13 @@ Subcommands:
   print the metrics registry (table, ``--json`` or ``--prom``
   Prometheus text), optionally saving a Perfetto-viewable span timeline
   with ``--trace-out``.
+* ``repro sweep`` — the workload×tool×scale matrix over a
+  content-addressed trace store: record once, replay from cache, merge
+  per-scale profile shards into per-routine cost models.
+
+All ``--json`` outputs are strict JSON: non-finite floats (e.g. the
+``nan`` exponent of a degenerate cost trend) are serialised as
+``null``, never as the invalid ``NaN`` literal.
 """
 
 from __future__ import annotations
@@ -93,7 +100,7 @@ def _emit_registry(registry, args) -> None:
             print(f"{label} written to {dest}", file=sys.stderr)
 
     if args.json is not None:
-        import json
+        from repro.core.serialize import dumps_strict
 
         payload = {
             "workload": args.workload,
@@ -101,7 +108,7 @@ def _emit_registry(registry, args) -> None:
             "scale": args.scale,
             "metrics": registry.as_dict(),
         }
-        write(json.dumps(payload, indent=2) + "\n", args.json, "metrics JSON")
+        write(dumps_strict(payload, indent=2) + "\n", args.json, "metrics JSON")
     if args.prom is not None:
         write(registry.to_prometheus(), args.prom, "Prometheus exposition")
     if args.json is None and args.prom is None:
@@ -276,7 +283,7 @@ def cmd_overhead(args) -> int:
         print(f"overhead: {exc}", file=sys.stderr)
         return 1
     if args.json:
-        import json
+        from repro.core.serialize import dumps_strict
 
         payload = {
             "suite": args.suite,
@@ -325,7 +332,7 @@ def cmd_overhead(args) -> int:
         if registry is not None:
             payload["metrics"] = registry.as_dict()
         with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2)
+            handle.write(dumps_strict(payload, indent=2))
         print(f"measurements written to {args.json}", file=sys.stderr)
     tool_names = [t for t in DEFAULT_TOOLS if t in summary]
     print(f"{'tool':>12} {'slowdown':>10} {'space':>8}")
@@ -345,6 +352,90 @@ def cmd_overhead(args) -> int:
     if registry is not None:
         print("-- metrics --")
         _print_metrics(registry)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Run the cached workload×tool×scale sweep matrix."""
+    from repro.core.serialize import dumps_strict
+    from repro.sweep import SweepConfig, run_sweep
+
+    if args.workloads:
+        unknown = [name for name in args.workloads if name not in REGISTRY]
+        if unknown:
+            print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        names = list(args.workloads)
+    else:
+        names = [w.name for w in suite(args.suite)]
+    if not names:
+        print(f"no workloads in suite {args.suite!r}", file=sys.stderr)
+        return 2
+
+    registry = None
+    tracer = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry, SpanTracer
+
+        registry = MetricsRegistry()
+        tracer = SpanTracer(process_name="repro sweep")
+
+    config = SweepConfig(
+        workloads=tuple(names),
+        scales=tuple(args.scales),
+        store_root=args.store,
+        threads=args.threads,
+        tools=tuple(args.tools) if args.tools else tuple(DEFAULT_TOOLS),
+        repeats=args.repeats,
+        parallel=args.parallel,
+        fault_seed=args.faults,
+        reuse_measurements=not args.remeasure,
+    )
+    try:
+        result = run_sweep(config, metrics=registry, tracer=tracer)
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+
+    report = result.report_dict()
+    cache = report["cache"]
+    print(
+        f"sweep: {len(report['cells'])} cell(s) over "
+        f"{len(names)} workload(s) x scales {list(args.scales)} — "
+        f"wall {result.wall_time:.2f}s, cache {cache['hits']} hit / "
+        f"{cache['misses']} miss (hit rate {cache['hit_rate']:.0%})"
+    )
+    for workload in sorted(result.trends):
+        print(f"  {workload}:")
+        drms_trends = result.trends[workload]["drms"]
+        rms_trends = result.trends[workload]["rms"]
+        for routine, row in drms_trends.items():
+            if row["model"] is None:
+                print(
+                    f"    {routine}: {row['points']} point(s) — "
+                    "not enough distinct sizes to fit"
+                )
+                continue
+            rms_row = rms_trends.get(routine) or {}
+            rms_model = rms_row.get("model") or "-"
+            print(
+                f"    {routine}: drms {row['model']} "
+                f"(R^2={row['r_squared']:.3f}) vs rms {rms_model}"
+            )
+    if result.degradations:
+        print(f"{len(result.degradations)} degradation(s):", file=sys.stderr)
+        for d in result.degradations:
+            print(
+                f"  [{d.stage}] {d.tool}: {d.reason} -> {d.action}",
+                file=sys.stderr,
+            )
+    if registry is not None:
+        print("-- metrics --")
+        _print_metrics(registry)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(dumps_strict(report, indent=2) + "\n")
+        print(f"sweep report written to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -539,6 +630,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect runner telemetry and print the metrics table",
     )
     p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser(
+        "sweep",
+        help="cached workload x tool x scale sweep with merged cost models",
+    )
+    p.add_argument("--suite", choices=SUITES, default="micro")
+    p.add_argument(
+        "--workloads",
+        nargs="*",
+        help="explicit workload names (overrides --suite)",
+    )
+    p.add_argument(
+        "--scales",
+        nargs="+",
+        type=int,
+        default=[1, 2],
+        metavar="N",
+        help="input scales forming the matrix columns",
+    )
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument(
+        "--tools",
+        nargs="*",
+        choices=sorted(DEFAULT_TOOLS),
+        help="restrict the replayed tools (default: all six)",
+    )
+    p.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="content-addressed trace-store directory",
+    )
+    p.add_argument("--repeats", type=int, default=1)
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run sweep cells in N supervised worker processes",
+    )
+    p.add_argument(
+        "--faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="record with deterministic fault injection (part of the key)",
+    )
+    p.add_argument(
+        "--remeasure",
+        action="store_true",
+        help="ignore cached replay measurements (traces stay cached)",
+    )
+    p.add_argument("--json", help="write the strict-JSON report to FILE")
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect sweep telemetry and print the metrics table",
+    )
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
         "communicate", help="routine-level communication matrix"

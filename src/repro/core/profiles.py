@@ -169,6 +169,39 @@ class ProfileSet:
             raise KeyError(f"no profile for routine {routine!r} thread {thread}")
         return self._profiles[key]
 
+    def merge_from(self, other: "ProfileSet") -> None:
+        """Fold ``other``'s points into this set, in place.
+
+        Commutative on the aggregated statistics and associative, so
+        profile *shards* collected over separate traces can be reduced
+        in any grouping (the sweep engine's shard-merge step).  Nothing
+        of ``other`` is aliased: overlapping ``(routine, thread)`` keys
+        get fresh merged :class:`PointStats`, disjoint ones are copied
+        cell by cell, so mutating either set afterwards cannot corrupt
+        the other.  Activation records are appended in ``other``'s
+        completion order when this set keeps them.
+        """
+        for key, theirs in other._profiles.items():
+            mine = self._profiles.get(key)
+            if mine is None:
+                mine = RoutineProfile(theirs.routine)
+                self._profiles[key] = mine
+            mine.calls += theirs.calls
+            mine.total_input += theirs.total_input
+            for size, stats in theirs.points.items():
+                slot = mine.points.get(size)
+                if slot is None:
+                    mine.points[size] = PointStats(
+                        calls=stats.calls,
+                        max_cost=stats.max_cost,
+                        min_cost=stats.min_cost,
+                        total_cost=stats.total_cost,
+                    )
+                else:
+                    mine.points[size] = slot.merged_with(stats)
+        if self.keep_activations:
+            self.activations.extend(other.activations)
+
     def by_routine(self) -> Dict[str, RoutineProfile]:
         """Merge the per-thread profiles of each routine (the paper's
         subsequent merge step)."""

@@ -286,6 +286,46 @@ class RmsProfiler:
         self.consume_batch(batch)
         return self.profiles
 
+    # -- execution boundaries & shard merging ------------------------------------
+
+    def begin_trace(self) -> None:
+        """Mark an execution boundary before feeding an independent
+        trace: per-thread access timestamps and (empty) shadow stacks
+        are cleared, cumulative state (profiles, counter, high-water
+        mark) is kept.  Same contract as
+        :meth:`DrmsProfiler.begin_trace
+        <repro.core.timestamping.DrmsProfiler.begin_trace>`, minus the
+        global shadow memories the baseline does not have."""
+        if self.live_activations():
+            raise ValueError(
+                "begin_trace() with live activations: the previous trace "
+                "is incomplete"
+            )
+        self.ts = {}
+        self.stacks = {}
+
+    def merge(self, other: "RmsProfiler") -> "RmsProfiler":
+        """Fold another shard's results into this profiler, in place.
+
+        Exact and associative under the :meth:`begin_trace` semantics —
+        see :meth:`DrmsProfiler.merge
+        <repro.core.timestamping.DrmsProfiler.merge>` for the shared
+        contract.  Returns ``self``.
+        """
+        if other is self:
+            raise ValueError("cannot merge a profiler shard with itself")
+        if self.live_activations() or other.live_activations():
+            raise ValueError(
+                "merge() with live activations: both shards must hold "
+                "complete traces"
+            )
+        self.profiles.merge_from(other.profiles)
+        self.count += other.count - 1
+        if self.stack_depth_hwm < other.stack_depth_hwm:
+            self.stack_depth_hwm = other.stack_depth_hwm
+        self.begin_trace()
+        return self
+
     def pending_rms(self, thread: int) -> List[Tuple[str, int]]:
         """``(routine, rms-so-far)`` per pending activation, bottom to top."""
         stack = self._stack(thread)

@@ -25,13 +25,47 @@ The format is versioned and intentionally flat::
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Dict
 
 from repro.core.policy import InputPolicy
 from repro.core.profiler import ProfileReport
 from repro.core.profiles import PointStats, ProfileSet, RoutineProfile
 
-__all__ = ["report_to_dict", "report_from_dict", "dumps_report", "loads_report"]
+__all__ = [
+    "report_to_dict",
+    "report_from_dict",
+    "dumps_report",
+    "loads_report",
+    "json_sanitize",
+    "dumps_strict",
+]
+
+
+def json_sanitize(obj: Any) -> Any:
+    """Recursively map non-finite floats (``nan``/``inf``) to ``None``.
+
+    ``json.dumps`` happily emits the literals ``NaN`` and ``Infinity``,
+    which are *not* JSON — strict parsers reject the document.  Cost
+    trends legitimately produce ``nan`` exponents on degenerate plots,
+    so every CLI JSON payload is passed through here before
+    serialisation; tuples collapse to lists (their JSON form anyway).
+    """
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        return {key: json_sanitize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [json_sanitize(value) for value in obj]
+    return obj
+
+
+def dumps_strict(payload: Any, **kwargs: Any) -> str:
+    """``json.dumps`` that can never emit invalid JSON: the payload is
+    sanitised with :func:`json_sanitize` and serialised with
+    ``allow_nan=False`` as a backstop (a non-finite float slipping
+    through raises instead of corrupting the document)."""
+    return json.dumps(json_sanitize(payload), allow_nan=False, **kwargs)
 
 FORMAT = "repro-profile"
 VERSION = 1
@@ -124,7 +158,7 @@ def report_from_dict(data: Dict[str, Any]) -> ProfileReport:
 
 
 def dumps_report(report: ProfileReport, indent: int = None) -> str:
-    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+    return dumps_strict(report_to_dict(report), indent=indent, sort_keys=True)
 
 
 def loads_report(text: str) -> ProfileReport:

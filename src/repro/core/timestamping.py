@@ -570,6 +570,86 @@ class DrmsProfiler:
         self.consume_batch(batch)
         return self.profiles
 
+    # -- execution boundaries & shard merging ------------------------------------
+
+    def begin_trace(self) -> None:
+        """Mark an execution boundary: the next events belong to an
+        *independent* trace (a separate VM execution with an unrelated
+        address space).
+
+        Clears the per-execution shadow state — ``wts``/``wsrc``, every
+        per-thread ``ts`` and the (empty) shadow stacks — while keeping
+        everything cumulative: profiles, read counters, the timestamp
+        counter and the renumbering statistics.  Requires the previous
+        trace to be complete (no live activations); timestamps of the
+        new trace simply continue from ``count``, which is
+        order-preserving, so profiling decisions inside the new trace
+        are unaffected by the base offset.
+        """
+        if self.live_activations():
+            raise ValueError(
+                "begin_trace() with live activations: the previous trace "
+                "is incomplete"
+            )
+        self.wts = ShadowMemory()
+        self.wsrc = ShadowMemory()
+        self.ts = {}
+        self.stacks = {}
+
+    def merge(self, other: "DrmsProfiler") -> "DrmsProfiler":
+        """Fold another shard's results into this profiler, in place.
+
+        Both profilers must have consumed complete traces of *separate*
+        executions (the :meth:`begin_trace` semantics); the merge is
+        then exact — profiles, activation records and the
+        first/thread/kernel read split equal those of a single profiler
+        that consumed both traces with an execution boundary between
+        them — and associative, so shards reduce in any grouping.
+
+        Timestamps are rebased implicitly: a shard's timestamps only
+        ever feed *ordering* comparisons within its own trace, so the
+        merged counter just advances by the shard's span
+        (``other.count - 1``) to keep Invariant 2's monotonicity for
+        events consumed after the merge.  Renumbering statistics are
+        summed (they depend on where each shard's counter started, so
+        they are bookkeeping, not part of the exactness claim).  The
+        merged profiler keeps ``self``'s policy, counter limit and
+        registry; returns ``self``.
+        """
+        if other is self:
+            raise ValueError("cannot merge a profiler shard with itself")
+        if other.policy != self.policy:
+            raise ValueError(
+                f"cannot merge shards with different policies: "
+                f"{self.policy} vs {other.policy}"
+            )
+        if self.live_activations() or other.live_activations():
+            raise ValueError(
+                "merge() with live activations: both shards must hold "
+                "complete traces"
+            )
+        self.profiles.merge_from(other.profiles)
+        for routine, counts in other.read_counters.items():
+            mine = self._counters(routine)
+            mine[0] += counts[0]
+            mine[1] += counts[1]
+            mine[2] += counts[2]
+        # Both counters started at 1; the merged counter spans both
+        # traces' bumps.  Renumbering (if enabled) may compact it on the
+        # next bump — the shadow state below is cleared, so that pass is
+        # trivially cheap.
+        self.count += other.count - 1
+        if self.stack_depth_hwm < other.stack_depth_hwm:
+            self.stack_depth_hwm = other.stack_depth_hwm
+        self.renumber_passes += other.renumber_passes
+        self.renumber_before_total += other.renumber_before_total
+        self.renumber_after_total += other.renumber_after_total
+        # A merge is an execution boundary: residual shadow state from
+        # either shard must not leak induced-read classifications into
+        # whatever trace is consumed next.
+        self.begin_trace()
+        return self
+
     # -- introspection -----------------------------------------------------------
 
     def pending_drms(self, thread: int) -> List[Tuple[str, int]]:

@@ -55,6 +55,7 @@ from repro.core.events import (
 )
 
 __all__ = [
+    "TRACE_FORMAT_VERSION",
     "TraceFormatError",
     "event_to_line",
     "line_to_event",
@@ -65,6 +66,11 @@ __all__ = [
     "load_batch",
     "scan_trace",
 ]
+
+#: current binary trace format version (the ``RPRB\x02`` magic).  Cache
+#: keys that address recorded traces must include it: a format bump
+#: invalidates every stored entry rather than mis-decoding it.
+TRACE_FORMAT_VERSION = 2
 
 
 class TraceFormatError(ValueError):

@@ -1,0 +1,19 @@
+"""Sharded sweep engine: record-once, cache, replay, merge.
+
+See :mod:`repro.sweep.store` for the content-addressed trace cache and
+:mod:`repro.sweep.engine` for the supervised matrix runner and the
+shard-merge aggregation into per-routine cost models.
+"""
+
+from repro.sweep.engine import SweepCell, SweepConfig, SweepResult, run_sweep
+from repro.sweep.store import SHARD_VERSION, TraceKey, TraceStore
+
+__all__ = [
+    "SHARD_VERSION",
+    "SweepCell",
+    "SweepConfig",
+    "SweepResult",
+    "TraceKey",
+    "TraceStore",
+    "run_sweep",
+]

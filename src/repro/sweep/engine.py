@@ -1,0 +1,565 @@
+"""Sharded repro sweep: the workload × tool × scale matrix, cached.
+
+The paper's evaluation is a full matrix — every workload, at several
+input scales, replayed under every tool.  This engine runs that matrix
+as independent *cells* ``(workload, scale)``:
+
+* each cell records its trace **once** into the content-addressed
+  :class:`~repro.sweep.store.TraceStore` (or loads it back on a warm
+  run via the crash-safe scanner), replays it under the requested
+  tools, and profiles it into one drms shard and one rms shard —
+  profiler snapshots taken at an execution boundary
+  (:meth:`~repro.core.timestamping.DrmsProfiler.begin_trace`), so they
+  are small, picklable and exactly mergeable;
+* cells run process-parallel under the same supervision discipline as
+  the replay runner — per-future timeouts, bounded retries with
+  jittered exponential backoff (private RNG: supervision never touches
+  the global ``random`` stream), serial fallback, and exclusion with a
+  structured :class:`~repro.tools.runner.Degradation` record as the
+  last resort;
+* per workload, the per-scale shards are reduced with the associative
+  :meth:`~repro.core.timestamping.DrmsProfiler.merge` and the merged
+  worst-case cost plots are classified with
+  :func:`~repro.analysis.costfunc.classify_trend` /
+  :func:`~repro.analysis.costfunc.best_fit` — the per-routine empirical
+  cost models the sweep exists to produce, on both the drms and the rms
+  metric (their disagreement is the paper's headline figure).
+
+Replay *measurements* are also cached in the entry's meta sidecar: a
+fully-warm sweep reuses the stored per-tool numbers (marked
+``"source": "cache"`` in the report) instead of re-measuring identical
+byte streams; pass ``reuse_measurements=False`` to force re-measuring.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.costfunc import classify_trend
+from repro.core.rms import RmsProfiler
+from repro.core.timestamping import DrmsProfiler
+from repro.sweep.store import TraceKey, TraceStore
+from repro.tools.runner import (
+    DEFAULT_TOOLS,
+    Degradation,
+    _terminate_pool,
+    record_trace,
+    replay_tool,
+)
+from repro.workloads.registry import get_workload
+
+__all__ = ["SweepCell", "SweepConfig", "SweepResult", "run_sweep"]
+
+#: ceiling on the inter-retry backoff sleep, seconds
+_MAX_BACKOFF = 5.0
+
+#: jitter pacing only — deliberately not the global ``random`` stream
+_jitter_rng = random.Random()
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One cell of the sweep matrix."""
+
+    workload: str
+    scale: int
+    threads: int
+
+    @property
+    def id(self) -> str:
+        return f"{self.workload}@s{self.scale}"
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Everything that defines a sweep run.
+
+    ``tools`` are names from
+    :data:`~repro.tools.runner.DEFAULT_TOOLS`; ``fault_seed`` attaches
+    a fresh :class:`~repro.vm.faults.FaultPlan` per recording (and is
+    part of the cache key via the plan digest).
+    """
+
+    workloads: Tuple[str, ...]
+    scales: Tuple[int, ...]
+    store_root: str
+    threads: int = 4
+    tools: Tuple[str, ...] = tuple(DEFAULT_TOOLS)
+    repeats: int = 1
+    parallel: Optional[int] = None
+    fault_seed: Optional[int] = None
+    replay_timeout: float = 300.0
+    max_retries: int = 2
+    backoff_base: float = 0.25
+    reuse_measurements: bool = True
+
+    def validate(self) -> None:
+        if not self.workloads:
+            raise ValueError("sweep needs at least one workload")
+        if not self.scales:
+            raise ValueError("sweep needs at least one scale")
+        if any(scale < 1 for scale in self.scales):
+            raise ValueError("scales must be >= 1")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.parallel is not None and self.parallel < 1:
+            raise ValueError("parallel must be >= 1")
+        if self.replay_timeout <= 0:
+            raise ValueError("replay_timeout must be > 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        unknown = [t for t in self.tools if t not in DEFAULT_TOOLS]
+        if unknown:
+            raise ValueError(f"unknown tools: {', '.join(unknown)}")
+
+    def cells(self) -> List[SweepCell]:
+        return [
+            SweepCell(workload, scale, self.threads)
+            for workload in self.workloads
+            for scale in self.scales
+        ]
+
+
+def _cell_key(cell: SweepCell, fault_seed: Optional[int]) -> TraceKey:
+    if fault_seed is None:
+        fault_digest = ""
+    else:
+        from repro.vm.faults import FaultPlan
+
+        fault_digest = FaultPlan(seed=fault_seed).digest()
+    return TraceKey(
+        workload=cell.workload,
+        scale=cell.scale,
+        threads=cell.threads,
+        fault_digest=fault_digest,
+    )
+
+
+def _cell_builder(cell: SweepCell, fault_seed: Optional[int]):
+    workload = get_workload(cell.workload)
+
+    def build():
+        machine = workload.build(threads=cell.threads, scale=cell.scale)
+        if fault_seed is not None:
+            # Fresh plan per build: decisions are a pure function of
+            # (seed, decision index), so every build sees the identical
+            # fault schedule — and so does the cache key.
+            from repro.vm.faults import FaultPlan
+
+            machine.set_fault_plan(FaultPlan(seed=fault_seed))
+        return machine
+
+    return build
+
+
+def _run_cell(
+    cell: SweepCell,
+    store_root: str,
+    tools: Tuple[str, ...],
+    repeats: int,
+    fault_seed: Optional[int],
+    reuse_measurements: bool,
+) -> Dict[str, Any]:
+    """Process one sweep cell end to end (pool worker entry point, also
+    called inline for serial runs and fallbacks).  Returns a picklable
+    payload; the profiler shards inside it are shadow-free
+    (``begin_trace()``), so shipping them back is cheap."""
+    start = time.perf_counter()
+    store = TraceStore(store_root)
+    key = _cell_key(cell, fault_seed)
+
+    batch = store.get(key)
+    cached = batch is not None
+    record_time = 0.0
+    if batch is None:
+        record_time, batch, _machine = record_trace(
+            _cell_builder(cell, fault_seed)
+        )
+        store.put(key, batch)
+
+    meta = store.get_meta(key) or {}
+    meta.setdefault("workload", cell.workload)
+    meta.setdefault("scale", cell.scale)
+    meta.setdefault("threads", cell.threads)
+    meta.setdefault("events", len(batch))
+    stored_replays = meta.get("replays") or {}
+
+    replays: Dict[str, Dict[str, Any]] = {}
+    measured_any = False
+    for name in tools:
+        entry = stored_replays.get(name) if reuse_measurements else None
+        if (
+            isinstance(entry, dict)
+            and entry.get("repeats") == repeats
+            and isinstance(entry.get("seconds"), float)
+        ):
+            replays[name] = {
+                "seconds": entry["seconds"],
+                "space_cells": entry["space_cells"],
+                "source": "cache",
+            }
+            continue
+        seconds, space = replay_tool(DEFAULT_TOOLS[name], batch, repeats)
+        replays[name] = {
+            "seconds": seconds,
+            "space_cells": space,
+            "source": "measured",
+        }
+        stored_replays[name] = {
+            "seconds": seconds,
+            "space_cells": space,
+            "repeats": repeats,
+        }
+        measured_any = True
+    if measured_any or not cached:
+        meta["replays"] = stored_replays
+        store.put_meta(key, meta)
+
+    drms = store.get_shard(key, "drms")
+    rms = store.get_shard(key, "rms")
+    shards_cached = drms is not None and rms is not None
+    if not shards_cached:
+        drms = DrmsProfiler(keep_activations=False)
+        drms.consume_batch(batch)
+        drms.begin_trace()
+        rms = RmsProfiler(keep_activations=False)
+        rms.consume_batch(batch)
+        rms.begin_trace()
+        store.put_shard(key, "drms", drms)
+        store.put_shard(key, "rms", rms)
+
+    shard_bytes = {
+        "trace": store.entry_bytes(key),
+        "drms": os.path.getsize(store.shard_path(key, "drms")),
+        "rms": os.path.getsize(store.shard_path(key, "rms")),
+    }
+    return {
+        "cell": cell,
+        "cached": cached,
+        "shards_cached": shards_cached,
+        "corrupt": store.corrupt,
+        "record_time": record_time,
+        "events": len(batch),
+        "replays": replays,
+        "shard_bytes": shard_bytes,
+        "wall_time": time.perf_counter() - start,
+        "drms": drms,
+        "rms": rms,
+    }
+
+
+def _run_cells_supervised(
+    cells: List[SweepCell],
+    config: SweepConfig,
+    workers: int,
+) -> Tuple[Dict[SweepCell, Dict[str, Any]], List[Degradation]]:
+    """Run the cells in worker processes under the runner's supervision
+    discipline.  Cells the pool cannot finish fall back to inline
+    execution; a cell failing even inline is excluded with a
+    Degradation.  Never raises, never hangs."""
+    payloads: Dict[SweepCell, Dict[str, Any]] = {}
+    degradations: List[Degradation] = []
+    attempts = {cell: 0 for cell in cells}
+    pending = list(cells)
+    round_no = 0
+    task = (
+        config.store_root,
+        config.tools,
+        config.repeats,
+        config.fault_seed,
+        config.reuse_measurements,
+    )
+    while pending and round_no <= config.max_retries:
+        round_no += 1
+        if round_no > 1:
+            delay = config.backoff_base * 2.0 ** (round_no - 2)
+            delay = min(
+                delay + _jitter_rng.uniform(0, config.backoff_base),
+                _MAX_BACKOFF,
+            )
+            time.sleep(delay)
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            )
+            futures = {
+                cell: pool.submit(_run_cell, cell, *task) for cell in pending
+            }
+        except Exception as exc:  # no fork/spawn available at all
+            for cell in pending:
+                degradations.append(
+                    Degradation(
+                        "parallel-sweep",
+                        cell.id,
+                        attempts[cell] + 1,
+                        f"pool unavailable: {type(exc).__name__}: {exc}",
+                        "serial-fallback",
+                    )
+                )
+            return payloads, degradations
+        stuck = False
+        still_pending: List[SweepCell] = []
+        for cell, future in futures.items():
+            try:
+                payloads[cell] = future.result(timeout=config.replay_timeout)
+            except FutureTimeoutError:
+                attempts[cell] += 1
+                stuck = True
+                exhausted = attempts[cell] > config.max_retries
+                if not exhausted:
+                    still_pending.append(cell)
+                degradations.append(
+                    Degradation(
+                        "parallel-sweep",
+                        cell.id,
+                        attempts[cell],
+                        f"cell exceeded {config.replay_timeout:g}s timeout",
+                        "serial-fallback" if exhausted else "retried",
+                    )
+                )
+            except BrokenProcessPool as exc:
+                attempts[cell] += 1
+                exhausted = attempts[cell] > config.max_retries
+                if not exhausted:
+                    still_pending.append(cell)
+                degradations.append(
+                    Degradation(
+                        "parallel-sweep",
+                        cell.id,
+                        attempts[cell],
+                        f"worker pool broke: {exc}",
+                        "serial-fallback" if exhausted else "retried",
+                    )
+                )
+            except Exception as exc:
+                # Deterministic failure: a process retry cannot help.
+                degradations.append(
+                    Degradation(
+                        "parallel-sweep",
+                        cell.id,
+                        attempts[cell] + 1,
+                        f"{type(exc).__name__}: {exc}",
+                        "serial-fallback",
+                    )
+                )
+        if stuck:
+            _terminate_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+        pending = still_pending
+    return payloads, degradations
+
+
+def run_sweep(config: SweepConfig, metrics=None, tracer=None) -> "SweepResult":
+    """Execute the sweep matrix and aggregate the merged cost models.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives
+    ``sweep.cache.*`` counters and per-sweep gauges; ``tracer`` (a
+    :class:`repro.obs.SpanTracer`) gets one span per phase plus one per
+    serially-executed cell.  Both default to off.
+    """
+    config.validate()
+    for name in config.workloads:
+        get_workload(name)  # unknown workloads fail before any work
+    if tracer is None:
+        from repro.obs import NULL_TRACER
+
+        tracer = NULL_TRACER
+
+    start = time.perf_counter()
+    cells = config.cells()
+    payloads: Dict[SweepCell, Dict[str, Any]] = {}
+    degradations: List[Degradation] = []
+
+    supervised = config.parallel is not None and config.parallel > 1
+    with tracer.span(
+        "sweep-cells",
+        track="sweep",
+        cells=len(cells),
+        mode="parallel" if supervised else "serial",
+    ):
+        if supervised:
+            payloads, degradations = _run_cells_supervised(
+                cells, config, config.parallel
+            )
+        for cell in cells:
+            if cell in payloads:
+                continue
+            # Serial execution: the primary path without workers, the
+            # graceful fallback with them.  A cell failing here is
+            # excluded rather than aborting the sweep — unless the whole
+            # run is serial, where the old hard-error contract holds.
+            try:
+                with tracer.span("cell", track="sweep", cell=cell.id):
+                    payloads[cell] = _run_cell(
+                        cell,
+                        config.store_root,
+                        config.tools,
+                        config.repeats,
+                        config.fault_seed,
+                        config.reuse_measurements,
+                    )
+            except Exception as exc:
+                if not supervised:
+                    raise
+                degradations.append(
+                    Degradation(
+                        "serial-sweep",
+                        cell.id,
+                        1,
+                        f"{type(exc).__name__}: {exc}",
+                        "excluded",
+                    )
+                )
+
+    with tracer.span("sweep-merge", track="sweep"):
+        merged_drms: Dict[str, DrmsProfiler] = {}
+        merged_rms: Dict[str, RmsProfiler] = {}
+        for cell in cells:
+            payload = payloads.get(cell)
+            if payload is None:
+                continue
+            name = cell.workload
+            if name in merged_drms:
+                merged_drms[name].merge(payload["drms"])
+                merged_rms[name].merge(payload["rms"])
+            else:
+                merged_drms[name] = payload["drms"]
+                merged_rms[name] = payload["rms"]
+        trends = {
+            name: {
+                "drms": _routine_trends(merged_drms[name]),
+                "rms": _routine_trends(merged_rms[name]),
+            }
+            for name in merged_drms
+        }
+
+    wall_time = time.perf_counter() - start
+    result = SweepResult(
+        config=config,
+        cells=[payloads[cell] for cell in cells if cell in payloads],
+        trends=trends,
+        degradations=degradations,
+        wall_time=wall_time,
+    )
+    if metrics is not None and metrics.enabled:
+        cache = result.cache_stats()
+        metrics.counter("sweep.cache.hits").value += cache["hits"]
+        metrics.counter("sweep.cache.misses").value += cache["misses"]
+        metrics.counter("sweep.cache.corrupt").value += cache["corrupt"]
+        metrics.gauge("sweep.cells").set(len(result.cells))
+        metrics.gauge("sweep.wall_us").set(int(wall_time * 1e6))
+        for degradation in degradations:
+            metrics.counter(
+                "sweep.degradations",
+                {"stage": degradation.stage, "action": degradation.action},
+            ).inc()
+    return result
+
+
+def _routine_trends(profiler) -> Dict[str, Dict[str, Any]]:
+    """Classify the merged worst-case cost plot of every routine.
+
+    Routines whose merged plot still has a single distinct input size
+    get no model (``model: null`` in the report) — that is the
+    profile-richness story of Section 4.1, not an error.
+    """
+    out: Dict[str, Dict[str, Any]] = {}
+    for routine, profile in sorted(profiler.profiles.by_routine().items()):
+        plot = profile.worst_case_plot()
+        entry: Dict[str, Any] = {
+            "calls": profile.calls,
+            "points": len(plot),
+            "model": None,
+            "r_squared": None,
+            "exponent": None,
+        }
+        if len(plot) >= 2:
+            entry.update(classify_trend(plot))
+        out[routine] = entry
+    return out
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced, reportable as strict JSON."""
+
+    config: SweepConfig
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+    trends: Dict[str, Dict[str, Dict[str, Any]]] = field(default_factory=dict)
+    degradations: List[Degradation] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    def cache_stats(self) -> Dict[str, float]:
+        hits = sum(1 for p in self.cells if p["cached"])
+        misses = len(self.cells) - hits
+        corrupt = sum(p["corrupt"] for p in self.cells)
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "corrupt": corrupt,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
+
+    @property
+    def excluded_cells(self) -> List[str]:
+        return sorted(
+            {d.tool for d in self.degradations if d.action == "excluded"}
+        )
+
+    def report_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable report (pass through
+        :func:`repro.core.serialize.dumps_strict`: degenerate trends
+        carry ``nan`` exponents)."""
+        return {
+            "format": "repro-sweep",
+            "version": 1,
+            "workloads": list(self.config.workloads),
+            "scales": list(self.config.scales),
+            "threads": self.config.threads,
+            "tools": list(self.config.tools),
+            "repeats": self.config.repeats,
+            "parallel": self.config.parallel,
+            "faults": self.config.fault_seed,
+            "reuse_measurements": self.config.reuse_measurements,
+            "wall_time": self.wall_time,
+            "cache": self.cache_stats(),
+            "cells": [
+                {
+                    "workload": p["cell"].workload,
+                    "scale": p["cell"].scale,
+                    "threads": p["cell"].threads,
+                    "cached": p["cached"],
+                    "shards_cached": p["shards_cached"],
+                    "record_time": p["record_time"],
+                    "events": p["events"],
+                    "wall_time": p["wall_time"],
+                    "shard_bytes": dict(p["shard_bytes"]),
+                    "replays": {
+                        tool: dict(row)
+                        for tool, row in p["replays"].items()
+                    },
+                }
+                for p in self.cells
+            ],
+            "trends": self.trends,
+            "excluded": self.excluded_cells,
+            "degradations": [
+                {
+                    "stage": d.stage,
+                    "cell": d.tool,
+                    "attempt": d.attempt,
+                    "reason": d.reason,
+                    "action": d.action,
+                }
+                for d in self.degradations
+            ],
+        }

@@ -1,0 +1,268 @@
+"""Content-addressed on-disk trace store (the sweep's record-once cache).
+
+Traces are artifacts: a recorded execution is a pure function of the
+workload factory, its scale/thread parameters, the VM seed and the
+fault plan — so a sweep that re-records an identical configuration is
+wasting its wall clock.  The store addresses each recorded
+:class:`~repro.core.events.EventBatch` by the SHA-256 digest of a
+:class:`TraceKey` — ``(workload, scale, threads, vm_seed, fault-plan
+digest, trace-format version)`` — and persists it in the crash-safe v2
+binary format of :mod:`repro.core.tracefile`:
+
+* **cold**: the sweep records the trace and :meth:`TraceStore.put`\\ s
+  it (atomic temp-file + ``os.replace``, so a crashed writer can never
+  leave a half-entry under the final name);
+* **warm**: :meth:`TraceStore.get` loads it back via
+  :func:`~repro.core.tracefile.scan_trace`, the per-section-CRC
+  recovery scanner — a corrupt or truncated entry is treated as a
+  *miss* (and counted), never as data.
+
+Alongside each trace the store keeps two kinds of sidecars, all under
+the same digest:
+
+* ``.meta.json`` — recording metadata plus (optionally) per-tool replay
+  measurements, so a fully-warm sweep can reuse measured numbers;
+* ``.<kind>.shard.pkl`` — pickled profiler shards (a
+  :class:`~repro.core.timestamping.DrmsProfiler` or
+  :class:`~repro.core.rms.RmsProfiler` after
+  ``begin_trace()``, i.e. shadow-free), version-tagged; an unreadable
+  or version-mismatched shard is recomputed, not trusted.
+
+Layout: ``root/<digest[:2]>/<digest>.trace`` (git-object-style fan-out
+so a big sweep does not pile thousands of files into one directory).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.core.events import EventBatch
+from repro.core.tracefile import (
+    TRACE_FORMAT_VERSION,
+    save_trace_binary,
+    scan_trace,
+)
+
+__all__ = ["TraceKey", "TraceStore", "SHARD_VERSION"]
+
+#: version tag baked into pickled profiler shards; bump when profiler
+#: state layout changes so stale shards are recomputed instead of
+#: unpickled into the wrong shape
+SHARD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Cache key for one recorded execution.
+
+    Every field that can change the recorded byte stream is part of the
+    key; ``trace_version`` ties entries to the on-disk format so a
+    format bump invalidates the whole store instead of mis-decoding it.
+    ``vm_seed`` is reserved for seeded machine variants (the current VM
+    is deterministic, so it is 0 today); ``fault_digest`` is
+    :meth:`FaultPlan.digest() <repro.vm.faults.FaultPlan.digest>` or
+    ``""`` for fault-free runs.
+    """
+
+    workload: str
+    scale: int
+    threads: int
+    vm_seed: int = 0
+    fault_digest: str = ""
+    trace_version: int = TRACE_FORMAT_VERSION
+
+    def digest(self) -> str:
+        material = repr(
+            (
+                "repro-trace-key-v1",
+                self.workload,
+                self.scale,
+                self.threads,
+                self.vm_seed,
+                self.fault_digest,
+                self.trace_version,
+            )
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically: temp file in the same
+    directory, then ``os.replace`` — readers see the old entry or the
+    complete new one, never a prefix."""
+    directory = os.path.dirname(path)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+class TraceStore:
+    """Content-addressed store of recorded traces and profiler shards.
+
+    ``metrics`` (an optional :class:`repro.obs.MetricsRegistry`) gets
+    ``sweep.cache.hits`` / ``sweep.cache.misses`` /
+    ``sweep.cache.corrupt`` counters; the same numbers are always
+    available as plain attributes (``hits``/``misses``/``corrupt``) for
+    processes without a registry.
+    """
+
+    def __init__(self, root: str, metrics=None) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
+
+    # -- paths --------------------------------------------------------------
+
+    def _entry_dir(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2])
+
+    def trace_path(self, key: TraceKey) -> str:
+        digest = key.digest()
+        return os.path.join(self._entry_dir(digest), digest + ".trace")
+
+    def meta_path(self, key: TraceKey) -> str:
+        digest = key.digest()
+        return os.path.join(self._entry_dir(digest), digest + ".meta.json")
+
+    def shard_path(self, key: TraceKey, kind: str) -> str:
+        digest = key.digest()
+        return os.path.join(
+            self._entry_dir(digest), f"{digest}.{kind}.shard.pkl"
+        )
+
+    # -- counters -----------------------------------------------------------
+
+    def _note(self, outcome: str) -> None:
+        if outcome == "hit":
+            self.hits += 1
+            if self.metrics is not None:
+                self.metrics.counter("sweep.cache.hits").inc()
+            return
+        # a corrupt entry is a miss as far as the caller is concerned
+        self.misses += 1
+        if outcome == "corrupt":
+            self.corrupt += 1
+        if self.metrics is not None:
+            self.metrics.counter("sweep.cache.misses").inc()
+            if outcome == "corrupt":
+                self.metrics.counter("sweep.cache.corrupt").inc()
+
+    # -- traces -------------------------------------------------------------
+
+    def get(self, key: TraceKey) -> Optional[EventBatch]:
+        """Load the cached trace for ``key``, or ``None`` on a miss.
+
+        The entry is decoded with the crash-safe scanner; anything less
+        than a fully intact trace (bad magic, CRC mismatch, truncation)
+        counts as ``corrupt`` and is reported as a miss — the sweep
+        re-records rather than profiling salvaged prefixes, so cache
+        contents can never silently change results.
+        """
+        path = self.trace_path(key)
+        try:
+            with open(path, "rb") as handle:
+                scan = scan_trace(handle)
+        except FileNotFoundError:
+            self._note("miss")
+            return None
+        except OSError:
+            self._note("corrupt")
+            return None
+        if not scan.intact or len(scan.batch) == 0:
+            self._note("corrupt")
+            return None
+        self._note("hit")
+        return scan.batch
+
+    def put(self, key: TraceKey, batch: EventBatch) -> str:
+        """Persist ``batch`` under ``key`` (atomic); returns the entry
+        path."""
+        digest = key.digest()
+        directory = self._entry_dir(digest)
+        os.makedirs(directory, exist_ok=True)
+        path = self.trace_path(key)
+        _atomic_write(path, batch.to_bytes())
+        return path
+
+    def entry_bytes(self, key: TraceKey) -> int:
+        """On-disk size of the trace entry (0 if absent)."""
+        try:
+            return os.path.getsize(self.trace_path(key))
+        except OSError:
+            return 0
+
+    # -- metadata sidecar ---------------------------------------------------
+
+    def get_meta(self, key: TraceKey) -> Optional[Dict[str, Any]]:
+        """The entry's JSON sidecar, or ``None`` if absent/unreadable."""
+        try:
+            with open(self.meta_path(key), "r") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def put_meta(self, key: TraceKey, meta: Dict[str, Any]) -> None:
+        digest = key.digest()
+        os.makedirs(self._entry_dir(digest), exist_ok=True)
+        payload = json.dumps(meta, indent=2, sort_keys=True, allow_nan=False)
+        _atomic_write(self.meta_path(key), payload.encode("utf-8"))
+
+    # -- profiler shards ----------------------------------------------------
+
+    def get_shard(self, key: TraceKey, kind: str):
+        """Unpickle the ``kind`` profiler shard for ``key``, or ``None``.
+
+        Any failure — missing file, unpickling error, version-tag
+        mismatch — yields ``None`` so the caller recomputes the shard
+        from the trace; a cache can be deleted at any time without
+        changing results.
+        """
+        try:
+            with open(self.shard_path(key, kind), "rb") as handle:
+                tag, version, stored_kind, shard = pickle.load(handle)
+        except Exception:
+            return None
+        if tag != "repro-shard" or version != SHARD_VERSION or stored_kind != kind:
+            return None
+        return shard
+
+    def put_shard(self, key: TraceKey, kind: str, shard) -> None:
+        digest = key.digest()
+        os.makedirs(self._entry_dir(digest), exist_ok=True)
+        payload = pickle.dumps(
+            ("repro-shard", SHARD_VERSION, kind, shard),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        _atomic_write(self.shard_path(key, kind), payload)
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss/corrupt counts plus the derived hit rate."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }

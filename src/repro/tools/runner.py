@@ -74,6 +74,12 @@ __all__ = [
 #: ceiling on the inter-retry backoff sleep, seconds
 _MAX_BACKOFF = 5.0
 
+#: private RNG for backoff jitter.  Jitter only paces retries — it must
+#: never draw from (and thereby perturb) the global ``random`` stream,
+#: which seeded workloads and experiment scripts rely on for
+#: reproducibility.  OS-entropy seeded: pacing needs no determinism.
+_jitter_rng = random.Random()
+
 #: factories for the six tools of Table 1, in the paper's column order
 DEFAULT_TOOLS: Dict[str, Callable[[], AnalysisTool]] = {
     "nulgrind": Nulgrind,
@@ -231,7 +237,7 @@ def _replay_all_supervised(
             # exponential backoff with jitter before re-provisioning the
             # pool (jitter only shifts wall-clock pacing, never results)
             delay = backoff_base * 2.0 ** (round_no - 2)
-            delay = min(delay + random.uniform(0, backoff_base), _MAX_BACKOFF)
+            delay = min(delay + _jitter_rng.uniform(0, backoff_base), _MAX_BACKOFF)
             time.sleep(delay)
         try:
             pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
@@ -252,7 +258,6 @@ def _replay_all_supervised(
                 )
             return results, degradations
         stuck = False
-        transient: List[str] = []
         for name, future in futures.items():
             try:
                 results[name] = future.result(timeout=timeout)
@@ -260,30 +265,34 @@ def _replay_all_supervised(
             except FutureTimeoutError:
                 attempts[name] += 1
                 stuck = True
-                transient.append(name)
+                exhausted = attempts[name] > max_retries
+                if exhausted:
+                    # Retry budget spent: hand the tool to the caller's
+                    # serial fallback *now*.  Leaving it in ``pending``
+                    # would resubmit it next round, contradicting the
+                    # ``serial-fallback`` record below.
+                    del pending[name]
                 degradations.append(
                     Degradation(
                         "parallel-replay",
                         name,
                         attempts[name],
                         f"replay exceeded {timeout:g}s timeout",
-                        "retried"
-                        if attempts[name] <= max_retries
-                        else "serial-fallback",
+                        "serial-fallback" if exhausted else "retried",
                     )
                 )
             except BrokenProcessPool as exc:
                 attempts[name] += 1
-                transient.append(name)
+                exhausted = attempts[name] > max_retries
+                if exhausted:
+                    del pending[name]
                 degradations.append(
                     Degradation(
                         "parallel-replay",
                         name,
                         attempts[name],
                         f"worker pool broke: {exc}",
-                        "retried"
-                        if attempts[name] <= max_retries
-                        else "serial-fallback",
+                        "serial-fallback" if exhausted else "retried",
                     )
                 )
             except Exception as exc:
@@ -305,9 +314,6 @@ def _replay_all_supervised(
             _terminate_pool(pool)
         else:
             pool.shutdown(wait=True)
-        for name in transient:
-            if attempts[name] > max_retries and name in pending:
-                del pending[name]  # exhausted: caller replays serially
     return results, degradations
 
 
@@ -457,7 +463,9 @@ def publish_measurement(measurement: WorkloadMeasurement, registry) -> None:
     if registry is None or not registry.enabled:
         return
     w = {"workload": measurement.workload}
-    us = lambda seconds: int(seconds * 1e6)  # noqa: E731
+    # sub-microsecond replays (a no-op tool on a tiny trace) round up to
+    # 1, not down to 0 — a measured duration gauge reading 0 is a lie
+    us = lambda seconds: max(1, int(seconds * 1e6)) if seconds > 0 else 0  # noqa: E731
     registry.gauge("runner.native_us", w).set(us(measurement.native_time))
     registry.gauge("runner.record_us", w).set(us(measurement.record_time))
     registry.gauge("runner.trace_events", w).set(measurement.trace_events)

@@ -149,6 +149,27 @@ class FaultPlan:
 
     # -- plumbing -----------------------------------------------------------
 
+    def digest(self) -> str:
+        """Hex SHA-256 of the plan *configuration* — seed and every rate
+        and limit, none of the single-use state.  Two plans with equal
+        digests inject the identical fault schedule into the same VM
+        execution, which is what lets a content-addressed trace cache
+        key on the digest instead of the recorded bytes."""
+        import hashlib
+
+        config = (
+            "repro-faultplan-v1",
+            self.seed,
+            self.syscall_error_rate,
+            self.short_io_rate,
+            self.io_delay_rate,
+            self.max_io_delay,
+            self.thread_kill_rate,
+            self.max_kills,
+            self.sched_perturb_rate,
+        )
+        return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()
+
     def bind_clock(self, clock: Callable[[], int]) -> None:
         """Attach the VM's virtual-clock callable (used for records only;
         decisions never depend on it)."""

@@ -320,3 +320,124 @@ class TestSaveOptions:
         with open(target) as handle:
             events = load_trace(handle)
         assert len(events) > 50
+
+
+class TestSweep:
+    def _reject(self, token):
+        raise ValueError(f"non-strict JSON constant {token!r}")
+
+    def sweep(self, tmp_path, *extra):
+        return main(
+            [
+                "sweep",
+                "--workloads",
+                "producer_consumer",
+                "--scales",
+                "1",
+                "2",
+                "--tools",
+                "nulgrind",
+                "aprof-drms",
+                "--store",
+                str(tmp_path / "store"),
+                *extra,
+            ]
+        )
+
+    def test_cold_then_warm(self, tmp_path, capsys):
+        assert self.sweep(tmp_path) == 0
+        cold = capsys.readouterr().out
+        assert "2 cell(s)" in cold
+        assert "hit rate 0%" in cold
+        assert self.sweep(tmp_path) == 0
+        warm = capsys.readouterr().out
+        assert "hit rate 100%" in warm
+        assert "drms" in warm and "rms" in warm
+
+    def test_json_report_is_strict(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "sweep.json"
+        assert self.sweep(tmp_path, "--json", str(target)) == 0
+        report = json.loads(target.read_text(), parse_constant=self._reject)
+        assert report["format"] == "repro-sweep"
+        assert report["cache"]["misses"] == 2
+        assert "producer_consumer" in report["trends"]
+
+    def test_unknown_workload_exits_2(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--workloads",
+                    "nope",
+                    "--store",
+                    str(tmp_path / "store"),
+                ]
+            )
+            == 2
+        )
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_parallel_sweep_via_cli(self, tmp_path, capsys):
+        assert self.sweep(tmp_path, "--parallel", "2") == 0
+        assert "2 cell(s)" in capsys.readouterr().out
+
+
+class TestStrictJsonOutputs:
+    """Every ``--json`` surface must round-trip through a strict parser
+    (regression: nan exponents rendered as the invalid literal NaN)."""
+
+    def _reject(self, token):
+        raise ValueError(f"non-strict JSON constant {token!r}")
+
+    def test_stats_json_is_strict(self, capsys):
+        import json
+
+        assert main(["stats", "--workload", "md", "--json"]) == 0
+        payload = json.loads(
+            capsys.readouterr().out, parse_constant=self._reject
+        )
+        assert payload["workload"] == "md"
+
+    def test_overhead_json_is_strict(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "overhead.json"
+        assert (
+            main(
+                [
+                    "overhead",
+                    "--suite",
+                    "specomp",
+                    "--benchmarks",
+                    "md",
+                    "--repeats",
+                    "1",
+                    "--scale",
+                    "1",
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(
+            target.read_text(), parse_constant=self._reject
+        )
+        assert payload["suite"] == "specomp"
+
+    def test_profile_json_is_strict(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "profile.json"
+        assert (
+            main(
+                ["profile", "producer_consumer", "--json", str(target)]
+            )
+            == 0
+        )
+        payload = json.loads(
+            target.read_text(), parse_constant=self._reject
+        )
+        assert payload["format"] == "repro-profile"

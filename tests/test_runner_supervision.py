@@ -9,6 +9,7 @@ process then succeeds, which is exactly the degradation path under test.
 
 import multiprocessing
 import os
+import random
 import time
 
 import pytest
@@ -130,6 +131,51 @@ class TestSupervisedReplay:
         )
         assert measurement.degradations == []
         assert set(measurement.tools) == {"nulgrind"}
+
+    def test_supervision_never_perturbs_global_random_stream(self):
+        """Regression: retry jitter used module-level ``random.uniform``,
+        silently advancing the global Mersenne state and breaking
+        reproducibility of anything seeded around a faulted run."""
+        random.seed(1234)
+        state = random.getstate()
+        measurement = measure_workload(
+            "pc",
+            build,
+            tools={"nulgrind": Nulgrind, "killer": WorkerKillerTool},
+            parallel=2,
+            **FAST,
+        )
+        # the retry path (with its jittered backoff sleep) actually ran
+        assert measurement.degradations
+        assert random.getstate() == state
+
+    def test_wedged_worker_respects_retry_budget(self):
+        """Regression: exhausted tools were labelled serial-fallback but
+        left in the retry set, burning extra timeout rounds."""
+        tools = {"hang": WorkerHangTool, "nulgrind": Nulgrind}
+        max_retries = 1
+        measurement = measure_workload(
+            "pc",
+            build,
+            tools=tools,
+            parallel=2,
+            repeats=1,
+            replay_timeout=1.5,
+            max_retries=max_retries,
+            backoff_base=0.01,
+        )
+        assert set(measurement.tools) == {"hang", "nulgrind"}
+        hang_rows = [
+            d
+            for d in measurement.degradations
+            if d.stage == "parallel-replay" and d.tool == "hang"
+        ]
+        # one degradation per attempt, none past the budget
+        assert len(hang_rows) == max_retries + 1
+        assert [d.attempt for d in hang_rows] == [1, 2]
+        # the label matches the action taken: retried until the budget
+        # runs out, then exactly one terminal serial-fallback
+        assert [d.action for d in hang_rows] == ["retried", "serial-fallback"]
 
     def test_parameter_validation(self):
         with pytest.raises(ValueError):

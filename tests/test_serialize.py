@@ -77,3 +77,46 @@ class TestValidation:
     def test_wrong_version_rejected(self):
         with pytest.raises(ValueError, match="unsupported version"):
             report_from_dict({"format": "repro-profile", "version": 99})
+
+
+class TestStrictJson:
+    """json_sanitize / dumps_strict: no NaN/Infinity ever reaches disk."""
+
+    def reject(self, token):
+        raise ValueError(f"non-strict JSON constant {token!r}")
+
+    def test_sanitize_maps_non_finite_to_none(self):
+        from repro.core.serialize import json_sanitize
+
+        payload = {
+            "exponent": float("nan"),
+            "bounds": [float("inf"), float("-inf"), 1.5],
+            "nested": {"ok": 2.0, "plot": (1, float("nan"))},
+        }
+        clean = json_sanitize(payload)
+        assert clean == {
+            "exponent": None,
+            "bounds": [None, None, 1.5],
+            "nested": {"ok": 2.0, "plot": [1, None]},
+        }
+        # the input is untouched
+        assert payload["bounds"][0] == float("inf")
+
+    def test_dumps_strict_round_trips_through_strict_parser(self):
+        from repro.core.serialize import dumps_strict
+
+        text = dumps_strict({"exponent": float("nan"), "r": 0.5})
+        parsed = json.loads(text, parse_constant=self.reject)
+        assert parsed == {"exponent": None, "r": 0.5}
+
+    def test_degenerate_trend_serialises_as_null(self):
+        """The real-world trigger: classify_trend on a flat plot yields
+        a nan exponent, which used to render as the literal ``NaN``."""
+        from repro.analysis.costfunc import classify_trend
+        from repro.core.serialize import dumps_strict
+
+        trend = classify_trend([(3, 0.0), (7, 0.0)])
+        text = dumps_strict({"trend": trend})
+        parsed = json.loads(text, parse_constant=self.reject)
+        assert parsed["trend"]["exponent"] is None
+        assert parsed["trend"]["model"] == "O(1)"

@@ -1,0 +1,188 @@
+"""Sweep engine: cold/warm runs, shard merging, supervision, reporting."""
+
+import json
+import random
+
+import pytest
+
+from repro.core import DrmsProfiler
+from repro.core.serialize import dumps_strict
+from repro.sweep import SweepCell, SweepConfig, run_sweep
+from repro.sweep.engine import _cell_key, _run_cell
+
+
+def config(tmp_path, **overrides):
+    base = dict(
+        workloads=("producer_consumer", "selection_sort"),
+        scales=(1, 2),
+        store_root=str(tmp_path / "store"),
+        tools=("nulgrind", "aprof-drms"),
+        repeats=1,
+    )
+    base.update(overrides)
+    return SweepConfig(**base)
+
+
+def strict_parse(text):
+    def reject(token):
+        raise ValueError(f"non-strict JSON constant {token!r}")
+
+    return json.loads(text, parse_constant=reject)
+
+
+class TestColdWarm:
+    def test_cold_records_warm_hits(self, tmp_path):
+        cfg = config(tmp_path)
+        cold = run_sweep(cfg)
+        assert cold.cache_stats() == {
+            "hits": 0,
+            "misses": 4,
+            "corrupt": 0,
+            "hit_rate": 0.0,
+        }
+        assert all(not cell["cached"] for cell in cold.cells)
+        warm = run_sweep(cfg)
+        assert warm.cache_stats()["hit_rate"] == 1.0
+        assert all(cell["cached"] for cell in warm.cells)
+        assert all(cell["shards_cached"] for cell in warm.cells)
+        # warm replay measurements come from the meta sidecar
+        for cell in warm.cells:
+            for row in cell["replays"].values():
+                assert row["source"] == "cache"
+        # identical merged trends either way
+        assert warm.trends == cold.trends
+
+    def test_remeasure_reuses_traces_but_not_measurements(self, tmp_path):
+        cfg = config(tmp_path)
+        run_sweep(cfg)
+        warm = run_sweep(config(tmp_path, reuse_measurements=False))
+        assert warm.cache_stats()["hit_rate"] == 1.0
+        for cell in warm.cells:
+            for row in cell["replays"].values():
+                assert row["source"] == "measured"
+
+    def test_sweep_does_not_touch_global_rng(self, tmp_path):
+        random.seed(20140215)
+        state = random.getstate()
+        run_sweep(config(tmp_path))
+        assert random.getstate() == state
+
+    def test_faulted_sweep_uses_a_distinct_cache_key(self, tmp_path):
+        plain = _cell_key(SweepCell("producer_consumer", 1, 4), None)
+        faulted = _cell_key(SweepCell("producer_consumer", 1, 4), 7)
+        assert plain.digest() != faulted.digest()
+        cfg = config(tmp_path, fault_seed=7)
+        cold = run_sweep(cfg)
+        assert cold.cache_stats()["hit_rate"] == 0.0
+        warm = run_sweep(cfg)
+        assert warm.cache_stats()["hit_rate"] == 1.0
+        # the fault-free matrix is a different set of entries
+        crossed = run_sweep(config(tmp_path))
+        assert crossed.cache_stats()["hit_rate"] == 0.0
+
+
+class TestAggregation:
+    def test_trends_merge_scales_into_cost_models(self, tmp_path):
+        result = run_sweep(
+            config(tmp_path, workloads=("selection_sort",), scales=(1, 2, 3))
+        )
+        trends = result.trends["selection_sort"]
+        row = trends["drms"]["selection_sort"]
+        assert row["points"] >= 2
+        assert row["model"] == "O(n^2)"
+        assert row["r_squared"] == pytest.approx(1.0, abs=0.05)
+        # the rms side exists for every routine the drms side has
+        assert set(trends["rms"]) == set(trends["drms"])
+
+    def test_merged_trends_equal_directly_merged_shards(self, tmp_path):
+        cfg = config(tmp_path, workloads=("producer_consumer",))
+        result = run_sweep(cfg)
+        merged = None
+        for cell in cfg.cells():
+            payload = _run_cell(
+                cell,
+                cfg.store_root,
+                cfg.tools,
+                cfg.repeats,
+                cfg.fault_seed,
+                cfg.reuse_measurements,
+            )
+            shard = payload["drms"]
+            merged = shard if merged is None else merged.merge(shard)
+        plots = {
+            routine: profile.worst_case_plot()
+            for routine, profile in merged.profiles.by_routine().items()
+        }
+        for routine, row in result.trends["producer_consumer"]["drms"].items():
+            assert row["points"] == len(plots[routine])
+
+
+class TestSupervision:
+    def test_parallel_run_matches_serial(self, tmp_path):
+        serial = run_sweep(config(tmp_path, store_root=str(tmp_path / "a")))
+        parallel = run_sweep(
+            config(tmp_path, store_root=str(tmp_path / "b"), parallel=2)
+        )
+        assert parallel.degradations == []
+        assert parallel.trends == serial.trends
+
+    def test_unknown_workload_fails_before_any_work(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_sweep(config(tmp_path, workloads=("nope",)))
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_sweep(config(tmp_path, scales=()))
+        with pytest.raises(ValueError):
+            run_sweep(config(tmp_path, tools=("not-a-tool",)))
+        with pytest.raises(ValueError):
+            run_sweep(config(tmp_path, repeats=0))
+
+
+class TestReport:
+    def test_report_is_strict_json_with_shard_sizes(self, tmp_path):
+        result = run_sweep(config(tmp_path))
+        text = dumps_strict(result.report_dict(), indent=2)
+        report = strict_parse(text)
+        assert report["format"] == "repro-sweep"
+        assert report["cache"]["misses"] == 4
+        for cell in report["cells"]:
+            assert cell["shard_bytes"]["trace"] > 0
+            assert cell["shard_bytes"]["drms"] > 0
+            assert cell["shard_bytes"]["rms"] > 0
+            for row in cell["replays"].values():
+                assert row["seconds"] >= 0.0
+        # degenerate trends (single-point plots) serialise as nulls
+        for per_metric in report["trends"].values():
+            for rows in per_metric.values():
+                for row in rows.values():
+                    assert "model" in row and "exponent" in row
+
+    def test_telemetry_counters(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        run_sweep(config(tmp_path), metrics=registry)
+        data = registry.as_dict()
+        assert data["sweep.cache.misses"] == 4
+        assert data["sweep.cells"] == 4
+        assert data["sweep.wall_us"] > 0
+        registry2 = MetricsRegistry()
+        run_sweep(config(tmp_path), metrics=registry2)
+        assert registry2.as_dict()["sweep.cache.hits"] == 4
+
+    def test_shards_in_payload_are_shadow_free(self, tmp_path):
+        cfg = config(tmp_path, workloads=("producer_consumer",), scales=(1,))
+        run_sweep(cfg)
+        payload = _run_cell(
+            cfg.cells()[0],
+            cfg.store_root,
+            cfg.tools,
+            cfg.repeats,
+            cfg.fault_seed,
+            cfg.reuse_measurements,
+        )
+        shard = payload["drms"]
+        assert isinstance(shard, DrmsProfiler)
+        assert shard.live_activations() == 0
+        assert shard.space_cells() == 0  # begin_trace() cleared the shadow

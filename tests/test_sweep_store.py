@@ -1,0 +1,155 @@
+"""Content-addressed trace store: keying, round-trips, corruption."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core import DrmsProfiler
+from repro.core.tracefile import TRACE_FORMAT_VERSION
+from repro.sweep import SHARD_VERSION, TraceKey, TraceStore
+from repro.vm.faults import FaultPlan
+from repro.workloads.patterns import producer_consumer
+
+
+def recorded_batch():
+    machine = producer_consumer(15)
+    machine.instrument = True
+    machine.set_batch_sink()
+    machine.run()
+    return machine.encoded_trace
+
+
+KEY = TraceKey(workload="pc", scale=2, threads=4)
+
+
+class TestTraceKey:
+    def test_digest_is_stable(self):
+        assert KEY.digest() == TraceKey("pc", 2, 4).digest()
+
+    def test_every_field_changes_the_digest(self):
+        digests = {
+            KEY.digest(),
+            TraceKey("pc2", 2, 4).digest(),
+            TraceKey("pc", 3, 4).digest(),
+            TraceKey("pc", 2, 8).digest(),
+            TraceKey("pc", 2, 4, vm_seed=1).digest(),
+            TraceKey("pc", 2, 4, fault_digest="x").digest(),
+            TraceKey("pc", 2, 4, trace_version=TRACE_FORMAT_VERSION + 1).digest(),
+        }
+        assert len(digests) == 7
+
+    def test_default_version_is_current_format(self):
+        assert KEY.trace_version == TRACE_FORMAT_VERSION == 2
+
+    def test_fault_plan_digest_tracks_config_not_state(self):
+        a, b = FaultPlan(seed=7), FaultPlan(seed=7)
+        a.should_kill(1)  # consume single-use state
+        assert a.digest() == b.digest()
+        assert FaultPlan(seed=8).digest() != b.digest()
+        assert (
+            FaultPlan(seed=7, short_io_rate=0.5).digest() != b.digest()
+        )
+
+
+class TestTraceStore:
+    def test_miss_then_put_then_hit(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        assert store.get(KEY) is None
+        batch = recorded_batch()
+        path = store.put(KEY, batch)
+        assert os.path.exists(path)
+        loaded = store.get(KEY)
+        assert loaded is not None
+        assert loaded.to_bytes() == batch.to_bytes()
+        assert store.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "corrupt": 0,
+            "hit_rate": 0.5,
+        }
+
+    def test_fanout_layout(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        digest = KEY.digest()
+        assert store.trace_path(KEY).endswith(
+            os.path.join(digest[:2], digest + ".trace")
+        )
+
+    def test_corrupt_entry_is_a_counted_miss(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.put(KEY, recorded_batch())
+        path = store.trace_path(KEY)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])  # truncate mid-section
+        # a truncated v2 file still scans, but not intact -> miss
+        assert store.get(KEY) is None
+        assert store.corrupt == 1
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        assert store.get(KEY) is None
+        assert store.corrupt == 2
+
+    def test_put_is_atomic_no_temp_litter(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.put(KEY, recorded_batch())
+        leftovers = [
+            name
+            for _root, _dirs, files in os.walk(str(tmp_path))
+            for name in files
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_meta_roundtrip_and_unreadable_meta(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        assert store.get_meta(KEY) is None
+        store.put_meta(KEY, {"events": 10, "replays": {}})
+        assert store.get_meta(KEY)["events"] == 10
+        with open(store.meta_path(KEY), "w") as handle:
+            handle.write("{not json")
+        assert store.get_meta(KEY) is None
+
+    def test_meta_rejects_non_finite_floats(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        with pytest.raises(ValueError):
+            store.put_meta(KEY, {"seconds": float("nan")})
+
+
+class TestShardCache:
+    def make_shard(self):
+        profiler = DrmsProfiler(keep_activations=False)
+        profiler.consume_batch(recorded_batch())
+        profiler.begin_trace()
+        return profiler
+
+    def test_shard_roundtrip(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        assert store.get_shard(KEY, "drms") is None
+        shard = self.make_shard()
+        store.put_shard(KEY, "drms", shard)
+        loaded = store.get_shard(KEY, "drms")
+        assert loaded is not None
+        assert loaded.read_counters == shard.read_counters
+        assert dict(loaded.profiles).keys() == dict(shard.profiles).keys()
+
+    def test_version_or_kind_mismatch_means_recompute(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        shard = self.make_shard()
+        store.put_shard(KEY, "drms", shard)
+        # same file, asked for under a different kind: no entry
+        assert store.get_shard(KEY, "rms") is None
+        # stale version tag: recompute, don't trust
+        with open(store.shard_path(KEY, "drms"), "wb") as handle:
+            pickle.dump(
+                ("repro-shard", SHARD_VERSION + 1, "drms", shard), handle
+            )
+        assert store.get_shard(KEY, "drms") is None
+
+    def test_garbage_shard_is_ignored(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        os.makedirs(os.path.dirname(store.shard_path(KEY, "drms")), exist_ok=True)
+        with open(store.shard_path(KEY, "drms"), "wb") as handle:
+            handle.write(b"\x80\x04 garbage")
+        assert store.get_shard(KEY, "drms") is None
