@@ -16,6 +16,9 @@ directly: ``PYTHONPATH=src python benchmarks/bench_throughput.py``
 
 import json
 import os
+import platform
+import statistics
+import sys
 import time
 from pathlib import Path
 
@@ -58,15 +61,19 @@ def measure_workload_throughput(name, repeats, scale=SCALE):
         profiler = DrmsProfiler(policy=FULL_POLICY, keep_activations=False)
         profiler.consume_batch(batch)
 
-    # One untimed warm-up each, then interleaved best-of repeats so CPU
-    # frequency drift hits both sides equally instead of biasing the
-    # ratio toward whichever ran during the faster window.
+    # One untimed warm-up each, then interleaved median-of repeats so
+    # CPU frequency drift hits both sides equally instead of biasing
+    # the ratio toward whichever ran during the faster window — and a
+    # single lucky (or unlucky) repeat can't set the reported number.
     scalar_run()
     batched_run()
-    scalar_time = batched_time = float("inf")
+    scalar_times = []
+    batched_times = []
     for _ in range(repeats):
-        scalar_time = min(scalar_time, timed(scalar_run))
-        batched_time = min(batched_time, timed(batched_run))
+        scalar_times.append(timed(scalar_run))
+        batched_times.append(timed(batched_run))
+    scalar_time = statistics.median(scalar_times)
+    batched_time = statistics.median(batched_times)
     return {
         "events": n,
         "scalar_time": scalar_time,
@@ -91,6 +98,9 @@ def run_suite(quick=False):
         "scale": scale,
         "repeats": repeats,
         "quick": quick,
+        "timing": "median of repeats after one untimed warm-up",
+        "python": sys.version,
+        "platform": platform.platform(),
         "profiler": "drms (FULL_POLICY)",
         "workloads": workloads,
         "geomean_speedup": speedup,

@@ -52,7 +52,13 @@ from repro.core import (
     profile_events,
 )
 from repro.core.events import describe
-from repro.tools import DEFAULT_TOOLS, measure_workload, suite_summary
+from repro.tools import (
+    DEFAULT_ENGINE,
+    DEFAULT_TOOLS,
+    ENGINES,
+    measure_workload,
+    suite_summary,
+)
 from repro.workloads.registry import REGISTRY, SUITES, get_workload, suite
 
 POLICIES = {
@@ -144,12 +150,32 @@ def cmd_stats(args) -> int:
         keep_activations=False,
         metrics=registry,
     )
-    machine.set_batch_sink(profiler.consume_batch)
+    superops_fused = [0]
+    if args.engine == "columnar":
+        from repro.core.events import count_superops, fuse_batch
+
+        def sink(batch):
+            fused = fuse_batch(batch)
+            superops_fused[0] += count_superops(fused)[0]
+            profiler.consume_columnar(fused)
+
+        machine.set_batch_sink(sink)
+    elif args.engine == "scalar":
+
+        def sink(batch):
+            consume = profiler.consume
+            for event in batch.iter_events():
+                consume(event)
+
+        machine.set_batch_sink(sink)
+    else:
+        machine.set_batch_sink(profiler.consume_batch)
     with tracer.span("run", track="main", workload=name):
         machine.run()
     with tracer.span("publish", track="main"):
         machine.publish_metrics(registry)
         profiler.publish_metrics(registry)
+        registry.gauge("kernel.superops_fused").set(superops_fused[0])
     _emit_registry(registry, args)
     if args.trace_out:
         tracer.save(args.trace_out)
@@ -274,6 +300,7 @@ def cmd_overhead(args) -> int:
                 parallel=args.parallel,
                 metrics=registry,
                 tracer=tracer,
+                engine=args.engine,
             )
         )
         print(f"  measured {name}", file=sys.stderr)
@@ -292,6 +319,7 @@ def cmd_overhead(args) -> int:
             "repeats": args.repeats,
             "parallel": args.parallel,
             "faults": args.faults,
+            "engine": args.engine,
             "summary": summary,
             "excluded": sorted(
                 {t for m in measurements for t in m.excluded_tools}
@@ -303,6 +331,7 @@ def cmd_overhead(args) -> int:
                     "native_cells": m.native_cells,
                     "record_time": m.record_time,
                     "trace_events": m.trace_events,
+                    "superops_fused": m.superops_fused,
                     "excluded": m.excluded_tools,
                     "degradations": [
                         {
@@ -390,6 +419,7 @@ def cmd_sweep(args) -> int:
         parallel=args.parallel,
         fault_seed=args.faults,
         reuse_measurements=not args.remeasure,
+        engine=args.engine,
     )
     try:
         result = run_sweep(config, metrics=registry, tracer=tracer)
@@ -489,8 +519,30 @@ def cmd_trace(args) -> int:
         if args.binary:
             from repro.core.tracefile import save_trace_binary
 
+            trace = machine.trace
+            if args.engine == "columnar":
+                # The columnar engine stores run superops: stride-1
+                # same-thread runs collapse to one row each, so the
+                # binary is smaller and replays straight into the
+                # columnar kernel.  iter_events() expands them, so any
+                # consumer still sees the identical logical stream.
+                from repro.core.events import (
+                    EventBatch,
+                    count_superops,
+                    encode_events,
+                    fuse_batch,
+                )
+
+                if not isinstance(trace, EventBatch):
+                    trace = encode_events(trace)
+                trace = fuse_batch(trace)
+                runs, covered = count_superops(trace)
+                print(
+                    f"fused {covered} event(s) into {runs} run superop(s)",
+                    file=sys.stderr,
+                )
             with open(args.save, "wb") as handle:
-                written = save_trace_binary(machine.trace, handle)
+                written = save_trace_binary(trace, handle)
         else:
             from repro.core.tracefile import save_trace
 
@@ -589,6 +641,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--threads", type=int, default=4)
         p.add_argument("--scale", type=int, default=1)
 
+    def add_engine_arg(p):
+        p.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default=DEFAULT_ENGINE,
+            help="replay kernel: scalar event loop, batched opcode "
+            "dispatch, or the columnar superop kernel (default)",
+        )
+
     p = sub.add_parser("profile", help="profile a workload")
     add_workload_args(p)
     p.add_argument("--metric", choices=sorted(POLICIES), default="drms")
@@ -629,6 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect runner telemetry and print the metrics table",
     )
+    add_engine_arg(p)
     p.set_defaults(func=cmd_overhead)
 
     p = sub.add_parser(
@@ -688,6 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect sweep telemetry and print the metrics table",
     )
+    add_engine_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -714,6 +777,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect VM telemetry and print the metrics table to stderr",
     )
+    add_engine_arg(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("report", help="full analysis report")
@@ -790,6 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a Chrome trace-event span timeline (Perfetto)",
     )
+    add_engine_arg(p)
     p.set_defaults(func=cmd_stats)
 
     return parser

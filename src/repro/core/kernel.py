@@ -1,0 +1,818 @@
+"""Columnar consume kernel: superop-aware replay for both profilers.
+
+This is the third-generation hot path (scalar ``consume`` → batched
+``consume_batch`` → columnar).  It consumes the same opcode-encoded
+:class:`~repro.core.events.EventBatch` columns as the batched loop, plus
+the two *run superops* (:data:`~repro.core.events.OP_READ_RUN` /
+:data:`~repro.core.events.OP_WRITE_RUN`) produced by
+:func:`~repro.core.events.fuse_batch`: a run of N same-thread stride-1
+reads or writes inside one shadow leaf costs one dispatch, one leaf
+probe and a handful of C-level ``array('q')`` slice operations instead
+of N of each.
+
+Why fusion is safe (the Invariant 2 argument)
+---------------------------------------------
+Plain reads and writes never bump the global counter, so every event of
+a run executes at the *same* timestamp ``count`` and the addresses
+within a run are pairwise distinct (stride 1).  Hence no event of the
+run can observe shadow state written by an earlier event of the same
+run — each cell is touched exactly once — and the per-cell outcome is a
+pure function of the pre-run shadow state:
+
+* a **write run** stamps ``ts_t``/``wts``/``wsrc`` per cell exactly as
+  N scalar writes would (same value, same cells, order irrelevant);
+* a **read run** classifies each cell from its pre-run ``ts_t`` and
+  ``wts`` values; partial-drms increments go to the *same* top entry
+  for the whole run (the stack cannot change mid-run), and ancestor
+  decrements depend only on each cell's old timestamp, so the suffix
+  sums of Invariant 2 come out identical to the scalar replay.
+
+``userToKernel``/``kernelToUser`` events are *never* fused: they bump
+the counter per cell (Figure 9), so collapsing them would change
+renumbering timing and every downstream timestamp.
+
+Bulk fast paths
+---------------
+For a read run the kernel slices the old timestamps out of the leaf and
+classifies the whole segment at once when it can (checked in observed
+frequency order):
+
+* every cell foreign-written since its last local access
+  (``min(wts) > max(old)``) → N induced first-reads, split
+  thread/kernel by counting non-zero write sources;
+* every cell already accessed at/after the top activation's timestamp
+  and not written since (``max(wts) <= min(old) >= top.ts``) → pure
+  re-read, no profile effect at all;
+* all cells last touched at one *uniform* older timestamp — the usual
+  shape when a previous run stamped them — and not foreign-written
+  since → N plain first-reads repaid to a single shared ancestor found
+  with one binary search (a fresh all-zero segment is the
+  ``minold == 0`` case of this path: no ancestor to repay).
+
+Mixed segments fall back to a per-cell loop that still amortises
+dispatch, thread-state switching and leaf resolution over the run.
+Leaf resolution itself is inlined: with the leaf tag in hand the
+three-level walk is one dict probe plus one list index
+(``top[tag >> mid_bits][tag & mid_mask]``), and ``leaf_create`` is only
+called to materialise a missing leaf.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict
+
+from repro.core.events import (
+    OP_CALL,
+    OP_KERNEL_TO_USER,
+    OP_LOCK_ACQUIRE,
+    OP_READ,
+    OP_READ_RUN,
+    OP_SWITCH_THREAD,
+    OP_THREAD_EXIT,
+    OP_THREAD_START,
+    OP_USER_TO_KERNEL,
+    OP_WRITE,
+    OP_WRITE_RUN,
+    EventBatch,
+)
+from repro.core.shadow import ShadowMemory
+from repro.core.shadow_stack import ShadowStack, StackEntry
+
+__all__ = ["consume_columnar_drms", "consume_columnar_rms"]
+
+
+def consume_columnar_drms(prof, batch: EventBatch) -> None:
+    """Columnar replay of ``batch`` into a ``DrmsProfiler``.
+
+    State-equivalent to ``consume_batch`` on the same batch — and, via
+    ``iter_events`` expansion of superops, to the scalar ``consume``
+    loop on the unfused trace (property-tested, including metrics
+    snapshots).  State is carried across calls, so a trace may be fed
+    in slices.
+    """
+    if not len(batch.ops):
+        return
+    ops = batch.ops
+    names = batch.names
+    thread_input = prof.policy.thread_input
+    external_input = prof.policy.external_input
+    limit = prof.counter_limit
+    limit_v = limit if limit is not None else 0x7FFFFFFFFFFFFFFF
+    wts = prof.wts
+    wsrc = prof.wsrc
+    ts_map = prof.ts
+    stacks = prof.stacks
+    read_counters = prof.read_counters
+    collect = prof.profiles.collect
+    rc_get = read_counters.get
+    count = prof.count
+
+    if OP_USER_TO_KERNEL in ops:
+        # Figure 9: a kernel read on the thread's behalf is a plain read
+        # when external input counts, invisible otherwise (runs never
+        # carry kernel events, so the remap is single-event only).
+        remap = OP_READ if external_input else OP_THREAD_START
+        ops = [remap if o == OP_USER_TO_KERNEL else o for o in ops]
+
+    leaf_bits = wts.leaf_bits
+    leaf_mask = wts.leaf_mask
+    leaf_size = leaf_mask + 1
+    # Inlined three-level walk: with the leaf tag in hand, the top key
+    # is ``tag >> mid_bits`` and the middle index ``tag & mid_mask``.
+    # Every shadow of one profiler shares this geometry (they are all
+    # built with the same defaults), so the hot loop resolves leaves
+    # with one dict probe and one list index, falling back to
+    # ``leaf_create`` only when the leaf does not exist yet.
+    mid_bits = wts._mid_bits
+    mid_mask = wts._mid_mask
+    wts_top_get = wts._top.get
+    wsrc_top_get = wsrc._top.get
+
+    # Same per-thread cached state layout as consume_batch: [ts_mem,
+    # stack_entries, ts_tag, ts_chunk, top_entry, top_counters, wts_tag,
+    # wts_chunk, src_chunk]; only existing chunks are cached and
+    # renumbering rewrites leaves in place, so references stay valid.
+    states: Dict[int, list] = {}
+    cur = None
+    cur_state = None
+    cur_mem = None
+    ts_top_get = None
+    ts_tag = None
+    ts_chunk = None
+    stack_entries: list = []
+    top = None
+    top_counters = None
+    wts_tag = None
+    wts_chunk = None
+    src_chunk = None
+    top_drms = 0
+    c_plain = 0
+    c_thread = 0
+    c_kernel = 0
+    hwm = prof.stack_depth_hwm
+    runs_consumed = 0
+
+    # Bulk-stamp template: a full leaf of the current timestamp,
+    # rebuilt lazily whenever the counter moves (calls, switches,
+    # kernel fills, renumbering).  Stamping a segment is then one
+    # C-level slice assignment.
+    stamp_count = -1
+    stamp_leaf = None
+    # Write-source template, keyed by the stored value (writer+1).
+    src_val = -1
+    src_leaf = None
+
+    for op, tid, arg, cost in zip(ops, batch.threads, batch.args, batch.costs):
+        if op <= OP_WRITE or op == OP_READ_RUN or op == OP_WRITE_RUN:
+            if tid != cur:
+                state = states.get(tid)
+                if state is None:
+                    mem = ts_map.get(tid)
+                    if mem is None:
+                        mem = ShadowMemory()
+                        ts_map[tid] = mem
+                    stack = stacks.get(tid)
+                    if stack is None:
+                        stack = ShadowStack()
+                        stacks[tid] = stack
+                    entries = stack.entries
+                    state = [
+                        mem,
+                        entries,
+                        None,
+                        None,
+                        entries[-1] if entries else None,
+                        None,
+                        None,
+                        None,
+                        None,
+                    ]
+                    states[tid] = state
+                if top_drms:
+                    top.drms += top_drms
+                    top_drms = 0
+                if c_plain or c_thread or c_kernel:
+                    top_counters[0] += c_plain
+                    top_counters[1] += c_thread
+                    top_counters[2] += c_kernel
+                    c_plain = c_thread = c_kernel = 0
+                if cur_state is not None:
+                    cur_state[2] = ts_tag
+                    cur_state[3] = ts_chunk
+                    cur_state[4] = top
+                    cur_state[5] = top_counters
+                    cur_state[6] = wts_tag
+                    cur_state[7] = wts_chunk
+                    cur_state[8] = src_chunk
+                cur_state = state
+                cur_mem = state[0]
+                ts_top_get = cur_mem._top.get
+                stack_entries = state[1]
+                ts_tag = state[2]
+                ts_chunk = state[3]
+                top = state[4]
+                top_counters = state[5]
+                wts_tag = state[6]
+                wts_chunk = state[7]
+                src_chunk = state[8]
+                cur = tid
+            if op == OP_READ:
+                tag = arg >> leaf_bits
+                off = arg & leaf_mask
+                if tag != ts_tag:
+                    table = ts_top_get(tag >> mid_bits)
+                    ts_chunk = (
+                        table[tag & mid_mask] if table is not None else None
+                    )
+                    if ts_chunk is None:
+                        ts_chunk = cur_mem.leaf_create(arg)
+                    ts_tag = tag
+                local = ts_chunk[off]
+                if tag == wts_tag:
+                    written = wts_chunk[off]
+                else:
+                    table = wts_top_get(tag >> mid_bits)
+                    chunk = table[tag & mid_mask] if table is not None else None
+                    if chunk is None:
+                        written = 0
+                    else:
+                        written = chunk[off]
+                        wts_chunk = chunk
+                        table = wsrc_top_get(tag >> mid_bits)
+                        src_chunk = (
+                            table[tag & mid_mask] if table is not None else None
+                        )
+                        wts_tag = tag
+                if local < written:
+                    if top is not None:
+                        top_drms += 1
+                        if top_counters is None:
+                            counters = rc_get(top.rtn)
+                            if counters is None:
+                                counters = [0, 0, 0]
+                                read_counters[top.rtn] = counters
+                            top_counters = counters
+                        if src_chunk[off]:
+                            c_thread += 1
+                        else:
+                            c_kernel += 1
+                elif top is not None and local < top.ts:
+                    top_drms += 1
+                    if top_counters is None:
+                        counters = rc_get(top.rtn)
+                        if counters is None:
+                            counters = [0, 0, 0]
+                            read_counters[top.rtn] = counters
+                        top_counters = counters
+                    c_plain += 1
+                    if local != 0:
+                        lo, hi, ancestor = 0, len(stack_entries) - 2, -1
+                        while lo <= hi:
+                            mid = (lo + hi) >> 1
+                            if stack_entries[mid].ts <= local:
+                                ancestor = mid
+                                lo = mid + 1
+                            else:
+                                hi = mid - 1
+                        if ancestor >= 0:
+                            stack_entries[ancestor].drms -= 1
+                ts_chunk[off] = count
+            elif op == OP_WRITE:
+                tag = arg >> leaf_bits
+                off = arg & leaf_mask
+                if tag != ts_tag:
+                    table = ts_top_get(tag >> mid_bits)
+                    ts_chunk = (
+                        table[tag & mid_mask] if table is not None else None
+                    )
+                    if ts_chunk is None:
+                        ts_chunk = cur_mem.leaf_create(arg)
+                    ts_tag = tag
+                ts_chunk[off] = count
+                if thread_input:
+                    if tag != wts_tag:
+                        table = wts_top_get(tag >> mid_bits)
+                        wts_chunk = (
+                            table[tag & mid_mask] if table is not None else None
+                        )
+                        if wts_chunk is None:
+                            wts_chunk = wts.leaf_create(arg)
+                        table = wsrc_top_get(tag >> mid_bits)
+                        src_chunk = (
+                            table[tag & mid_mask] if table is not None else None
+                        )
+                        if src_chunk is None:
+                            src_chunk = wsrc.leaf_create(arg)
+                        wts_tag = tag
+                    wts_chunk[off] = count
+                    src_chunk[off] = tid + 1
+            elif op == OP_READ_RUN:
+                runs_consumed += 1
+                if stamp_count != count:
+                    stamp_leaf = array("q", [count]) * leaf_size
+                    stamp_count = count
+                a = arg
+                end = arg + cost
+                while a < end:
+                    tag = a >> leaf_bits
+                    off = a & leaf_mask
+                    m = leaf_size - off
+                    if m > end - a:
+                        m = end - a
+                    end_off = off + m
+                    if tag != ts_tag:
+                        table = ts_top_get(tag >> mid_bits)
+                        ts_chunk = (
+                            table[tag & mid_mask] if table is not None else None
+                        )
+                        if ts_chunk is None:
+                            ts_chunk = cur_mem.leaf_create(a)
+                        ts_tag = tag
+                    if tag == wts_tag:
+                        wchunk = wts_chunk
+                        schunk = src_chunk
+                    else:
+                        table = wts_top_get(tag >> mid_bits)
+                        wchunk = (
+                            table[tag & mid_mask] if table is not None else None
+                        )
+                        if wchunk is None:
+                            schunk = None
+                        else:
+                            wts_chunk = wchunk
+                            table = wsrc_top_get(tag >> mid_bits)
+                            src_chunk = schunk = (
+                                table[tag & mid_mask]
+                                if table is not None
+                                else None
+                            )
+                            wts_tag = tag
+                    if top is not None:
+                        top_ts = top.ts
+                        old = ts_chunk[off:end_off]
+                        maxold = max(old)
+                        wslice = (
+                            None if wchunk is None else wchunk[off:end_off]
+                        )
+                        if wslice is not None and min(wslice) > maxold:
+                            # Every cell foreign-written after its last
+                            # local access: N induced first-reads, split
+                            # by write source, no ancestors to repay.
+                            top_drms += m
+                            if top_counters is None:
+                                counters = rc_get(top.rtn)
+                                if counters is None:
+                                    counters = [0, 0, 0]
+                                    read_counters[top.rtn] = counters
+                                top_counters = counters
+                            nz = m - schunk[off:end_off].count(0)
+                            c_thread += nz
+                            c_kernel += m - nz
+                        elif (
+                            (maxw := 0 if wslice is None else max(wslice))
+                            <= (minold := min(old))
+                            and minold >= top_ts
+                        ):
+                            # Pure re-read: every cell already accessed
+                            # by this activation (or a completed sibling
+                            # at/after its timestamp) and not foreign-
+                            # written since.  (The walrus targets bind
+                            # for the remaining branches too.)
+                            pass
+                        elif maxw <= minold and minold == maxold:
+                            # Uniform segment last touched at one older
+                            # timestamp (a previous run) and not foreign-
+                            # written since: N plain first-reads repaid
+                            # to a single shared ancestor, found with one
+                            # binary search for the whole segment.
+                            top_drms += m
+                            if top_counters is None:
+                                counters = rc_get(top.rtn)
+                                if counters is None:
+                                    counters = [0, 0, 0]
+                                    read_counters[top.rtn] = counters
+                                top_counters = counters
+                            c_plain += m
+                            if minold != 0:
+                                lo, hi, ancestor = 0, len(stack_entries) - 2, -1
+                                while lo <= hi:
+                                    mid = (lo + hi) >> 1
+                                    if stack_entries[mid].ts <= minold:
+                                        ancestor = mid
+                                        lo = mid + 1
+                                    else:
+                                        hi = mid - 1
+                                if ancestor >= 0:
+                                    stack_entries[ancestor].drms -= m
+                        else:
+                            # Mixed segment: per-cell classification with
+                            # every chunk already in hand.
+                            for o in range(off, end_off):
+                                local = ts_chunk[o]
+                                written = 0 if wchunk is None else wchunk[o]
+                                if local < written:
+                                    top_drms += 1
+                                    if top_counters is None:
+                                        counters = rc_get(top.rtn)
+                                        if counters is None:
+                                            counters = [0, 0, 0]
+                                            read_counters[top.rtn] = counters
+                                        top_counters = counters
+                                    if schunk[o]:
+                                        c_thread += 1
+                                    else:
+                                        c_kernel += 1
+                                elif local < top_ts:
+                                    top_drms += 1
+                                    if top_counters is None:
+                                        counters = rc_get(top.rtn)
+                                        if counters is None:
+                                            counters = [0, 0, 0]
+                                            read_counters[top.rtn] = counters
+                                        top_counters = counters
+                                    c_plain += 1
+                                    if local != 0:
+                                        lo = 0
+                                        hi = len(stack_entries) - 2
+                                        ancestor = -1
+                                        while lo <= hi:
+                                            mid = (lo + hi) >> 1
+                                            if stack_entries[mid].ts <= local:
+                                                ancestor = mid
+                                                lo = mid + 1
+                                            else:
+                                                hi = mid - 1
+                                        if ancestor >= 0:
+                                            stack_entries[ancestor].drms -= 1
+                    ts_chunk[off:end_off] = (
+                        stamp_leaf if m == leaf_size else stamp_leaf[:m]
+                    )
+                    a += m
+            elif op == OP_WRITE_RUN:
+                runs_consumed += 1
+                if stamp_count != count:
+                    stamp_leaf = array("q", [count]) * leaf_size
+                    stamp_count = count
+                if thread_input and src_val != tid + 1:
+                    src_leaf = array("q", [tid + 1]) * leaf_size
+                    src_val = tid + 1
+                a = arg
+                end = arg + cost
+                while a < end:
+                    tag = a >> leaf_bits
+                    off = a & leaf_mask
+                    m = leaf_size - off
+                    if m > end - a:
+                        m = end - a
+                    end_off = off + m
+                    if tag != ts_tag:
+                        table = ts_top_get(tag >> mid_bits)
+                        ts_chunk = (
+                            table[tag & mid_mask] if table is not None else None
+                        )
+                        if ts_chunk is None:
+                            ts_chunk = cur_mem.leaf_create(a)
+                        ts_tag = tag
+                    stamp = stamp_leaf if m == leaf_size else stamp_leaf[:m]
+                    ts_chunk[off:end_off] = stamp
+                    if thread_input:
+                        if tag != wts_tag:
+                            table = wts_top_get(tag >> mid_bits)
+                            wts_chunk = (
+                                table[tag & mid_mask]
+                                if table is not None
+                                else None
+                            )
+                            if wts_chunk is None:
+                                wts_chunk = wts.leaf_create(a)
+                            table = wsrc_top_get(tag >> mid_bits)
+                            src_chunk = (
+                                table[tag & mid_mask]
+                                if table is not None
+                                else None
+                            )
+                            if src_chunk is None:
+                                src_chunk = wsrc.leaf_create(a)
+                            wts_tag = tag
+                        wts_chunk[off:end_off] = stamp
+                        src_chunk[off:end_off] = (
+                            src_leaf if m == leaf_size else src_leaf[:m]
+                        )
+                    a += m
+            elif op == OP_CALL:
+                count += 1
+                if count >= limit_v:
+                    prof.count = count
+                    prof._renumber()
+                    count = prof.count
+                if top_drms:
+                    top.drms += top_drms
+                    top_drms = 0
+                if c_plain or c_thread or c_kernel:
+                    top_counters[0] += c_plain
+                    top_counters[1] += c_thread
+                    top_counters[2] += c_kernel
+                    c_plain = c_thread = c_kernel = 0
+                top = StackEntry(names[arg], count, 0, cost)
+                top_counters = None
+                stack_entries.append(top)
+                if len(stack_entries) > hwm:
+                    hwm = len(stack_entries)
+            else:  # OP_RETURN
+                if top is None:
+                    prof.count = count
+                    raise ValueError(
+                        f"return with empty stack on thread {tid}"
+                    )
+                if c_plain or c_thread or c_kernel:
+                    top_counters[0] += c_plain
+                    top_counters[1] += c_thread
+                    top_counters[2] += c_kernel
+                    c_plain = c_thread = c_kernel = 0
+                done = stack_entries.pop()
+                done_drms = done.drms + top_drms
+                collect(done.rtn, tid, done_drms, cost - done.cost)
+                if stack_entries:
+                    top = stack_entries[-1]
+                    top_drms = done_drms
+                else:
+                    top = None
+                    top_drms = 0
+                top_counters = None
+        elif op == OP_SWITCH_THREAD:
+            count += 1
+            if count >= limit_v:
+                prof.count = count
+                prof._renumber()
+                count = prof.count
+        elif op == OP_KERNEL_TO_USER:
+            if external_input:
+                count += 1
+                if count >= limit_v:
+                    prof.count = count
+                    prof._renumber()
+                    count = prof.count
+                tag = arg >> leaf_bits
+                if tag != wts_tag:
+                    wts_chunk = wts.leaf_create(arg)
+                    src_chunk = wsrc.leaf_create(arg)
+                    wts_tag = tag
+                wts_chunk[arg & leaf_mask] = count
+                src_chunk[arg & leaf_mask] = 0
+        elif not OP_LOCK_ACQUIRE <= op <= OP_THREAD_EXIT:
+            prof.count = count
+            raise TypeError(f"unknown opcode {op}")
+    if top_drms:
+        top.drms += top_drms
+    if c_plain or c_thread or c_kernel:
+        top_counters[0] += c_plain
+        top_counters[1] += c_thread
+        top_counters[2] += c_kernel
+    prof.count = count
+    prof.stack_depth_hwm = hwm
+    prof.superops_consumed += runs_consumed
+
+
+def consume_columnar_rms(prof, batch: EventBatch) -> None:
+    """Columnar replay of ``batch`` into an ``RmsProfiler``.
+
+    Same contract as :func:`consume_columnar_drms`, minus the global
+    write-timestamp machinery: the rms baseline tracks no foreign
+    writes, so a read run classifies purely against the thread's own
+    access timestamps and a write run only stamps them.
+    """
+    if not len(batch.ops):
+        return
+    names = batch.names
+    ts_map = prof.ts
+    stacks = prof.stacks
+    collect = prof.profiles.collect
+    count = prof.count
+
+    leaf_bits = 0
+    leaf_mask = 0
+    leaf_size = 0
+    mid_bits = 0
+    mid_mask = 0
+    states: Dict[int, list] = {}
+    cur = None
+    cur_state = None
+    cur_mem = None
+    ts_top_get = None
+    ts_tag = None
+    ts_chunk = None
+    stack_entries: list = []
+    top = None
+    top_drms = 0
+    hwm = prof.stack_depth_hwm
+    runs_consumed = 0
+    stamp_count = -1
+    stamp_leaf = None
+
+    for op, tid, arg, cost in zip(
+        batch.ops, batch.threads, batch.args, batch.costs
+    ):
+        if op <= OP_WRITE or op == OP_READ_RUN or op == OP_WRITE_RUN:
+            if tid != cur:
+                state = states.get(tid)
+                if state is None:
+                    mem = ts_map.get(tid)
+                    if mem is None:
+                        mem = ShadowMemory()
+                        ts_map[tid] = mem
+                    stack = stacks.get(tid)
+                    if stack is None:
+                        stack = ShadowStack()
+                        stacks[tid] = stack
+                    entries = stack.entries
+                    state = [
+                        mem,
+                        entries,
+                        None,
+                        None,
+                        entries[-1] if entries else None,
+                    ]
+                    states[tid] = state
+                if top_drms:
+                    top.drms += top_drms
+                    top_drms = 0
+                if cur_state is not None:
+                    cur_state[2] = ts_tag
+                    cur_state[3] = ts_chunk
+                    cur_state[4] = top
+                cur_state = state
+                cur_mem = state[0]
+                ts_top_get = cur_mem._top.get
+                stack_entries = state[1]
+                ts_tag = state[2]
+                ts_chunk = state[3]
+                top = state[4]
+                leaf_bits = cur_mem.leaf_bits
+                leaf_mask = cur_mem.leaf_mask
+                leaf_size = leaf_mask + 1
+                mid_bits = cur_mem._mid_bits
+                mid_mask = cur_mem._mid_mask
+                cur = tid
+            if op == OP_READ:
+                tag = arg >> leaf_bits
+                off = arg & leaf_mask
+                if tag != ts_tag:
+                    table = ts_top_get(tag >> mid_bits)
+                    ts_chunk = (
+                        table[tag & mid_mask] if table is not None else None
+                    )
+                    if ts_chunk is None:
+                        ts_chunk = cur_mem.leaf_create(arg)
+                    ts_tag = tag
+                local = ts_chunk[off]
+                if top is not None and local < top.ts:
+                    top_drms += 1
+                    if local != 0:
+                        lo, hi, ancestor = 0, len(stack_entries) - 2, -1
+                        while lo <= hi:
+                            mid = (lo + hi) >> 1
+                            if stack_entries[mid].ts <= local:
+                                ancestor = mid
+                                lo = mid + 1
+                            else:
+                                hi = mid - 1
+                        if ancestor >= 0:
+                            stack_entries[ancestor].drms -= 1
+                ts_chunk[off] = count
+            elif op == OP_WRITE:
+                tag = arg >> leaf_bits
+                if tag != ts_tag:
+                    table = ts_top_get(tag >> mid_bits)
+                    ts_chunk = (
+                        table[tag & mid_mask] if table is not None else None
+                    )
+                    if ts_chunk is None:
+                        ts_chunk = cur_mem.leaf_create(arg)
+                    ts_tag = tag
+                ts_chunk[arg & leaf_mask] = count
+            elif op == OP_READ_RUN:
+                runs_consumed += 1
+                if stamp_count != count:
+                    stamp_leaf = array("q", [count]) * leaf_size
+                    stamp_count = count
+                a = arg
+                end = arg + cost
+                while a < end:
+                    tag = a >> leaf_bits
+                    off = a & leaf_mask
+                    m = leaf_size - off
+                    if m > end - a:
+                        m = end - a
+                    end_off = off + m
+                    if tag != ts_tag:
+                        table = ts_top_get(tag >> mid_bits)
+                        ts_chunk = (
+                            table[tag & mid_mask] if table is not None else None
+                        )
+                        if ts_chunk is None:
+                            ts_chunk = cur_mem.leaf_create(a)
+                        ts_tag = tag
+                    if top is not None:
+                        top_ts = top.ts
+                        old = ts_chunk[off:end_off]
+                        minold = min(old)
+                        if minold >= top_ts:
+                            pass  # pure re-read
+                        elif minold == max(old):
+                            # Uniform segment (fresh, or last touched by
+                            # one older run): N first-reads repaid to a
+                            # single shared ancestor via one search.
+                            top_drms += m
+                            if minold != 0:
+                                lo, hi, ancestor = 0, len(stack_entries) - 2, -1
+                                while lo <= hi:
+                                    mid = (lo + hi) >> 1
+                                    if stack_entries[mid].ts <= minold:
+                                        ancestor = mid
+                                        lo = mid + 1
+                                    else:
+                                        hi = mid - 1
+                                if ancestor >= 0:
+                                    stack_entries[ancestor].drms -= m
+                        else:
+                            for o in range(off, end_off):
+                                local = ts_chunk[o]
+                                if local < top_ts:
+                                    top_drms += 1
+                                    if local != 0:
+                                        lo = 0
+                                        hi = len(stack_entries) - 2
+                                        ancestor = -1
+                                        while lo <= hi:
+                                            mid = (lo + hi) >> 1
+                                            if stack_entries[mid].ts <= local:
+                                                ancestor = mid
+                                                lo = mid + 1
+                                            else:
+                                                hi = mid - 1
+                                        if ancestor >= 0:
+                                            stack_entries[ancestor].drms -= 1
+                    ts_chunk[off:end_off] = (
+                        stamp_leaf if m == leaf_size else stamp_leaf[:m]
+                    )
+                    a += m
+            elif op == OP_WRITE_RUN:
+                runs_consumed += 1
+                if stamp_count != count:
+                    stamp_leaf = array("q", [count]) * leaf_size
+                    stamp_count = count
+                a = arg
+                end = arg + cost
+                while a < end:
+                    tag = a >> leaf_bits
+                    off = a & leaf_mask
+                    m = leaf_size - off
+                    if m > end - a:
+                        m = end - a
+                    if tag != ts_tag:
+                        table = ts_top_get(tag >> mid_bits)
+                        ts_chunk = (
+                            table[tag & mid_mask] if table is not None else None
+                        )
+                        if ts_chunk is None:
+                            ts_chunk = cur_mem.leaf_create(a)
+                        ts_tag = tag
+                    ts_chunk[off : off + m] = (
+                        stamp_leaf if m == leaf_size else stamp_leaf[:m]
+                    )
+                    a += m
+            elif op == OP_CALL:
+                count += 1
+                if top_drms:
+                    top.drms += top_drms
+                    top_drms = 0
+                top = StackEntry(names[arg], count, 0, cost)
+                stack_entries.append(top)
+                if len(stack_entries) > hwm:
+                    hwm = len(stack_entries)
+            else:  # OP_RETURN
+                if top is None:
+                    prof.count = count
+                    raise ValueError(
+                        f"return with empty stack on thread {tid}"
+                    )
+                done = stack_entries.pop()
+                done_drms = done.drms + top_drms
+                collect(done.rtn, tid, done_drms, cost - done.cost)
+                if stack_entries:
+                    top = stack_entries[-1]
+                    top_drms = done_drms
+                else:
+                    top = None
+                    top_drms = 0
+        elif op == OP_SWITCH_THREAD:
+            count += 1
+        elif not OP_CALL <= op <= OP_THREAD_EXIT:
+            prof.count = count
+            raise TypeError(f"unknown opcode {op}")
+    if top_drms:
+        top.drms += top_drms
+    prof.count = count
+    prof.stack_depth_hwm = hwm
+    prof.superops_consumed += runs_consumed

@@ -62,6 +62,10 @@ class RmsProfiler:
         #: deepest shadow stack seen across all threads (maintained by
         #: both consumption paths, like the drms profiler's)
         self.stack_depth_hwm = 0
+        #: run superops consumed by the columnar kernel (observability
+        #: only — not part of ``metrics_snapshot``, which must be
+        #: identical across consumption engines)
+        self.superops_consumed = 0
 
     def _thread_ts(self, thread: int) -> ShadowMemory:
         mem = self.ts.get(thread)
@@ -286,6 +290,15 @@ class RmsProfiler:
         self.consume_batch(batch)
         return self.profiles
 
+    def consume_columnar(self, batch: EventBatch) -> None:
+        """Process a (possibly superop-fused) batch with the columnar
+        kernel — see :mod:`repro.core.kernel`.  State-equivalent to
+        :meth:`consume_batch` on the same events; accepts unfused
+        batches too."""
+        from repro.core.kernel import consume_columnar_rms
+
+        consume_columnar_rms(self, batch)
+
     # -- execution boundaries & shard merging ------------------------------------
 
     def begin_trace(self) -> None:
@@ -323,6 +336,7 @@ class RmsProfiler:
         self.count += other.count - 1
         if self.stack_depth_hwm < other.stack_depth_hwm:
             self.stack_depth_hwm = other.stack_depth_hwm
+        self.superops_consumed += other.superops_consumed
         self.begin_trace()
         return self
 

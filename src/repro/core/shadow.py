@@ -7,8 +7,11 @@ actually accessed by a thread need to be shadowed."*
 
 Addresses are split into three fields (top / middle / offset); tables for
 the top and middle levels are allocated lazily and leaf chunks are flat
-lists.  Unset cells read back as a configurable default (``0`` — the
-"never accessed" timestamp of the profiling algorithm).
+``array('q')`` buffers — contiguous, unboxed 64-bit cells, so a leaf
+costs exactly 8 bytes per cell instead of a pointer per boxed int, and
+bulk consumers (the columnar kernel) can slice whole runs in C.  Unset
+cells read back as a configurable default (``0`` — the "never accessed"
+timestamp of the profiling algorithm).
 
 The class intentionally mirrors a ``dict`` with a default so the test
 suite can check it against a plain dictionary with Hypothesis.
@@ -16,6 +19,7 @@ suite can check it against a plain dictionary with Hypothesis.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["ShadowMemory"]
@@ -56,15 +60,18 @@ class ShadowMemory:
         self._mid_mask = self._mid_size - 1
         # Top level is a dict so arbitrarily large addresses are accepted;
         # middle levels are lists of (possibly None) leaf chunks.
-        self._top: Dict[int, List[Optional[List[int]]]] = {}
+        self._top: Dict[int, List[Optional[array]]] = {}
         self._chunks_allocated = 0
+        # Template leaf: new chunks are C-level copies of this array
+        # rather than per-cell Python fills.
+        self._leaf_proto = array("q", [default]) * self._leaf_size
         # Last-leaf cache: most traces exhibit strong spatial locality, so
         # consecutive accesses usually land in the same leaf chunk.  The
         # tag is ``addr >> leaf_bits`` (negative addresses can never match
         # a cached tag, so the negative-address check stays on the slow
         # path only).
         self._cache_tag = -1
-        self._cache_chunk: Optional[List[int]] = None
+        self._cache_chunk: Optional[array] = None
 
     # -- indexing -------------------------------------------------------
 
@@ -131,7 +138,7 @@ class ShadowMemory:
         """Mask selecting the in-leaf offset: ``addr & leaf_mask``."""
         return self._leaf_mask
 
-    def leaf_create(self, addr: int) -> List[int]:
+    def leaf_create(self, addr: int) -> array:
         """The leaf chunk covering ``addr``, materialising it if absent."""
         top, mid, off = self._split(addr)
         table = self._top.get(top)
@@ -140,14 +147,14 @@ class ShadowMemory:
             self._top[top] = table
         chunk = table[mid]
         if chunk is None:
-            chunk = [self.default] * self._leaf_size
+            chunk = self._leaf_proto[:]
             table[mid] = chunk
             self._chunks_allocated += 1
         self._cache_tag = addr >> self._leaf_bits
         self._cache_chunk = chunk
         return chunk
 
-    def leaf_peek(self, addr: int) -> Optional[List[int]]:
+    def leaf_peek(self, addr: int) -> Optional[array]:
         """The leaf chunk covering ``addr`` or ``None`` — never allocates,
         so read-only consumers keep the allocation profile of plain
         ``__getitem__``."""
@@ -183,7 +190,7 @@ class ShadowMemory:
         leaf_bits = self._leaf_bits
         leaf_mask = self._leaf_mask
         tag = -1
-        chunk: Optional[List[int]] = None
+        chunk: Optional[array] = None
         out: List[int] = []
         append = out.append
         for addr in addrs:
@@ -217,7 +224,9 @@ class ShadowMemory:
 
         Used by the timestamp renumbering pass (Section 3.2, *Counter
         Overflows*): all live timestamps are rewritten while preserving
-        their relative order.
+        their relative order.  The rewrite mutates each leaf array in
+        place — chunk object identity is preserved, so (tag, chunk)
+        caches held by batch consumers stay valid across a renumber.
         """
         for table in self._top.values():
             for chunk in table:
@@ -246,8 +255,9 @@ class ShadowMemory:
         return self._chunks_allocated * self._leaf_size
 
     def space_bytes(self) -> int:
-        """Shadowed cells priced at the 8 bytes/cell a native 64-bit
-        shadow word costs.  Leaves are never freed short of
+        """Shadowed cells priced at 8 bytes/cell — with ``array('q')``
+        leaves this is the literal buffer footprint, not an estimate of
+        boxed-int overhead.  Leaves are never freed short of
         :meth:`clear`, so the current figure is also the peak."""
         return self._chunks_allocated * self._leaf_size * 8
 

@@ -127,6 +127,10 @@ class DrmsProfiler:
         #: [plain first-reads, thread-induced, kernel-induced]
         self.read_counters: Dict[str, List[int]] = {}
         self.renumber_passes = 0
+        #: run superops consumed by the columnar kernel (observability
+        #: only — deliberately *not* part of ``metrics_snapshot``, which
+        #: must be identical across consumption engines)
+        self.superops_consumed = 0
         #: live registry for rare events; ``None`` unless an *enabled*
         #: registry was passed, so hot paths never consult it
         self.metrics = metrics if metrics is not None and metrics.enabled else None
@@ -570,6 +574,17 @@ class DrmsProfiler:
         self.consume_batch(batch)
         return self.profiles
 
+    # -- columnar fast path ------------------------------------------------------
+
+    def consume_columnar(self, batch: EventBatch) -> None:
+        """Process a (possibly superop-fused) batch with the columnar
+        kernel — see :mod:`repro.core.kernel`.  State-equivalent to
+        :meth:`consume_batch` on the same events; accepts unfused
+        batches too, so callers can switch engines freely."""
+        from repro.core.kernel import consume_columnar_drms
+
+        consume_columnar_drms(self, batch)
+
     # -- execution boundaries & shard merging ------------------------------------
 
     def begin_trace(self) -> None:
@@ -644,6 +659,7 @@ class DrmsProfiler:
         self.renumber_passes += other.renumber_passes
         self.renumber_before_total += other.renumber_before_total
         self.renumber_after_total += other.renumber_after_total
+        self.superops_consumed += other.superops_consumed
         # A merge is an execution boundary: residual shadow state from
         # either shard must not leak induced-read classifications into
         # whatever trace is consumed next.

@@ -43,11 +43,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.costfunc import classify_trend
+from repro.core.events import fuse_batch
 from repro.core.rms import RmsProfiler
 from repro.core.timestamping import DrmsProfiler
 from repro.sweep.store import TraceKey, TraceStore
 from repro.tools.runner import (
+    DEFAULT_ENGINE,
     DEFAULT_TOOLS,
+    ENGINES,
     Degradation,
     _terminate_pool,
     record_trace,
@@ -93,6 +96,7 @@ class SweepConfig:
     threads: int = 4
     tools: Tuple[str, ...] = tuple(DEFAULT_TOOLS)
     repeats: int = 1
+    engine: str = DEFAULT_ENGINE
     parallel: Optional[int] = None
     fault_seed: Optional[int] = None
     replay_timeout: float = 300.0
@@ -118,6 +122,11 @@ class SweepConfig:
         unknown = [t for t in self.tools if t not in DEFAULT_TOOLS]
         if unknown:
             raise ValueError(f"unknown tools: {', '.join(unknown)}")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{', '.join(ENGINES)}"
+            )
 
     def cells(self) -> List[SweepCell]:
         return [
@@ -166,6 +175,7 @@ def _run_cell(
     repeats: int,
     fault_seed: Optional[int],
     reuse_measurements: bool,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, Any]:
     """Process one sweep cell end to end (pool worker entry point, also
     called inline for serial runs and fallbacks).  Returns a picklable
@@ -191,6 +201,10 @@ def _run_cell(
     meta.setdefault("events", len(batch))
     stored_replays = meta.get("replays") or {}
 
+    # Fuse once per cell, outside every timed region: the columnar
+    # replays and the columnar shard profiling below share the result.
+    fused = fuse_batch(batch) if engine == "columnar" else None
+
     replays: Dict[str, Dict[str, Any]] = {}
     measured_any = False
     for name in tools:
@@ -198,6 +212,9 @@ def _run_cell(
         if (
             isinstance(entry, dict)
             and entry.get("repeats") == repeats
+            # Metas written before engines existed measured the batched
+            # path; cached numbers are only comparable within one engine.
+            and entry.get("engine", "batched") == engine
             and isinstance(entry.get("seconds"), float)
         ):
             replays[name] = {
@@ -206,7 +223,9 @@ def _run_cell(
                 "source": "cache",
             }
             continue
-        seconds, space = replay_tool(DEFAULT_TOOLS[name], batch, repeats)
+        seconds, space = replay_tool(
+            DEFAULT_TOOLS[name], batch, repeats, engine=engine, fused=fused
+        )
         replays[name] = {
             "seconds": seconds,
             "space_cells": space,
@@ -216,6 +235,7 @@ def _run_cell(
             "seconds": seconds,
             "space_cells": space,
             "repeats": repeats,
+            "engine": engine,
         }
         measured_any = True
     if measured_any or not cached:
@@ -226,11 +246,17 @@ def _run_cell(
     rms = store.get_shard(key, "rms")
     shards_cached = drms is not None and rms is not None
     if not shards_cached:
+        # Shards are engine-invariant (property-tested): the columnar
+        # kernel only changes how fast we get to the identical profile.
         drms = DrmsProfiler(keep_activations=False)
-        drms.consume_batch(batch)
-        drms.begin_trace()
         rms = RmsProfiler(keep_activations=False)
-        rms.consume_batch(batch)
+        if fused is not None:
+            drms.consume_columnar(fused)
+            rms.consume_columnar(fused)
+        else:
+            drms.consume_batch(batch)
+            rms.consume_batch(batch)
+        drms.begin_trace()
         rms.begin_trace()
         store.put_shard(key, "drms", drms)
         store.put_shard(key, "rms", rms)
@@ -275,6 +301,7 @@ def _run_cells_supervised(
         config.repeats,
         config.fault_seed,
         config.reuse_measurements,
+        config.engine,
     )
     while pending and round_no <= config.max_retries:
         round_no += 1
@@ -405,6 +432,7 @@ def run_sweep(config: SweepConfig, metrics=None, tracer=None) -> "SweepResult":
                         config.repeats,
                         config.fault_seed,
                         config.reuse_measurements,
+                        config.engine,
                     )
             except Exception as exc:
                 if not supervised:
@@ -527,6 +555,7 @@ class SweepResult:
             "threads": self.config.threads,
             "tools": list(self.config.tools),
             "repeats": self.config.repeats,
+            "engine": self.config.engine,
             "parallel": self.config.parallel,
             "faults": self.config.fault_seed,
             "reuse_measurements": self.config.reuse_measurements,

@@ -10,7 +10,9 @@ from repro.tools.helgrind import Helgrind, VectorClock
 from repro.tools.memcheck import Memcheck
 from repro.tools.nulgrind import Nulgrind
 from repro.tools.runner import (
+    DEFAULT_ENGINE,
     DEFAULT_TOOLS,
+    ENGINES,
     Degradation,
     ToolMeasurement,
     WorkloadMeasurement,
@@ -19,6 +21,7 @@ from repro.tools.runner import (
     publish_measurement,
     record_trace,
     replay_tool,
+    replay_tool_streaming,
     suite_summary,
 )
 
@@ -31,12 +34,15 @@ __all__ = [
     "VectorClock",
     "AprofTool",
     "AprofDrmsTool",
+    "DEFAULT_ENGINE",
     "DEFAULT_TOOLS",
+    "ENGINES",
     "Degradation",
     "ToolMeasurement",
     "WorkloadMeasurement",
     "record_trace",
     "replay_tool",
+    "replay_tool_streaming",
     "measure_workload",
     "publish_measurement",
     "geometric_mean",

@@ -20,6 +20,7 @@ __all__ = ["AprofTool"]
 
 class AprofTool(AnalysisTool):
     name = "aprof"
+    supports_superops = True
 
     def __init__(self) -> None:
         self.engine = RmsProfiler(keep_activations=False)
@@ -29,6 +30,9 @@ class AprofTool(AnalysisTool):
 
     def consume_batch(self, batch: EventBatch) -> None:
         self.engine.consume_batch(batch)
+
+    def consume_columnar(self, batch: EventBatch) -> None:
+        self.engine.consume_columnar(batch)
 
     def finish(self) -> Dict[str, Any]:
         profiles = self.engine.profiles

@@ -21,6 +21,7 @@ __all__ = ["AprofDrmsTool"]
 
 class AprofDrmsTool(AnalysisTool):
     name = "aprof-drms"
+    supports_superops = True
 
     def __init__(
         self,
@@ -36,6 +37,9 @@ class AprofDrmsTool(AnalysisTool):
 
     def consume_batch(self, batch: EventBatch) -> None:
         self.engine.consume_batch(batch)
+
+    def consume_columnar(self, batch: EventBatch) -> None:
+        self.engine.consume_columnar(batch)
 
     def finish(self) -> Dict[str, Any]:
         profiles = self.engine.profiles

@@ -26,6 +26,13 @@ class AnalysisTool:
     #: short tool name used in reports ("memcheck", "aprof-drms", ...)
     name = "tool"
 
+    #: whether :meth:`consume_columnar` understands the run superops of
+    #: :func:`repro.core.events.fuse_batch`.  The replay engines only
+    #: hand *fused* batches to tools that set this; everything else
+    #: keeps receiving plain opcode batches, so specialised
+    #: ``consume_batch`` loops never meet an opcode they don't know.
+    supports_superops = False
+
     def consume(self, event: Event) -> None:
         """Process one trace event (hot path)."""
         raise NotImplementedError
@@ -42,6 +49,17 @@ class AnalysisTool:
         consume = self.consume
         for event in batch.iter_events():
             consume(event)
+
+    def consume_columnar(self, batch: EventBatch) -> None:
+        """Columnar-engine entry point.
+
+        The default delegates to :meth:`consume_batch`, which is
+        correct for any unfused batch (and for fused ones too when the
+        tool inherits the generic decode loop above — ``iter_events``
+        expands superops).  Tools with a native superop kernel set
+        :attr:`supports_superops` and override.
+        """
+        self.consume_batch(batch)
 
     def finish(self) -> Dict[str, Any]:
         """End-of-run hook; returns the tool's findings summary."""

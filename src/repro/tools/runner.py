@@ -48,7 +48,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.events import EventBatch
+from repro.core.events import EventBatch, count_superops, fuse_batch
+from repro.core.tracefile import iter_section_batches, pipeline_batches
 from repro.tools.aprof import AprofTool
 from repro.tools.aprof_drms import AprofDrmsTool
 from repro.tools.base import AnalysisTool
@@ -60,16 +61,31 @@ from repro.vm import Machine
 
 __all__ = [
     "DEFAULT_TOOLS",
+    "ENGINES",
+    "DEFAULT_ENGINE",
     "Degradation",
     "ToolMeasurement",
     "WorkloadMeasurement",
     "record_trace",
     "replay_tool",
+    "replay_tool_streaming",
     "measure_workload",
     "publish_measurement",
     "geometric_mean",
     "suite_summary",
 ]
+
+#: selectable replay engines: ``scalar`` decodes dataclass events and
+#: feeds ``consume`` (the reference loop), ``batched`` replays the
+#: opcode batch through ``consume_batch`` (the PR-1 fast path, kept
+#: intact as the measurement baseline), ``columnar`` fuses run superops
+#: once per workload and replays through ``consume_columnar`` with
+#: pipelined section decode in worker processes.  All three are
+#: bit-identical in profiling output (property-tested).
+ENGINES = ("scalar", "batched", "columnar")
+
+#: the default replay engine
+DEFAULT_ENGINE = "columnar"
 
 #: ceiling on the inter-retry backoff sleep, seconds
 _MAX_BACKOFF = 5.0
@@ -138,6 +154,11 @@ class WorkloadMeasurement:
     #: self-healing actions taken while measuring (empty = clean run);
     #: a tool that was ``excluded`` has no entry in :attr:`tools`
     degradations: List[Degradation] = field(default_factory=list)
+    #: replay engine used for the tool measurements (see :data:`ENGINES`)
+    engine: str = "batched"
+    #: run superops produced by fusing the recorded trace (0 unless the
+    #: columnar engine ran) — the fusion-effectiveness observable
+    superops_fused: int = 0
 
     @property
     def excluded_tools(self) -> List[str]:
@@ -169,15 +190,84 @@ def replay_tool(
     factory: Callable[[], AnalysisTool],
     batch: EventBatch,
     repeats: int = 3,
+    engine: str = "batched",
+    fused: Optional[EventBatch] = None,
 ) -> Tuple[float, int]:
     """Replay ``batch`` under ``repeats`` fresh tools; returns the best
-    wall time and the matching tool's shadow-state cells."""
+    wall time and the matching tool's shadow-state cells.
+
+    ``engine`` selects the consumption path (see :data:`ENGINES`).
+    Under ``columnar``, superop-capable tools replay the fused form of
+    the batch — pass ``fused`` to reuse one fusion across tools (the
+    runner fuses once per workload); otherwise it is computed here,
+    outside the timed region.  Tools without superop support replay
+    the plain batch through :meth:`~AnalysisTool.consume_columnar`.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    best_time = math.inf
+    space = 0
+    events = None
+    if engine == "scalar":
+        # decode once, outside the timed region: the scalar engine
+        # measures the per-event consume loop, not batch decoding
+        events = list(batch.iter_events())
+    for _ in range(repeats):
+        tool = factory()
+        if engine == "scalar":
+            consume = tool.consume
+            start = time.perf_counter()
+            for event in events:
+                consume(event)
+            elapsed = time.perf_counter() - start
+        elif engine == "columnar":
+            if tool.supports_superops:
+                if fused is None:
+                    fused = fuse_batch(batch)
+                payload = fused
+            else:
+                payload = batch
+            start = time.perf_counter()
+            tool.consume_columnar(payload)
+            elapsed = time.perf_counter() - start
+        else:
+            start = time.perf_counter()
+            tool.consume_batch(batch)
+            elapsed = time.perf_counter() - start
+        if elapsed < best_time:
+            best_time = elapsed
+            space = tool.space_cells()
+    return best_time, space
+
+
+def replay_tool_streaming(
+    factory: Callable[[], AnalysisTool],
+    payload: bytes,
+    repeats: int = 3,
+    depth: int = 4,
+) -> Tuple[float, int]:
+    """Columnar replay of a *serialised* trace with pipelined decode.
+
+    Sections are decoded zero-copy (:func:`iter_section_batches`) — and
+    fused, for superop-capable tools — on a reader thread that runs up
+    to ``depth`` sections ahead of the consuming kernel
+    (:func:`pipeline_batches`), so decode and CRC work overlap with
+    profiling instead of serialising with it.  The measured wall time
+    is end-to-end bytes-to-profile, the figure that decode pipelining
+    actually improves.
+    """
     best_time = math.inf
     space = 0
     for _ in range(repeats):
         tool = factory()
+        if tool.supports_superops:
+            sections = (fuse_batch(s) for s in iter_section_batches(payload))
+        else:
+            sections = iter_section_batches(payload)
+        consume = tool.consume_columnar
         start = time.perf_counter()
-        tool.consume_batch(batch)
+        for section in pipeline_batches(sections, depth=depth):
+            consume(section)
         elapsed = time.perf_counter() - start
         if elapsed < best_time:
             best_time = elapsed
@@ -186,10 +276,20 @@ def replay_tool(
 
 
 def _replay_worker(
-    factory: Callable[[], AnalysisTool], payload: bytes, repeats: int
+    factory: Callable[[], AnalysisTool],
+    payload: bytes,
+    repeats: int,
+    engine: str = "batched",
 ) -> Tuple[float, int]:
-    """Process-pool entry point: decode the shipped trace and replay."""
-    return replay_tool(factory, EventBatch.from_bytes(payload), repeats)
+    """Process-pool entry point: decode the shipped trace and replay.
+
+    The columnar engine streams sections through the pipelined decoder;
+    the others decode the whole payload up front (the pre-existing
+    behaviour, kept as the measurement baseline).
+    """
+    if engine == "columnar":
+        return replay_tool_streaming(factory, payload, repeats)
+    return replay_tool(factory, EventBatch.from_bytes(payload), repeats, engine)
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -214,6 +314,7 @@ def _replay_all_supervised(
     timeout: float,
     max_retries: int,
     backoff_base: float,
+    engine: str = "batched",
 ) -> Tuple[Dict[str, Tuple[float, int]], List[Degradation]]:
     """Replay every tool in worker processes under supervision.
 
@@ -242,7 +343,9 @@ def _replay_all_supervised(
         try:
             pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
             futures = {
-                name: pool.submit(_replay_worker, factory, payload, repeats)
+                name: pool.submit(
+                    _replay_worker, factory, payload, repeats, engine
+                )
                 for name, factory in pending.items()
             }
         except Exception as exc:  # no fork/spawn available at all
@@ -328,6 +431,7 @@ def measure_workload(
     backoff_base: float = 0.25,
     metrics=None,
     tracer=None,
+    engine: str = DEFAULT_ENGINE,
 ) -> WorkloadMeasurement:
     """Measure native and per-tool execution of one workload factory.
 
@@ -346,9 +450,17 @@ def measure_workload(
     :class:`repro.obs.SpanTracer`) gets one span per phase — native,
     record, and the replay block — so a suite sweep renders as a
     Perfetto timeline.  Both default to off and cost nothing then.
+
+    ``engine`` selects the replay path for every tool (see
+    :data:`ENGINES`); recording is always unfused, and under the
+    columnar engine the batch is fused into run superops exactly once,
+    shared by all in-process replays.  Reported event counts are always
+    logical (unfused) counts.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
     if parallel is not None and parallel < 1:
         raise ValueError("parallel must be >= 1")
     if replay_timeout <= 0:
@@ -379,6 +491,15 @@ def measure_workload(
         record_time, batch, _machine = record_trace(build)
     events = len(batch)
 
+    fused: Optional[EventBatch] = None
+    superops = 0
+    if engine == "columnar":
+        # Fuse once per workload, outside every timed region; all
+        # in-process replays share it (workers re-fuse locally, also
+        # outside their timed regions).
+        fused = fuse_batch(batch)
+        superops = count_superops(fused)[0]
+
     supervised = parallel is not None and parallel > 1
     replays: Dict[str, Tuple[float, int]] = {}
     degradations: List[Degradation] = []
@@ -397,6 +518,7 @@ def measure_workload(
                 replay_timeout,
                 max_retries,
                 backoff_base,
+                engine,
             )
         for tool_name, tool_factory in tools.items():
             if tool_name in replays:
@@ -408,7 +530,7 @@ def measure_workload(
                 # the run.
                 try:
                     replays[tool_name] = replay_tool(
-                        tool_factory, batch, repeats
+                        tool_factory, batch, repeats, engine, fused
                     )
                 except Exception as exc:
                     degradations.append(
@@ -421,7 +543,9 @@ def measure_workload(
                         )
                     )
             else:
-                replays[tool_name] = replay_tool(tool_factory, batch, repeats)
+                replays[tool_name] = replay_tool(
+                    tool_factory, batch, repeats, engine, fused
+                )
 
     result = WorkloadMeasurement(
         name,
@@ -430,6 +554,8 @@ def measure_workload(
         record_time=record_time,
         trace_events=events,
         degradations=degradations,
+        engine=engine,
+        superops_fused=superops,
     )
     for tool_name in tools:
         if tool_name not in replays:
@@ -469,6 +595,7 @@ def publish_measurement(measurement: WorkloadMeasurement, registry) -> None:
     registry.gauge("runner.native_us", w).set(us(measurement.native_time))
     registry.gauge("runner.record_us", w).set(us(measurement.record_time))
     registry.gauge("runner.trace_events", w).set(measurement.trace_events)
+    registry.gauge("kernel.superops_fused", w).set(measurement.superops_fused)
     for tool_name, row in measurement.tools.items():
         labels = {"workload": measurement.workload, "tool": tool_name}
         registry.gauge("runner.replay_us", labels).set(us(row.replay_time))

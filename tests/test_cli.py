@@ -187,6 +187,21 @@ class TestStats:
         assert main(["stats"]) == 2
         assert "workload is required" in capsys.readouterr().err
 
+    def test_stats_engines_agree_on_metrics(self, capsys):
+        import json
+
+        payloads = {}
+        for engine in ("scalar", "batched", "columnar"):
+            assert (
+                main(["stats", "md", "--json", "--engine", engine]) == 0
+            )
+            payloads[engine] = json.loads(capsys.readouterr().out)["metrics"]
+        # the superop gauge is engine telemetry, not profiler state
+        assert payloads["columnar"].pop("kernel.superops_fused") > 0
+        payloads["scalar"].pop("kernel.superops_fused", None)
+        payloads["batched"].pop("kernel.superops_fused", None)
+        assert payloads["scalar"] == payloads["batched"] == payloads["columnar"]
+
     def test_stats_json_payload(self, capsys):
         import json
 
