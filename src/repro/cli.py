@@ -301,6 +301,7 @@ def cmd_overhead(args) -> int:
                 metrics=registry,
                 tracer=tracer,
                 engine=args.engine,
+                partitions=args.partitions,
             )
         )
         print(f"  measured {name}", file=sys.stderr)
@@ -320,6 +321,7 @@ def cmd_overhead(args) -> int:
             "parallel": args.parallel,
             "faults": args.faults,
             "engine": args.engine,
+            "partitions": args.partitions,
             "summary": summary,
             "excluded": sorted(
                 {t for m in measurements for t in m.excluded_tools}
@@ -332,6 +334,8 @@ def cmd_overhead(args) -> int:
                     "record_time": m.record_time,
                     "trace_events": m.trace_events,
                     "superops_fused": m.superops_fused,
+                    "partitions": m.partitions,
+                    "partition_reason": m.partition_reason,
                     "excluded": m.excluded_tools,
                     "degradations": [
                         {
@@ -420,6 +424,7 @@ def cmd_sweep(args) -> int:
         fault_seed=args.faults,
         reuse_measurements=not args.remeasure,
         engine=args.engine,
+        partitions=args.partitions,
     )
     try:
         result = run_sweep(config, metrics=registry, tracer=tracer)
@@ -616,6 +621,30 @@ def cmd_doctor(args) -> int:
             else ""
         )
         print(f"status:    CORRUPT{where} — {scan.error}")
+    if scan.intact and args.partitions is not None:
+        from repro.core.tracefile import plan_partitions
+        from repro.tools.partition import resolve_partitions
+
+        plan = plan_partitions(data, resolve_partitions(args.partitions))
+        print(f"-- partition plan ({plan.requested}-way requested) --")
+        print(
+            f"sections:  {plan.total_sections} "
+            f"({plan.safe_boundaries} safe depth-zero boundar"
+            f"{'y' if plan.safe_boundaries == 1 else 'ies'})"
+        )
+        if plan.reason is not None:
+            print(f"splittable: no — {plan.reason}")
+        else:
+            print(
+                f"splittable: yes — {len(plan.partitions)} partition(s), "
+                f"imbalance {plan.imbalance:.1%}"
+            )
+        for part in plan.partitions:
+            print(
+                f"  partition {part.index}: bytes [{part.start}, "
+                f"{part.end}) — {part.sections} section(s), "
+                f"{part.events} event(s)"
+            )
     if args.recover:
         from repro.core.tracefile import save_trace_binary
 
@@ -648,6 +677,17 @@ def build_parser() -> argparse.ArgumentParser:
             default=DEFAULT_ENGINE,
             help="replay kernel: scalar event loop, batched opcode "
             "dispatch, or the columnar superop kernel (default)",
+        )
+
+    def add_partitions_arg(p):
+        p.add_argument(
+            "--partitions",
+            type=int,
+            default=None,
+            metavar="N",
+            help="split each trace at depth-zero section boundaries and "
+            "replay the partitions in N worker processes (0 = one per "
+            "CPU); unsplittable traces degrade to a single partition",
         )
 
     p = sub.add_parser("profile", help="profile a workload")
@@ -691,6 +731,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect runner telemetry and print the metrics table",
     )
     add_engine_arg(p)
+    add_partitions_arg(p)
     p.set_defaults(func=cmd_overhead)
 
     p = sub.add_parser(
@@ -751,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect sweep telemetry and print the metrics table",
     )
     add_engine_arg(p)
+    add_partitions_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -800,6 +842,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--recover",
         metavar="OUT",
         help="write the longest valid prefix to OUT",
+    )
+    p.add_argument(
+        "--partitions",
+        type=int,
+        default=4,
+        metavar="N",
+        help="also print the N-way partition plan (why the trace is or "
+        "isn't splittable for parallel replay; 0 = one per CPU)",
     )
     p.set_defaults(func=cmd_doctor)
 

@@ -106,6 +106,8 @@ def consume_columnar_drms(prof, batch: EventBatch) -> None:
     read_counters = prof.read_counters
     collect = prof.profiles.collect
     rc_get = read_counters.get
+    cold = prof.cold_reads
+    cold_append = cold.append if cold is not None else None
     count = prof.count
 
     if OP_USER_TO_KERNEL in ops:
@@ -277,6 +279,10 @@ def consume_columnar_drms(prof, batch: EventBatch) -> None:
                                 hi = mid - 1
                         if ancestor >= 0:
                             stack_entries[ancestor].drms -= 1
+                    elif cold_append is not None:
+                        # local == 0 implies written == 0 (induced branch
+                        # not taken): a cold read for partitioned replay.
+                        cold_append((tid, arg, 1, top.rtn))
                 ts_chunk[off] = count
             elif op == OP_WRITE:
                 tag = arg >> leaf_bits
@@ -405,6 +411,10 @@ def consume_columnar_drms(prof, batch: EventBatch) -> None:
                                         hi = mid - 1
                                 if ancestor >= 0:
                                     stack_entries[ancestor].drms -= m
+                            elif cold_append is not None:
+                                # minold == 0 forces maxw == 0: the whole
+                                # segment is cold reads.
+                                cold_append((tid, a, m, top.rtn))
                         else:
                             # Mixed segment: per-cell classification with
                             # every chunk already in hand.
@@ -445,6 +455,10 @@ def consume_columnar_drms(prof, batch: EventBatch) -> None:
                                                 hi = mid - 1
                                         if ancestor >= 0:
                                             stack_entries[ancestor].drms -= 1
+                                    elif cold_append is not None:
+                                        cold_append(
+                                            (tid, a + o - off, 1, top.rtn)
+                                        )
                     ts_chunk[off:end_off] = (
                         stamp_leaf if m == leaf_size else stamp_leaf[:m]
                     )

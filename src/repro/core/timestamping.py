@@ -140,6 +140,17 @@ class DrmsProfiler:
         #: summed pre-/post-renumbering counter values (compaction ratio)
         self.renumber_before_total = 0
         self.renumber_after_total = 0
+        #: partitioned-replay support: when a list, every *cold* plain
+        #: first-read — a plain-counted read of a cell this profiler has
+        #: never seen written or accessed (``local == 0`` and
+        #: ``wts == 0``) — is appended as ``(thread, addr, run, routine)``
+        #: with ``run`` consecutive addresses.  Serially such reads are
+        #: unambiguous, but a partition replaying a mid-trace byte range
+        #: cannot see prefix writes, so the merge stage reclassifies cold
+        #: reads against the preceding partitions' boundary summaries
+        #: (see ``tools/partition.py``).  ``None`` (the default) keeps
+        #: every hot path on its zero-cost branch.
+        self.cold_reads: Optional[List[tuple]] = None
 
     # -- state access -------------------------------------------------------
 
@@ -240,6 +251,8 @@ class DrmsProfiler:
                 ancestor = stack.deepest_ancestor_at(local)
                 if ancestor is not None:
                     stack[ancestor].drms -= 1
+            elif self.cold_reads is not None and self.wts[addr] == 0:
+                self.cold_reads.append((thread, addr, 1, stack.top.rtn))
         ts[addr] = self.count
 
     def on_write(self, thread: int, addr: int) -> None:
@@ -325,6 +338,8 @@ class DrmsProfiler:
         read_counters = self.read_counters
         collect = self.profiles.collect
         rc_get = read_counters.get
+        cold = self.cold_reads
+        cold_append = cold.append if cold is not None else None
         count = self.count
 
         if OP_USER_TO_KERNEL in ops:
@@ -478,6 +493,10 @@ class DrmsProfiler:
                                     hi = mid - 1
                             if ancestor >= 0:
                                 stack_entries[ancestor].drms -= 1
+                        elif cold_append is not None:
+                            # local == 0 implies written == 0 here (the
+                            # induced branch was not taken): a cold read.
+                            cold_append((tid, arg, 1, top.rtn))
                     ts_chunk[off] = count
                 elif op == OP_WRITE:
                     tag = arg >> leaf_bits
@@ -665,6 +684,24 @@ class DrmsProfiler:
         # whatever trace is consumed next.
         self.begin_trace()
         return self
+
+    def boundary_summary(self) -> Tuple[dict, dict]:
+        """Condense the live shadow state into the two maps a later
+        partition needs to reclassify its cold reads (see
+        ``tools/partition.py``): ``last_write[addr] -> (count, src)``
+        from the global write-timestamp/source memories, and
+        ``last_access[thread][addr] -> count`` from the per-thread
+        timestamp memories (which stamp reads and writes alike).  Must
+        be taken *before* :meth:`begin_trace` clears the shadow state.
+        """
+        wsrc = self.wsrc
+        last_write = {
+            addr: (stamp, wsrc[addr]) for addr, stamp in self.wts.items()
+        }
+        last_access = {
+            thread: dict(mem.items()) for thread, mem in self.ts.items()
+        }
+        return last_write, last_access
 
     # -- introspection -----------------------------------------------------------
 

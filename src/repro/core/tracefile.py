@@ -36,10 +36,12 @@ import queue
 import struct
 import sys
 import threading
+import time
 import urllib.parse
 import zlib
 from array import array
-from typing import IO, Iterable, Iterator, List, Union
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.events import (
     _BATCH_MAGIC,
@@ -76,6 +78,10 @@ __all__ = [
     "scan_trace",
     "iter_section_batches",
     "pipeline_batches",
+    "PipelineStats",
+    "TracePartition",
+    "PartitionPlan",
+    "plan_partitions",
 ]
 
 #: current binary trace format version (the ``RPRB\x02`` magic).  Cache
@@ -241,21 +247,10 @@ def scan_trace(stream: IO[bytes]) -> TraceScan:
 # a bounded hand-off queue so decode-ahead overlaps with profiling.
 
 
-def iter_section_batches(data: bytes) -> Iterator[EventBatch]:
-    """Yield one :class:`EventBatch` per CRC-verified section of a
-    binary trace, decoding zero-copy off a ``memoryview``.
-
-    Sections are the CRC granularity of the v2 format (~1024 events),
-    so the first batch is ready after touching ~25 KB regardless of
-    trace size.  The shared intern table is decoded once and referenced
-    by every yielded batch.  Raises :class:`TraceFormatError` at the
-    point of damage (events of previously yielded sections stand — the
-    longest-valid-prefix contract of the scanner, streamed).  A v1
-    trace degrades to a single all-or-nothing batch.
-    """
-    if data[: len(_BATCH_MAGIC_V1)] == _BATCH_MAGIC_V1:
-        yield EventBatch._from_bytes_v1(data)
-        return
+def _parse_v2_header(data) -> Tuple[List[str], int, int]:
+    """Decode the v2 header: returns ``(names, declared_events,
+    body_start)`` where ``body_start`` is the byte offset of the first
+    section header.  Raises :class:`TraceFormatError` on damage."""
     if data[: len(_BATCH_MAGIC)] != _BATCH_MAGIC:
         raise TraceFormatError("not a binary trace: bad magic", 0)
     view = memoryview(data)
@@ -293,16 +288,58 @@ def iter_section_batches(data: bytes) -> Iterator[EventBatch]:
         raise TraceFormatError("truncated header: missing event count", pos)
     (declared,) = struct.unpack_from("<Q", data, pos)
     pos += 8
+    return names, declared, pos
+
+
+def iter_section_batches(
+    data: bytes,
+    start: Optional[int] = None,
+    end: Optional[int] = None,
+) -> Iterator[EventBatch]:
+    """Yield one :class:`EventBatch` per CRC-verified section of a
+    binary trace, decoding zero-copy off a ``memoryview``.
+
+    Sections are the CRC granularity of the v2 format (~1024 events),
+    so the first batch is ready after touching ~25 KB regardless of
+    trace size.  The shared intern table is decoded once and referenced
+    by every yielded batch.  Raises :class:`TraceFormatError` at the
+    point of damage (events of previously yielded sections stand — the
+    longest-valid-prefix contract of the scanner, streamed).  A v1
+    trace degrades to a single all-or-nothing batch.
+
+    ``start``/``end`` restrict decoding to the byte range of a
+    :class:`TracePartition` (section-header to past-final-CRC offsets
+    from :func:`plan_partitions`), which is how partition workers
+    replay just their slice of a shared trace; the header is still
+    parsed for the intern table, and the declared-event total is not
+    enforced for a sub-range (the partition carries its own count).
+    A v1 trace cannot be sub-ranged.
+    """
+    if data[: len(_BATCH_MAGIC_V1)] == _BATCH_MAGIC_V1:
+        if start is not None or end is not None:
+            raise TraceFormatError("v1 traces have no sections to sub-range", 0)
+        yield EventBatch._from_bytes_v1(data)
+        return
+    names, declared, body_start = _parse_v2_header(data)
+    view = memoryview(data)
+    total = len(data)
+    ranged = start is not None or end is not None
+    pos = body_start if start is None else start
+    stop = total if end is None else end
+    if pos < body_start or stop > total or pos > stop:
+        raise TraceFormatError(
+            f"partition range [{pos}, {stop}) outside trace body", pos
+        )
 
     loaded = 0
-    while pos < total and loaded < declared:
-        if total - pos < 8:
+    while pos < stop and (ranged or loaded < declared):
+        if stop - pos < 8:
             raise TraceFormatError("truncated section header", pos)
         (n,) = struct.unpack_from("<Q", data, pos)
-        if n == 0 or n > declared - loaded:
+        if n == 0 or (not ranged and n > declared - loaded) or n > declared:
             raise TraceFormatError(f"implausible section event count {n}", pos)
         payload_size = n * _EVENT_BYTES
-        if total - pos - 8 < payload_size + 4:
+        if stop - pos - 8 < payload_size + 4:
             raise TraceFormatError(
                 f"truncated section ({n} events declared)", pos
             )
@@ -323,16 +360,52 @@ def iter_section_batches(data: bytes) -> Iterator[EventBatch]:
         loaded += n
         pos += 8 + payload_size + 4
         yield EventBatch(*columns, names=names)
-    if loaded < declared:
+    if not ranged and loaded < declared:
         raise TraceFormatError(
             f"trace truncated: {loaded} of {declared} events recovered", pos
         )
-    if pos != total:
+    if pos != stop:
         raise TraceFormatError("trailing bytes after final section", pos)
 
 
+@dataclass
+class PipelineStats:
+    """Backpressure accounting for one :func:`pipeline_batches` run.
+
+    ``decode_stall_s`` is consumer-side time spent blocked on the
+    hand-off queue because decode had not produced the next section yet
+    (the pipeline's fill stalls); ``backpressure_s`` is producer-side
+    time blocked because the consumer had ``depth`` sections queued
+    already (the pipeline's drain stalls).  ``queue_depth_hwm`` is the
+    deepest the decode-ahead window ever got.  Partition workers fold
+    these into ``repro.obs`` so a slow decode shows up as stall time
+    instead of silently idling a core.
+    """
+
+    batches: int = 0
+    decode_stall_s: float = 0.0
+    backpressure_s: float = 0.0
+    queue_depth_hwm: int = 0
+
+    def publish(self, metrics, labels: Optional[dict] = None) -> None:
+        """Fold this run into a :class:`repro.obs.MetricsRegistry`."""
+        labels = labels or {}
+        metrics.counter("pipeline.batches", labels).inc(self.batches)
+        metrics.histogram("pipeline.decode_stall_us", labels).observe(
+            int(self.decode_stall_s * 1e6)
+        )
+        metrics.histogram("pipeline.backpressure_us", labels).observe(
+            int(self.backpressure_s * 1e6)
+        )
+        metrics.gauge("pipeline.queue_depth_hwm", labels).set(
+            self.queue_depth_hwm
+        )
+
+
 def pipeline_batches(
-    batches: Iterable[EventBatch], depth: int = 4
+    batches: Iterable[EventBatch],
+    depth: int = 4,
+    stats: Optional[PipelineStats] = None,
 ) -> Iterator[EventBatch]:
     """Re-yield ``batches`` with production moved to a reader thread.
 
@@ -344,6 +417,10 @@ def pipeline_batches(
     serialising with it.  Producer exceptions re-raise in the consumer
     at the point of damage; abandoning the iterator early stops the
     reader thread promptly.
+
+    Pass a :class:`PipelineStats` as ``stats`` to accumulate queue
+    backpressure accounting for the run (mutated in place, complete
+    once the iterator is exhausted or closed).
     """
     if depth < 1:
         raise ValueError("depth must be >= 1")
@@ -353,12 +430,27 @@ def pipeline_batches(
 
     def offer(item) -> bool:
         """Put, but give up promptly once the consumer is gone."""
+        blocked = None
         while not stop.is_set():
             try:
-                handoff.put(item, timeout=0.05)
-                return True
+                if blocked is None:
+                    # Non-blocking first try so any wait at all is
+                    # timed from its true start, not from the first
+                    # 50ms timeout expiry.
+                    handoff.put_nowait(item)
+                else:
+                    handoff.put(item, timeout=0.05)
             except queue.Full:
+                if blocked is None:
+                    blocked = time.monotonic()
                 continue
+            if stats is not None:
+                if blocked is not None:
+                    stats.backpressure_s += time.monotonic() - blocked
+                filled = handoff.qsize()
+                if filled > stats.queue_depth_hwm:
+                    stats.queue_depth_hwm = filled
+            return True
         return False
 
     def reader() -> None:
@@ -374,12 +466,235 @@ def pipeline_batches(
     thread.start()
     try:
         while True:
-            item = handoff.get()
+            if stats is not None:
+                try:
+                    item = handoff.get_nowait()
+                except queue.Empty:
+                    stalled = time.monotonic()
+                    item = handoff.get()
+                    stats.decode_stall_s += time.monotonic() - stalled
+            else:
+                item = handoff.get()
             if item is done:
                 break
             if isinstance(item, BaseException):
                 raise item
+            if stats is not None:
+                stats.batches += 1
             yield item
     finally:
         stop.set()
         thread.join()
+
+
+# -- partitioned replay planning ---------------------------------------------
+#
+# One big trace is the last serial bottleneck of a sweep: every cell's
+# replay walks its sections in order on one core.  ``plan_partitions``
+# turns the v2 section framing into an embarrassingly parallel job by
+# finding byte offsets where the trace can be cut WITHOUT changing any
+# profiler's answer, and balancing event counts across the cuts.  The
+# safety argument (DESIGN.md §12, condensed): a section boundary is a
+# safe cut iff the cumulative call depth there is zero — every shadow
+# stack is empty, exactly the state ``begin_trace()`` expects between
+# traces of a multi-trace run, so per-partition profiles fold back
+# together with the exact associative ``merge()``.  Cumulative depth
+# is computable from the opcode column alone (calls minus returns),
+# so planning never decodes payloads beyond one ``bytes()`` copy of
+# each section's ops lane — ~1/25th of the trace.
+
+
+_OP_CALL_BYTE = 0
+_OP_RETURN_BYTE = 1
+
+
+@dataclass(frozen=True)
+class TracePartition:
+    """One byte-range of a v2 trace, replayable in isolation.
+
+    ``start``/``end`` delimit whole sections (``start`` is a section
+    header offset, ``end`` is one past a section CRC) and are valid
+    ``iter_section_batches`` range arguments.  ``events`` is the exact
+    event count of the range (from section headers, not an estimate).
+    """
+
+    index: int
+    start: int
+    end: int
+    sections: int
+    events: int
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A partitioning of one trace into independently replayable ranges.
+
+    ``partitions`` covers the trace body exactly, in order, with no
+    overlap.  When the trace cannot be split (v1 format, a single
+    section, or no interior depth-zero boundary) the plan degrades to
+    one partition and ``reason`` says why — callers fall back to serial
+    replay rather than failing.
+    """
+
+    requested: int
+    total_events: int
+    total_sections: int
+    safe_boundaries: int
+    partitions: Tuple[TracePartition, ...]
+    reason: Optional[str] = None
+
+    @property
+    def imbalance(self) -> float:
+        """Max partition's event count over the ideal share, minus 1.
+
+        0.0 is a perfect split; 1.0 means the largest partition holds
+        twice its fair share.  Published as the ``partition.imbalance``
+        gauge so lopsided traces are visible in telemetry.
+        """
+        if len(self.partitions) <= 1 or self.total_events == 0:
+            return 0.0
+        ideal = self.total_events / len(self.partitions)
+        return max(p.events for p in self.partitions) / ideal - 1.0
+
+
+def plan_partitions(data: bytes, partitions: int) -> PartitionPlan:
+    """Plan up to ``partitions`` balanced cuts of a binary trace.
+
+    Walks section headers only (CRC payloads are not verified here —
+    the workers' ranged decode does that) accumulating per-section
+    event counts and call-depth deltas from the opcode lane.  Cut
+    candidates are section boundaries where cumulative depth is zero;
+    cuts are chosen greedily at the candidate nearest each ideal
+    event-count quantile, so partitions balance as well as the
+    boundary spacing allows.  Always returns a plan — unsplittable
+    traces yield a single-partition plan with ``reason`` set.
+    """
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    if data[: len(_BATCH_MAGIC_V1)] == _BATCH_MAGIC_V1:
+        part = TracePartition(0, 0, len(data), 1, 0)
+        return PartitionPlan(
+            requested=partitions,
+            total_events=0,
+            total_sections=1,
+            safe_boundaries=0,
+            partitions=(part,),
+            reason="v1 trace: single undivided payload",
+        )
+    _names, declared, body_start = _parse_v2_header(data)
+    total = len(data)
+    # Walk the section framing: starts[i] is section i's header offset,
+    # cum_events[i]/depth after section i, plus whether the boundary
+    # *after* section i is a safe (depth-zero) cut.
+    starts: List[int] = []
+    cum_events: List[int] = []
+    safe_after: List[bool] = []
+    pos = body_start
+    events = 0
+    depth = 0
+    while pos < total:
+        if total - pos < 8:
+            raise TraceFormatError("truncated section header", pos)
+        (n,) = struct.unpack_from("<Q", data, pos)
+        if n == 0 or n > declared - events:
+            raise TraceFormatError(f"implausible section event count {n}", pos)
+        payload_size = n * _EVENT_BYTES
+        if total - pos - 8 < payload_size + 4:
+            raise TraceFormatError(
+                f"truncated section ({n} events declared)", pos
+            )
+        ops = bytes(data[pos + 8 : pos + 8 + n])  # the opcode lane
+        depth += ops.count(_OP_CALL_BYTE) - ops.count(_OP_RETURN_BYTE)
+        starts.append(pos)
+        events += n
+        cum_events.append(events)
+        safe_after.append(depth == 0)
+        pos += 8 + payload_size + 4
+    if events < declared:
+        raise TraceFormatError(
+            f"trace truncated: {events} of {declared} events recovered", pos
+        )
+    n_sections = len(starts)
+    ends = starts[1:] + [total]
+
+    def single(reason: Optional[str]) -> PartitionPlan:
+        part = TracePartition(0, body_start, total, n_sections, events)
+        return PartitionPlan(
+            requested=partitions,
+            total_events=events,
+            total_sections=n_sections,
+            safe_boundaries=sum(safe_after[:-1]),
+            partitions=(part,) if n_sections else (),
+            reason=reason,
+        )
+
+    if n_sections == 0:
+        return PartitionPlan(
+            requested=partitions,
+            total_events=0,
+            total_sections=0,
+            safe_boundaries=0,
+            partitions=(),
+            reason="empty trace",
+        )
+    if depth != 0:
+        return single(
+            f"final call depth {depth} != 0: trace has unmatched calls"
+        )
+    # Interior cut candidates: boundary after section i (i < last).
+    candidates = [i for i in range(n_sections - 1) if safe_after[i]]
+    if partitions == 1:
+        return single(None)
+    if not candidates:
+        return single("no depth-zero section boundary to cut at")
+    # Greedy quantile cuts: for each ideal share k*events/want, take the
+    # nearest unused candidate to its right (monotone pointer keeps the
+    # cuts ordered and the scan linear).
+    want = min(partitions, len(candidates) + 1)
+    cuts: List[int] = []
+    ci = 0
+    for k in range(1, want):
+        target = events * k / want
+        while ci < len(candidates) and cum_events[candidates[ci]] < target:
+            ci += 1
+        # candidates[ci] is the first boundary at/after the target;
+        # the one before may be closer.
+        best = None
+        if ci < len(candidates):
+            best = candidates[ci]
+        if ci > 0:
+            prev = candidates[ci - 1]
+            if prev not in cuts and (
+                best is None
+                or abs(cum_events[prev] - target)
+                <= abs(cum_events[best] - target)
+            ):
+                best = prev
+        if best is not None and best not in cuts:
+            cuts.append(best)
+    if not cuts:
+        return single("no depth-zero section boundary to cut at")
+    parts: List[TracePartition] = []
+    lo = 0
+    prev_events = 0
+    for idx, cut in enumerate(cuts + [n_sections - 1]):
+        part_events = cum_events[cut] - prev_events
+        parts.append(
+            TracePartition(
+                index=idx,
+                start=starts[lo],
+                end=ends[cut],
+                sections=cut - lo + 1,
+                events=part_events,
+            )
+        )
+        prev_events = cum_events[cut]
+        lo = cut + 1
+    return PartitionPlan(
+        requested=partitions,
+        total_events=events,
+        total_sections=n_sections,
+        safe_boundaries=len(candidates),
+        partitions=tuple(parts),
+        reason=None,
+    )

@@ -98,6 +98,12 @@ class SweepConfig:
     repeats: int = 1
     engine: str = DEFAULT_ENGINE
     parallel: Optional[int] = None
+    #: intra-cell partitioned replay: cut each cell's trace at depth-zero
+    #: section boundaries and replay the ranges in parallel (``0`` =
+    #: one per CPU, ``None`` = off).  Per-partition profiler shards are
+    #: cached individually in the store, so a warm sweep re-merges them
+    #: instead of re-replaying.
+    partitions: Optional[int] = None
     fault_seed: Optional[int] = None
     replay_timeout: float = 300.0
     max_retries: int = 2
@@ -115,6 +121,8 @@ class SweepConfig:
             raise ValueError("repeats must be >= 1")
         if self.parallel is not None and self.parallel < 1:
             raise ValueError("parallel must be >= 1")
+        if self.partitions is not None and self.partitions < 0:
+            raise ValueError("partitions must be >= 0")
         if self.replay_timeout <= 0:
             raise ValueError("replay_timeout must be > 0")
         if self.max_retries < 0:
@@ -176,6 +184,7 @@ def _run_cell(
     fault_seed: Optional[int],
     reuse_measurements: bool,
     engine: str = DEFAULT_ENGINE,
+    partitions: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Process one sweep cell end to end (pool worker entry point, also
     called inline for serial runs and fallbacks).  Returns a picklable
@@ -242,30 +251,86 @@ def _run_cell(
         meta["replays"] = stored_replays
         store.put_meta(key, meta)
 
-    drms = store.get_shard(key, "drms")
-    rms = store.get_shard(key, "rms")
-    shards_cached = drms is not None and rms is not None
-    if not shards_cached:
-        # Shards are engine-invariant (property-tested): the columnar
-        # kernel only changes how fast we get to the identical profile.
-        drms = DrmsProfiler(keep_activations=False)
-        rms = RmsProfiler(keep_activations=False)
-        if fused is not None:
-            drms.consume_columnar(fused)
-            rms.consume_columnar(fused)
-        else:
-            drms.consume_batch(batch)
-            rms.consume_batch(batch)
-        drms.begin_trace()
-        rms.begin_trace()
-        store.put_shard(key, "drms", drms)
-        store.put_shard(key, "rms", rms)
+    drms = rms = None
+    cell_partitions: Optional[int] = None
+    shard_bytes: Dict[str, int] = {"trace": store.entry_bytes(key)}
+    if partitions is not None:
+        # Intra-trace partitioned replay (PR 6): cut the cell's trace at
+        # depth-zero section boundaries and make the *per-partition*
+        # shard the cache unit — a warm sweep re-merges cached partition
+        # shards (exact and cheap) instead of re-replaying the trace.
+        from repro.core.tracefile import plan_partitions
+        from repro.tools.partition import (
+            merge_partition_shards,
+            replay_partitioned,
+            resolve_partitions,
+        )
 
-    shard_bytes = {
-        "trace": store.entry_bytes(key),
-        "drms": os.path.getsize(store.shard_path(key, "drms")),
-        "rms": os.path.getsize(store.shard_path(key, "rms")),
-    }
+        payload = batch.to_bytes()
+        plan = plan_partitions(payload, resolve_partitions(partitions))
+        cell_partitions = len(plan.partitions)
+        if cell_partitions > 1:
+            n = cell_partitions
+            rows: Dict[int, list] = {}
+            for part in plan.partitions:
+                row = [
+                    store.get_shard(key, f"{kind}.p{part.index}of{n}")
+                    for kind in ("drms", "rms")
+                ]
+                if all(s is not None for s in row):
+                    rows[part.index] = row
+            missing = [
+                p.index for p in plan.partitions if p.index not in rows
+            ]
+            shards_cached = not missing
+            if missing:
+                rep = replay_partitioned(
+                    payload,
+                    plan=plan,
+                    kinds=("drms", "rms"),
+                    engine=engine,
+                    only=missing,
+                    merge=False,
+                )
+                for row in rep.shards:
+                    # Store pristine shards *before* merging: the merge
+                    # below mutates the profilers in place.
+                    for shard in row:
+                        store.put_shard(
+                            key, f"{shard.kind}.p{shard.index}of{n}", shard
+                        )
+                    rows[row[0].index] = row
+            merged = merge_partition_shards([rows[i] for i in sorted(rows)])
+            drms = merged["drms"]
+            rms = merged["rms"]
+            for kind in ("drms", "rms"):
+                shard_bytes[kind] = sum(
+                    os.path.getsize(store.shard_path(key, f"{kind}.p{i}of{n}"))
+                    for i in range(n)
+                )
+    if drms is None:
+        drms = store.get_shard(key, "drms")
+        rms = store.get_shard(key, "rms")
+        shards_cached = drms is not None and rms is not None
+        if not shards_cached:
+            # Shards are engine-invariant (property-tested): the columnar
+            # kernel only changes how fast we get to the identical
+            # profile.
+            drms = DrmsProfiler(keep_activations=False)
+            rms = RmsProfiler(keep_activations=False)
+            if fused is not None:
+                drms.consume_columnar(fused)
+                rms.consume_columnar(fused)
+            else:
+                drms.consume_batch(batch)
+                rms.consume_batch(batch)
+            drms.begin_trace()
+            rms.begin_trace()
+            store.put_shard(key, "drms", drms)
+            store.put_shard(key, "rms", rms)
+        shard_bytes["drms"] = os.path.getsize(store.shard_path(key, "drms"))
+        shard_bytes["rms"] = os.path.getsize(store.shard_path(key, "rms"))
+
     return {
         "cell": cell,
         "cached": cached,
@@ -273,6 +338,7 @@ def _run_cell(
         "corrupt": store.corrupt,
         "record_time": record_time,
         "events": len(batch),
+        "partitions": cell_partitions,
         "replays": replays,
         "shard_bytes": shard_bytes,
         "wall_time": time.perf_counter() - start,
@@ -302,6 +368,7 @@ def _run_cells_supervised(
         config.fault_seed,
         config.reuse_measurements,
         config.engine,
+        config.partitions,
     )
     while pending and round_no <= config.max_retries:
         round_no += 1
@@ -433,6 +500,7 @@ def run_sweep(config: SweepConfig, metrics=None, tracer=None) -> "SweepResult":
                         config.fault_seed,
                         config.reuse_measurements,
                         config.engine,
+                        config.partitions,
                     )
             except Exception as exc:
                 if not supervised:
@@ -557,6 +625,7 @@ class SweepResult:
             "repeats": self.config.repeats,
             "engine": self.config.engine,
             "parallel": self.config.parallel,
+            "partitions": self.config.partitions,
             "faults": self.config.fault_seed,
             "reuse_measurements": self.config.reuse_measurements,
             "wall_time": self.wall_time,
@@ -570,6 +639,7 @@ class SweepResult:
                     "shards_cached": p["shards_cached"],
                     "record_time": p["record_time"],
                     "events": p["events"],
+                    "partitions": p.get("partitions"),
                     "wall_time": p["wall_time"],
                     "shard_bytes": dict(p["shard_bytes"]),
                     "replays": {

@@ -54,7 +54,7 @@ __all__ = ["TraceKey", "TraceStore", "SHARD_VERSION"]
 #: version tag baked into pickled profiler shards; bump when profiler
 #: state layout changes so stale shards are recomputed instead of
 #: unpickled into the wrong shape
-SHARD_VERSION = 1
+SHARD_VERSION = 2
 
 
 @dataclass(frozen=True)

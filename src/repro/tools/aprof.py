@@ -21,6 +21,7 @@ __all__ = ["AprofTool"]
 class AprofTool(AnalysisTool):
     name = "aprof"
     supports_superops = True
+    partition_kind = "rms"
 
     def __init__(self) -> None:
         self.engine = RmsProfiler(keep_activations=False)

@@ -22,6 +22,7 @@ __all__ = ["AprofDrmsTool"]
 class AprofDrmsTool(AnalysisTool):
     name = "aprof-drms"
     supports_superops = True
+    partition_kind = "drms"
 
     def __init__(
         self,

@@ -13,7 +13,7 @@ makes.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.core.events import Event, EventBatch
 
@@ -25,6 +25,11 @@ class AnalysisTool:
 
     #: short tool name used in reports ("memcheck", "aprof-drms", ...)
     name = "tool"
+
+    #: profiler kind for intra-trace partitioned replay (``"rms"`` or
+    #: ``"drms"``; see :mod:`repro.tools.partition`).  ``None`` means the
+    #: tool has no exact shard merge and always replays its trace whole.
+    partition_kind: Optional[str] = None
 
     #: whether :meth:`consume_columnar` understands the run superops of
     #: :func:`repro.core.events.fuse_batch`.  The replay engines only

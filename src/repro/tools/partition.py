@@ -1,0 +1,583 @@
+"""Partitioned replay: one trace, many workers, an exact merged profile.
+
+After PR 5 the slowest cell of a sweep is a *single serial replay* of
+one large trace.  This module turns that replay into an embarrassingly
+parallel job:
+
+1. :func:`repro.core.tracefile.plan_partitions` cuts the v2 trace at
+   depth-zero section boundaries (every shadow stack empty — the
+   ``begin_trace()`` execution-boundary state) into byte ranges with
+   balanced event counts;
+2. each partition replays its range through the normal engines
+   (columnar by default, with pipelined ranged decode) in a supervised
+   process pool — a worker that times out or dies is retried with
+   backoff and, failing that, that partition alone falls back to an
+   inline replay in the parent;
+3. the per-partition profiler shards fold back together with the exact
+   associative ``merge()``.
+
+Exactness (DESIGN.md §12): at a depth-zero cut the only state a later
+partition cannot see is the *memory* prefix — global write timestamps
+and per-thread access timestamps.  Every read classification except one
+is invariant under that blindness; the exception is the **cold read**
+(a plain-counted first read of a cell the partition never saw written
+or accessed), which serially may be an *induced* first read when a
+prefix write postdates the reading thread's last prefix access.  The
+drms kernels therefore log cold reads when ``cold_reads`` is armed, and
+:func:`merge_partition_shards` reclassifies them against the preceding
+partitions' boundary summaries before merging — moving the unit from
+the plain slot to the thread/kernel slot of the same routine.  The drms
+value itself is already correct either way (both branches add one unit
+and neither refunds an ancestor), so profiles need no fix-up at all;
+only the read-kind split does.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.events import fuse_batch
+from repro.core.policy import FULL_POLICY
+from repro.core.rms import RmsProfiler
+from repro.core.timestamping import DrmsProfiler
+from repro.core.tracefile import (
+    PartitionPlan,
+    PipelineStats,
+    TracePartition,
+    iter_section_batches,
+    pipeline_batches,
+    plan_partitions,
+)
+from repro.tools.runner import (
+    _MAX_BACKOFF,
+    _jitter_rng,
+    _terminate_pool,
+    Degradation,
+)
+
+__all__ = [
+    "PartitionShard",
+    "PartitionedReplay",
+    "replay_partition",
+    "replay_partitioned",
+    "merge_partition_shards",
+    "resolve_partitions",
+]
+
+#: test hook: when this environment variable holds a partition index,
+#: the pool worker assigned that partition exits hard (``os._exit``),
+#: simulating an OOM-killed or crashed worker.  Guarded on actually
+#: being inside a pool worker so the parent's inline fallback survives.
+_KILL_ENV = "REPRO_PARTITION_TEST_KILL"
+
+
+def resolve_partitions(partitions: Optional[int]) -> Optional[int]:
+    """Normalise a ``--partitions`` value: ``None`` stays off, ``0``
+    means auto (one partition per CPU), anything else passes through."""
+    if partitions is None:
+        return None
+    if partitions < 0:
+        raise ValueError("partitions must be >= 0")
+    if partitions == 0:
+        return os.cpu_count() or 1
+    return partitions
+
+
+def _make_profiler(kind: str, counter_limit: Optional[int] = None):
+    if kind == "drms":
+        return DrmsProfiler(
+            policy=FULL_POLICY,
+            counter_limit=counter_limit,
+            keep_activations=False,
+        )
+    if kind == "rms":
+        return RmsProfiler(keep_activations=False)
+    raise ValueError(f"unknown partition kind {kind!r}")
+
+
+@dataclass
+class PartitionShard:
+    """One profiler's state after replaying one partition.
+
+    The profiler inside is post-``begin_trace()`` (shadow-free, hence
+    cheap to pickle back from a worker); the shadow state it would have
+    carried across the cut is condensed into ``last_write`` /
+    ``last_access`` (drms only — the rms baseline needs no fix-up), and
+    its partition-local cold reads are parked in ``cold_reads`` for
+    :func:`merge_partition_shards`.
+    """
+
+    kind: str
+    index: int
+    partitions: int
+    events: int
+    elapsed: float
+    space_cells: int
+    profiler: object
+    cold_reads: list = field(default_factory=list)
+    last_write: dict = field(default_factory=dict)
+    last_access: dict = field(default_factory=dict)
+    decode_stall_s: float = 0.0
+    backpressure_s: float = 0.0
+    queue_depth_hwm: int = 0
+
+
+def replay_partition(
+    payload: bytes,
+    part: TracePartition,
+    kinds: Sequence[str],
+    total: int,
+    engine: str = "columnar",
+    counter_limit: Optional[int] = None,
+    depth: int = 4,
+) -> List[PartitionShard]:
+    """Replay one partition's byte range under each profiler kind.
+
+    The columnar engine streams ranged sections (fused into run
+    superops) through the pipelined decoder and records its
+    backpressure stats; ``batched``/``scalar`` replay the same range
+    through the other engines for the equivalence suite.
+    """
+    shards: List[PartitionShard] = []
+    for kind in kinds:
+        prof = _make_profiler(kind, counter_limit)
+        if kind == "drms":
+            prof.cold_reads = []
+        stats = PipelineStats()
+        start = time.perf_counter()
+        if engine == "scalar":
+            for batch in iter_section_batches(payload, part.start, part.end):
+                for event in batch.iter_events():
+                    prof.consume(event)
+        elif engine == "batched":
+            for batch in iter_section_batches(payload, part.start, part.end):
+                prof.consume_batch(batch)
+        else:
+            sections = (
+                fuse_batch(s)
+                for s in iter_section_batches(payload, part.start, part.end)
+            )
+            for section in pipeline_batches(sections, depth=depth, stats=stats):
+                prof.consume_columnar(section)
+        elapsed = time.perf_counter() - start
+        space = prof.space_cells()
+        if kind == "drms":
+            last_write, last_access = prof.boundary_summary()
+            cold = prof.cold_reads or []
+            prof.cold_reads = None
+        else:
+            last_write, last_access, cold = {}, {}, []
+        prof.begin_trace()  # shard contract: shadow-free, mergeable
+        shards.append(
+            PartitionShard(
+                kind=kind,
+                index=part.index,
+                partitions=total,
+                events=part.events,
+                elapsed=elapsed,
+                space_cells=space,
+                profiler=prof,
+                cold_reads=cold,
+                last_write=last_write,
+                last_access=last_access,
+                decode_stall_s=stats.decode_stall_s,
+                backpressure_s=stats.backpressure_s,
+                queue_depth_hwm=stats.queue_depth_hwm,
+            )
+        )
+    return shards
+
+
+def _subrange_payload(
+    payload: bytes, part: TracePartition, body_start: int
+) -> Tuple[bytes, TracePartition]:
+    """Slice one partition's share of the trace into a standalone
+    payload: the v2 header (magic + intern table + declared count)
+    followed by just this partition's sections, with the partition
+    descriptor rebased onto the new body.
+
+    The pool ships each worker ``header + its sections`` instead of
+    pickling the whole trace per task — per-worker transfer stays
+    ``O(trace/partitions)``, so submission cost no longer scales with
+    ``trace x workers``.  Ranged iteration does not enforce the
+    declared-event total, so the unchanged header count is harmless.
+    """
+    sub = payload[:body_start] + payload[part.start : part.end]
+    rebased = TracePartition(
+        part.index,
+        body_start,
+        body_start + (part.end - part.start),
+        part.sections,
+        part.events,
+    )
+    return sub, rebased
+
+
+def _partition_worker(
+    payload: bytes,
+    part: TracePartition,
+    kinds: Sequence[str],
+    total: int,
+    engine: str,
+    counter_limit: Optional[int],
+) -> List[PartitionShard]:
+    kill = os.environ.get(_KILL_ENV)
+    if kill is not None and multiprocessing.parent_process() is not None:
+        try:
+            target = int(kill)
+        except ValueError:
+            target = -1
+        if target == part.index:
+            os._exit(13)
+    return replay_partition(
+        payload, part, kinds, total, engine=engine, counter_limit=counter_limit
+    )
+
+
+def _reclassify_cold_reads(shards: List[PartitionShard]) -> int:
+    """Re-run the induced-read test for every cold read against the
+    preceding partitions' boundary summaries, mutating the shard
+    profilers' ``read_counters`` in place.  Returns the number of reads
+    reclassified.
+
+    A cold read of ``addr`` by ``thread`` is serially *induced* iff a
+    prefix write to ``addr`` postdates the thread's last prefix access
+    of it — compared as ``(partition, local_count)`` pairs, which is
+    valid because serial counts are monotone across partitions and each
+    partition preserves its own event order.  Each shard's own
+    summaries fold in only *after* its cold reads are classified, so
+    classification sees exactly the strict prefix.
+    """
+    last_write: Dict[int, Tuple[int, int, int]] = {}
+    last_access: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    moved = 0
+    for shard in shards:
+        counters = shard.profiler.read_counters
+        for thread, base, run, rtn in shard.cold_reads:
+            for addr in range(base, base + run):
+                w = last_write.get(addr)
+                if w is None:
+                    continue
+                acc = last_access.get((thread, addr))
+                if acc is None or acc < (w[0], w[1]):
+                    row = counters[rtn]
+                    row[0] -= 1
+                    row[1 if w[2] else 2] += 1
+                    moved += 1
+        p = shard.index
+        for addr, (stamp, src) in shard.last_write.items():
+            last_write[addr] = (p, stamp, src)
+        for thread, mem in shard.last_access.items():
+            for addr, stamp in mem.items():
+                last_access[(thread, addr)] = (p, stamp)
+    return moved
+
+
+def merge_partition_shards(
+    shard_rows: Sequence[Sequence[PartitionShard]],
+) -> Dict[str, object]:
+    """Fold per-partition shards into one profiler per kind.
+
+    ``shard_rows`` holds one row per partition (any order; shards sort
+    by index).  drms shards get the cold-read reclassification pass
+    first, then everything reduces left-to-right with the exact
+    ``merge()``.  The first shard's profiler is mutated and returned.
+    """
+    by_kind: Dict[str, List[PartitionShard]] = {}
+    for row in shard_rows:
+        for shard in row:
+            by_kind.setdefault(shard.kind, []).append(shard)
+    merged: Dict[str, object] = {}
+    for kind, shards in by_kind.items():
+        shards.sort(key=lambda s: s.index)
+        indices = [s.index for s in shards]
+        if indices != list(range(shards[-1].index + 1)):
+            raise ValueError(
+                f"cannot merge an incomplete shard set for {kind!r}: "
+                f"have partitions {indices}"
+            )
+        if kind == "drms":
+            _reclassify_cold_reads(shards)
+        base = shards[0].profiler
+        for shard in shards[1:]:
+            base.merge(shard.profiler)
+        merged[kind] = base
+    return merged
+
+
+@dataclass
+class PartitionedReplay:
+    """Everything one partitioned replay produced."""
+
+    plan: PartitionPlan
+    #: one row per partition, ascending index; each row holds one shard
+    #: per requested kind
+    shards: List[List[PartitionShard]]
+    #: merged profiler per kind (exact — see module docstring)
+    profilers: Dict[str, object]
+    degradations: List[Degradation] = field(default_factory=list)
+    #: end-to-end bytes-to-merged-profile wall time, parent-side
+    elapsed: float = 0.0
+    merge_time: float = 0.0
+    cold_reads_reclassified: int = 0
+
+    @property
+    def max_space_cells(self) -> int:
+        """Peak per-worker shadow footprint (max across partitions) —
+        the partitioned analogue of a serial replay's space figure; an
+        upper bound on any single process's shadow state, not on their
+        sum."""
+        return max(
+            (s.space_cells for row in self.shards for s in row), default=0
+        )
+
+
+def replay_partitioned(
+    payload: bytes,
+    partitions: Optional[int] = None,
+    plan: Optional[PartitionPlan] = None,
+    kinds: Sequence[str] = ("drms",),
+    engine: str = "columnar",
+    counter_limit: Optional[int] = None,
+    workers: Optional[int] = None,
+    timeout: float = 120.0,
+    max_retries: int = 2,
+    backoff_base: float = 0.25,
+    metrics=None,
+    tracer=None,
+    label: str = "partition",
+    only: Optional[Sequence[int]] = None,
+    merge: bool = True,
+) -> PartitionedReplay:
+    """Partition ``payload``, replay the partitions in a supervised
+    process pool, and merge the shards exactly.
+
+    Pass either a precomputed ``plan`` (planning is cheap but callers
+    timing the replay plan outside the timed region) or a ``partitions``
+    request (``None``/``0`` = one per CPU).  Single-partition plans —
+    requested or degraded-to — replay inline, no pool.  Worker failures
+    follow the PR 2 supervision discipline: bounded retries with
+    exponential backoff and jitter, then an inline serial fallback *for
+    that partition only*, every decision recorded as a
+    :class:`Degradation` (stage ``partition-replay``).  Never hangs;
+    raises only if a partition fails even inline (a genuinely
+    unreplayable trace).
+
+    ``only`` restricts replay to the listed partition indices and
+    ``merge=False`` skips the merge stage (``.profilers`` comes back
+    empty) — together they let the sweep cache replay just its missing
+    partition shards and fold them with shards it already has.
+    """
+    if tracer is None:
+        from repro.obs import NULL_TRACER
+
+        tracer = NULL_TRACER
+    if plan is None:
+        plan = plan_partitions(
+            payload, resolve_partitions(partitions if partitions is not None else 0)
+        )
+    all_parts = plan.partitions
+    parts = (
+        all_parts
+        if only is None
+        else tuple(p for p in all_parts if p.index in set(only))
+    )
+    total = len(all_parts)
+    degradations: List[Degradation] = []
+    results: Dict[int, List[PartitionShard]] = {}
+    start_all = time.perf_counter()
+
+    def inline(part: TracePartition) -> None:
+        with tracer.span(
+            "partition-replay",
+            track="partition",
+            label=label,
+            partition=part.index,
+            mode="inline",
+        ):
+            results[part.index] = replay_partition(
+                payload,
+                part,
+                kinds,
+                total,
+                engine=engine,
+                counter_limit=counter_limit,
+            )
+
+    pool_workers = min(len(parts), workers or os.cpu_count() or 1)
+    if len(parts) <= 1 or pool_workers <= 1:
+        for part in parts:
+            inline(part)
+    else:
+        pending: Dict[int, TracePartition] = {p.index: p for p in parts}
+        attempts: Dict[int, int] = {p.index: 0 for p in parts}
+        by_index: Dict[int, TracePartition] = {p.index: p for p in parts}
+        # Partitions tile the body from its first byte, so the first
+        # planned partition's start is the header/body split.
+        body_start = all_parts[0].start
+        round_no = 0
+        with tracer.span(
+            "partition-pool",
+            track="partition",
+            label=label,
+            partitions=total,
+            workers=pool_workers,
+        ):
+            while pending and round_no <= max_retries:
+                round_no += 1
+                if round_no > 1:
+                    delay = backoff_base * 2.0 ** (round_no - 2)
+                    delay = min(
+                        delay + _jitter_rng.uniform(0, backoff_base),
+                        _MAX_BACKOFF,
+                    )
+                    time.sleep(delay)
+                try:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(pool_workers, len(pending))
+                    )
+                    futures = {}
+                    for index, part in pending.items():
+                        sub, rebased = _subrange_payload(
+                            payload, part, body_start
+                        )
+                        futures[index] = pool.submit(
+                            _partition_worker,
+                            sub,
+                            rebased,
+                            kinds,
+                            total,
+                            engine,
+                            counter_limit,
+                        )
+                except Exception as exc:  # no fork/spawn available
+                    for index in pending:
+                        degradations.append(
+                            Degradation(
+                                "partition-replay",
+                                f"{label}:p{index}",
+                                attempts[index] + 1,
+                                f"pool unavailable: "
+                                f"{type(exc).__name__}: {exc}",
+                                "serial-fallback",
+                            )
+                        )
+                    break
+                stuck = False
+                for index, future in futures.items():
+                    try:
+                        results[index] = future.result(timeout=timeout)
+                        del pending[index]
+                    except FutureTimeoutError:
+                        attempts[index] += 1
+                        stuck = True
+                        exhausted = attempts[index] > max_retries
+                        if exhausted:
+                            del pending[index]
+                        degradations.append(
+                            Degradation(
+                                "partition-replay",
+                                f"{label}:p{index}",
+                                attempts[index],
+                                f"partition replay exceeded {timeout:g}s "
+                                f"timeout",
+                                "serial-fallback" if exhausted else "retried",
+                            )
+                        )
+                    except Exception as exc:
+                        # BrokenProcessPool and deterministic failures
+                        # alike: retry in a fresh pool, then fall back.
+                        attempts[index] += 1
+                        exhausted = attempts[index] > max_retries
+                        if exhausted:
+                            del pending[index]
+                        degradations.append(
+                            Degradation(
+                                "partition-replay",
+                                f"{label}:p{index}",
+                                attempts[index],
+                                f"{type(exc).__name__}: {exc}",
+                                "serial-fallback" if exhausted else "retried",
+                            )
+                        )
+                if stuck:
+                    _terminate_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+        for index in sorted(set(p.index for p in parts) - set(results)):
+            inline(by_index[index])
+
+    merge_start = time.perf_counter()
+    rows = [results[i] for i in sorted(results)]
+    reclassified = 0
+    profilers: Dict[str, object] = {}
+    if merge:
+        with tracer.span("partition-merge", track="partition", label=label):
+            # Run the reclassification up front so its count is
+            # observable, then clear the cold logs so
+            # merge_partition_shards (which reclassifies internally for
+            # standalone callers) can't reapply them.
+            drms_shards = sorted(
+                (s for row in rows for s in row if s.kind == "drms"),
+                key=lambda s: s.index,
+            )
+            if drms_shards:
+                reclassified = _reclassify_cold_reads(drms_shards)
+                for shard in drms_shards:
+                    shard.cold_reads = []
+            profilers = merge_partition_shards(rows)
+            for kind in kinds:
+                if kind not in profilers:
+                    # Empty trace (zero partitions): an empty profile,
+                    # same as a serial replay of zero events.
+                    empty = _make_profiler(kind, counter_limit)
+                    empty.begin_trace()
+                    profilers[kind] = empty
+    merge_time = time.perf_counter() - merge_start
+    elapsed = time.perf_counter() - start_all
+
+    if metrics is not None and getattr(metrics, "enabled", False):
+        labels = {"label": label}
+        metrics.gauge("partition.count", labels).set(total)
+        metrics.gauge("partition.imbalance", labels).set(
+            round(plan.imbalance, 6)
+        )
+        if merge:
+            metrics.histogram("partition.merge_us", labels).observe(
+                max(1, int(merge_time * 1e6))
+            )
+            metrics.counter("partition.cold_reads_reclassified", labels).inc(
+                reclassified
+            )
+        for row in rows:
+            for shard in row:
+                slabels = {
+                    "label": label,
+                    "kind": shard.kind,
+                    "partition": str(shard.index),
+                }
+                metrics.gauge("partition.replay_us", slabels).set(
+                    max(1, int(shard.elapsed * 1e6))
+                )
+                metrics.gauge("partition.events", slabels).set(shard.events)
+                metrics.histogram(
+                    "partition.decode_stall_us", {"label": label}
+                ).observe(int(shard.decode_stall_s * 1e6))
+                metrics.histogram(
+                    "partition.backpressure_us", {"label": label}
+                ).observe(int(shard.backpressure_s * 1e6))
+    return PartitionedReplay(
+        plan=plan,
+        shards=rows,
+        profilers=profilers,
+        degradations=degradations,
+        elapsed=elapsed,
+        merge_time=merge_time,
+        cold_reads_reclassified=reclassified,
+    )

@@ -159,6 +159,13 @@ class WorkloadMeasurement:
     #: run superops produced by fusing the recorded trace (0 unless the
     #: columnar engine ran) — the fusion-effectiveness observable
     superops_fused: int = 0
+    #: effective partition count for partition-capable tools (``None``
+    #: when partitioned replay was not requested; 1 when the trace
+    #: degraded to a single partition — see :attr:`partition_reason`)
+    partitions: Optional[int] = None
+    #: why the planner could not split the trace (``None`` = split fine
+    #: or partitioning off)
+    partition_reason: Optional[str] = None
 
     @property
     def excluded_tools(self) -> List[str]:
@@ -432,6 +439,7 @@ def measure_workload(
     metrics=None,
     tracer=None,
     engine: str = DEFAULT_ENGINE,
+    partitions: Optional[int] = None,
 ) -> WorkloadMeasurement:
     """Measure native and per-tool execution of one workload factory.
 
@@ -444,6 +452,18 @@ def measure_workload(
     replay; a tool failing even serially is excluded.  Self-healing
     actions are reported in ``.degradations`` — the call itself never
     hangs or raises on worker trouble.
+
+    ``partitions`` switches partition-capable tools (those with a
+    ``partition_kind`` — aprof and aprof-drms) to *intra-trace*
+    parallel replay: the recorded trace is cut at depth-zero section
+    boundaries, the ranges replay in a supervised process pool, and the
+    shards merge exactly (see :mod:`repro.tools.partition`).  ``0``
+    means one partition per CPU; ``None`` keeps partitioning off.
+    Composes with ``parallel``, which still fans the remaining tools
+    out across workers.  Partitioned replay times are end-to-end
+    bytes-to-merged-profile (like the streaming path), so they include
+    ranged decode and the merge.  An unsplittable trace degrades to a
+    single partition; ``.partition_reason`` says why.
 
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives the
     measurement via :func:`publish_measurement`; ``tracer`` (a
@@ -500,6 +520,25 @@ def measure_workload(
         fused = fuse_batch(batch)
         superops = count_superops(fused)[0]
 
+    # Partition planning happens once per workload, outside every timed
+    # region (the per-replay timed work is bytes-to-merged-profile).
+    partition_tools: Dict[str, str] = {}
+    partition_plan = None
+    payload: Optional[bytes] = None
+    eff_partitions: Optional[int] = None
+    if partitions is not None:
+        from repro.core.tracefile import plan_partitions
+        from repro.tools.partition import resolve_partitions
+
+        eff_partitions = resolve_partitions(partitions)
+        payload = batch.to_bytes()
+        partition_plan = plan_partitions(payload, eff_partitions)
+        partition_tools = {
+            tool_name: kind
+            for tool_name, factory in tools.items()
+            if (kind := getattr(factory, "partition_kind", None)) is not None
+        }
+
     supervised = parallel is not None and parallel > 1
     replays: Dict[str, Tuple[float, int]] = {}
     degradations: List[Degradation] = []
@@ -511,7 +550,11 @@ def measure_workload(
     ):
         if supervised:
             replays, degradations = _replay_all_supervised(
-                tools,
+                {
+                    tool_name: factory
+                    for tool_name, factory in tools.items()
+                    if tool_name not in partition_tools
+                },
                 batch,
                 repeats,
                 parallel,
@@ -520,6 +563,44 @@ def measure_workload(
                 backoff_base,
                 engine,
             )
+        if partition_tools:
+            from repro.tools.partition import replay_partitioned
+        for tool_name, kind in partition_tools.items():
+            try:
+                best_time = math.inf
+                space = 0
+                for _ in range(repeats):
+                    rep = replay_partitioned(
+                        payload,
+                        plan=partition_plan,
+                        kinds=(kind,),
+                        engine=engine,
+                        workers=eff_partitions,
+                        timeout=replay_timeout,
+                        max_retries=max_retries,
+                        backoff_base=backoff_base,
+                        metrics=metrics,
+                        tracer=tracer,
+                        label=tool_name,
+                    )
+                    degradations.extend(rep.degradations)
+                    if rep.elapsed < best_time:
+                        best_time = rep.elapsed
+                        space = rep.max_space_cells
+                replays[tool_name] = (best_time, space)
+            except Exception as exc:
+                # Partitioned replay failing outright (not a worker
+                # hiccup — those are handled inside) falls back to the
+                # plain serial path below.
+                degradations.append(
+                    Degradation(
+                        "partition-replay",
+                        tool_name,
+                        1,
+                        f"{type(exc).__name__}: {exc}",
+                        "serial-fallback",
+                    )
+                )
         for tool_name, tool_factory in tools.items():
             if tool_name in replays:
                 continue
@@ -556,6 +637,14 @@ def measure_workload(
         degradations=degradations,
         engine=engine,
         superops_fused=superops,
+        partitions=(
+            len(partition_plan.partitions)
+            if partition_plan is not None
+            else None
+        ),
+        partition_reason=(
+            partition_plan.reason if partition_plan is not None else None
+        ),
     )
     for tool_name in tools:
         if tool_name not in replays:
@@ -596,6 +685,8 @@ def publish_measurement(measurement: WorkloadMeasurement, registry) -> None:
     registry.gauge("runner.record_us", w).set(us(measurement.record_time))
     registry.gauge("runner.trace_events", w).set(measurement.trace_events)
     registry.gauge("kernel.superops_fused", w).set(measurement.superops_fused)
+    if measurement.partitions is not None:
+        registry.gauge("runner.partitions", w).set(measurement.partitions)
     for tool_name, row in measurement.tools.items():
         labels = {"workload": measurement.workload, "tool": tool_name}
         registry.gauge("runner.replay_us", labels).set(us(row.replay_time))

@@ -116,6 +116,40 @@ class TestOverhead:
         out = capsys.readouterr().out
         assert "aprof-drms" in out
 
+    def test_overhead_partitioned_replay(self, tmp_path, capsys):
+        target = tmp_path / "overhead.json"
+        assert (
+            main(
+                [
+                    "overhead",
+                    "--suite",
+                    "specomp",
+                    "--benchmarks",
+                    "md",
+                    "--repeats",
+                    "1",
+                    "--scale",
+                    "1",
+                    "--partitions",
+                    "2",
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "aprof-drms" in out
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["partitions"] == 2
+        row = payload["workloads"][0]
+        # single-run traces degrade to one partition, reason preserved
+        assert row["partitions"] == 1
+        assert row["partition_reason"]
+        assert not row["degradations"]
+
     def test_overhead_json(self, tmp_path, capsys):
         target = tmp_path / "overhead.json"
         assert (
@@ -397,6 +431,19 @@ class TestSweep:
     def test_parallel_sweep_via_cli(self, tmp_path, capsys):
         assert self.sweep(tmp_path, "--parallel", "2") == 0
         assert "2 cell(s)" in capsys.readouterr().out
+
+    def test_partitioned_sweep_via_cli(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "sweep.json"
+        assert (
+            self.sweep(tmp_path, "--partitions", "2", "--json", str(target))
+            == 0
+        )
+        assert "2 cell(s)" in capsys.readouterr().out
+        report = json.loads(target.read_text(), parse_constant=self._reject)
+        assert report["partitions"] == 2
+        assert all(cell["partitions"] == 1 for cell in report["cells"])
 
 
 class TestStrictJsonOutputs:

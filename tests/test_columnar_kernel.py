@@ -398,6 +398,59 @@ def test_pipeline_reraises_decode_corruption():
     assert len(got) >= 1024  # at least the first section survived
 
 
+def test_pipeline_stats_count_batches_and_stalls():
+    """Backpressure accounting (PR 6 satellite): the stats object counts
+    every yielded section, tracks the decode-ahead high-water mark, and
+    a deliberately slow consumer shows up as producer backpressure."""
+    from repro.core.tracefile import PipelineStats
+
+    events = _long_trace()
+    payload = encode_events(events).to_bytes()
+    stats = PipelineStats()
+    sections = list(
+        pipeline_batches(iter_section_batches(payload), depth=2, stats=stats)
+    )
+    assert stats.batches == len(sections) > 1
+    assert stats.decode_stall_s >= 0.0
+    assert stats.backpressure_s >= 0.0
+    assert 0 <= stats.queue_depth_hwm <= 2
+
+    slow = PipelineStats()
+    for _section in pipeline_batches(
+        iter_section_batches(payload), depth=1, stats=slow
+    ):
+        time.sleep(0.005)  # consumer slower than decode: queue fills
+    assert slow.batches == len(sections)
+    assert slow.queue_depth_hwm >= 1
+    assert slow.backpressure_s > 0.0
+
+
+def test_pipeline_stats_publish_to_metrics():
+    from repro.core.tracefile import PipelineStats
+    from repro.obs import MetricsRegistry
+
+    events = _long_trace()
+    payload = encode_events(events).to_bytes()
+    stats = PipelineStats()
+    consumed = sum(
+        len(s)
+        for s in pipeline_batches(
+            iter_section_batches(payload), depth=2, stats=stats
+        )
+    )
+    assert consumed == len(events)
+    registry = MetricsRegistry()
+    stats.publish(registry, {"label": "t"})
+    labels = {"label": "t"}
+    assert registry.counter("pipeline.batches", labels).value == stats.batches
+    assert registry.histogram("pipeline.decode_stall_us", labels).count == 1
+    assert registry.histogram("pipeline.backpressure_us", labels).count == 1
+    assert (
+        registry.gauge("pipeline.queue_depth_hwm", labels).value
+        == stats.queue_depth_hwm
+    )
+
+
 def test_streaming_profile_matches_monolithic():
     events = _long_trace()
     payload = encode_events(events).to_bytes()

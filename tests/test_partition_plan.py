@@ -1,0 +1,239 @@
+"""Partition planner and ranged section decode (PR 6 tentpole, stage 1).
+
+``plan_partitions`` must cut v2 traces only at depth-zero section
+boundaries (the ``begin_trace()`` execution-boundary state), balance the
+cuts by event count, degrade unsplittable traces to a single partition
+with an explanatory reason, and emit byte ranges that
+``iter_section_batches`` replays to exactly the original event stream.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.events import (
+    Call,
+    EventBatch,
+    Read,
+    Return,
+    SwitchThread,
+    Write,
+    decode_batch,
+    encode_events,
+)
+from repro.core.events import _BATCH_MAGIC_V1
+from repro.core.tracefile import (
+    TraceFormatError,
+    iter_section_batches,
+    plan_partitions,
+)
+from repro.core.tracing import with_switches
+
+
+def run_events(thread=1, rtn="work", ops=20, base=0x100):
+    """One complete top-level activation: depth returns to zero at the
+    end and nowhere else."""
+    events = [Call(thread, rtn)]
+    for i in range(ops):
+        if i % 3 == 0:
+            events.append(Write(thread, base + i))
+        else:
+            events.append(Read(thread, base + i))
+    events.append(Return(thread))
+    return events
+
+
+def concat_runs(runs):
+    """Concatenate complete runs; returns ``(events, boundaries)`` with
+    one boundary index per run start (the multi-run recording shape)."""
+    events, bounds = [], []
+    for raw in runs:
+        if events:
+            bounds.append(len(events))
+            events.append(SwitchThread())
+        events.extend(with_switches(raw))
+    return events, bounds
+
+
+def multi_run_payload(n_runs=4, section_events=8, ops=20):
+    runs = [
+        run_events(thread=1 + k % 2, rtn=f"run{k}", ops=ops + 2 * k,
+                   base=0x100 * (k + 1))
+        for k in range(n_runs)
+    ]
+    events, bounds = concat_runs(runs)
+    batch = encode_events(events)
+    return events, batch.to_bytes(
+        section_events=section_events, boundaries=bounds
+    )
+
+
+def v1_bytes(events):
+    batch = encode_events(events)
+    parts = [_BATCH_MAGIC_V1, struct.pack("<I", len(batch.names))]
+    for name in batch.names:
+        raw = name.encode("utf-8")
+        parts.append(struct.pack("<I", len(raw)))
+        parts.append(raw)
+    parts.append(struct.pack("<Q", len(batch.ops)))
+    for arr in (batch.ops, batch.threads, batch.args, batch.costs):
+        parts.append(arr.tobytes())
+    return b"".join(parts)
+
+
+# -- planning -----------------------------------------------------------------
+
+
+def test_plan_cuts_multi_run_trace_at_run_boundaries():
+    events, payload = multi_run_payload(n_runs=4)
+    plan = plan_partitions(payload, 4)
+    assert plan.reason is None
+    assert len(plan.partitions) == 4
+    assert plan.requested == 4
+    assert plan.total_events == len(events)
+    assert plan.safe_boundaries == 3  # exactly the three interior run starts
+    # The ranges tile the body exactly, in order, with no overlap.
+    for prev, part in zip(plan.partitions, plan.partitions[1:]):
+        assert prev.end == part.start
+    assert sum(p.events for p in plan.partitions) == len(events)
+    assert sum(p.sections for p in plan.partitions) == plan.total_sections
+    assert plan.imbalance >= 0.0
+
+
+def test_plan_only_cuts_at_depth_zero():
+    """Interior section boundaries inside a run (depth > 0) are never
+    chosen, even when they would balance better."""
+    # One huge run then one tiny run: the only safe cut is the run
+    # boundary, however lopsided.
+    events, bounds = concat_runs(
+        [run_events(ops=200), run_events(thread=2, ops=4, base=0x900)]
+    )
+    payload = encode_events(events).to_bytes(
+        section_events=8, boundaries=bounds
+    )
+    plan = plan_partitions(payload, 2)
+    assert plan.reason is None
+    assert len(plan.partitions) == 2
+    assert plan.safe_boundaries == 1
+    assert plan.partitions[0].events == bounds[0]
+    assert plan.imbalance > 0.5  # visibly lopsided, reported as such
+
+
+def test_plan_degrades_single_run_with_reason():
+    events = with_switches(run_events(ops=100))
+    payload = encode_events(events).to_bytes(section_events=8)
+    plan = plan_partitions(payload, 4)
+    assert len(plan.partitions) == 1
+    assert plan.reason == "no depth-zero section boundary to cut at"
+    assert plan.safe_boundaries == 0
+    assert plan.imbalance == 0.0
+
+
+def test_plan_requested_one_is_single_without_reason():
+    _events, payload = multi_run_payload(n_runs=3)
+    plan = plan_partitions(payload, 1)
+    assert len(plan.partitions) == 1
+    assert plan.reason is None
+
+
+def test_plan_caps_at_available_boundaries():
+    events, payload = multi_run_payload(n_runs=3)
+    plan = plan_partitions(payload, 16)
+    assert plan.reason is None
+    assert len(plan.partitions) == 3  # 2 interior boundaries -> 3 parts
+    assert plan.total_events == len(events)
+
+
+def test_plan_v1_degrades():
+    payload = v1_bytes(with_switches(run_events(ops=30)))
+    plan = plan_partitions(payload, 4)
+    assert len(plan.partitions) == 1
+    assert plan.reason == "v1 trace: single undivided payload"
+
+
+def test_plan_unmatched_calls_degrades():
+    events = [Call(1, "leaky"), Read(1, 0x10), Call(1, "inner")]
+    payload = encode_events(events).to_bytes(section_events=2)
+    plan = plan_partitions(payload, 2)
+    assert len(plan.partitions) == 1
+    assert "unmatched calls" in plan.reason
+
+
+def test_plan_empty_trace():
+    plan = plan_partitions(EventBatch().to_bytes(), 4)
+    assert plan.partitions == ()
+    assert plan.reason == "empty trace"
+    assert plan.total_events == 0
+
+
+def test_plan_rejects_bad_request():
+    _events, payload = multi_run_payload()
+    with pytest.raises(ValueError):
+        plan_partitions(payload, 0)
+
+
+def test_plan_truncated_trace_raises():
+    _events, payload = multi_run_payload()
+    with pytest.raises(TraceFormatError):
+        plan_partitions(payload[:-10], 2)
+
+
+# -- ranged decode ------------------------------------------------------------
+
+
+def test_partition_ranges_decode_to_original_events():
+    events, payload = multi_run_payload(n_runs=4, section_events=8)
+    plan = plan_partitions(payload, 4)
+    decoded = [
+        e
+        for part in plan.partitions
+        for batch in iter_section_batches(payload, part.start, part.end)
+        for e in batch.iter_events()
+    ]
+    assert decoded == events
+    for part in plan.partitions:
+        got = sum(
+            len(b) for b in iter_section_batches(payload, part.start, part.end)
+        )
+        assert got == part.events
+
+
+def test_ranged_decode_rejects_v1():
+    payload = v1_bytes(with_switches(run_events(ops=10)))
+    with pytest.raises(TraceFormatError):
+        list(iter_section_batches(payload, 0, len(payload)))
+
+
+def test_ranged_decode_rejects_trailing_garbage():
+    _events, payload = multi_run_payload()
+    plan = plan_partitions(payload, 2)
+    part = plan.partitions[0]
+    with pytest.raises(TraceFormatError):
+        # A range ending mid-section is framing corruption, not data.
+        list(iter_section_batches(payload, part.start, part.end - 3))
+
+
+# -- boundary-aware serialisation ---------------------------------------------
+
+
+def test_to_bytes_boundaries_force_section_breaks():
+    events, bounds = concat_runs(
+        [run_events(ops=10), run_events(thread=2, ops=10, base=0x500)]
+    )
+    payload = encode_events(events).to_bytes(
+        section_events=1024, boundaries=bounds
+    )
+    sections = list(iter_section_batches(payload))
+    # Without the boundary this small trace would be one section.
+    assert len(sections) == 2
+    assert len(sections[0]) == bounds[0]
+    assert [e for s in sections for e in s.iter_events()] == events
+
+
+def test_to_bytes_boundaries_ignore_out_of_range():
+    events = with_switches(run_events(ops=10))
+    batch = encode_events(events)
+    plain = batch.to_bytes()
+    decorated = batch.to_bytes(boundaries=[0, -3, len(events), 10_000])
+    assert decorated == plain
+    assert decode_batch(EventBatch.from_bytes(decorated)) == events

@@ -139,6 +139,85 @@ class TestSupervision:
             run_sweep(config(tmp_path, repeats=0))
 
 
+class TestPartitionedCells:
+    """Intra-cell partitioned replay (PR 6): per-partition shards are the
+    cache unit, and a warm sweep re-merges them instead of re-replaying."""
+
+    def _seed_splittable_trace(self, root, cell):
+        """Pre-record a multi-run-shaped trace under the cell's key:
+        depth returns to zero every 8 events, so every default section
+        boundary is a safe cut."""
+        from repro.core.events import Call, Read, Return, encode_events
+        from repro.sweep.store import TraceStore
+
+        events = []
+        for k in range(512):
+            events.append(Call(1, f"r{k % 3}"))
+            for i in range(6):
+                events.append(Read(1, 0x100 + (k * 7 + i) % 64))
+            events.append(Return(1))
+        batch = encode_events(events)
+        TraceStore(root).put(_cell_key(cell, None), batch)
+
+    def test_partitioned_cell_caches_and_remerges_shards(self, tmp_path):
+        import os
+
+        from repro.sweep.store import TraceStore
+
+        root = str(tmp_path / "store")
+        cell = SweepCell("producer_consumer", 1, 4)
+        self._seed_splittable_trace(root, cell)
+        cold = _run_cell(cell, root, (), 1, None, True, "columnar", 2)
+        assert cold["cached"]  # trace came from the seeded store
+        assert cold["partitions"] == 2
+        assert not cold["shards_cached"]
+        # per-partition shard files exist; no merged shard was written
+        store = TraceStore(root)
+        key = _cell_key(cell, None)
+        for kind in ("drms", "rms"):
+            for i in range(2):
+                path = store.shard_path(key, f"{kind}.p{i}of2")
+                assert os.path.exists(path)
+                assert cold["shard_bytes"][kind] >= os.path.getsize(path)
+            assert not os.path.exists(store.shard_path(key, kind))
+        # warm: both partition shards load from the store and re-merge
+        warm = _run_cell(cell, root, (), 1, None, True, "columnar", 2)
+        assert warm["shards_cached"]
+        assert warm["partitions"] == 2
+        # the serial (unpartitioned) cell computes the same profile
+        serial = _run_cell(cell, root, (), 1, None, True, "columnar", None)
+        assert serial["partitions"] is None
+        for kind in ("drms", "rms"):
+            assert (
+                warm[kind].metrics_snapshot()
+                == serial[kind].metrics_snapshot()
+            )
+            assert (
+                cold[kind].metrics_snapshot()
+                == serial[kind].metrics_snapshot()
+            )
+
+    def test_sweep_with_partitions_matches_plain(self, tmp_path):
+        cfg = config(tmp_path, store_root=str(tmp_path / "a"), partitions=2)
+        part = run_sweep(cfg)
+        plain = run_sweep(config(tmp_path, store_root=str(tmp_path / "b")))
+        assert part.trends == plain.trends
+        # single-run registry traces degrade gracefully to one partition
+        assert all(cell["partitions"] == 1 for cell in part.cells)
+        assert part.report_dict()["partitions"] == 2
+        assert all(
+            cell["partitions"] == 1
+            for cell in part.report_dict()["cells"]
+        )
+        warm = run_sweep(cfg)
+        assert warm.trends == part.trends
+        assert all(cell["shards_cached"] for cell in warm.cells)
+
+    def test_partitions_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_sweep(config(tmp_path, partitions=-1))
+
+
 class TestReport:
     def test_report_is_strict_json_with_shard_sizes(self, tmp_path):
         result = run_sweep(config(tmp_path))

@@ -241,6 +241,43 @@ class TestDoctorCli:
     def test_doctor_missing_file(self, tmp_path, capsys):
         assert main(["doctor", "--trace", str(tmp_path / "nope.bin")]) == 2
 
+    def test_doctor_prints_unsplittable_partition_plan(
+        self, tmp_path, capsys
+    ):
+        """A single-run trace shows *why* it cannot be partitioned."""
+        path = self.trace_file(
+            tmp_path, v2_bytes(sample_events(60), section_events=8)
+        )
+        assert main(["doctor", "--trace", path, "--partitions", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "partition plan (4-way requested)" in out
+        assert "splittable: no — no depth-zero section boundary" in out
+        assert "partition 0: bytes [" in out
+
+    def test_doctor_prints_splittable_partition_plan(self, tmp_path, capsys):
+        runs = []
+        for k in range(3):
+            runs.extend(
+                [Call(1, f"run{k}")]
+                + [Read(1, 0x100 * k + i) for i in range(10)]
+                + [Return(1)]
+            )
+        batch = encode_events(runs)
+        data = batch.to_bytes(section_events=4, boundaries=[12, 24])
+        path = self.trace_file(tmp_path, data)
+        assert main(["doctor", "--trace", path, "--partitions", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "splittable: yes — 3 partition(s)" in out
+        assert "2 safe depth-zero boundaries" in out
+        assert "partition 2: bytes [" in out
+        assert "12 event(s)" in out
+
+    def test_doctor_skips_plan_for_corrupt_trace(self, tmp_path, capsys):
+        data = v2_bytes(sample_events())
+        path = self.trace_file(tmp_path, data[: len(data) * 2 // 3])
+        assert main(["doctor", "--trace", path]) == 1
+        assert "partition plan" not in capsys.readouterr().out
+
     def test_trace_binary_save_then_doctor(self, tmp_path, capsys):
         path = str(tmp_path / "pc.bin")
         assert (
