@@ -1,0 +1,204 @@
+"""Service mode — journal durability cost and coordination overhead.
+
+Two questions the crash-safe sweep service must answer before it is
+worth running instead of a plain ``run_sweep``:
+
+1. How expensive is the journal?  Append throughput with ``fsync``
+   on (every durable record hits the platter) vs off (flush-only, the
+   heartbeat path), plus the replay rate a restarting coordinator sees.
+2. What does coordination cost end to end?  The same workload × scale
+   matrix through the coordinator + leased-worker loop vs direct
+   serial cells into a fresh store.  The merged profiles must be
+   byte-identical; the wall-clock overhead must stay small.
+
+Results are written to ``BENCH_service.json`` at the repo root.  Also
+runnable directly: ``PYTHONPATH=src python benchmarks/bench_service.py``
+(``--quick`` for the CI smoke variant).
+"""
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service import Coordinator
+from repro.service.journal import Journal
+from repro.service.worker import LocalClient, run_worker
+from repro.sweep import SweepConfig, merge_store_profiles, run_sweep
+
+WORKLOADS = ("producer_consumer", "selection_sort")
+SCALES = (1, 2)
+THREADS = 2
+TOOLS = ("nulgrind", "aprof-drms")
+#: generous bound — in-process coordination (journal + leases) must not
+#: dominate the actual replay work
+MAX_OVERHEAD_RATIO = 2.0
+MAX_OVERHEAD_SLACK = 0.75  # seconds, absorbs scheduler noise on tiny runs
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def journal_throughput(root, records, fsync):
+    path = os.path.join(root, f"journal-fsync-{int(fsync)}.rpjl")
+    journal = Journal(path, fsync=fsync)
+    payload = {"worker": "bench", "cell": "producer_consumer@s1"}
+    start = time.perf_counter()
+    for _ in range(records):
+        journal.append("cell_leased", **payload)
+    wall = time.perf_counter() - start
+    journal.close()
+
+    start = time.perf_counter()
+    replayed, stats = Journal(path, readonly=True).replay()
+    replay_wall = time.perf_counter() - start
+    assert len(replayed) == records and not stats.corrupt
+    return {
+        "records": records,
+        "fsync": fsync,
+        "wall": wall,
+        "appends_per_sec": records / wall if wall else float("inf"),
+        "replays_per_sec": records / replay_wall
+        if replay_wall
+        else float("inf"),
+        "bytes": os.path.getsize(path),
+    }
+
+
+def direct_sweep(root):
+    start = time.perf_counter()
+    run_sweep(
+        SweepConfig(
+            workloads=WORKLOADS,
+            scales=SCALES,
+            threads=THREADS,
+            tools=TOOLS,
+            store_root=root,
+        )
+    )
+    wall = time.perf_counter() - start
+    merged, missing = merge_store_profiles(
+        root, list(WORKLOADS), list(SCALES), threads=THREADS
+    )
+    assert missing == []
+    return wall, merged
+
+
+def service_sweep(root, journal_path):
+    coordinator = Coordinator(
+        root, journal_path, lease_timeout=30.0, fsync=False
+    )
+    client = LocalClient(coordinator)
+    start = time.perf_counter()
+    job_id = coordinator.submit(
+        list(WORKLOADS), list(SCALES), threads=THREADS, tools=list(TOOLS)
+    )
+    completed = run_worker(
+        client, "bench-worker", poll_interval=0.01, stop_when_idle=True
+    )
+    wall = time.perf_counter() - start
+    report = coordinator.job_report(job_id, include_trends=False)
+    coordinator.close()
+    assert report["state"] == "complete"
+    assert completed == len(WORKLOADS) * len(SCALES)
+    merged, missing = merge_store_profiles(
+        root, list(WORKLOADS), list(SCALES), threads=THREADS
+    )
+    assert missing == []
+    return wall, merged
+
+
+def measure_overhead():
+    """Fresh stores for both sides: each pays recording + replay, the
+    service side additionally pays journal + lease round-trips."""
+    root = tempfile.mkdtemp(prefix="repro-bench-service-")
+    try:
+        direct_wall, direct_merged = direct_sweep(
+            os.path.join(root, "direct-store")
+        )
+        service_wall, service_merged = service_sweep(
+            os.path.join(root, "svc-store"),
+            os.path.join(root, "journal.rpjl"),
+        )
+        assert pickle.dumps(service_merged) == pickle.dumps(direct_merged)
+        return direct_wall, service_wall
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_suite(quick=False):
+    root = tempfile.mkdtemp(prefix="repro-bench-journal-")
+    try:
+        flush_only = journal_throughput(
+            root, 200 if quick else 2000, fsync=False
+        )
+        durable = journal_throughput(root, 50 if quick else 400, fsync=True)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    # best-of pairs: both sides share each round's scheduler noise
+    direct_wall = service_wall = float("inf")
+    for _ in range(1 if quick else 3):
+        d_wall, s_wall = measure_overhead()
+        direct_wall = min(direct_wall, d_wall)
+        service_wall = min(service_wall, s_wall)
+
+    results = {
+        "suite": "service",
+        "quick": quick,
+        "workloads": list(WORKLOADS),
+        "scales": list(SCALES),
+        "cells": len(WORKLOADS) * len(SCALES),
+        "journal_flush_only": flush_only,
+        "journal_fsync": durable,
+        "fsync_cost_ratio": flush_only["appends_per_sec"]
+        / durable["appends_per_sec"],
+        "direct_wall": direct_wall,
+        "service_wall": service_wall,
+        "overhead_ratio": service_wall / direct_wall,
+        "max_overhead_ratio": MAX_OVERHEAD_RATIO,
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def print_results(results):
+    for label, row in (
+        ("flush-only", results["journal_flush_only"]),
+        ("fsync", results["journal_fsync"]),
+    ):
+        print(
+            f"journal {label:>10}: {row['appends_per_sec']:10.0f} appends/s, "
+            f"{row['replays_per_sec']:10.0f} replays/s "
+            f"({row['records']} records, {row['bytes']} bytes)"
+        )
+    print(
+        f"direct sweep:  {results['direct_wall'] * 1e3:8.1f} ms, "
+        f"service sweep: {results['service_wall'] * 1e3:8.1f} ms "
+        f"(x{results['overhead_ratio']:.2f} overhead, "
+        f"written to {RESULT_PATH.name})"
+    )
+
+
+def test_service_overhead_within_budget(benchmark):
+    quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
+    results = benchmark.pedantic(
+        lambda: run_suite(quick=quick), rounds=1, iterations=1
+    )
+    from _support import print_banner
+
+    print_banner("Service mode: journal throughput and coordination overhead")
+    print_results(results)
+    # flush-only appends must be cheap enough for per-cell heartbeats
+    assert results["journal_flush_only"]["appends_per_sec"] > 1000
+    assert (
+        results["service_wall"]
+        <= results["direct_wall"] * MAX_OVERHEAD_RATIO + MAX_OVERHEAD_SLACK
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    print_results(run_suite(quick="--quick" in sys.argv))

@@ -18,6 +18,15 @@ Subcommands:
   measured input sizes look untrustworthy (Section 2.1's indicator).
 * ``repro doctor --trace PATH`` — integrity-check a binary trace and
   optionally recover its longest valid prefix.
+* ``repro doctor --store DIR`` — audit a whole trace store (corrupt
+  entries, orphaned shards, stale version tags); ``--recover``
+  quarantines every bad file so reruns see clean misses.
+* ``repro serve`` — the crash-safe sweep service: journaled
+  coordinator + leased worker processes over one trace store.
+* ``repro submit`` — send a sweep job to a running coordinator,
+  optionally waiting for completion (exit 0 complete / 3 degraded).
+* ``repro jobs`` — inspect a live coordinator over HTTP, or replay a
+  journal offline for post-mortem job state.
 * ``repro stats WORKLOAD`` — run a workload under full telemetry and
   print the metrics registry (table, ``--json`` or ``--prom``
   Prometheus text), optionally saving a Perfetto-viewable span timeline
@@ -34,6 +43,7 @@ All ``--json`` outputs are strict JSON: non-finite floats (e.g. the
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -589,10 +599,67 @@ def cmd_diagnose(args) -> int:
     return 0
 
 
+def _doctor_store(args) -> int:
+    """Audit (and optionally recover) a whole trace store."""
+    from repro.sweep import TraceStore
+
+    store = TraceStore(args.store)
+    audit = store.audit()
+    print(f"store:     {audit.root}")
+    print(f"traces:    {audit.traces} ({len(audit.corrupt_traces)} corrupt)")
+    print(f"metas:     {audit.metas} ({len(audit.corrupt_metas)} corrupt)")
+    print(
+        f"shards:    {audit.shards} ({len(audit.corrupt_shards)} corrupt, "
+        f"{len(audit.stale_shards)} stale)"
+    )
+    print(f"orphans:   {len(audit.orphan_sidecars)} sidecar(s) without a trace")
+    print(f"tmp files: {len(audit.tmp_files)} leftover")
+    for label, paths in (
+        ("corrupt trace", audit.corrupt_traces),
+        ("corrupt meta", audit.corrupt_metas),
+        ("corrupt shard", audit.corrupt_shards),
+        ("stale shard", audit.stale_shards),
+        ("orphan sidecar", audit.orphan_sidecars),
+    ):
+        for path in paths[:_DOCTOR_SECTION_LIMIT]:
+            print(f"  {label}: {os.path.relpath(path, audit.root)}")
+    if audit.clean:
+        print("status:    clean")
+        return 0
+    if args.recover:
+        moved = store.quarantine(audit)
+        print(
+            f"quarantined {len(moved)} file(s) under "
+            f"{os.path.join(audit.root, 'quarantine')}; removed "
+            f"{len(audit.tmp_files)} tmp file(s)"
+        )
+        if store.audit().clean:
+            print("status:    clean after recovery")
+            return 0
+        print("status:    STILL DIRTY after recovery")
+        return 1
+    print("status:    NEEDS RECOVERY (re-run with --recover)")
+    return 1
+
+
 def cmd_doctor(args) -> int:
-    """Integrity-check a binary trace; optionally salvage the prefix."""
+    """Integrity-check a binary trace or a whole trace store."""
     from repro.core.events import scan_batch_bytes
 
+    if bool(args.trace) == bool(args.store):
+        print(
+            "doctor: exactly one of --trace or --store is required",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store:
+        return _doctor_store(args)
+    if args.recover is True:
+        print(
+            "doctor: --recover needs an OUT path in --trace mode",
+            file=sys.stderr,
+        )
+        return 2
     try:
         with open(args.trace, "rb") as handle:
             data = handle.read()
@@ -652,6 +719,291 @@ def cmd_doctor(args) -> int:
             written = save_trace_binary(scan.batch, handle)
         print(f"recovered prefix ({written} events) written to {args.recover}")
     return 0 if scan.intact else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the journaled sweep coordinator plus local worker processes.
+
+    Exit code 0 when every job completed, 3 when any job degraded
+    (cells exhausted their retries).  Without ``--until-idle`` the
+    service runs until interrupted.
+    """
+    import multiprocessing
+    import time
+
+    from repro.obs import MetricsRegistry
+    from repro.service import Coordinator
+    from repro.service.httpd import serve_http
+    from repro.service.worker import worker_entry
+
+    registry = MetricsRegistry()
+    coordinator = Coordinator(
+        args.store,
+        args.journal,
+        lease_timeout=args.lease_timeout,
+        max_retries=args.max_retries,
+        metrics=registry,
+        fsync=not args.no_fsync,
+    )
+    server, base_url = serve_http(
+        coordinator, host=args.host, port=args.port, registry=registry
+    )
+    replay = coordinator.replay_stats
+    print(
+        f"serving on {base_url} — journal {args.journal} "
+        f"({replay.records} record(s) replayed"
+        + (f", {replay.torn_tail_bytes} torn tail byte(s) dropped"
+           if replay.torn_tail_bytes else "")
+        + ")",
+        flush=True,
+    )
+    workers = {}
+    for index in range(args.workers):
+        name = f"worker-{index}"
+        proc = multiprocessing.Process(
+            target=worker_entry,
+            args=(base_url, name),
+            kwargs={
+                "poll_interval": args.poll,
+                "stop_when_idle": args.until_idle,
+            },
+            name=name,
+            daemon=True,
+        )
+        proc.start()
+        workers[name] = proc
+    try:
+        while True:
+            time.sleep(args.poll)
+            coordinator.tick()
+            for name, proc in list(workers.items()):
+                if proc.is_alive():
+                    continue
+                del workers[name]
+                if proc.exitcode != 0:
+                    requeued = coordinator.note_worker_dead(
+                        name, f"worker exited with code {proc.exitcode}"
+                    )
+                    print(
+                        f"{name} died (exit {proc.exitcode}); requeued "
+                        f"{requeued} lease(s)",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+            if args.until_idle and coordinator.all_idle() and not workers:
+                # Keep serving briefly so clients polling --wait can
+                # still fetch the terminal job state.
+                time.sleep(max(args.linger, 0.0))
+                break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for proc in workers.values():
+            proc.terminate()
+        for proc in workers.values():
+            proc.join(timeout=5)
+        server.shutdown()
+        coordinator.close()
+    states = [job["state"] for job in coordinator.jobs_snapshot()]
+    print(f"serve: exiting ({', '.join(states) or 'no jobs'})", flush=True)
+    return 3 if "degraded" in states else 0
+
+
+def _service_get(url: str, path: str):
+    import json as jsonlib
+    from urllib import request
+
+    with request.urlopen(url.rstrip("/") + path, timeout=10) as resp:
+        return jsonlib.loads(resp.read().decode("utf-8"))
+
+
+def _service_post(url: str, path: str, payload):
+    import json as jsonlib
+    from urllib import request
+
+    req = request.Request(
+        url.rstrip("/") + path,
+        data=jsonlib.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with request.urlopen(req, timeout=10) as resp:
+        return jsonlib.loads(resp.read().decode("utf-8"))
+
+
+def _print_job_cells(report) -> None:
+    for cell in report["cells"]:
+        extra = ""
+        if cell["state"] == "done":
+            extra = (
+                f" attempt {cell['attempts']} by {cell['completed_by']}"
+            )
+            if cell["duplicate_completions"]:
+                extra += f" (+{cell['duplicate_completions']} duplicate)"
+        elif cell["state"] == "failed":
+            extra = f" after {cell['attempts']} attempt(s)"
+        print(f"  {cell['cell']}: {cell['state']}{extra}")
+    for d in report["degradations"]:
+        print(
+            f"  [{d['stage']}] {d['unit']}: {d['reason']} -> {d['action']}",
+            file=sys.stderr,
+        )
+
+
+def cmd_submit(args) -> int:
+    """Submit a sweep job to a running coordinator.
+
+    Exit codes: 0 complete, 1 coordinator unreachable / wait timed
+    out, 2 spec rejected, 3 job finished degraded.
+    """
+    import time
+    from urllib import error
+
+    from repro.core.serialize import dumps_strict
+
+    spec = {
+        "workloads": args.workloads,
+        "scales": args.scales,
+        "threads": args.threads,
+        "tools": args.tools or None,
+        "repeats": args.repeats,
+        "engine": args.engine,
+        "fault_seed": args.faults,
+        "partitions": args.partitions,
+    }
+    try:
+        job_id = _service_post(args.url, "/submit", spec)["job"]
+    except error.HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace").strip()
+        print(f"submit rejected ({exc.code}): {body}", file=sys.stderr)
+        return 2
+    except (error.URLError, OSError) as exc:
+        print(
+            f"cannot reach coordinator at {args.url}: {exc}", file=sys.stderr
+        )
+        return 1
+    print(f"submitted {job_id}")
+    if not args.wait:
+        return 0
+    deadline = time.monotonic() + args.timeout
+    report = None
+    failures = 0
+    while time.monotonic() < deadline:
+        try:
+            report = _service_get(args.url, f"/jobs/{job_id}")
+            failures = 0
+        except (error.URLError, OSError) as exc:
+            failures += 1
+            if failures >= 8:
+                print(
+                    f"coordinator unreachable after {failures} polls: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            time.sleep(1.0)
+            continue
+        if report["state"] != "running":
+            break
+        time.sleep(max(args.poll, 0.05))
+    if report is None or report["state"] == "running":
+        print(
+            f"timed out after {args.timeout:g}s waiting for {job_id}",
+            file=sys.stderr,
+        )
+        return 1
+    counts = report["counts"]
+    print(
+        f"{job_id}: {report['state']} — {counts['done']} done, "
+        f"{counts['failed']} failed"
+    )
+    _print_job_cells(report)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(dumps_strict(report, indent=2) + "\n")
+        print(f"job report written to {args.json}", file=sys.stderr)
+    return 0 if report["state"] == "complete" else 3
+
+
+def cmd_jobs(args) -> int:
+    """Inspect coordinator state — live over HTTP, or offline from the
+    journal (pure replay; the journal is never written)."""
+    from urllib import error
+
+    from repro.core.serialize import dumps_strict
+
+    if bool(args.url) == bool(args.journal):
+        print(
+            "jobs: exactly one of --url or --journal is required",
+            file=sys.stderr,
+        )
+        return 2
+    if args.url:
+        try:
+            if args.job:
+                report = _service_get(args.url, f"/jobs/{args.job}")
+                snapshot = None
+            else:
+                snapshot = _service_get(args.url, "/jobs")["jobs"]
+                report = None
+        except error.HTTPError as exc:
+            print(f"coordinator error ({exc.code})", file=sys.stderr)
+            return 1
+        except (error.URLError, OSError) as exc:
+            print(
+                f"cannot reach coordinator at {args.url}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        from repro.service import Coordinator
+
+        coordinator = Coordinator(
+            args.store or "",
+            args.journal,
+            fsync=False,
+            readonly=True,
+        )
+        if args.job:
+            try:
+                report = coordinator.job_report(
+                    args.job, include_trends=bool(args.store)
+                )
+            except KeyError as exc:
+                print(f"jobs: {exc.args[0]}", file=sys.stderr)
+                return 1
+            snapshot = None
+        else:
+            snapshot = coordinator.jobs_snapshot()
+            report = None
+    if report is not None:
+        if args.json:
+            with open(args.json, "w") as handle:
+                handle.write(dumps_strict(report, indent=2) + "\n")
+            print(f"job report written to {args.json}", file=sys.stderr)
+        counts = report["counts"]
+        print(
+            f"{report['job']}: {report['state']} — "
+            f"{counts['done']} done, {counts['failed']} failed, "
+            f"{counts['pending']} pending, {counts['leased']} leased"
+        )
+        _print_job_cells(report)
+        return 0
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(dumps_strict({"jobs": snapshot}, indent=2) + "\n")
+        print(f"jobs written to {args.json}", file=sys.stderr)
+    if not snapshot:
+        print("(no jobs)")
+        return 0
+    for job in snapshot:
+        cells = job["cells"]
+        print(
+            f"{job['job']}: {job['state']} — "
+            f"{cells['done']}/{sum(cells.values())} cells done "
+            f"({cells['failed']} failed) over "
+            f"{len(job['workloads'])} workload(s)"
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -835,13 +1187,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_diagnose)
 
     p = sub.add_parser(
-        "doctor", help="integrity-check a binary trace file"
+        "doctor", help="integrity-check a binary trace file or trace store"
     )
-    p.add_argument("--trace", required=True, help="binary trace to examine")
+    p.add_argument("--trace", help="binary trace to examine")
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        help="audit a whole trace store instead of one trace",
+    )
     p.add_argument(
         "--recover",
+        nargs="?",
+        const=True,
+        default=None,
         metavar="OUT",
-        help="write the longest valid prefix to OUT",
+        help="with --trace: write the longest valid prefix to OUT; "
+        "with --store: quarantine every bad file (no argument)",
     )
     p.add_argument(
         "--partitions",
@@ -852,6 +1213,145 @@ def build_parser() -> argparse.ArgumentParser:
         "isn't splittable for parallel replay; 0 = one per CPU)",
     )
     p.set_defaults(func=cmd_doctor)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the crash-safe sweep coordinator + worker processes",
+    )
+    p.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="content-addressed trace-store directory (shared by workers)",
+    )
+    p.add_argument(
+        "--journal",
+        required=True,
+        metavar="FILE",
+        help="append-only job journal (replayed on startup)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="local worker processes to spawn (0 = coordinator only)",
+    )
+    p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="SEC",
+        help="heartbeat deadline before a cell lease is requeued",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="requeues per cell before it is marked failed",
+    )
+    p.add_argument(
+        "--until-idle",
+        action="store_true",
+        help="exit once every submitted job is terminal",
+    )
+    p.add_argument(
+        "--linger",
+        type=float,
+        default=5.0,
+        metavar="SEC",
+        help="with --until-idle: keep serving this long after idle so "
+        "waiting clients can fetch the final job state",
+    )
+    p.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SEC",
+        help="supervisor/worker poll interval",
+    )
+    p.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on journal appends (tests only)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a sweep job to a running coordinator"
+    )
+    p.add_argument(
+        "--url", required=True, help="coordinator base URL (from serve)"
+    )
+    p.add_argument(
+        "--workloads",
+        nargs="+",
+        required=True,
+        choices=sorted(REGISTRY),
+        metavar="W",
+    )
+    p.add_argument(
+        "--scales", nargs="+", type=int, default=[1, 2], metavar="N"
+    )
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument(
+        "--tools",
+        nargs="*",
+        choices=sorted(DEFAULT_TOOLS),
+        help="restrict the replayed tools (default: all)",
+    )
+    p.add_argument("--repeats", type=int, default=1)
+    p.add_argument(
+        "--faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="record with deterministic fault injection",
+    )
+    p.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job is terminal (exit 0 complete, 3 degraded)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SEC",
+        help="with --wait: give up after this long (exit 1)",
+    )
+    p.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SEC",
+        help="with --wait: poll interval",
+    )
+    p.add_argument("--json", help="write the final job report to FILE")
+    add_engine_arg(p)
+    add_partitions_arg(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "jobs", help="inspect coordinator jobs (live URL or offline journal)"
+    )
+    p.add_argument("job", nargs="?", help="job id for a full report")
+    p.add_argument("--url", help="coordinator base URL")
+    p.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="replay this journal offline instead of contacting a server",
+    )
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        help="with --journal: trace store for merged trends in job reports",
+    )
+    p.add_argument("--json", help="write the result to FILE")
+    p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser(
         "stats", help="run a workload under full telemetry"

@@ -1,0 +1,50 @@
+"""Crash-safe sweep service: journaled coordinator, leased workers.
+
+The sweep engine (:mod:`repro.sweep`) is a one-shot CLI: one process
+owns the whole matrix and its failure domain is the run.  This package
+promotes it to a long-running *service* whose failure domain is a
+single lease:
+
+* :mod:`repro.service.journal` — the append-only CRC-framed job
+  journal.  Every state transition is a framed record; a coordinator
+  restart replays the journal and loses nothing that was acknowledged.
+* :mod:`repro.service.coordinator` — the lease state machine: jobs are
+  split into sweep cells, workers lease cells with heartbeat-refreshed
+  deadlines, expired leases are requeued with capped retries and
+  per-cell backoff, and completion is idempotent (the content-addressed
+  :class:`~repro.sweep.store.TraceStore` makes a re-executed cell an
+  exact no-op).
+* :mod:`repro.service.worker` — the worker loop: lease, heartbeat,
+  :func:`~repro.sweep.engine.run_cell`, complete; plus the
+  ``REPRO_SERVICE_TEST_KILL`` crash hooks the kill-anywhere tests use.
+* :mod:`repro.service.httpd` — the stdlib HTTP face: JSON verbs for
+  workers and clients plus ``/metrics`` (Prometheus text) and
+  ``/healthz`` for scrapers.
+
+``repro serve`` / ``repro submit`` / ``repro jobs`` expose all of this
+from the CLI.
+"""
+
+from repro.service.coordinator import (
+    CELL_DONE,
+    CELL_FAILED,
+    CELL_LEASED,
+    CELL_PENDING,
+    Coordinator,
+)
+from repro.service.journal import Journal, JournalError, ReplayStats
+from repro.service.worker import HTTPCoordinatorClient, LocalClient, run_worker
+
+__all__ = [
+    "CELL_DONE",
+    "CELL_FAILED",
+    "CELL_LEASED",
+    "CELL_PENDING",
+    "Coordinator",
+    "HTTPCoordinatorClient",
+    "Journal",
+    "JournalError",
+    "LocalClient",
+    "ReplayStats",
+    "run_worker",
+]

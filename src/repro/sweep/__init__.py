@@ -5,15 +5,32 @@ See :mod:`repro.sweep.store` for the content-addressed trace cache and
 shard-merge aggregation into per-routine cost models.
 """
 
-from repro.sweep.engine import SweepCell, SweepConfig, SweepResult, run_sweep
-from repro.sweep.store import SHARD_VERSION, TraceKey, TraceStore
+from repro.sweep.engine import (
+    CellTask,
+    SweepCell,
+    SweepConfig,
+    SweepResult,
+    merge_store_profiles,
+    run_cell,
+    run_sweep,
+)
+from repro.sweep.store import (
+    SHARD_VERSION,
+    StoreAudit,
+    TraceKey,
+    TraceStore,
+)
 
 __all__ = [
+    "CellTask",
     "SHARD_VERSION",
+    "StoreAudit",
     "SweepCell",
     "SweepConfig",
     "SweepResult",
     "TraceKey",
     "TraceStore",
+    "merge_store_profiles",
+    "run_cell",
     "run_sweep",
 ]

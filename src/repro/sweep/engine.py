@@ -58,7 +58,15 @@ from repro.tools.runner import (
 )
 from repro.workloads.registry import get_workload
 
-__all__ = ["SweepCell", "SweepConfig", "SweepResult", "run_sweep"]
+__all__ = [
+    "CellTask",
+    "SweepCell",
+    "SweepConfig",
+    "SweepResult",
+    "merge_store_profiles",
+    "run_cell",
+    "run_sweep",
+]
 
 #: ceiling on the inter-retry backoff sleep, seconds
 _MAX_BACKOFF = 5.0
@@ -142,6 +150,130 @@ class SweepConfig:
             for workload in self.workloads
             for scale in self.scales
         ]
+
+    def cell_task(self, cell: SweepCell) -> "CellTask":
+        """The self-contained work unit for one cell of this sweep."""
+        return CellTask(
+            cell=cell,
+            store_root=self.store_root,
+            tools=self.tools,
+            repeats=self.repeats,
+            fault_seed=self.fault_seed,
+            reuse_measurements=self.reuse_measurements,
+            engine=self.engine,
+            partitions=self.partitions,
+        )
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One self-contained unit of sweep work.
+
+    Everything :func:`run_cell` needs, picklable (process pools) and
+    JSON-round-trippable (the service's lease responses) — this is the
+    shape a :class:`~repro.service.coordinator.Coordinator` hands to a
+    leased worker, and what the in-process pool ships too.
+    """
+
+    cell: SweepCell
+    store_root: str
+    tools: Tuple[str, ...]
+    repeats: int = 1
+    fault_seed: Optional[int] = None
+    reuse_measurements: bool = True
+    engine: str = DEFAULT_ENGINE
+    partitions: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.cell.workload,
+            "scale": self.cell.scale,
+            "threads": self.cell.threads,
+            "store_root": self.store_root,
+            "tools": list(self.tools),
+            "repeats": self.repeats,
+            "fault_seed": self.fault_seed,
+            "reuse_measurements": self.reuse_measurements,
+            "engine": self.engine,
+            "partitions": self.partitions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellTask":
+        return cls(
+            cell=SweepCell(
+                data["workload"], int(data["scale"]), int(data["threads"])
+            ),
+            store_root=data["store_root"],
+            tools=tuple(data["tools"]),
+            repeats=int(data.get("repeats", 1)),
+            fault_seed=data.get("fault_seed"),
+            reuse_measurements=bool(data.get("reuse_measurements", True)),
+            engine=data.get("engine", DEFAULT_ENGINE),
+            partitions=data.get("partitions"),
+        )
+
+
+def run_cell(task: CellTask) -> Dict[str, Any]:
+    """Process one cell end to end — the worker-loop entry point.
+
+    Callable from a pool worker, a service worker across the HTTP wire,
+    or inline; idempotent by construction (every artifact lands in the
+    content-addressed store via atomic writes), so re-running a task
+    after a crash or lost lease converges on byte-identical state.
+    """
+    return _run_cell(
+        task.cell,
+        task.store_root,
+        task.tools,
+        task.repeats,
+        task.fault_seed,
+        task.reuse_measurements,
+        task.engine,
+        task.partitions,
+    )
+
+
+def merge_store_profiles(
+    store_root: str,
+    workloads: Sequence[str],
+    scales: Sequence[int],
+    *,
+    threads: int = 4,
+    fault_seed: Optional[int] = None,
+    only_cells: Optional[Sequence[str]] = None,
+) -> Tuple[Dict[str, Dict[str, Any]], List[str]]:
+    """Merge per-cell profiler shards straight from a store.
+
+    Cells merge in the canonical sweep order (workload-major,
+    scale-minor), so the result is byte-comparable with a serial
+    :func:`run_sweep` regardless of the order cells were *completed*
+    in — the property the service's kill-anywhere tests pin.  Returns
+    ``(merged, missing)`` where ``merged`` maps workload →
+    ``{"drms", "rms"}`` profilers and ``missing`` lists cell ids whose
+    shards were absent or unreadable.
+    """
+    store = TraceStore(store_root)
+    wanted = set(only_cells) if only_cells is not None else None
+    merged: Dict[str, Dict[str, Any]] = {}
+    missing: List[str] = []
+    for workload in workloads:
+        for scale in scales:
+            cell = SweepCell(workload, scale, threads)
+            if wanted is not None and cell.id not in wanted:
+                continue
+            key = _cell_key(cell, fault_seed)
+            drms = store.get_shard(key, "drms")
+            rms = store.get_shard(key, "rms")
+            if drms is None or rms is None:
+                missing.append(cell.id)
+                continue
+            if workload in merged:
+                merged[workload]["drms"].merge(drms)
+                merged[workload]["rms"].merge(rms)
+            else:
+                merged[workload] = {"drms": drms, "rms": rms}
+    return merged, missing
 
 
 def _cell_key(cell: SweepCell, fault_seed: Optional[int]) -> TraceKey:
@@ -303,6 +435,13 @@ def _run_cell(
             merged = merge_partition_shards([rows[i] for i in sorted(rows)])
             drms = merged["drms"]
             rms = merged["rms"]
+            # Publish the merged result under the plain shard keys too:
+            # store-level consumers (service job reports,
+            # merge_store_profiles) read those without needing the
+            # partition plan.  The partitioned warm path above still
+            # re-merges from the per-partition shards.
+            store.put_shard(key, "drms", drms)
+            store.put_shard(key, "rms", rms)
             for kind in ("drms", "rms"):
                 shard_bytes[kind] = sum(
                     os.path.getsize(store.shard_path(key, f"{kind}.p{i}of{n}"))
@@ -355,21 +494,14 @@ def _run_cells_supervised(
     """Run the cells in worker processes under the runner's supervision
     discipline.  Cells the pool cannot finish fall back to inline
     execution; a cell failing even inline is excluded with a
-    Degradation.  Never raises, never hangs."""
+    Degradation.  Never raises, never hangs.  Returns
+    ``(payloads, degradations, attempts)`` — the attempts map feeds the
+    per-cell retry provenance in the report."""
     payloads: Dict[SweepCell, Dict[str, Any]] = {}
     degradations: List[Degradation] = []
     attempts = {cell: 0 for cell in cells}
     pending = list(cells)
     round_no = 0
-    task = (
-        config.store_root,
-        config.tools,
-        config.repeats,
-        config.fault_seed,
-        config.reuse_measurements,
-        config.engine,
-        config.partitions,
-    )
     while pending and round_no <= config.max_retries:
         round_no += 1
         if round_no > 1:
@@ -384,7 +516,8 @@ def _run_cells_supervised(
                 max_workers=min(workers, len(pending))
             )
             futures = {
-                cell: pool.submit(_run_cell, cell, *task) for cell in pending
+                cell: pool.submit(run_cell, config.cell_task(cell))
+                for cell in pending
             }
         except Exception as exc:  # no fork/spawn available at all
             for cell in pending:
@@ -397,12 +530,15 @@ def _run_cells_supervised(
                         "serial-fallback",
                     )
                 )
-            return payloads, degradations
+            return payloads, degradations, attempts
         stuck = False
         still_pending: List[SweepCell] = []
         for cell, future in futures.items():
             try:
-                payloads[cell] = future.result(timeout=config.replay_timeout)
+                payload = future.result(timeout=config.replay_timeout)
+                payload["attempts"] = attempts[cell] + 1
+                payload["completed_by"] = "pool"
+                payloads[cell] = payload
             except FutureTimeoutError:
                 attempts[cell] += 1
                 stuck = True
@@ -448,7 +584,7 @@ def _run_cells_supervised(
         else:
             pool.shutdown(wait=True)
         pending = still_pending
-    return payloads, degradations
+    return payloads, degradations, attempts
 
 
 def run_sweep(config: SweepConfig, metrics=None, tracer=None) -> "SweepResult":
@@ -473,6 +609,7 @@ def run_sweep(config: SweepConfig, metrics=None, tracer=None) -> "SweepResult":
     degradations: List[Degradation] = []
 
     supervised = config.parallel is not None and config.parallel > 1
+    attempts: Dict[SweepCell, int] = {cell: 0 for cell in cells}
     with tracer.span(
         "sweep-cells",
         track="sweep",
@@ -480,7 +617,7 @@ def run_sweep(config: SweepConfig, metrics=None, tracer=None) -> "SweepResult":
         mode="parallel" if supervised else "serial",
     ):
         if supervised:
-            payloads, degradations = _run_cells_supervised(
+            payloads, degradations, attempts = _run_cells_supervised(
                 cells, config, config.parallel
             )
         for cell in cells:
@@ -492,16 +629,10 @@ def run_sweep(config: SweepConfig, metrics=None, tracer=None) -> "SweepResult":
             # run is serial, where the old hard-error contract holds.
             try:
                 with tracer.span("cell", track="sweep", cell=cell.id):
-                    payloads[cell] = _run_cell(
-                        cell,
-                        config.store_root,
-                        config.tools,
-                        config.repeats,
-                        config.fault_seed,
-                        config.reuse_measurements,
-                        config.engine,
-                        config.partitions,
-                    )
+                    payload = run_cell(config.cell_task(cell))
+                payload["attempts"] = attempts.get(cell, 0) + 1
+                payload["completed_by"] = "inline"
+                payloads[cell] = payload
             except Exception as exc:
                 if not supervised:
                     raise
@@ -637,6 +768,11 @@ class SweepResult:
                     "threads": p["cell"].threads,
                     "cached": p["cached"],
                     "shards_cached": p["shards_cached"],
+                    # retry/requeue provenance: which attempt finally
+                    # finished the cell, and where it ran — degraded
+                    # runs are auditable from the report alone.
+                    "attempts": p.get("attempts", 1),
+                    "completed_by": p.get("completed_by", "inline"),
                     "record_time": p["record_time"],
                     "events": p["events"],
                     "partitions": p.get("partitions"),

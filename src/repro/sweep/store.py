@@ -39,8 +39,8 @@ import json
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.core.events import EventBatch
 from repro.core.tracefile import (
@@ -49,7 +49,7 @@ from repro.core.tracefile import (
     scan_trace,
 )
 
-__all__ = ["TraceKey", "TraceStore", "SHARD_VERSION"]
+__all__ = ["StoreAudit", "TraceKey", "TraceStore", "SHARD_VERSION"]
 
 #: version tag baked into pickled profiler shards; bump when profiler
 #: state layout changes so stale shards are recomputed instead of
@@ -92,6 +92,31 @@ class TraceKey:
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+#: service test hooks (DESIGN.md §13): ``REPRO_SERVICE_TEST_KILL``
+#: holds ``stage@worker`` entries; stage ``shard`` SIGKILLs the process
+#: named by ``REPRO_SERVICE_WORKER`` halfway through writing a profiler
+#: shard's temp file — a genuine torn write, which atomicity must turn
+#: into "the final name never appeared".
+_SERVICE_KILL_ENV = "REPRO_SERVICE_TEST_KILL"
+_SERVICE_WORKER_ENV = "REPRO_SERVICE_WORKER"
+
+
+def _maybe_torn_write_kill(path: str, handle, data: bytes) -> None:
+    spec = os.environ.get(_SERVICE_KILL_ENV)
+    worker = os.environ.get(_SERVICE_WORKER_ENV)
+    if not spec or worker is None or not path.endswith(".shard.pkl"):
+        return
+    for item in spec.split(","):
+        stage, _, target = item.strip().partition("@")
+        if stage == "shard" and target in ("", worker):
+            import signal
+
+            handle.write(data[: max(1, len(data) // 2)])
+            handle.flush()
+            os.fsync(handle.fileno())
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
 def _atomic_write(path: str, data: bytes) -> None:
     """Write ``data`` to ``path`` atomically: temp file in the same
     directory, then ``os.replace`` — readers see the old entry or the
@@ -100,6 +125,7 @@ def _atomic_write(path: str, data: bytes) -> None:
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
+            _maybe_torn_write_kill(path, handle, data)
             handle.write(data)
         os.replace(tmp_path, path)
     except BaseException:
@@ -126,6 +152,13 @@ class TraceStore:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: sidecar reads (meta JSON / pickled shards) that failed for
+        #: any reason other than the file being absent — counted, never
+        #: raised: a truncated sidecar must cost a recompute, not a
+        #: sweep abort
+        self.sidecar_corrupt = 0
+        #: well-formed shards rejected for a version/tag mismatch
+        self.sidecar_stale = 0
         self.metrics = (
             metrics if metrics is not None and metrics.enabled else None
         )
@@ -165,6 +198,18 @@ class TraceStore:
             self.metrics.counter("sweep.cache.misses").inc()
             if outcome == "corrupt":
                 self.metrics.counter("sweep.cache.corrupt").inc()
+
+    def _note_sidecar(self, kind: str, *, stale: bool = False) -> None:
+        if stale:
+            self.sidecar_stale += 1
+            if self.metrics is not None:
+                self.metrics.counter("sweep.cache.sidecar_stale").inc()
+            return
+        self.sidecar_corrupt += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "sweep.cache.sidecar_corrupt", {"kind": kind}
+            ).inc()
 
     # -- traces -------------------------------------------------------------
 
@@ -213,13 +258,25 @@ class TraceStore:
     # -- metadata sidecar ---------------------------------------------------
 
     def get_meta(self, key: TraceKey) -> Optional[Dict[str, Any]]:
-        """The entry's JSON sidecar, or ``None`` if absent/unreadable."""
+        """The entry's JSON sidecar, or ``None`` if absent/unreadable.
+
+        Absent is normal (a fresh entry); anything else — truncated
+        JSON, permission errors, a non-object payload — is a *counted*
+        sidecar miss, never an exception: losing cached measurements
+        must never abort a sweep.
+        """
         try:
             with open(self.meta_path(key), "r") as handle:
                 data = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             return None
-        return data if isinstance(data, dict) else None
+        except Exception:
+            self._note_sidecar("meta")
+            return None
+        if not isinstance(data, dict):
+            self._note_sidecar("meta")
+            return None
+        return data
 
     def put_meta(self, key: TraceKey, meta: Dict[str, Any]) -> None:
         digest = key.digest()
@@ -235,14 +292,28 @@ class TraceStore:
         Any failure — missing file, unpickling error, version-tag
         mismatch — yields ``None`` so the caller recomputes the shard
         from the trace; a cache can be deleted at any time without
-        changing results.
+        changing results.  Truncated/unparseable shards count as
+        ``sidecar_corrupt``; well-formed shards with the wrong
+        version/tag count as ``sidecar_stale``.
         """
         try:
             with open(self.shard_path(key, kind), "rb") as handle:
-                tag, version, stored_kind, shard = pickle.load(handle)
-        except Exception:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
             return None
-        if tag != "repro-shard" or version != SHARD_VERSION or stored_kind != kind:
+        except Exception:
+            self._note_sidecar("shard")
+            return None
+        try:
+            tag, version, stored_kind, shard = payload
+        except (TypeError, ValueError):
+            self._note_sidecar("shard")
+            return None
+        if tag != "repro-shard" or stored_kind != kind:
+            self._note_sidecar("shard")
+            return None
+        if version != SHARD_VERSION:
+            self._note_sidecar("shard", stale=True)
             return None
         return shard
 
@@ -265,4 +336,178 @@ class TraceStore:
             "misses": self.misses,
             "corrupt": self.corrupt,
             "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+    def sidecar_stats(self) -> Dict[str, int]:
+        """Sidecar (meta/shard) failure counts, kept separate from
+        :meth:`stats` so existing consumers of that dict are
+        undisturbed."""
+        return {
+            "sidecar_corrupt": self.sidecar_corrupt,
+            "sidecar_stale": self.sidecar_stale,
+        }
+
+    # -- audit / recovery ---------------------------------------------------
+
+    def audit(self) -> "StoreAudit":
+        """Walk the whole store and classify every file.
+
+        Used by ``repro doctor --store``: each trace is re-scanned with
+        the crash-safe decoder, each meta sidecar is re-parsed, each
+        shard is re-unpickled and version-checked, and sidecars whose
+        trace entry is gone are flagged as orphans.  Leftover
+        ``.tmp`` files (from writers killed before ``os.replace``) are
+        reported too — they are harmless but worth sweeping.  The
+        ``quarantine/`` subdirectory is skipped so repeated audits
+        converge.
+        """
+        audit = StoreAudit(root=self.root)
+        quarantine_dir = os.path.join(self.root, "quarantine")
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if os.path.abspath(dirpath).startswith(
+                os.path.abspath(quarantine_dir)
+            ):
+                continue
+            dirnames[:] = [d for d in dirnames if d != "quarantine"]
+            traces_here = {
+                name[: -len(".trace")]
+                for name in filenames
+                if name.endswith(".trace")
+            }
+            for name in sorted(filenames):
+                path = os.path.join(dirpath, name)
+                if name.endswith(".tmp"):
+                    audit.tmp_files.append(path)
+                    continue
+                if name.endswith(".trace"):
+                    audit.traces += 1
+                    if not self._trace_intact(path):
+                        audit.corrupt_traces.append(path)
+                    continue
+                if name.endswith(".meta.json"):
+                    audit.metas += 1
+                    digest = name[: -len(".meta.json")]
+                    if digest not in traces_here:
+                        audit.orphan_sidecars.append(path)
+                    if not self._meta_intact(path):
+                        audit.corrupt_metas.append(path)
+                    continue
+                if name.endswith(".shard.pkl"):
+                    audit.shards += 1
+                    digest = name.split(".", 1)[0]
+                    if digest not in traces_here:
+                        audit.orphan_sidecars.append(path)
+                    verdict = self._shard_verdict(path)
+                    if verdict == "corrupt":
+                        audit.corrupt_shards.append(path)
+                    elif verdict == "stale":
+                        audit.stale_shards.append(path)
+        return audit
+
+    @staticmethod
+    def _trace_intact(path: str) -> bool:
+        try:
+            with open(path, "rb") as handle:
+                scan = scan_trace(handle)
+        except OSError:
+            return False
+        return bool(scan.intact and len(scan.batch))
+
+    @staticmethod
+    def _meta_intact(path: str) -> bool:
+        try:
+            with open(path, "r") as handle:
+                return isinstance(json.load(handle), dict)
+        except Exception:
+            return False
+
+    @staticmethod
+    def _shard_verdict(path: str) -> str:
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            tag, version, _kind, _shard = payload
+        except Exception:
+            return "corrupt"
+        if tag != "repro-shard":
+            return "corrupt"
+        if version != SHARD_VERSION:
+            return "stale"
+        return "ok"
+
+    def quarantine(self, audit: "StoreAudit") -> List[str]:
+        """Move every bad file from ``audit`` into ``root/quarantine/``.
+
+        The move preserves the fan-out subdirectory (so two corrupt
+        entries with the same digest prefix cannot collide) and is a
+        plain ``os.replace`` — after recovery a re-run sweep sees clean
+        misses and re-records.  Returns the quarantined paths, and
+        also unlinks leftover ``.tmp`` files outright.
+        """
+        moved: List[str] = []
+        quarantine_dir = os.path.join(self.root, "quarantine")
+        for path in audit.bad_files():
+            if not os.path.exists(path):
+                continue
+            rel = os.path.relpath(path, self.root)
+            dest = os.path.join(quarantine_dir, rel)
+            os.makedirs(os.path.dirname(dest), exist_ok=True)
+            os.replace(path, dest)
+            moved.append(dest)
+        for path in audit.tmp_files:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        return moved
+
+
+@dataclass
+class StoreAudit:
+    """Result of :meth:`TraceStore.audit` — what's intact and what isn't."""
+
+    root: str
+    traces: int = 0
+    metas: int = 0
+    shards: int = 0
+    corrupt_traces: List[str] = field(default_factory=list)
+    corrupt_metas: List[str] = field(default_factory=list)
+    corrupt_shards: List[str] = field(default_factory=list)
+    stale_shards: List[str] = field(default_factory=list)
+    orphan_sidecars: List[str] = field(default_factory=list)
+    tmp_files: List[str] = field(default_factory=list)
+
+    def bad_files(self) -> List[str]:
+        """Every file :meth:`TraceStore.quarantine` should move
+        (orphans included — a sidecar without its trace can only serve
+        stale data)."""
+        seen: Dict[str, None] = {}
+        for group in (
+            self.corrupt_traces,
+            self.corrupt_metas,
+            self.corrupt_shards,
+            self.stale_shards,
+            self.orphan_sidecars,
+        ):
+            for path in group:
+                seen.setdefault(path)
+        return list(seen)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.bad_files() or self.tmp_files)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "traces": self.traces,
+            "metas": self.metas,
+            "shards": self.shards,
+            "corrupt_traces": list(self.corrupt_traces),
+            "corrupt_metas": list(self.corrupt_metas),
+            "corrupt_shards": list(self.corrupt_shards),
+            "stale_shards": list(self.stale_shards),
+            "orphan_sidecars": list(self.orphan_sidecars),
+            "tmp_files": list(self.tmp_files),
+            "clean": self.clean,
         }

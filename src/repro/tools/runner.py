@@ -137,6 +137,19 @@ class Degradation:
     reason: str
     action: str
 
+    def as_dict(self) -> dict:
+        """The report spelling shared by every JSON surface (overhead,
+        sweep, service job reports).  ``tool`` doubles as the cell id
+        for sweep/service stages — the key is named ``unit`` here so
+        the consumer does not have to guess."""
+        return {
+            "stage": self.stage,
+            "unit": self.tool,
+            "attempt": self.attempt,
+            "reason": self.reason,
+            "action": self.action,
+        }
+
 
 @dataclass
 class WorkloadMeasurement:

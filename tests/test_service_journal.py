@@ -1,0 +1,151 @@
+"""Service journal: CRC framing, torn tails, mid-file damage, resume."""
+
+import os
+import struct
+
+import pytest
+
+from repro.service.journal import (
+    JOURNAL_MAGIC,
+    JOURNAL_VERSION,
+    Journal,
+    JournalError,
+)
+
+
+def journal_path(tmp_path):
+    return str(tmp_path / "journal.rpjl")
+
+
+class TestFraming:
+    def test_roundtrip_preserves_records_in_order(self, tmp_path):
+        path = journal_path(tmp_path)
+        with Journal(path, fsync=False) as journal:
+            journal.append("job_submitted", job="j1", spec={"scales": [1, 2]})
+            journal.append("cell_leased", job="j1", cell="c1", lease="L1")
+            journal.append("heartbeat", lease="L1", durable=False)
+        records, stats = Journal(path, readonly=True).replay()
+        assert [r["type"] for r in records] == [
+            "job_submitted",
+            "cell_leased",
+            "heartbeat",
+        ]
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert records[0]["spec"] == {"scales": [1, 2]}
+        assert stats.records == 3
+        assert stats.torn_tail_bytes == 0
+        assert not stats.corrupt
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        records, stats = Journal(journal_path(tmp_path)).replay()
+        assert records == []
+        assert stats.records == 0 and stats.bytes_read == 0
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = journal_path(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(JournalError):
+            Journal(path).replay()
+
+    def test_future_version_raises(self, tmp_path):
+        path = journal_path(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(
+                struct.pack("<4sHH", JOURNAL_MAGIC, JOURNAL_VERSION + 1, 0)
+            )
+        with pytest.raises(JournalError):
+            Journal(path).replay()
+
+    def test_readonly_never_writes(self, tmp_path):
+        path = journal_path(tmp_path)
+        journal = Journal(path, readonly=True)
+        with pytest.raises(JournalError):
+            journal.append("job_submitted", job="j1")
+        assert not os.path.exists(path)
+
+    def test_seq_resumes_after_reopen(self, tmp_path):
+        path = journal_path(tmp_path)
+        with Journal(path, fsync=False) as journal:
+            journal.append("job_submitted", job="j1")
+        reopened = Journal(path, fsync=False)
+        reopened.replay()
+        record = reopened.append("job_done", job="j1")
+        reopened.close()
+        assert record["seq"] == 2
+
+
+class TestTornTail:
+    def write_three(self, path):
+        with Journal(path, fsync=False) as journal:
+            for index in range(3):
+                journal.append("cell_done", cell=f"c{index}")
+
+    def test_torn_tail_is_benign_and_counted(self, tmp_path):
+        path = journal_path(tmp_path)
+        self.write_three(path)
+        # a frame header claiming 11 payload bytes, but only 2 present
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", 11, 0) + b"xy")
+        records, stats = Journal(path, readonly=True).replay()
+        assert len(records) == 3
+        assert stats.torn_tail_bytes == 10
+        assert not stats.corrupt
+
+    def test_append_after_torn_tail_truncates_first(self, tmp_path):
+        path = journal_path(tmp_path)
+        self.write_three(path)
+        with open(path, "ab") as handle:
+            handle.write(b"\xff" * 5)  # crash mid-frame-header
+        journal = Journal(path, fsync=False)
+        records, stats = journal.replay()
+        assert len(records) == 3 and stats.torn_tail_bytes == 5
+        journal.append("cell_done", cell="c3")
+        journal.close()
+        # the torn bytes are gone: every record (old and new) verifies
+        records, stats = Journal(path, readonly=True).replay()
+        assert [r["cell"] for r in records] == ["c0", "c1", "c2", "c3"]
+        assert stats.torn_tail_bytes == 0
+        assert not stats.corrupt
+
+    def test_short_header_file_is_rewritten(self, tmp_path):
+        path = journal_path(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(JOURNAL_MAGIC[:2])  # crash during header write
+        journal = Journal(path, fsync=False)
+        records, stats = journal.replay()
+        assert records == [] and stats.torn_tail_bytes == 2
+        journal.append("job_submitted", job="j1")
+        journal.close()
+        records, stats = Journal(path, readonly=True).replay()
+        assert len(records) == 1 and not stats.corrupt
+
+
+class TestMidFileDamage:
+    def test_corrupt_frame_stops_replay_with_offset(self, tmp_path):
+        path = journal_path(tmp_path)
+        with Journal(path, fsync=False) as journal:
+            for index in range(5):
+                journal.append("cell_done", cell=f"c{index}")
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF  # flip one mid-file byte
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        records, stats = Journal(path, readonly=True).replay()
+        assert stats.corrupt
+        assert stats.error is not None
+        assert stats.error_offset is not None
+        # everything before the damage is still served
+        assert 0 < len(records) < 5
+        assert all(r["type"] == "cell_done" for r in records)
+
+    def test_oversized_length_field_is_damage_not_allocation(self, tmp_path):
+        path = journal_path(tmp_path)
+        with Journal(path, fsync=False) as journal:
+            journal.append("cell_done", cell="c0")
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", 2**31, 0) + b"tail-bytes")
+        records, stats = Journal(path, readonly=True).replay()
+        assert len(records) == 1
+        assert stats.corrupt
+        assert "exceeds limit" in stats.error

@@ -1,0 +1,205 @@
+"""Kill-anywhere crash recovery: the service's headline property.
+
+Each test SIGKILLs a worker process at a chosen hook point — right
+after taking a lease, halfway through a shard's temp-file write, or
+just before reporting completion — then *restarts the coordinator from
+its journal* and lets a surviving worker finish.  The merged profiles
+must come out byte-identical to a plain serial ``run_sweep`` into a
+separate store, and the journal must replay with zero corruption.
+"""
+
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.service import Coordinator
+from repro.service.httpd import serve_http
+from repro.service.journal import Journal
+from repro.service.worker import worker_entry
+from repro.sweep import SweepConfig, TraceStore, merge_store_profiles, run_sweep
+
+WORKLOADS = ["producer_consumer", "selection_sort"]
+SCALES = [1, 2]
+THREADS = 2
+TOOLS = ("nulgrind", "aprof-drms")
+
+LEASE_TIMEOUT = 2.0
+JOIN_TIMEOUT = 120.0
+
+
+def spawn_worker(base_url, name):
+    process = multiprocessing.Process(
+        target=worker_entry,
+        args=(base_url, name),
+        kwargs={"poll_interval": 0.05, "stop_when_idle": True},
+        name=name,
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+def make_coordinator(tmp_path):
+    return Coordinator(
+        str(tmp_path / "svc-store"),
+        str(tmp_path / "journal.rpjl"),
+        lease_timeout=LEASE_TIMEOUT,
+        max_retries=3,
+        fsync=False,
+    )
+
+
+def wait_until(predicate, timeout, message):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def serial_reference(tmp_path):
+    root = str(tmp_path / "serial-store")
+    run_sweep(
+        SweepConfig(
+            workloads=tuple(WORKLOADS),
+            scales=tuple(SCALES),
+            threads=THREADS,
+            tools=TOOLS,
+            store_root=root,
+        )
+    )
+    merged, missing = merge_store_profiles(
+        root, WORKLOADS, SCALES, threads=THREADS
+    )
+    assert missing == []
+    return merged
+
+
+def assert_byte_identical(service_merged, serial_merged):
+    assert set(service_merged) == set(serial_merged)
+    for workload in serial_merged:
+        ours, theirs = service_merged[workload], serial_merged[workload]
+        for kind in ("drms", "rms"):
+            assert (
+                ours[kind].metrics_snapshot()
+                == theirs[kind].metrics_snapshot()
+            )
+        assert pickle.dumps(ours) == pickle.dumps(theirs)
+
+
+@pytest.mark.parametrize("stage", ["lease", "shard", "complete"])
+def test_sigkill_then_restart_loses_nothing(tmp_path, monkeypatch, stage):
+    monkeypatch.setenv("REPRO_SERVICE_TEST_KILL", f"{stage}@victim")
+
+    coordinator = make_coordinator(tmp_path)
+    server, base_url = serve_http(coordinator)
+    job_id = coordinator.submit(
+        WORKLOADS, SCALES, threads=THREADS, tools=TOOLS
+    )
+
+    victim = spawn_worker(base_url, "victim")
+    victim.join(timeout=JOIN_TIMEOUT)
+    assert victim.exitcode == -signal.SIGKILL
+
+    # -- coordinator crash + restart: only the journal survives -------------
+    server.shutdown()
+    coordinator.close()
+    restarted = make_coordinator(tmp_path)
+    assert not restarted.replay_stats.corrupt
+    assert restarted.jobs[job_id].state == "running"
+
+    server, base_url = serve_http(restarted)
+    try:
+        survivor = spawn_worker(base_url, "survivor")
+        survivor.join(timeout=JOIN_TIMEOUT)
+        assert survivor.exitcode == 0
+        wait_until(
+            restarted.all_idle, LEASE_TIMEOUT * 4, "all cells terminal"
+        )
+    finally:
+        server.shutdown()
+
+    # -- 100% completion with requeue provenance ----------------------------
+    report = restarted.job_report(job_id, include_trends=False)
+    assert report["state"] == "complete"
+    assert report["counts"] == {
+        "pending": 0,
+        "leased": 0,
+        "done": 4,
+        "failed": 0,
+    }
+    requeued = [c for c in report["cells"] if c["attempts"] > 1]
+    assert len(requeued) == 1
+    assert requeued[0]["completed_by"] == "survivor"
+    assert any(
+        d["action"] == "requeued" and d["stage"] == "service-lease"
+        for d in report["degradations"]
+    )
+    others = [c for c in report["cells"] if c["attempts"] == 1]
+    assert all(c["completed_by"] == "survivor" for c in others)
+
+    # -- zero journal corruption across kill + restart -----------------------
+    restarted.close()
+    records, stats = Journal(str(tmp_path / "journal.rpjl")).replay()
+    assert not stats.corrupt
+    assert stats.torn_tail_bytes == 0
+    types = {r["type"] for r in records}
+    assert {"job_submitted", "cell_leased", "cell_done", "job_done"} <= types
+    if stage != "lease":
+        assert "lease_expired" in types  # heartbeat-driven requeue path
+
+    # -- the torn shard write never surfaced as store state ------------------
+    store = TraceStore(str(tmp_path / "svc-store"))
+    audit = store.audit()
+    assert audit.corrupt_traces == []
+    assert audit.corrupt_shards == []
+    if stage == "shard":
+        # the SIGKILL landed mid-temp-file: the wreckage is a .tmp
+        # orphan, never a half-written entry under a final name
+        assert audit.tmp_files
+        store.quarantine(audit)
+        assert store.audit().clean
+
+    # -- byte-identical merged profiles vs a serial sweep --------------------
+    merged, missing = merge_store_profiles(
+        str(tmp_path / "svc-store"), WORKLOADS, SCALES, threads=THREADS
+    )
+    assert missing == []
+    assert_byte_identical(merged, serial_reference(tmp_path))
+
+
+def test_supervisor_fast_path_requeues_before_the_deadline(tmp_path, monkeypatch):
+    """note_worker_dead (the serve supervisor's reap path) requeues a
+    dead worker's lease without waiting out the heartbeat timeout."""
+    monkeypatch.setenv("REPRO_SERVICE_TEST_KILL", "lease@victim")
+    coordinator = Coordinator(
+        str(tmp_path / "svc-store"),
+        str(tmp_path / "journal.rpjl"),
+        lease_timeout=3600.0,  # the timeout alone would take an hour
+        fsync=False,
+    )
+    server, base_url = serve_http(coordinator)
+    job_id = coordinator.submit(
+        ["producer_consumer"], [1], threads=THREADS, tools=TOOLS
+    )
+    victim = spawn_worker(base_url, "victim")
+    victim.join(timeout=JOIN_TIMEOUT)
+    assert victim.exitcode == -signal.SIGKILL
+    assert coordinator.note_worker_dead("victim", "exit -9") == 1
+
+    try:
+        survivor = spawn_worker(base_url, "survivor")
+        survivor.join(timeout=JOIN_TIMEOUT)
+        assert survivor.exitcode == 0
+    finally:
+        server.shutdown()
+        coordinator.close()
+    report = coordinator.job_report(job_id, include_trends=False)
+    assert report["state"] == "complete"
+    assert report["cells"][0]["attempts"] == 2
+    assert report["cells"][0]["completed_by"] == "survivor"

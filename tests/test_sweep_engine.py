@@ -171,7 +171,9 @@ class TestPartitionedCells:
         assert cold["cached"]  # trace came from the seeded store
         assert cold["partitions"] == 2
         assert not cold["shards_cached"]
-        # per-partition shard files exist; no merged shard was written
+        # per-partition shard files exist, and (since the service mode
+        # merges straight from the store) the merged shard is published
+        # under the plain kind too
         store = TraceStore(root)
         key = _cell_key(cell, None)
         for kind in ("drms", "rms"):
@@ -179,7 +181,12 @@ class TestPartitionedCells:
                 path = store.shard_path(key, f"{kind}.p{i}of2")
                 assert os.path.exists(path)
                 assert cold["shard_bytes"][kind] >= os.path.getsize(path)
-            assert not os.path.exists(store.shard_path(key, kind))
+            merged = store.get_shard(key, kind)
+            assert merged is not None
+            assert (
+                merged.metrics_snapshot()
+                == cold[kind].metrics_snapshot()
+            )
         # warm: both partition shards load from the store and re-merge
         warm = _run_cell(cell, root, (), 1, None, True, "columnar", 2)
         assert warm["shards_cached"]
@@ -249,6 +256,39 @@ class TestReport:
         registry2 = MetricsRegistry()
         run_sweep(config(tmp_path), metrics=registry2)
         assert registry2.as_dict()["sweep.cache.hits"] == 4
+
+    def test_cells_carry_attempt_provenance(self, tmp_path):
+        serial = run_sweep(config(tmp_path, store_root=str(tmp_path / "a")))
+        for cell in serial.report_dict()["cells"]:
+            assert cell["attempts"] == 1
+            assert cell["completed_by"] == "inline"
+        pooled = run_sweep(
+            config(tmp_path, store_root=str(tmp_path / "b"), parallel=2)
+        )
+        for cell in pooled.report_dict()["cells"]:
+            assert cell["attempts"] == 1
+            assert cell["completed_by"] == "pool"
+
+    def test_cell_task_wire_roundtrip(self, tmp_path):
+        from repro.sweep import CellTask, run_cell
+        from repro.sweep.engine import merge_store_profiles
+
+        cfg = config(tmp_path, workloads=("producer_consumer",), scales=(1,))
+        task = cfg.cell_task(cfg.cells()[0])
+        rebuilt = CellTask.from_dict(
+            json.loads(json.dumps(task.to_dict()))
+        )
+        assert rebuilt == task
+        payload = run_cell(rebuilt)
+        assert payload["events"] > 0
+        merged, missing = merge_store_profiles(
+            cfg.store_root, ["producer_consumer"], [1], threads=cfg.threads
+        )
+        assert missing == []
+        assert (
+            merged["producer_consumer"]["drms"].metrics_snapshot()
+            == payload["drms"].metrics_snapshot()
+        )
 
     def test_shards_in_payload_are_shadow_free(self, tmp_path):
         cfg = config(tmp_path, workloads=("producer_consumer",), scales=(1,))

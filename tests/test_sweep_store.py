@@ -153,3 +153,165 @@ class TestShardCache:
         with open(store.shard_path(KEY, "drms"), "wb") as handle:
             handle.write(b"\x80\x04 garbage")
         assert store.get_shard(KEY, "drms") is None
+
+
+class TestSidecarHardening:
+    """PR 7 satellite: any sidecar read failure is a counted miss,
+    never an exception — a torn meta/shard costs a recompute, not a
+    sweep abort."""
+
+    def make_shard(self):
+        profiler = DrmsProfiler(keep_activations=False)
+        profiler.consume_batch(recorded_batch())
+        profiler.begin_trace()
+        return profiler
+
+    def truncate(self, path):
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+
+    def test_truncated_meta_is_counted_not_raised(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.put_meta(KEY, {"events": 10, "replays": {"nulgrind": 1.0}})
+        self.truncate(store.meta_path(KEY))
+        assert store.get_meta(KEY) is None
+        assert store.sidecar_stats() == {
+            "sidecar_corrupt": 1,
+            "sidecar_stale": 0,
+        }
+
+    def test_absent_sidecars_are_silent(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        assert store.get_meta(KEY) is None
+        assert store.get_shard(KEY, "drms") is None
+        assert store.sidecar_stats() == {
+            "sidecar_corrupt": 0,
+            "sidecar_stale": 0,
+        }
+
+    def test_truncated_pickled_shard_is_counted_not_raised(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.put_shard(KEY, "drms", self.make_shard())
+        self.truncate(store.shard_path(KEY, "drms"))
+        assert store.get_shard(KEY, "drms") is None
+        assert store.sidecar_stats()["sidecar_corrupt"] == 1
+
+    def test_stale_shard_version_counted_separately(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        shard = self.make_shard()
+        with open(
+            self._shard_file(store), "wb"
+        ) as handle:
+            pickle.dump(
+                ("repro-shard", SHARD_VERSION + 1, "drms", shard), handle
+            )
+        assert store.get_shard(KEY, "drms") is None
+        assert store.sidecar_stats() == {
+            "sidecar_corrupt": 0,
+            "sidecar_stale": 1,
+        }
+
+    def _shard_file(self, store):
+        path = store.shard_path(KEY, "drms")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        return path
+
+    def test_stats_keys_are_unchanged(self, tmp_path):
+        # existing consumers assert exact equality on stats(); the
+        # sidecar counters live in their own dict
+        store = TraceStore(str(tmp_path))
+        assert set(store.stats()) == {"hits", "misses", "corrupt", "hit_rate"}
+
+    def test_sidecar_counters_reach_the_registry(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = TraceStore(str(tmp_path), metrics=registry)
+        store.put_meta(KEY, {"events": 1})
+        self.truncate(store.meta_path(KEY))
+        store.get_meta(KEY)
+        store.put_shard(KEY, "drms", self.make_shard())
+        self.truncate(store.shard_path(KEY, "drms"))
+        store.get_shard(KEY, "drms")
+        data = registry.as_dict()
+        assert data["sweep.cache.sidecar_corrupt{kind=meta}"] == 1
+        assert data["sweep.cache.sidecar_corrupt{kind=shard}"] == 1
+
+
+class TestStoreAudit:
+    """``repro doctor --store``: full-store audit and quarantine."""
+
+    def make_shard(self):
+        profiler = DrmsProfiler(keep_activations=False)
+        profiler.consume_batch(recorded_batch())
+        profiler.begin_trace()
+        return profiler
+
+    def populate(self, store):
+        batch = recorded_batch()
+        store.put(KEY, batch)
+        store.put_meta(KEY, {"events": len(batch)})
+        store.put_shard(KEY, "drms", self.make_shard())
+        return batch
+
+    def test_clean_store_audits_clean(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        self.populate(store)
+        audit = store.audit()
+        assert audit.clean
+        assert (audit.traces, audit.metas, audit.shards) == (1, 1, 1)
+        assert audit.as_dict()["clean"] is True
+
+    def test_audit_flags_every_failure_mode(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        self.populate(store)
+        # corrupt the trace and the meta in place
+        trace_path = store.trace_path(KEY)
+        data = open(trace_path, "rb").read()
+        with open(trace_path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        with open(store.meta_path(KEY), "w") as handle:
+            handle.write("{torn")
+        # a stale shard and a garbage one
+        with open(store.shard_path(KEY, "drms"), "wb") as handle:
+            pickle.dump(
+                ("repro-shard", SHARD_VERSION + 1, "drms", None), handle
+            )
+        with open(store.shard_path(KEY, "rms"), "wb") as handle:
+            handle.write(b"not a pickle")
+        # an orphaned sidecar (meta without any trace) and a leftover tmp
+        orphan = TraceKey("orphan", 1, 1)
+        store.put_meta(orphan, {"events": 0})
+        tmp_file = os.path.join(str(tmp_path), KEY.digest()[:2], "x.tmp")
+        with open(tmp_file, "wb") as handle:
+            handle.write(b"half-written")
+
+        audit = store.audit()
+        assert not audit.clean
+        assert len(audit.corrupt_traces) == 1
+        assert len(audit.corrupt_metas) == 1
+        assert len(audit.corrupt_shards) == 1
+        assert len(audit.stale_shards) == 1
+        assert audit.orphan_sidecars == [store.meta_path(orphan)]
+        assert audit.tmp_files == [tmp_file]
+
+    def test_quarantine_moves_bad_files_and_converges(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        self.populate(store)
+        with open(store.meta_path(KEY), "w") as handle:
+            handle.write("{torn")
+        orphan = TraceKey("orphan", 1, 1)
+        store.put_shard(orphan, "rms", self.make_shard())
+        audit = store.audit()
+        moved = store.quarantine(audit)
+        assert len(moved) == 2
+        for path in moved:
+            assert os.path.exists(path)
+            assert os.sep + "quarantine" + os.sep in path
+        # the bad entries read as clean misses now, and a re-audit
+        # (which skips quarantine/) converges to clean
+        assert store.get_meta(KEY) is None
+        assert store.audit().clean
+        # intact data survived untouched
+        assert store.get(KEY) is not None

@@ -296,3 +296,64 @@ class TestDoctorCli:
 
     def test_trace_binary_requires_save(self, capsys):
         assert main(["trace", "producer_consumer", "--binary"]) == 2
+
+
+class TestDoctorStoreCli:
+    """``repro doctor --store``: audit a whole trace store (PR 7)."""
+
+    def seeded_store(self, tmp_path):
+        from repro.sweep import TraceKey, TraceStore
+
+        root = str(tmp_path / "store")
+        store = TraceStore(root)
+        key = TraceKey("pc", 1, 4)
+        store.put(key, encode_events(sample_events()))
+        store.put_meta(key, {"events": 100})
+        return root, store, key
+
+    def test_clean_store_exit_zero(self, tmp_path, capsys):
+        root, _store, _key = self.seeded_store(tmp_path)
+        assert main(["doctor", "--store", root]) == 0
+        out = capsys.readouterr().out
+        assert "status:    clean" in out
+        assert "traces:    1 (0 corrupt)" in out
+
+    def test_dirty_store_flags_then_recovers(self, tmp_path, capsys):
+        root, store, key = self.seeded_store(tmp_path)
+        with open(store.meta_path(key), "w") as handle:
+            handle.write("{torn")
+        assert main(["doctor", "--store", root]) == 1
+        out = capsys.readouterr().out
+        assert "NEEDS RECOVERY" in out
+        assert "corrupt meta" in out
+        assert main(["doctor", "--store", root, "--recover"]) == 0
+        assert main(["doctor", "--store", root]) == 0
+
+    def test_recover_quarantines(self, tmp_path, capsys):
+        import os
+
+        root, store, key = self.seeded_store(tmp_path)
+        with open(store.meta_path(key), "w") as handle:
+            handle.write("{torn")
+        assert main(["doctor", "--store", root, "--recover"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined 1 file(s)" in out
+        assert "clean after recovery" in out
+        assert os.path.isdir(os.path.join(root, "quarantine"))
+        assert main(["doctor", "--store", root]) == 0
+
+    def test_trace_and_store_are_mutually_exclusive(self, tmp_path, capsys):
+        assert main(["doctor"]) == 2
+        assert (
+            main(
+                ["doctor", "--trace", "x", "--store", str(tmp_path)]
+            )
+            == 2
+        )
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_bare_recover_rejected_in_trace_mode(self, tmp_path, capsys):
+        path = tmp_path / "trace.bin"
+        path.write_bytes(v2_bytes(sample_events()))
+        assert main(["doctor", "--trace", str(path), "--recover"]) == 2
+        assert "OUT path" in capsys.readouterr().err
