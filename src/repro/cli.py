@@ -27,6 +27,13 @@ Subcommands:
   optionally waiting for completion (exit 0 complete / 3 degraded).
 * ``repro jobs`` — inspect a live coordinator over HTTP, or replay a
   journal offline for post-mortem job state.
+* ``repro trace-export --job ID`` — merge a job's per-process span
+  sidecars (coordinator, workers, partition processes) into one
+  Perfetto-viewable Chrome trace, clocks aligned via the lease-time
+  handshake.
+* ``repro top --url URL`` — live terminal view of a running
+  coordinator: per-worker lease state, rates from counter deltas,
+  retry counters, histogram p50/p99.
 * ``repro stats WORKLOAD`` — run a workload under full telemetry and
   print the metrics registry (table, ``--json`` or ``--prom``
   Prometheus text), optionally saving a Perfetto-viewable span timeline
@@ -91,14 +98,54 @@ def _run_workload(name: str, threads: int, scale: int, registry=None):
 
 
 def _print_metrics(registry, stream=None) -> None:
-    """Render a registry as an aligned two-column table."""
-    data = registry.as_dict()
+    """Render a registry as an aligned table.
+
+    Counters and gauges print as ``key  value`` rows; histograms are
+    summarised as ``count / p50 / p90 / p99`` derived from their log2
+    buckets instead of dumping raw per-bucket rows.
+    """
+    _print_flat_metrics(registry.as_dict(), stream=stream)
+
+
+def _print_flat_metrics(data, stream=None) -> None:
+    from repro.obs import histogram_summaries_from_flat
+
     if not data:
         print("(no metrics recorded)", file=stream)
         return
-    width = max(len(key) for key in data)
-    for key, value in data.items():
-        print(f"{key:<{width}}  {value}", file=stream)
+    summaries = histogram_summaries_from_flat(data, qs=(0.5, 0.9, 0.99))
+    hidden = set()
+    for base in summaries:
+        name = base.split("{", 1)[0]
+        labels = base[len(name):]
+        inner = labels[1:-1] if labels else ""
+        for key in data:
+            key_name = key.split("{", 1)[0]
+            if key_name in (name + "_count", name + "_sum") and (
+                key.endswith(labels) if labels else "{" not in key
+            ):
+                hidden.add(key)
+            elif key_name == name + "_bucket" and inner in key:
+                hidden.add(key)
+    scalars = {k: v for k, v in data.items() if k not in hidden}
+    if scalars:
+        width = max(len(key) for key in scalars)
+        for key, value in scalars.items():
+            print(f"{key:<{width}}  {value}", file=stream)
+    if summaries:
+        width = max(len(base) for base in summaries)
+        print(
+            f"{'-- histogram --':<{width}}  "
+            f"{'count':>8}  {'p50':>10}  {'p90':>10}  {'p99':>10}",
+            file=stream,
+        )
+        for base, row in sorted(summaries.items()):
+            print(
+                f"{base:<{width}}  {row['count']:>8}  "
+                f"{row['p50']:>10.0f}  {row['p90']:>10.0f}  "
+                f"{row['p99']:>10.0f}",
+                file=stream,
+            )
 
 
 def _emit_registry(registry, args) -> None:
@@ -187,6 +234,19 @@ def cmd_stats(args) -> int:
         profiler.publish_metrics(registry)
         registry.gauge("kernel.superops_fused").set(superops_fused[0])
     _emit_registry(registry, args)
+    if args.url:
+        from urllib import error
+
+        try:
+            payload = _service_get(args.url, "/metrics.json")
+        except (error.URLError, OSError) as exc:
+            print(
+                f"cannot reach coordinator at {args.url}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"-- service metrics ({args.url}) --")
+        _print_flat_metrics(payload.get("metrics", {}))
     if args.trace_out:
         tracer.save(args.trace_out)
         print(
@@ -599,6 +659,31 @@ def cmd_diagnose(args) -> int:
     return 0
 
 
+def _save_doctor_flight(args, facts, reason) -> None:
+    """Dump the doctor's findings through the flight recorder.
+
+    ``facts`` is a list of ``(kind, fields)`` notes fed into the ring;
+    when ``reason`` is non-empty (corruption was detected) the ring is
+    dumped as a ``flight-recorder`` instant, so the written Chrome
+    trace carries the last-moments evidence alongside the notes."""
+    if not getattr(args, "flight_out", None):
+        return
+    from repro.obs import SpanTracer
+    from repro.obs.distributed import FlightRecorder, flight_dump
+
+    tracer = SpanTracer(process_name="repro doctor")
+    FlightRecorder().attach(tracer)
+    for kind, fields in facts:
+        tracer.flight.note(kind, **fields)
+    if reason:
+        flight_dump(tracer, reason)
+    tracer.save(args.flight_out)
+    print(
+        f"doctor flight recording written to {args.flight_out}",
+        file=sys.stderr,
+    )
+
+
 def _doctor_store(args) -> int:
     """Audit (and optionally recover) a whole trace store."""
     from repro.sweep import TraceStore
@@ -623,6 +708,31 @@ def _doctor_store(args) -> int:
     ):
         for path in paths[:_DOCTOR_SECTION_LIMIT]:
             print(f"  {label}: {os.path.relpath(path, audit.root)}")
+    corrupt_total = (
+        len(audit.corrupt_traces)
+        + len(audit.corrupt_metas)
+        + len(audit.corrupt_shards)
+    )
+    _save_doctor_flight(
+        args,
+        [
+            (
+                "store-audit",
+                {
+                    "store": audit.root,
+                    "traces": audit.traces,
+                    "shards": audit.shards,
+                    "corrupt": corrupt_total,
+                    "stale": len(audit.stale_shards),
+                    "orphans": len(audit.orphan_sidecars),
+                },
+            )
+        ],
+        ""
+        if audit.clean
+        else f"doctor: store {audit.root} needs recovery "
+        f"({corrupt_total} corrupt file(s))",
+    )
     if audit.clean:
         print("status:    clean")
         return 0
@@ -679,6 +789,25 @@ def cmd_doctor(args) -> int:
     if len(scan.section_events) > len(shown):
         print(f"  ... ({len(scan.section_events) - len(shown)} more sections)")
     print(f"names:     {len(scan.batch.names)} interned")
+    _save_doctor_flight(
+        args,
+        [
+            (
+                "trace-scan",
+                {
+                    "trace": args.trace,
+                    "bytes": len(data),
+                    "declared": scan.declared_events,
+                    "recovered": scan.events_loaded,
+                    "valid_bytes": scan.valid_bytes,
+                    "intact": scan.intact,
+                },
+            )
+        ],
+        ""
+        if scan.intact
+        else f"doctor: corrupt trace {args.trace}: {scan.error}",
+    )
     if scan.intact:
         print("status:    intact")
     else:
@@ -731,12 +860,17 @@ def cmd_serve(args) -> int:
     import multiprocessing
     import time
 
-    from repro.obs import MetricsRegistry
+    from repro.obs import MetricsRegistry, SpanTracer
     from repro.service import Coordinator
     from repro.service.httpd import serve_http
     from repro.service.worker import worker_entry
 
     registry = MetricsRegistry()
+    spans_dir = None
+    tracer = None
+    if not args.no_trace:
+        spans_dir = args.spans_dir or (args.journal + ".spans")
+        tracer = SpanTracer(process_name="coordinator")
     coordinator = Coordinator(
         args.store,
         args.journal,
@@ -744,6 +878,8 @@ def cmd_serve(args) -> int:
         max_retries=args.max_retries,
         metrics=registry,
         fsync=not args.no_fsync,
+        tracer=tracer,
+        spans_dir=spans_dir,
     )
     server, base_url = serve_http(
         coordinator, host=args.host, port=args.port, registry=registry
@@ -754,7 +890,7 @@ def cmd_serve(args) -> int:
         f"({replay.records} record(s) replayed"
         + (f", {replay.torn_tail_bytes} torn tail byte(s) dropped"
            if replay.torn_tail_bytes else "")
-        + ")",
+        + (f"), spans in {spans_dir}" if spans_dir else ")"),
         flush=True,
     )
     workers = {}
@@ -1006,6 +1142,213 @@ def cmd_jobs(args) -> int:
     return 0
 
 
+def cmd_trace_export(args) -> int:
+    """Merge a job's span sidecars into one Perfetto-viewable trace.
+
+    Offline: replays the journal (read-only) to resolve the job's
+    ``trace_id``, then merges every contributing sidecar under the
+    spans directory.  Exit 0 valid, 1 schema problems, 2 unknown job
+    or no trace context recorded.
+    """
+    from repro.core.serialize import dumps_strict
+    from repro.obs.distributed import merge_job_trace, validate_chrome_trace
+    from repro.service import Coordinator
+
+    spans_dir = args.spans_dir or (args.journal + ".spans")
+    coordinator = Coordinator(
+        args.store or "", args.journal, fsync=False, readonly=True
+    )
+    try:
+        report = coordinator.job_report(args.job, include_trends=False)
+    except KeyError:
+        print(
+            f"trace-export: unknown job {args.job!r} in {args.journal}",
+            file=sys.stderr,
+        )
+        return 2
+    trace_id = report.get("trace_id", "")
+    if not trace_id:
+        print(
+            f"trace-export: job {args.job} has no trace context "
+            "(journal predates tracing?)",
+            file=sys.stderr,
+        )
+        return 2
+    doc = merge_job_trace(
+        spans_dir,
+        trace_id=trace_id,
+        job=args.job,
+        extra_metadata={
+            "journal": args.journal,
+            "job_state": report["state"],
+        },
+    )
+    out = args.out or f"{args.job}.trace.json"
+    with open(out, "w") as handle:
+        handle.write(dumps_strict(doc) + "\n")
+    meta = doc["metadata"]
+    processes = meta["processes"]
+    print(
+        f"{args.job} [{trace_id}]: {len(doc['traceEvents'])} event(s) "
+        f"from {len(processes)} process(es) -> {out}"
+    )
+    for proc in processes:
+        torn = (
+            f", {proc['torn_tail_bytes']} torn tail byte(s)"
+            if proc["torn_tail_bytes"]
+            else ""
+        )
+        print(
+            f"  pid {proc['pid']}: {proc['process']} "
+            f"(clock offset {proc['handshake_offset_us']}us{torn})"
+        )
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems[:_DOCTOR_SECTION_LIMIT]:
+            print(f"  invalid: {problem}", file=sys.stderr)
+        print(f"trace INVALID ({len(problems)} problem(s))", file=sys.stderr)
+        return 1
+    if not processes:
+        print(
+            "trace valid but EMPTY — no sidecars matched "
+            f"(looked in {spans_dir})",
+            file=sys.stderr,
+        )
+    else:
+        print("trace valid (open in https://ui.perfetto.dev)")
+    return 0
+
+
+class TopView:
+    """Renderer behind ``repro top``: metrics+jobs snapshots in, one
+    terminal screen out.
+
+    Kept free of I/O so tests can drive :meth:`update` with canned
+    snapshots.  Rates (cells/s, leases/s, journal records/s) come from
+    counter deltas between successive polls; histogram rows are
+    p50/p99 derived from the log2 buckets in the flat metrics dict.
+    """
+
+    RATE_KEYS = (
+        ("service.cells.done", "cells done"),
+        ("service.leases.granted", "leases granted"),
+        ("service.journal.records", "journal records"),
+    )
+    RETRY_KEYS = (
+        "service.requeues",
+        "service.leases.expired",
+        "service.cells.failed",
+        "service.cells.duplicate",
+    )
+
+    def __init__(self, url: str = "") -> None:
+        self.url = url
+        self._prev: dict = {}
+        self._prev_time: Optional[float] = None
+
+    def update(self, metrics, jobs, now: float) -> str:
+        from repro.obs import histogram_summaries_from_flat
+
+        lines = [f"repro top — {self.url or 'coordinator'}"]
+
+        lines.append("jobs:")
+        if not jobs:
+            lines.append("  (none submitted)")
+        for job in jobs:
+            cells = job.get("cells", {})
+            total = sum(cells.values())
+            lines.append(
+                f"  {job['job']}: {job['state']} — "
+                f"{cells.get('done', 0)}/{total} cells done"
+                f" ({cells.get('failed', 0)} failed,"
+                f" {cells.get('leased', 0)} leased)"
+            )
+
+        lines.append("workers:")
+        prefix = "service.heartbeat.age_seconds{worker="
+        seen_worker = False
+        for key in sorted(metrics):
+            if not key.startswith(prefix):
+                continue
+            seen_worker = True
+            worker = key[len(prefix):].rstrip("}")
+            lines.append(
+                f"  {worker}: lease live, heartbeat {metrics[key]:.1f}s ago"
+            )
+        if not seen_worker:
+            lines.append("  (no live leases)")
+
+        lines.append("rates:")
+        dt = (
+            now - self._prev_time
+            if self._prev_time is not None and now > self._prev_time
+            else None
+        )
+        for key, label in self.RATE_KEYS:
+            value = metrics.get(key)
+            if not isinstance(value, (int, float)):
+                continue
+            if dt and key in self._prev:
+                rate = (value - self._prev[key]) / dt
+                lines.append(f"  {label}: {value:g} ({rate:.1f}/s)")
+            else:
+                lines.append(f"  {label}: {value:g}")
+            self._prev[key] = value
+        self._prev_time = now
+
+        retries = [
+            f"{key.rsplit('.', 1)[-1]}={metrics[key]:g}"
+            for key in self.RETRY_KEYS
+            if isinstance(metrics.get(key), (int, float))
+        ]
+        if retries:
+            lines.append("retries:  " + "  ".join(retries))
+
+        summaries = histogram_summaries_from_flat(metrics, qs=(0.5, 0.99))
+        if summaries:
+            lines.append("latency (p50/p99):")
+            for base, row in sorted(summaries.items()):
+                lines.append(
+                    f"  {base}: n={row['count']} "
+                    f"p50={row['p50']:.0f} p99={row['p99']:.0f}"
+                )
+        return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """Live terminal view of a running coordinator (``/metrics.json``
+    + ``/jobs`` polled every ``--interval`` seconds)."""
+    import time as timelib
+    from urllib import error
+
+    view = TopView(args.url)
+    iterations = 1 if args.once else args.iterations
+    shown = 0
+    while True:
+        try:
+            metrics = _service_get(args.url, "/metrics.json").get(
+                "metrics", {}
+            )
+            jobs = _service_get(args.url, "/jobs").get("jobs", [])
+        except (error.URLError, OSError) as exc:
+            print(
+                f"cannot reach coordinator at {args.url}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        screen = view.update(metrics, jobs, timelib.monotonic())
+        if shown and sys.stdout.isatty():
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(screen, flush=True)
+        shown += 1
+        if iterations and shown >= iterations:
+            return 0
+        try:
+            timelib.sleep(max(args.interval, 0.05))
+        except KeyboardInterrupt:
+            return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1212,6 +1555,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the N-way partition plan (why the trace is or "
         "isn't splittable for parallel replay; 0 = one per CPU)",
     )
+    p.add_argument(
+        "--flight-out",
+        metavar="FILE",
+        help="write the doctor's findings as a Chrome trace; detected "
+        "corruption triggers a flight-recorder dump in it",
+    )
     p.set_defaults(func=cmd_doctor)
 
     p = sub.add_parser(
@@ -1277,6 +1626,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fsync",
         action="store_true",
         help="skip fsync on journal appends (tests only)",
+    )
+    p.add_argument(
+        "--spans-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for per-process span sidecars "
+        "(default: <journal>.spans)",
+    )
+    p.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable distributed tracing (no span sidecars)",
     )
     p.set_defaults(func=cmd_serve)
 
@@ -1404,8 +1765,71 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a Chrome trace-event span timeline (Perfetto)",
     )
+    p.add_argument(
+        "--url",
+        default=None,
+        help="also fetch and print a running coordinator's metrics",
+    )
     add_engine_arg(p)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "trace-export",
+        help="merge a job's span sidecars into one Perfetto trace",
+    )
+    p.add_argument("--job", required=True, help="job id (from submit)")
+    p.add_argument(
+        "--journal",
+        required=True,
+        metavar="FILE",
+        help="coordinator journal (replayed read-only for the trace id)",
+    )
+    p.add_argument(
+        "--spans-dir",
+        metavar="DIR",
+        default=None,
+        help="span sidecar directory (default: <journal>.spans)",
+    )
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="trace store (optional; only used for journal replay)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="output path (default: <job>.trace.json)",
+    )
+    p.set_defaults(func=cmd_trace_export)
+
+    p = sub.add_parser(
+        "top", help="live terminal view of a running coordinator"
+    )
+    p.add_argument(
+        "--url", required=True, help="coordinator base URL (from serve)"
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="poll interval",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N refreshes (0 = until interrupted)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single snapshot and exit",
+    )
+    p.set_defaults(func=cmd_top)
 
     return parser
 

@@ -4,12 +4,27 @@ This package is the observability spine of the reproduction: a
 :class:`MetricsRegistry` (counters, gauges, log2-bucket histograms)
 that the VM, the profilers, and the measurement runner publish into,
 and a :class:`SpanTracer` that emits Chrome trace-event JSON viewable
-in Perfetto.  It imports nothing from the rest of ``repro`` so every
-layer can depend on it without cycles, and its disabled defaults
+in Perfetto.  ``repro.obs.distributed`` extends the tracer across
+process boundaries: trace contexts propagated through the service and
+partition pool, crash-safe per-process span sidecars, a per-job
+Perfetto merger with clock alignment, and a flight recorder dumped on
+failures.  The package imports nothing from the rest of ``repro`` so
+every layer can depend on it without cycles, and its disabled defaults
 (:data:`NULL_REGISTRY`, :data:`NULL_TRACER`) are near-free so telemetry
-costs ~nothing unless switched on.  See DESIGN.md §9.
+costs ~nothing unless switched on.  See DESIGN.md §9 and §14.
 """
 
+from repro.obs.distributed import (
+    FlightRecorder,
+    SidecarReplay,
+    SpanSidecar,
+    TraceContext,
+    flight_dump,
+    merge_job_trace,
+    read_sidecar,
+    sidecar_path,
+    validate_chrome_trace,
+)
 from repro.obs.registry import (
     HISTOGRAM_BUCKETS,
     NULL_REGISTRY,
@@ -18,14 +33,18 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    bucket_bounds,
     bucket_index,
     flatten_key,
+    histogram_summaries_from_flat,
+    quantile_from_buckets,
 )
 from repro.obs.spans import NULL_TRACER, NullTracer, SpanTracer
 
 __all__ = [
     "HISTOGRAM_BUCKETS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -33,7 +52,18 @@ __all__ = [
     "NULL_REGISTRY",
     "NullTracer",
     "NULL_TRACER",
+    "SidecarReplay",
+    "SpanSidecar",
     "SpanTracer",
+    "TraceContext",
+    "bucket_bounds",
     "bucket_index",
     "flatten_key",
+    "flight_dump",
+    "histogram_summaries_from_flat",
+    "merge_job_trace",
+    "quantile_from_buckets",
+    "read_sidecar",
+    "sidecar_path",
+    "validate_chrome_trace",
 ]

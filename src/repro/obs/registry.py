@@ -38,7 +38,10 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "bucket_index",
+    "bucket_bounds",
     "flatten_key",
+    "histogram_summaries_from_flat",
+    "quantile_from_buckets",
 ]
 
 #: buckets 0..64: index = value.bit_length(), capped for safety
@@ -125,6 +128,106 @@ class Histogram:
     def nonzero_buckets(self) -> List[Tuple[int, int]]:
         """``[(bucket_index, count), ...]`` for populated buckets."""
         return [(i, n) for i, n in enumerate(self.buckets) if n]
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0..1) from the log2 buckets."""
+        return quantile_from_buckets(self.nonzero_buckets(), self.count, q)
+
+    def quantiles(self, qs=(0.5, 0.9, 0.99)) -> List[float]:
+        buckets = self.nonzero_buckets()
+        return [quantile_from_buckets(buckets, self.count, q) for q in qs]
+
+
+def bucket_bounds(index: int) -> Tuple[int, int]:
+    """Inclusive ``[lo, hi]`` value range covered by a log2 bucket."""
+    if index <= 0:
+        return (0, 0)
+    return (2 ** (index - 1), 2**index - 1)
+
+
+def quantile_from_buckets(
+    nonzero: List[Tuple[int, int]], count: int, q: float
+) -> float:
+    """q-quantile estimated from ``[(bucket_index, count), ...]``.
+
+    Walks the cumulative distribution and interpolates linearly within
+    the chosen bucket's value range — the standard Prometheus-style
+    histogram_quantile estimate, specialised to the log2 layout where
+    bucket ``i`` covers ``[2^(i-1), 2^i - 1]`` (bucket 0 is exactly 0).
+    """
+    if count <= 0 or not nonzero:
+        return 0.0
+    q = min(max(q, 0.0), 1.0)
+    target = q * count
+    cumulative = 0
+    for index, n in nonzero:
+        previous = cumulative
+        cumulative += n
+        if cumulative >= target:
+            lo, hi = bucket_bounds(index)
+            if n == 0 or hi == lo:
+                return float(lo)
+            fraction = (target - previous) / n
+            return lo + fraction * (hi - lo)
+    lo, hi = bucket_bounds(nonzero[-1][0])
+    return float(hi)
+
+
+def histogram_summaries_from_flat(
+    metrics: Mapping[str, object], qs=(0.5, 0.9, 0.99)
+) -> Dict[str, Dict[str, float]]:
+    """Reconstruct per-histogram quantile summaries from ``as_dict()``.
+
+    Given the flat ``{"name{k=v}": value}`` mapping (as served by
+    ``/metrics.json`` or written by ``repro stats --json``), groups the
+    ``name_bucket{...,le=2^i}`` keys back into histograms and returns
+    ``{base_key: {"count": .., "sum": .., "p50": .., ...}}`` where
+    ``base_key`` is the histogram's flat name with labels.
+    """
+    buckets: Dict[Tuple[str, LabelItems], List[Tuple[int, int]]] = {}
+    counts: Dict[str, int] = {}
+    sums: Dict[str, object] = {}
+    for key, value in metrics.items():
+        name, labels = _parse_flat_key(key)
+        if name.endswith("_count"):
+            counts[flatten_key(name[: -len("_count")], labels)] = int(value)
+        elif name.endswith("_sum"):
+            sums[flatten_key(name[: -len("_sum")], labels)] = value
+        elif name.endswith("_bucket"):
+            le = dict(labels).get("le", "")
+            if not le.startswith("2^"):
+                continue
+            base_labels = tuple(kv for kv in labels if kv[0] != "le")
+            buckets.setdefault(
+                (name[: -len("_bucket")], base_labels), []
+            ).append((int(le[2:]), int(value)))
+    out: Dict[str, Dict[str, float]] = {}
+    for (name, labels), pairs in buckets.items():
+        base = flatten_key(name, labels)
+        count = counts.get(base, sum(n for _, n in pairs))
+        pairs.sort()
+        summary: Dict[str, float] = {
+            "count": count,
+            "sum": sums.get(base, 0),
+        }
+        for q in qs:
+            summary[f"p{int(q * 100)}"] = quantile_from_buckets(
+                pairs, count, q
+            )
+        out[base] = summary
+    return out
+
+
+def _parse_flat_key(key: str) -> Tuple[str, LabelItems]:
+    """Invert :func:`flatten_key`: ``name{k=v,...}`` → (name, labels)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, ()
+    name, _, inner = key[:-1].partition("{")
+    labels = []
+    for part in inner.split(","):
+        k, _, v = part.partition("=")
+        labels.append((k, v))
+    return name, tuple(labels)
 
 
 def _label_items(labels: Optional[Mapping[str, object]]) -> LabelItems:

@@ -1,12 +1,24 @@
 """Span tracing to Chrome trace-event JSON (Perfetto-viewable).
 
 A :class:`SpanTracer` records named wall-clock intervals ("complete"
-events, phase ``X``) and point-in-time markers ("instant" events, phase
-``i``) in the `Chrome Trace Event format
+events, phase ``X``), point-in-time markers ("instant" events, phase
+``i``), and counter samples (phase ``C``) in the `Chrome Trace Event
+format
 <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_,
 which both ``chrome://tracing`` and https://ui.perfetto.dev load
-directly.  Timestamps are microseconds from the tracer's creation, so
-traces start at t=0 regardless of host epoch.
+directly.
+
+Timestamps come from a **monotonic clock anchored once to the epoch**:
+at construction the tracer captures ``time.time()`` and
+``time.perf_counter()`` as a pair, and every later timestamp is
+``anchor_epoch + (perf_counter() - anchor_perf)`` in microseconds.
+Spans therefore can never go backwards if the wall clock is adjusted
+mid-run, while remaining comparable across processes (each process's
+residual offset is just its wall-clock error at anchor time, which the
+distributed merger corrects via the coordinator handshake — see
+:mod:`repro.obs.distributed`).  The anchor pair is exposed as
+:attr:`anchor_epoch_us` / :attr:`anchor_perf` and recorded in the
+export header.
 
 Use as a context manager around interesting phases::
 
@@ -17,6 +29,14 @@ Use as a context manager around interesting phases::
 
 The disabled default is :data:`NULL_TRACER`: ``span`` is a reusable
 no-op context manager, so instrumented code needs no ``if`` guards.
+
+Two optional attachments feed the distributed-tracing layer:
+
+* ``sink`` — an object with an ``emit(event)`` method (a
+  :class:`repro.obs.distributed.SpanSidecar`); every recorded event is
+  also streamed there, crash-safely, as it happens.
+* ``flight`` — a :class:`repro.obs.distributed.FlightRecorder`; every
+  recorded event is mirrored into its bounded ring buffer.
 """
 
 from __future__ import annotations
@@ -30,17 +50,35 @@ __all__ = ["SpanTracer", "NullTracer", "NULL_TRACER"]
 
 
 class SpanTracer:
-    """Collects Chrome trace events with µs timestamps from creation."""
+    """Collects Chrome trace events with epoch-anchored µs timestamps."""
 
     enabled = True
 
     def __init__(self, process_name: str = "repro") -> None:
-        self._origin = time.perf_counter()
+        # Anchor once: epoch + perf_counter captured back to back.  All
+        # timestamps derive from perf_counter (monotonic), offset to the
+        # epoch so cross-process alignment is well-defined.
+        self.anchor_epoch_us = int(time.time() * 1_000_000)
+        self.anchor_perf = time.perf_counter()
         self.process_name = process_name
         self.events: List[Dict[str, object]] = []
+        self.sink = None  # optional SpanSidecar
+        self.flight = None  # optional FlightRecorder
 
-    def _now_us(self) -> int:
-        return int((time.perf_counter() - self._origin) * 1_000_000)
+    def now_us(self) -> int:
+        """Epoch-anchored monotonic timestamp in microseconds."""
+        elapsed = time.perf_counter() - self.anchor_perf
+        return self.anchor_epoch_us + int(elapsed * 1_000_000)
+
+    # kept as the internal spelling used by span()/instant()
+    _now_us = now_us
+
+    def _emit(self, event: Dict[str, object]) -> None:
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink.emit(event)
+        if self.flight is not None:
+            self.flight.record(event)
 
     @contextmanager
     def span(self, name: str, track: str = "main", **args):
@@ -60,7 +98,7 @@ class SpanTracer:
             }
             if args:
                 event["args"] = {k: _jsonable(v) for k, v in args.items()}
-            self.events.append(event)
+            self._emit(event)
 
     def instant(self, name: str, track: str = "main", **args) -> None:
         """Record a point-in-time marker ("i" event)."""
@@ -74,7 +112,41 @@ class SpanTracer:
         }
         if args:
             event["args"] = {k: _jsonable(v) for k, v in args.items()}
-        self.events.append(event)
+        self._emit(event)
+
+    def counter(self, name: str, value, track: str = "main", **extra) -> None:
+        """Record a counter sample ("C" event) — a counter-track point.
+
+        ``value`` may be a number (series named after the counter) or
+        several series may be given via ``extra`` keyword samples.
+        """
+        series: Dict[str, object] = {}
+        if isinstance(value, dict):
+            series.update({k: _jsonable(v) for k, v in value.items()})
+        else:
+            series[name.rsplit(".", 1)[-1]] = _jsonable(value)
+        for k, v in extra.items():
+            series[k] = _jsonable(v)
+        event: Dict[str, object] = {
+            "name": name,
+            "ph": "C",
+            "ts": self._now_us(),
+            "pid": 1,
+            "tid": track,
+            "args": series,
+        }
+        self._emit(event)
+
+    def emit_raw(self, event: Dict[str, object]) -> None:
+        """Append a pre-built Chrome event verbatim (flight dumps)."""
+        self._emit(event)
+
+    def clock_header(self) -> Dict[str, object]:
+        """The clock-anchor record stored in export headers."""
+        return {
+            "anchor_epoch_us": self.anchor_epoch_us,
+            "clock": "perf_counter",
+        }
 
     def to_chrome(self) -> Dict[str, object]:
         """The full JSON-object form of the trace."""
@@ -89,6 +161,7 @@ class SpanTracer:
         return {
             "traceEvents": meta + self.events,
             "displayTimeUnit": "ms",
+            "metadata": self.clock_header(),
         }
 
     def save(self, path: str) -> None:
@@ -125,11 +198,19 @@ class NullTracer:
 
     enabled = False
     events: List[Dict[str, object]] = []
+    sink = None
+    flight = None
 
     def span(self, name: str, track: str = "main", **args) -> _NullSpan:
         return _NULL_SPAN
 
     def instant(self, name: str, track: str = "main", **args) -> None:
+        pass
+
+    def counter(self, name: str, value, track: str = "main", **extra) -> None:
+        pass
+
+    def emit_raw(self, event: Dict[str, object]) -> None:
         pass
 
     def to_chrome(self) -> Dict[str, object]:

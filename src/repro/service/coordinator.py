@@ -33,6 +33,13 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.distributed import (
+    FlightRecorder,
+    SpanSidecar,
+    TraceContext,
+    flight_dump,
+    sidecar_path,
+)
 from repro.service.journal import Journal
 from repro.sweep.engine import CellTask, SweepCell
 from repro.tools.runner import DEFAULT_ENGINE, DEFAULT_TOOLS, Degradation
@@ -117,6 +124,7 @@ class JobState:
     job_id: str
     spec: Dict[str, Any]
     submitted_at: float
+    trace_id: str = ""
     cells: Dict[str, CellState] = field(default_factory=dict)
     #: submission order of cell ids — the canonical merge order, kept
     #: explicit so reports and shard merges match a serial ``run_sweep``
@@ -167,6 +175,8 @@ class Coordinator:
         clock=time.time,
         fsync: bool = True,
         readonly: bool = False,
+        tracer=None,
+        spans_dir: Optional[str] = None,
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be > 0")
@@ -190,11 +200,25 @@ class Coordinator:
         self._finished_jobs: set = set()
         self._job_counter = 0
         self._lease_counter = 0
-        from repro.obs import NULL_REGISTRY
+        from repro.obs import NULL_REGISTRY, NULL_TRACER
 
         self.metrics = (
             metrics if metrics is not None and metrics.enabled else NULL_REGISTRY
         )
+        self.spans_dir = spans_dir or ""
+        self.tracer = (
+            tracer if tracer is not None and tracer.enabled else NULL_TRACER
+        )
+        self._sidecar: Optional[SpanSidecar] = None
+        self.flight = FlightRecorder().attach(self.tracer)
+        self._renewals = 0
+        if self.tracer.enabled and self.spans_dir:
+            self._sidecar = SpanSidecar(
+                sidecar_path(self.spans_dir, "coordinator"),
+                process="coordinator",
+                anchor_epoch_us=self.tracer.anchor_epoch_us,
+            )
+            self.tracer.sink = self._sidecar
         self.journal = Journal(
             journal_path, fsync=fsync, readonly=readonly, metrics=self.metrics
         )
@@ -221,6 +245,9 @@ class Coordinator:
 
     def close(self) -> None:
         self.journal.close()
+        if self._sidecar is not None:
+            self._sidecar.close()
+            self._sidecar = None
 
     # -- public operations --------------------------------------------------
 
@@ -266,9 +293,22 @@ class Coordinator:
                 "partitions": partitions,
                 "reuse_measurements": reuse_measurements,
             }
+            trace_id = TraceContext.new_root(job_id).trace_id
             self._record(
-                "job_submitted", job=job_id, spec=spec, t=self.clock()
+                "job_submitted",
+                job=job_id,
+                spec=spec,
+                trace_id=trace_id,
+                t=self.clock(),
             )
+            self.tracer.instant(
+                "job-submitted",
+                track="jobs",
+                job=job_id,
+                trace_id=trace_id,
+                cells=len(workloads) * len(scales),
+            )
+            self._emit_queue_depth()
             return job_id
 
     def lease(self, worker: str) -> Optional[Dict[str, Any]]:
@@ -306,6 +346,25 @@ class Coordinator:
                 t=now,
             )
             self.metrics.counter("service.leases.granted").inc()
+            self.tracer.instant(
+                "lease-granted",
+                track="leases",
+                job=job.job_id,
+                trace_id=job.trace_id,
+                cell=cell.cell.id,
+                worker=worker,
+                lease=lease_id,
+                attempt=cell.attempts + 1,
+            )
+            self._emit_queue_depth()
+            trace_ctx = None
+            if job.trace_id:
+                trace_ctx = TraceContext(
+                    trace_id=job.trace_id,
+                    job=job.job_id,
+                    worker=worker,
+                    spans_dir=self.spans_dir,
+                ).to_dict()
             task = CellTask(
                 cell=cell.cell,
                 store_root=self.store_root,
@@ -315,6 +374,7 @@ class Coordinator:
                 reuse_measurements=job.spec["reuse_measurements"],
                 engine=job.spec["engine"],
                 partitions=job.spec["partitions"],
+                trace=trace_ctx,
             )
             return {
                 "lease": lease_id,
@@ -324,6 +384,10 @@ class Coordinator:
                 "deadline": now + self.lease_timeout,
                 "heartbeat_interval": self.heartbeat_interval,
                 "task": task.to_dict(),
+                "trace": trace_ctx,
+                # handshake sample for cross-process clock alignment:
+                # the worker records (its now_us − this) in its sidecar
+                "coordinator_time_us": self._time_us(),
             }
 
     def heartbeat(self, lease_id: str, worker: str) -> bool:
@@ -340,6 +404,11 @@ class Coordinator:
                 t=self.clock(),
                 durable=False,
             )
+            self._renewals += 1
+            if self.tracer.enabled:
+                self.tracer.counter(
+                    "service.lease_renewals", self._renewals, track="leases"
+                )
             return True
 
     def note_shard(self, lease_id: str, worker: str, kind: str) -> None:
@@ -398,6 +467,15 @@ class Coordinator:
                 t=self.clock(),
             )
             self.metrics.counter("service.cells.done").inc()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "cell-done",
+                    track="cells",
+                    job=job,
+                    trace_id=job_state.trace_id,
+                    cell=cell,
+                    worker=worker,
+                )
             self._maybe_finish_job(job_state)
             return {"accepted": True, "duplicate": False}
 
@@ -429,7 +507,12 @@ class Coordinator:
     def note_worker_dead(self, worker: str, reason: str) -> int:
         """Supervisor fast-path: a worker process is known dead, so its
         leases are requeued immediately instead of waiting out the
-        heartbeat deadline.  Returns the number of requeued leases."""
+        heartbeat deadline.  Returns the number of requeued leases.
+
+        A SIGKILLed worker cannot dump its own flight recorder, so the
+        coordinator dumps *its* ring here on the dead worker's behalf —
+        tagged per affected job so the dump lands in each job's merged
+        trace."""
         with self._lock:
             now = self.clock()
             if worker not in self.dead_workers:
@@ -437,12 +520,28 @@ class Coordinator:
                     "worker_dead", worker=worker, reason=reason, t=now
                 )
             requeued = 0
+            affected_jobs: List[str] = []
             for lease in list(self.leases.values()):
                 if lease.state == "live" and lease.worker == worker:
+                    if lease.job_id not in affected_jobs:
+                        affected_jobs.append(lease.job_id)
                     self._expire_one(lease, now, reason=reason)
                     requeued += 1
             for job in self.jobs.values():
                 self._maybe_finish_job(job)
+            if self.tracer.enabled:
+                self.flight.note(
+                    "worker-dead", worker=worker, reason=reason
+                )
+                for job_id in affected_jobs or [""]:
+                    job = self.jobs.get(job_id)
+                    flight_dump(
+                        self.tracer,
+                        f"worker-dead: {worker}",
+                        worker=worker,
+                        job=job_id,
+                        trace_id=job.trace_id if job else "",
+                    )
             return requeued
 
     def tick(self, now: Optional[float] = None) -> int:
@@ -451,6 +550,24 @@ class Coordinator:
             return self._expire_leases(self.clock() if now is None else now)
 
     # -- internal transitions ----------------------------------------------
+
+    def _time_us(self) -> int:
+        """Epoch-anchored µs 'now' for the lease clock handshake."""
+        if self.tracer.enabled:
+            return self.tracer.now_us()
+        return int(time.time() * 1_000_000)
+
+    def _emit_queue_depth(self) -> None:
+        """Counter-track sample of runnable cells (Perfetto C event)."""
+        if not self.tracer.enabled:
+            return
+        pending = sum(
+            1
+            for job in self.jobs.values()
+            for cell in job.cells.values()
+            if cell.state == CELL_PENDING
+        )
+        self.tracer.counter("service.queue_depth", pending, track="queue")
 
     def _requeue_decision(
         self, cell: CellState, now: float
@@ -509,6 +626,18 @@ class Coordinator:
         self.metrics.counter("service.leases.expired").inc()
         if requeue:
             self.metrics.counter("service.requeues").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "lease-expired",
+                track="leases",
+                job=lease.job_id,
+                trace_id=job.trace_id,
+                cell=lease.cell_id,
+                worker=lease.worker,
+                requeue=requeue,
+                reason=reason,
+            )
+            self._emit_queue_depth()
 
     def _maybe_finish_job(self, job: JobState) -> None:
         if job.terminal and job.job_id not in self._finished_jobs:
@@ -536,6 +665,7 @@ class Coordinator:
                 job_id=job_id,
                 spec=spec,
                 submitted_at=record.get("t", 0.0),
+                trace_id=record.get("trace_id", ""),
             )
             for workload in spec["workloads"]:
                 for scale in spec["scales"]:
@@ -676,6 +806,7 @@ class Coordinator:
                         "cells": job.counts(),
                         "workloads": job.spec["workloads"],
                         "scales": job.spec["scales"],
+                        "trace_id": job.trace_id,
                     }
                 )
             return out
@@ -703,6 +834,7 @@ class Coordinator:
                 "job": job_id,
                 "state": job.state,
                 "submitted_at": job.submitted_at,
+                "trace_id": job.trace_id,
                 "spec": dict(job.spec),
                 "store": self.store_root,
                 "counts": job.counts(),

@@ -14,7 +14,13 @@ method     path            meaning
 ``GET``    ``/jobs/<id>``  full auditable job report
 ``GET``    ``/healthz``    liveness (``{"status": "ok", ...}``)
 ``GET``    ``/metrics``    Prometheus text exposition of ``repro.obs``
+``GET``    ``/metrics.json``  flat ``as_dict()`` metrics (``repro top``)
 =========  ==============  ================================================
+
+Worker POST bodies (``/heartbeat``, ``/complete``, ``/fail``) carry the
+lease's ``trace_id`` so the wire protocol propagates trace context in
+both directions; the lease response itself ships the job's
+``TraceContext`` plus a ``coordinator_time_us`` clock-handshake sample.
 
 The server is a ``ThreadingHTTPServer``; the coordinator serialises
 state mutations behind its own lock, so handler threads stay dumb.
@@ -89,6 +95,13 @@ class _Handler(BaseHTTPRequestHandler):
                     registry.to_prometheus(),
                     content_type="text/plain; version=0.0.4",
                 )
+            elif self.path == "/metrics.json":
+                # the flat as_dict() form — what `repro top` and
+                # `repro stats --url` poll (no Prometheus parsing)
+                coordinator.tick()
+                coordinator.publish_metrics()
+                registry = self.server.registry or coordinator.metrics
+                self._send(200, {"metrics": registry.as_dict()})
             elif self.path == "/jobs":
                 coordinator.tick()
                 self._send(200, {"jobs": coordinator.jobs_snapshot()})

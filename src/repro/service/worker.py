@@ -30,6 +30,13 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional
 
+from repro.obs.distributed import (
+    FlightRecorder,
+    SpanSidecar,
+    TraceContext,
+    flight_dump,
+    sidecar_path,
+)
 from repro.sweep.engine import CellTask, run_cell
 
 __all__ = [
@@ -43,6 +50,43 @@ _KILL_ENV = "REPRO_SERVICE_TEST_KILL"
 #: exported to children so the store-level ``shard`` kill stage can
 #: tell *which* worker is writing
 _WORKER_ENV = "REPRO_SERVICE_WORKER"
+
+
+def _lease_trace_id(lease: Dict[str, Any]) -> str:
+    trace = lease.get("trace") or {}
+    return str(trace.get("trace_id", "")) if isinstance(trace, dict) else ""
+
+
+def _open_lease_trace(lease: Dict[str, Any], worker_id: str):
+    """Open this worker's span sidecar for a lease's job, if traced.
+
+    Returns ``(tracer, sidecar)`` — ``(NULL_TRACER, None)`` when the
+    lease carries no trace context or no spans directory.  The sidecar
+    records the lease-time clock handshake: our epoch-anchored "now"
+    minus the coordinator's ``coordinator_time_us`` sample, which the
+    merger later subtracts to put every track on the coordinator's
+    clock.
+    """
+    from repro.obs import NULL_TRACER, SpanTracer
+
+    ctx = TraceContext.from_dict(lease.get("trace"))
+    if ctx is None or not ctx.spans_dir:
+        return NULL_TRACER, None
+    tracer = SpanTracer(process_name=worker_id)
+    name = f"{ctx.job}__{worker_id}" if ctx.job else worker_id
+    sidecar = SpanSidecar(
+        sidecar_path(ctx.spans_dir, name),
+        process=worker_id,
+        trace=ctx,
+        anchor_epoch_us=tracer.anchor_epoch_us,
+        worker=worker_id,
+    )
+    tracer.sink = sidecar
+    FlightRecorder().attach(tracer)
+    coord_us = lease.get("coordinator_time_us")
+    if isinstance(coord_us, (int, float)) and coord_us > 0:
+        sidecar.clock_sync(tracer.now_us() - int(coord_us))
+    return tracer, sidecar
 
 
 def _maybe_kill(stage: str, worker: str) -> None:
@@ -130,7 +174,12 @@ class HTTPCoordinatorClient:
     def heartbeat(self, lease: Dict[str, Any], worker: str) -> bool:
         return bool(
             self._post(
-                "/heartbeat", {"lease": lease["lease"], "worker": worker}
+                "/heartbeat",
+                {
+                    "lease": lease["lease"],
+                    "worker": worker,
+                    "trace_id": _lease_trace_id(lease),
+                },
             ).get("ok")
         )
 
@@ -143,6 +192,7 @@ class HTTPCoordinatorClient:
                 "job": lease.get("job"),
                 "cell": lease.get("cell"),
                 "summary": summary,
+                "trace_id": _lease_trace_id(lease),
             },
         )
 
@@ -150,7 +200,12 @@ class HTTPCoordinatorClient:
         return bool(
             self._post(
                 "/fail",
-                {"lease": lease["lease"], "worker": worker, "reason": reason},
+                {
+                    "lease": lease["lease"],
+                    "worker": worker,
+                    "reason": reason,
+                    "trace_id": _lease_trace_id(lease),
+                },
             ).get("ok")
         )
 
@@ -240,6 +295,19 @@ def run_worker(
                 pass
             time.sleep(poll_interval)
             continue
+        # Open the span sidecar and record the lease instant *before*
+        # the lease-stage kill hook: a SIGKILLed worker must still leave
+        # a mergeable sidecar prefix, so its track (and nothing but the
+        # truth about how far it got) appears in the job's trace.
+        tracer, sidecar = _open_lease_trace(lease, worker_id)
+        tracer.instant(
+            "lease-granted",
+            track="lease",
+            job=lease.get("job"),
+            cell=lease.get("cell"),
+            lease=lease.get("lease"),
+            attempt=lease.get("attempt"),
+        )
         _maybe_kill("lease", worker_id)
         task = CellTask.from_dict(lease["task"])
         heartbeat = _Heartbeat(
@@ -252,7 +320,14 @@ def run_worker(
         error: Optional[str] = None
         summary: Optional[Dict[str, Any]] = None
         try:
-            payload = run_cell(task)
+            with tracer.span(
+                "run-cell",
+                track="cell",
+                job=lease.get("job"),
+                cell=lease.get("cell"),
+                attempt=lease.get("attempt"),
+            ):
+                payload = run_cell(task)
             summary = _summarize_payload(payload)
         except Exception as exc:  # deterministic cell failure
             error = f"{type(exc).__name__}: {exc}"
@@ -260,15 +335,27 @@ def run_worker(
             heartbeat.stop()
         try:
             if error is None:
+                tracer.instant(
+                    "cell-complete",
+                    track="cell",
+                    cell=lease.get("cell"),
+                    cached=bool(summary and summary.get("cached")),
+                )
                 _maybe_kill("complete", worker_id)
                 client.complete(lease, worker_id, summary)
                 completed += 1
             else:
+                flight_dump(
+                    tracer, f"cell-failure: {error}", cell=lease.get("cell")
+                )
                 client.fail(lease, worker_id, error)
         except (urllib.error.URLError, ConnectionError, OSError):
             # Completion lost in transit: the artifacts are already in
             # the store, so the requeued cell is a cheap no-op replay.
             pass
+        finally:
+            if sidecar is not None:
+                sidecar.close()
         if max_cells is not None and completed >= max_cells:
             return completed
 

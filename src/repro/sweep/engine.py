@@ -183,6 +183,10 @@ class CellTask:
     reuse_measurements: bool = True
     engine: str = DEFAULT_ENGINE
     partitions: Optional[int] = None
+    #: distributed trace context (a TraceContext.to_dict()), or None;
+    #: a plain dict so the frozen dataclass stays hashable-free/picklable
+    #: and the wire form needs no extra serialisation
+    trace: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -196,6 +200,7 @@ class CellTask:
             "reuse_measurements": self.reuse_measurements,
             "engine": self.engine,
             "partitions": self.partitions,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -211,6 +216,7 @@ class CellTask:
             reuse_measurements=bool(data.get("reuse_measurements", True)),
             engine=data.get("engine", DEFAULT_ENGINE),
             partitions=data.get("partitions"),
+            trace=data.get("trace"),
         )
 
 
@@ -231,6 +237,7 @@ def run_cell(task: CellTask) -> Dict[str, Any]:
         task.reuse_measurements,
         task.engine,
         task.partitions,
+        trace=task.trace,
     )
 
 
@@ -317,6 +324,7 @@ def _run_cell(
     reuse_measurements: bool,
     engine: str = DEFAULT_ENGINE,
     partitions: Optional[int] = None,
+    trace: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Process one sweep cell end to end (pool worker entry point, also
     called inline for serial runs and fallbacks).  Returns a picklable
@@ -423,6 +431,7 @@ def _run_cell(
                     engine=engine,
                     only=missing,
                     merge=False,
+                    trace=trace,
                 )
                 for row in rep.shards:
                     # Store pristine shards *before* merging: the merge

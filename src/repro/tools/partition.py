@@ -54,6 +54,13 @@ from repro.core.tracefile import (
     pipeline_batches,
     plan_partitions,
 )
+from repro.obs.distributed import (
+    FlightRecorder,
+    SpanSidecar,
+    TraceContext,
+    flight_dump,
+    sidecar_path,
+)
 from repro.tools.runner import (
     _MAX_BACKOFF,
     _jitter_rng,
@@ -219,6 +226,55 @@ def _subrange_payload(
     return sub, rebased
 
 
+def _open_partition_trace(
+    trace: Optional[dict], process: str
+) -> Tuple[object, Optional[SpanSidecar]]:
+    """Build a (tracer, sidecar) pair for one partition process.
+
+    Returns ``(NULL_TRACER, None)`` unless the trace context names a
+    spans directory; otherwise the sidecar carries the job's trace
+    context so the merger picks up every event in this file.
+    """
+    from repro.obs import NULL_TRACER, SpanTracer
+
+    ctx = TraceContext.from_dict(trace)
+    if ctx is None or not ctx.spans_dir:
+        return NULL_TRACER, None
+    tracer = SpanTracer(process_name=process)
+    name = f"{ctx.job}__{process}" if ctx.job else process
+    sidecar = SpanSidecar(
+        sidecar_path(ctx.spans_dir, name),
+        process=process,
+        trace=ctx,
+        anchor_epoch_us=tracer.anchor_epoch_us,
+        worker=ctx.worker,
+    )
+    tracer.sink = sidecar
+    FlightRecorder().attach(tracer)
+    return tracer, sidecar
+
+
+def _emit_shard_counters(tracer, shards: List[PartitionShard]) -> None:
+    """Counter-track samples (Perfetto "C" events) from PipelineStats."""
+    if not getattr(tracer, "enabled", False):
+        return
+    for shard in shards:
+        track = f"p{shard.index}"
+        tracer.counter(
+            "partition.decode_stall_us",
+            int(shard.decode_stall_s * 1e6),
+            track=track,
+        )
+        tracer.counter(
+            "partition.backpressure_us",
+            int(shard.backpressure_s * 1e6),
+            track=track,
+        )
+        tracer.counter(
+            "partition.queue_depth_hwm", shard.queue_depth_hwm, track=track
+        )
+
+
 def _partition_worker(
     payload: bytes,
     part: TracePartition,
@@ -226,6 +282,7 @@ def _partition_worker(
     total: int,
     engine: str,
     counter_limit: Optional[int],
+    trace: Optional[dict] = None,
 ) -> List[PartitionShard]:
     kill = os.environ.get(_KILL_ENV)
     if kill is not None and multiprocessing.parent_process() is not None:
@@ -235,9 +292,35 @@ def _partition_worker(
             target = -1
         if target == part.index:
             os._exit(13)
-    return replay_partition(
-        payload, part, kinds, total, engine=engine, counter_limit=counter_limit
+    worker_label = ""
+    ctx = TraceContext.from_dict(trace)
+    if ctx is not None:
+        worker_label = ctx.worker or "pool"
+    tracer, sidecar = _open_partition_trace(
+        trace, f"{worker_label or 'pool'}.part{part.index}"
     )
+    try:
+        with tracer.span(
+            "partition-replay",
+            track=f"p{part.index}",
+            partition=part.index,
+            events=part.events,
+            engine=engine,
+            mode="pool",
+        ):
+            shards = replay_partition(
+                payload,
+                part,
+                kinds,
+                total,
+                engine=engine,
+                counter_limit=counter_limit,
+            )
+        _emit_shard_counters(tracer, shards)
+        return shards
+    finally:
+        if sidecar is not None:
+            sidecar.close()
 
 
 def _reclassify_cold_reads(shards: List[PartitionShard]) -> int:
@@ -354,6 +437,7 @@ def replay_partitioned(
     label: str = "partition",
     only: Optional[Sequence[int]] = None,
     merge: bool = True,
+    trace: Optional[dict] = None,
 ) -> PartitionedReplay:
     """Partition ``payload``, replay the partitions in a supervised
     process pool, and merge the shards exactly.
@@ -373,11 +457,32 @@ def replay_partitioned(
     ``merge=False`` skips the merge stage (``.profilers`` comes back
     empty) — together they let the sweep cache replay just its missing
     partition shards and fold them with shards it already has.
+
+    ``trace`` is a distributed trace context
+    (:meth:`~repro.obs.distributed.TraceContext.to_dict` form, as
+    shipped inside a service lease).  When it names a spans directory,
+    this process opens a crash-safe span sidecar of its own, every pool
+    worker opens one per partition, and decode-stall/backpressure
+    counter samples land on per-partition counter tracks — so the
+    per-job merged Perfetto view shows one track per worker/partition.
     """
     if tracer is None:
         from repro.obs import NULL_TRACER
 
         tracer = NULL_TRACER
+    trace_ctx = TraceContext.from_dict(trace)
+    own_sidecar: Optional[SpanSidecar] = None
+    if (
+        trace_ctx is not None
+        and trace_ctx.spans_dir
+        and not getattr(tracer, "enabled", False)
+    ):
+        # No tracer was handed down (the service path): open this
+        # process's own sidecar so inline replays and pool supervision
+        # are visible in the job's merged trace.
+        tracer, own_sidecar = _open_partition_trace(
+            trace, f"{trace_ctx.worker or label}.partitions"
+        )
     if plan is None:
         plan = plan_partitions(
             payload, resolve_partitions(partitions if partitions is not None else 0)
@@ -455,6 +560,7 @@ def replay_partitioned(
                             total,
                             engine,
                             counter_limit,
+                            trace,
                         )
                 except Exception as exc:  # no fork/spawn available
                     for index in pending:
@@ -513,8 +619,27 @@ def replay_partitioned(
         for index in sorted(set(p.index for p in parts) - set(results)):
             inline(by_index[index])
 
+    if degradations and getattr(tracer, "enabled", False):
+        flight = getattr(tracer, "flight", None)
+        if flight is not None:
+            for deg in degradations:
+                flight.note("degradation", **deg.as_dict())
+        flight_dump(
+            tracer,
+            f"partition-degradation: {label}",
+            degradations=len(degradations),
+            trace_id=trace_ctx.trace_id if trace_ctx else "",
+            job=trace_ctx.job if trace_ctx else "",
+        )
+
     merge_start = time.perf_counter()
     rows = [results[i] for i in sorted(results)]
+    if own_sidecar is not None:
+        # Counter samples for inline-replayed shards (pool workers emit
+        # their own); then the whole-replay summary below.
+        _emit_shard_counters(
+            tracer, [s for i in sorted(results) for s in results[i]]
+        )
     reclassified = 0
     profilers: Dict[str, object] = {}
     if merge:
@@ -572,6 +697,8 @@ def replay_partitioned(
                 metrics.histogram(
                     "partition.backpressure_us", {"label": label}
                 ).observe(int(shard.backpressure_s * 1e6))
+    if own_sidecar is not None:
+        own_sidecar.close()
     return PartitionedReplay(
         plan=plan,
         shards=rows,

@@ -641,6 +641,21 @@ def measure_workload(
                     tool_factory, batch, repeats, engine, fused
                 )
 
+    if degradations and getattr(tracer, "enabled", False):
+        # Self-healing fired: preserve the last-moments ring so the
+        # span timeline shows what led up to each fallback.
+        from repro.obs.distributed import flight_dump
+
+        flight = getattr(tracer, "flight", None)
+        if flight is not None:
+            for deg in degradations:
+                flight.note("degradation", **deg.as_dict())
+        flight_dump(
+            tracer,
+            f"replay degraded: {len(degradations)} action(s)",
+            workload=name,
+        )
+
     result = WorkloadMeasurement(
         name,
         native_time,

@@ -1,0 +1,653 @@
+"""Cross-process distributed tracing: sidecars, merge, flight, top.
+
+Covers the PR 8 contract end to end: CRC-framed span sidecars survive
+truncation and SIGKILL with a mergeable prefix; the per-job merger
+emits schema-valid Chrome JSON with one track per worker (clocks
+aligned via the lease handshake); the flight recorder preserves the
+last moments before worker death; and the CLI-facing pieces
+(histogram quantiles, ``repro top``'s renderer, ``trace-export``)
+behave offline.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    SpanSidecar,
+    SpanTracer,
+    TraceContext,
+    bucket_bounds,
+    flight_dump,
+    histogram_summaries_from_flat,
+    merge_job_trace,
+    read_sidecar,
+    sidecar_path,
+    validate_chrome_trace,
+)
+from repro.obs.distributed import _frame_line
+
+# ---------------------------------------------------------------------------
+# trace context
+# ---------------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        root = TraceContext.new_root("job-1")
+        child = root.child(worker="w0", spans_dir="/tmp/spans")
+        wire = child.to_dict()
+        back = TraceContext.from_dict(json.loads(json.dumps(wire)))
+        assert back == child
+        assert back.trace_id == root.trace_id
+        assert back.parent_span_id != ""
+
+    def test_from_dict_requires_trace_id(self):
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict({}) is None
+        assert TraceContext.from_dict({"job": "j"}) is None
+
+    def test_to_dict_drops_empty_fields(self):
+        ctx = TraceContext(trace_id="abc")
+        assert ctx.to_dict() == {"trace_id": "abc"}
+
+    def test_rides_inside_cell_task(self):
+        from repro.sweep.engine import CellTask, SweepCell
+
+        ctx = TraceContext.new_root("job-2").to_dict()
+        task = CellTask(
+            cell=SweepCell("selection_sort", 1, 2),
+            store_root="/tmp/st",
+            tools=("nulgrind",),
+            trace=ctx,
+        )
+        back = CellTask.from_dict(task.to_dict())
+        assert back.trace == ctx
+        assert back.cell == task.cell
+
+
+# ---------------------------------------------------------------------------
+# sidecar format: round trip, torn tail, corruption
+# ---------------------------------------------------------------------------
+
+
+def write_sidecar(tmp_path, n_events=5, process="w0", trace=None, offset=None):
+    path = sidecar_path(str(tmp_path), process, pid=1234)
+    with SpanSidecar(
+        path, process=process, trace=trace, anchor_epoch_us=1_000
+    ) as sidecar:
+        if offset is not None:
+            sidecar.clock_sync(offset)
+        for i in range(n_events):
+            sidecar.emit(
+                {
+                    "name": f"ev{i}",
+                    "ph": "i",
+                    "ts": 100 + i,
+                    "s": "t",
+                    "pid": 1,
+                    "tid": "main",
+                }
+            )
+    return path
+
+
+class TestSidecarFormat:
+    def test_round_trip(self, tmp_path):
+        ctx = TraceContext.new_root("job-3")
+        path = write_sidecar(
+            tmp_path, n_events=4, trace=ctx, offset=-250
+        )
+        replay = read_sidecar(path)
+        assert replay.process == "w0"
+        assert replay.trace_id == ctx.trace_id
+        assert replay.handshake_offset_us == -250
+        assert [e["name"] for e in replay.events] == [
+            "ev0",
+            "ev1",
+            "ev2",
+            "ev3",
+        ]
+        assert replay.torn_tail_bytes == 0
+        assert replay.header["anchor_epoch_us"] == 1_000
+
+    def test_torn_tail_truncation_keeps_prefix(self, tmp_path):
+        path = write_sidecar(tmp_path, n_events=5)
+        whole = open(path, "rb").read()
+        full = read_sidecar(path)
+        assert len(full.events) == 5
+        # Chop the file at every byte length: the reader must never
+        # raise, and must recover exactly the complete-line prefix.
+        lines = whole.split(b"\n")[:-1]
+        boundaries = []
+        acc = 0
+        for line in lines:
+            acc += len(line) + 1
+            boundaries.append(acc)
+        for cut in range(len(whole) + 1):
+            open(path, "wb").write(whole[:cut])
+            replay = read_sidecar(path)
+            complete = sum(1 for b in boundaries if b <= cut)
+            assert replay.records == complete
+            assert replay.torn_tail_bytes == cut - (
+                boundaries[complete - 1] if complete else 0
+            )
+
+    def test_corrupt_middle_byte_stops_at_valid_prefix(self, tmp_path):
+        path = write_sidecar(tmp_path, n_events=5)
+        data = bytearray(open(path, "rb").read())
+        lines = bytes(data).split(b"\n")[:-1]
+        # flip one payload byte inside the 3rd record (header + 2 events
+        # stay valid)
+        target = len(lines[0]) + len(lines[1]) + len(lines[2]) + 2 + 20
+        data[target] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        replay = read_sidecar(path)
+        assert len(replay.events) == 2
+        assert replay.torn_tail_bytes > 0
+
+    def test_appended_garbage_is_torn_tail(self, tmp_path):
+        path = write_sidecar(tmp_path, n_events=2)
+        with open(path, "ab") as fh:
+            fh.write(b"deadbeef not-json\n")
+        replay = read_sidecar(path)
+        assert len(replay.events) == 2
+        assert replay.torn_tail_bytes == len(b"deadbeef not-json\n")
+
+    def test_frame_line_is_crc_prefixed(self):
+        line = _frame_line({"type": "event", "ev": {"name": "x"}})
+        assert line.endswith(b"\n")
+        assert line[8:9] == b" "
+        int(line[:8], 16)  # 8 hex digits
+
+
+def _sidecar_spammer(spans_dir):
+    """Child process: open a sidecar and emit events forever."""
+    tracer = SpanTracer(process_name="spammer")
+    path = sidecar_path(spans_dir, "spammer")
+    sidecar = SpanSidecar(
+        path,
+        process="spammer",
+        trace=TraceContext(trace_id="kill-test", job="job-k"),
+        anchor_epoch_us=tracer.anchor_epoch_us,
+    )
+    tracer.sink = sidecar
+    i = 0
+    while True:
+        tracer.instant(f"tick-{i}", track="loop", i=i)
+        i += 1
+
+
+class TestSigkillMidFlush:
+    def test_sigkill_leaves_mergeable_prefix(self, tmp_path):
+        spans_dir = str(tmp_path / "spans")
+        proc = multiprocessing.Process(
+            target=_sidecar_spammer, args=(spans_dir,), daemon=True
+        )
+        proc.start()
+        deadline = time.monotonic() + 30.0
+        path = None
+        # wait until the child has written a few complete events
+        while time.monotonic() < deadline:
+            names = os.listdir(spans_dir) if os.path.isdir(spans_dir) else []
+            if names:
+                path = os.path.join(spans_dir, names[0])
+                if os.path.getsize(path) > 4096:
+                    break
+            time.sleep(0.01)
+        assert path is not None and os.path.getsize(path) > 0
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join(timeout=30)
+        assert proc.exitcode == -signal.SIGKILL
+
+        replay = read_sidecar(path)
+        assert replay.header.get("process") == "spammer"
+        assert replay.trace_id == "kill-test"
+        assert len(replay.events) > 0
+        # prefix property: events are the contiguous head of the stream
+        indices = [e["args"]["i"] for e in replay.events]
+        assert indices == list(range(len(indices)))
+        # and the merged doc built from the survivor prefix is valid
+        doc = merge_job_trace(
+            spans_dir, trace_id="kill-test", job="job-k"
+        )
+        assert validate_chrome_trace(doc) == []
+
+
+# ---------------------------------------------------------------------------
+# flight recorder
+# ---------------------------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_ordered(self):
+        tracer = SpanTracer()
+        flight = FlightRecorder(capacity=4).attach(tracer)
+        for i in range(10):
+            tracer.instant(f"e{i}")
+        assert len(flight) == 4
+        assert [r["name"] for r in flight.snapshot()] == [
+            "e6",
+            "e7",
+            "e8",
+            "e9",
+        ]
+
+    def test_dump_emits_instant_and_never_recurses(self):
+        tracer = SpanTracer()
+        flight = FlightRecorder(capacity=8).attach(tracer)
+        tracer.instant("before")
+        flight.note("metric-delta", counter="requeues", delta=1)
+        event = flight_dump(tracer, "testing", worker="w0")
+        assert event is not None
+        assert event["name"] == "flight-recorder"
+        assert event["args"]["reason"] == "testing"
+        assert event["args"]["worker"] == "w0"
+        names = [r["name"] for r in event["args"]["records"]]
+        assert names == ["before", "metric-delta"]
+        # the dump itself must not land back in the ring
+        assert len(flight) == 2
+        second = flight_dump(tracer, "again")
+        assert second["args"]["dump"] == 2
+
+    def test_disabled_tracer_is_noop(self):
+        from repro.obs import NULL_TRACER
+
+        flight = FlightRecorder().attach(NULL_TRACER)
+        assert NULL_TRACER.flight is None
+        assert flight_dump(NULL_TRACER, "nope") is None
+
+
+# ---------------------------------------------------------------------------
+# clock: epoch-anchored monotonic timestamps
+# ---------------------------------------------------------------------------
+
+
+class TestClock:
+    def test_now_survives_wall_clock_regression(self, monkeypatch):
+        tracer = SpanTracer()
+        before = tracer.now_us()
+        # the wall clock jumps an hour back; spans must not
+        monkeypatch.setattr(time, "time", lambda: time.perf_counter() - 3600)
+        after = tracer.now_us()
+        assert after >= before
+        later = tracer.now_us()
+        assert later >= after
+
+    def test_anchor_recorded_in_export_header(self):
+        tracer = SpanTracer(process_name="p")
+        doc = tracer.to_chrome()
+        assert doc["metadata"]["anchor_epoch_us"] == tracer.anchor_epoch_us
+        assert doc["metadata"]["clock"] == "perf_counter"
+
+
+# ---------------------------------------------------------------------------
+# merger
+# ---------------------------------------------------------------------------
+
+
+class TestMergeJobTrace:
+    def _worker_sidecar(self, spans_dir, name, trace, offset, ts0):
+        path = sidecar_path(spans_dir, f"{trace.job}__{name}", pid=hash(name) % 10_000)
+        with SpanSidecar(
+            path, process=name, trace=trace, anchor_epoch_us=ts0, worker=name
+        ) as sc:
+            sc.clock_sync(offset)
+            sc.emit(
+                {
+                    "name": "run-cell",
+                    "ph": "X",
+                    "ts": ts0,
+                    "dur": 50,
+                    "pid": 1,
+                    "tid": "cell",
+                }
+            )
+
+    def test_tracks_offsets_and_counters(self, tmp_path):
+        spans_dir = str(tmp_path)
+        root = TraceContext.new_root("job-m")
+        tid = root.trace_id
+        # coordinator: shared sidecar — one tagged instant, one counter,
+        # one foreign-job instant that must NOT leak into the merge
+        coord = sidecar_path(spans_dir, "coordinator", pid=1)
+        with SpanSidecar(coord, process="coordinator", anchor_epoch_us=0) as sc:
+            sc.emit(
+                {
+                    "name": "job-submitted",
+                    "ph": "i",
+                    "ts": 1_000,
+                    "s": "t",
+                    "pid": 1,
+                    "tid": "jobs",
+                    "args": {"trace_id": tid, "job": "job-m"},
+                }
+            )
+            sc.emit(
+                {
+                    "name": "service.queue_depth",
+                    "ph": "C",
+                    "ts": 1_001,
+                    "pid": 1,
+                    "tid": "queue",
+                    "args": {"queue_depth": 3},
+                }
+            )
+            sc.emit(
+                {
+                    "name": "job-submitted",
+                    "ph": "i",
+                    "ts": 1_002,
+                    "s": "t",
+                    "pid": 1,
+                    "tid": "jobs",
+                    "args": {"trace_id": "other", "job": "job-other"},
+                }
+            )
+        # two workers whose clocks run 500us fast / 300us slow
+        self._worker_sidecar(
+            spans_dir, "w0", root.child(worker="w0"), offset=500, ts0=1_600
+        )
+        self._worker_sidecar(
+            spans_dir, "w1", root.child(worker="w1"), offset=-300, ts0=900
+        )
+
+        doc = merge_job_trace(spans_dir, trace_id=tid, job="job-m")
+        assert validate_chrome_trace(doc) == []
+
+        meta = doc["metadata"]
+        procs = [p["process"] for p in meta["processes"]]
+        assert procs == ["coordinator", "w0", "w1"]
+        assert meta["trace_id"] == tid
+
+        events = doc["traceEvents"]
+        by_name = {}
+        for ev in events:
+            by_name.setdefault(ev["name"], []).append(ev)
+        # the foreign-job instant stayed out; the counter came through
+        tagged = [
+            e
+            for e in by_name["job-submitted"]
+            if e.get("args", {}).get("job") == "job-other"
+        ]
+        assert tagged == []
+        assert by_name["service.queue_depth"][0]["args"] == {
+            "queue_depth": 3
+        }
+        # clock alignment: both worker spans land on the coordinator's
+        # timeline (w0: 1600-500=1100, w1: 900+300=1200, coord: 1000),
+        # rebased so min ts == 0
+        all_ts = [
+            e["ts"] for e in events if e["ph"] != "M"
+        ]
+        assert min(all_ts) == 0
+        cells = {e["pid"]: e["ts"] for e in by_name["run-cell"]}
+        pid_of = {p["process"]: p["pid"] for p in meta["processes"]}
+        assert cells[pid_of["w0"]] == 100  # 1100 - 1000
+        assert cells[pid_of["w1"]] == 200  # 1200 - 1000
+        # one process per pid, string tracks became integer tids
+        assert all(
+            isinstance(e["tid"], int) for e in events if "tid" in e
+        )
+        thread_names = [
+            e for e in events if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert thread_names
+
+    def test_empty_dir_gives_validatable_failure(self, tmp_path):
+        doc = merge_job_trace(str(tmp_path), trace_id="none")
+        assert validate_chrome_trace(doc) != []  # empty => invalid
+
+
+class TestValidateChromeTrace:
+    def base(self):
+        return {
+            "traceEvents": [
+                {
+                    "name": "a",
+                    "ph": "X",
+                    "ts": 0,
+                    "dur": 1,
+                    "pid": 1,
+                    "tid": 0,
+                }
+            ],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_accepts_minimal(self):
+        assert validate_chrome_trace(self.base()) == []
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda e: e.update(ph="Z"), "unknown phase"),
+            (lambda e: e.update(ts=-5), "bad ts"),
+            (lambda e: e.update(dur=-1), "bad dur"),
+            (lambda e: e.update(pid="one"), "non-integer pid"),
+            (lambda e: e.pop("name"), "missing name"),
+        ],
+    )
+    def test_rejects_bad_events(self, mutate, fragment):
+        doc = self.base()
+        mutate(doc["traceEvents"][0])
+        problems = validate_chrome_trace(doc)
+        assert any(fragment in p for p in problems)
+
+    def test_rejects_non_numeric_counter(self):
+        doc = self.base()
+        doc["traceEvents"].append(
+            {
+                "name": "c",
+                "ph": "C",
+                "ts": 0,
+                "pid": 1,
+                "tid": 0,
+                "args": {"depth": "three"},
+            }
+        )
+        assert any(
+            "non-numeric" in p for p in validate_chrome_trace(doc)
+        )
+
+    def test_rejects_empty_document(self):
+        assert validate_chrome_trace({"traceEvents": []}) != []
+        assert validate_chrome_trace([]) != []
+
+
+# ---------------------------------------------------------------------------
+# histogram quantiles
+# ---------------------------------------------------------------------------
+
+
+class TestQuantiles:
+    def test_bucket_bounds_log2_layout(self):
+        assert bucket_bounds(0) == (0, 0)
+        assert bucket_bounds(1) == (1, 1)
+        assert bucket_bounds(4) == (8, 15)
+
+    def test_histogram_quantile_brackets_the_data(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat")
+        for v in [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]:
+            h.observe(v)
+        p50 = h.quantile(0.5)
+        assert 8 <= p50 <= 63
+        p99 = h.quantile(0.99)
+        assert p99 >= 256
+        assert h.quantile(0.0) <= p50 <= h.quantile(1.0)
+
+    def test_flat_reconstruction_matches_live(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", {"kind": "x"})
+        for v in [3, 7, 15, 31, 200]:
+            h.observe(v)
+        flat = registry.as_dict()
+        summaries = histogram_summaries_from_flat(flat, qs=(0.5, 0.99))
+        assert list(summaries) == ["lat{kind=x}"]
+        row = summaries["lat{kind=x}"]
+        assert row["count"] == 5
+        assert row["p50"] == pytest.approx(h.quantile(0.5))
+        assert row["p99"] == pytest.approx(h.quantile(0.99))
+
+    def test_empty_metrics_give_no_summaries(self):
+        assert histogram_summaries_from_flat({}) == {}
+
+
+# ---------------------------------------------------------------------------
+# repro top renderer
+# ---------------------------------------------------------------------------
+
+
+class TestTopView:
+    def test_rates_workers_and_quantiles(self):
+        from repro.cli import TopView
+
+        registry = MetricsRegistry()
+        h = registry.histogram("service.journal.append_us")
+        for v in (10, 20, 40):
+            h.observe(v)
+        metrics = dict(registry.as_dict())
+        metrics.update(
+            {
+                "service.cells.done": 2,
+                "service.requeues": 1,
+                "service.heartbeat.age_seconds{worker=w0}": 0.4,
+            }
+        )
+        jobs = [
+            {
+                "job": "job-7",
+                "state": "running",
+                "cells": {"done": 2, "pending": 1, "leased": 1, "failed": 0},
+            }
+        ]
+        view = TopView("http://x:1")
+        first = view.update(metrics, jobs, now=100.0)
+        assert "job-7: running — 2/4 cells done" in first
+        assert "w0: lease live, heartbeat 0.4s ago" in first
+        assert "requeues=1" in first
+        assert "service.journal.append_us" in first
+        metrics["service.cells.done"] = 6
+        second = view.update(metrics, jobs, now=102.0)
+        assert "cells done: 6 (2.0/s)" in second
+
+    def test_empty_snapshot_renders(self):
+        from repro.cli import TopView
+
+        screen = TopView().update({}, [], now=1.0)
+        assert "(none submitted)" in screen
+        assert "(no live leases)" in screen
+
+
+# ---------------------------------------------------------------------------
+# end to end: service sweep with a SIGKILLed worker
+# ---------------------------------------------------------------------------
+
+
+def _spawn_worker(base_url, name):
+    from repro.service.worker import worker_entry
+
+    process = multiprocessing.Process(
+        target=worker_entry,
+        args=(base_url, name),
+        kwargs={"poll_interval": 0.05, "stop_when_idle": True},
+        name=name,
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+class TestServiceTraceEndToEnd:
+    def test_two_workers_one_killed_single_valid_trace(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.service import Coordinator
+        from repro.service.httpd import serve_http
+
+        monkeypatch.setenv("REPRO_SERVICE_TEST_KILL", "lease@victim")
+        spans_dir = str(tmp_path / "spans")
+        coordinator = Coordinator(
+            str(tmp_path / "store"),
+            str(tmp_path / "journal.rpjl"),
+            lease_timeout=3600.0,  # fast path only: supervisor reap
+            fsync=False,
+            tracer=SpanTracer(process_name="coordinator"),
+            spans_dir=spans_dir,
+        )
+        server, base_url = serve_http(coordinator)
+        job_id = coordinator.submit(
+            ["producer_consumer"],
+            [1],
+            threads=2,
+            tools=("nulgrind", "aprof-drms"),
+        )
+        trace_id = coordinator.jobs[job_id].trace_id
+        assert trace_id
+
+        victim = _spawn_worker(base_url, "victim")
+        victim.join(timeout=120)
+        assert victim.exitcode == -signal.SIGKILL
+        assert coordinator.note_worker_dead("victim", "exit -9") == 1
+
+        try:
+            survivor = _spawn_worker(base_url, "survivor")
+            survivor.join(timeout=120)
+            assert survivor.exitcode == 0
+        finally:
+            server.shutdown()
+            coordinator.close()
+
+        report = coordinator.job_report(job_id, include_trends=False)
+        assert report["state"] == "complete"
+        assert report["trace_id"] == trace_id
+
+        doc = merge_job_trace(spans_dir, trace_id=trace_id, job=job_id)
+        assert validate_chrome_trace(doc) == []
+        procs = {p["process"] for p in doc["metadata"]["processes"]}
+        # one track per process: coordinator + BOTH workers, including
+        # the SIGKILLed one (its sidecar prefix survived)
+        assert {"coordinator", "victim", "survivor"} <= procs
+
+        events = doc["traceEvents"]
+        names = {e["name"] for e in events}
+        assert "lease-granted" in names
+        assert "run-cell" in names or "cell-complete" in names
+        # the coordinator dumped the flight ring on the victim's behalf
+        dumps = [e for e in events if e["name"] == "flight-recorder"]
+        assert dumps, "expected a flight-recorder dump for the dead worker"
+        assert any(
+            "victim" in str(e["args"].get("reason", "")) for e in dumps
+        )
+        # counter tracks came through with numeric series
+        counters = [e for e in events if e["ph"] == "C"]
+        assert any(e["name"] == "service.queue_depth" for e in counters)
+
+        # offline CLI export produces the same, valid, file
+        from repro.cli import main
+
+        out = str(tmp_path / "job.trace.json")
+        code = main(
+            [
+                "trace-export",
+                "--job",
+                job_id,
+                "--journal",
+                str(tmp_path / "journal.rpjl"),
+                "--spans-dir",
+                spans_dir,
+                "--out",
+                out,
+            ]
+        )
+        assert code == 0
+        exported = json.load(open(out))
+        assert validate_chrome_trace(exported) == []
+        assert exported["metadata"]["job"] == job_id
