@@ -8,6 +8,17 @@ workers** must reach at least **1.4x** the events/second of the serial
 streaming replay of the identical bytes, and throughput must stay
 monotone non-decreasing through 4 workers.
 
+PR 9 adds two more measured claims.  First, the **monolithic** variant:
+the same trace wrapped in one outer activation, so no depth-zero
+boundary exists and every cut is a per-thread mid-activation carry —
+the plan must still go multi-way (>= 2 partitions from 2 workers up, a
+CPU-independent gate) with the merged profile byte-exact, and at 2
+workers it must beat serial where the cores exist.  Second,
+**streaming vs barrier** merge: folding shards through the associative
+``merge()`` as they arrive (``stream=True``) must not cost more total
+wall-clock than collecting every shard first (``stream=False``) at 4
+workers, again gated only where ``os.cpu_count()`` permits.
+
 Those two gates need real cores: on a single-CPU container the pool
 serialises onto one core and partitioned replay can only lose to its
 own fork/pickle overhead.  The suite therefore always records the full
@@ -33,7 +44,13 @@ import time
 from pathlib import Path
 
 from repro.core import DrmsProfiler, FULL_POLICY
-from repro.core.events import SwitchThread, encode_events, fuse_batch
+from repro.core.events import (
+    Call,
+    Return,
+    SwitchThread,
+    encode_events,
+    fuse_batch,
+)
 from repro.core.tracefile import (
     PipelineStats,
     iter_section_batches,
@@ -48,16 +65,26 @@ RUNS = 512
 QUICK_RUNS = 128
 WORKER_COUNTS = (1, 2, 4, 8)
 MIN_SPEEDUP_AT_2 = 1.4
+#: per-thread carries cost seeding + fix-up work, so the monolithic
+#: trace gets a softer 2-worker gate than the boundary-cut one
+MIN_MONO_SPEEDUP_AT_2 = 1.2
+#: worker count at which streaming-vs-barrier merge is compared/gated
+STREAM_WORKERS = 4
 #: monotonicity is asserted with a small tolerance so scheduler noise
 #: on a busy runner cannot fail an otherwise-flat step
 MONOTONE_TOLERANCE = 0.95
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_partition.json"
 
 
-def build_payload(runs):
+def build_payload(runs, monolithic=False):
     """Record one Figure 4 run and concatenate it ``runs`` times into a
     multi-run trace whose every run start is a depth-zero section
-    boundary (``to_bytes(boundaries=...)``), i.e. a safe cut point."""
+    boundary (``to_bytes(boundaries=...)``), i.e. a safe cut point.
+
+    With ``monolithic=True`` the concatenation is instead wrapped in a
+    single outer activation on thread 1: no depth-zero boundary exists
+    anywhere inside, so every cut the planner makes is a per-thread
+    mid-activation carry (PR 9)."""
     machine = get_workload(WORKLOAD).build(threads=4, scale=2)
     machine.run()
     run = with_switches(machine.trace)
@@ -67,6 +94,12 @@ def build_payload(runs):
             bounds.append(len(events))
             events.append(SwitchThread())
         events.extend(run)
+    if monolithic:
+        raw = [e for e in events if not isinstance(e, SwitchThread)]
+        events = with_switches(
+            [Call(1, "bench_outer", 1)] + raw + [Return(1, 2)]
+        )
+        bounds = []
     batch = encode_events(events)
     payload = batch.to_bytes(boundaries=bounds)
     n = len(batch)
@@ -142,6 +175,69 @@ def run_suite(quick=False):
             }
         )
 
+    # -- streaming vs barrier merge (PR 9), same multi-run payload ----
+    stream_rows = {}
+    for stream in (True, False):
+
+        def merged(stream=stream):
+            state["stream"] = replay_partitioned(
+                payload,
+                partitions=STREAM_WORKERS,
+                kinds=("drms",),
+                workers=STREAM_WORKERS,
+                stream=stream,
+            )
+
+        elapsed = _median(merged, repeats)
+        replay = state["stream"]
+        stream_rows["streaming" if stream else "barrier"] = {
+            "time": elapsed,
+            "events_per_sec": events / elapsed,
+            "merge_time": replay.merge_time,
+            "degradations": len(replay.degradations),
+            "exact": replay.profilers["drms"].metrics_snapshot()
+            == baseline,
+        }
+
+    # -- monolithic trace: per-thread cuts (PR 9) ---------------------
+    mono_runs = max(runs // 4, 8)
+    mono_payload, mono_events = build_payload(mono_runs, monolithic=True)
+
+    def mono_serial():
+        state["mono_serial"] = serial_replay(mono_payload)
+
+    mono_serial_time = _median(mono_serial, repeats)
+    mono_baseline = state["mono_serial"].metrics_snapshot()
+    mono_curve = []
+    for workers in WORKER_COUNTS:
+
+        def mono_partitioned(workers=workers):
+            state["mono"] = replay_partitioned(
+                mono_payload,
+                partitions=workers,
+                kinds=("drms",),
+                workers=workers,
+            )
+
+        elapsed = _median(mono_partitioned, repeats)
+        replay = state["mono"]
+        mono_curve.append(
+            {
+                "workers": workers,
+                "partitions": len(replay.plan.partitions),
+                "carried": replay.plan.carried,
+                "imbalance": replay.plan.imbalance,
+                "time": elapsed,
+                "events_per_sec": mono_events / elapsed,
+                "speedup_vs_serial": mono_serial_time / elapsed,
+                "merge_time": replay.merge_time,
+                "cold_reads_reclassified": replay.cold_reads_reclassified,
+                "degradations": len(replay.degradations),
+                "exact": replay.profilers["drms"].metrics_snapshot()
+                == mono_baseline,
+            }
+        )
+
     results = {
         "workload": WORKLOAD,
         "figure": "fig4 (multi-run)",
@@ -155,11 +251,26 @@ def run_suite(quick=False):
         "gated": cpus >= 2,
         "min_required_speedup_at_2": MIN_SPEEDUP_AT_2,
         "monotone_tolerance": MONOTONE_TOLERANCE,
+        "min_required_mono_speedup_at_2": MIN_MONO_SPEEDUP_AT_2,
         "serial": {
             "time": serial_time,
             "events_per_sec": events / serial_time,
         },
         "curve": curve,
+        "streaming_vs_barrier": {
+            "workers": STREAM_WORKERS,
+            **stream_rows,
+        },
+        "monolithic": {
+            "runs": mono_runs,
+            "events": mono_events,
+            "payload_bytes": len(mono_payload),
+            "serial": {
+                "time": mono_serial_time,
+                "events_per_sec": mono_events / mono_serial_time,
+            },
+            "curve": mono_curve,
+        },
         "python": sys.version,
         "platform": platform.platform(),
     }
@@ -186,6 +297,31 @@ def check_gates(results):
                 * by_workers[step // 2]["events_per_sec"]
             ), f"throughput regressed from {step // 2} to {step} workers"
 
+    # streaming fold must not cost total wall-clock vs the barrier
+    # collect (5% noise tolerance), and both must stay exact
+    sv = results["streaming_vs_barrier"]
+    assert sv["streaming"]["exact"] and sv["barrier"]["exact"]
+    assert sv["streaming"]["degradations"] == 0
+    assert sv["barrier"]["degradations"] == 0
+    if cpus >= sv["workers"]:
+        assert (
+            sv["streaming"]["time"] <= sv["barrier"]["time"] * 1.05
+        ), "streaming merge slower than barrier merge"
+
+    # monolithic trace: the multi-way plan itself is CPU-independent —
+    # per-thread cuts must split what PR 6 could not
+    mono = {row["workers"]: row for row in results["monolithic"]["curve"]}
+    for row in results["monolithic"]["curve"]:
+        assert row["exact"], (
+            f"monolithic {row['workers']}-worker merge not exact"
+        )
+        assert row["degradations"] == 0, row
+        if row["workers"] >= 2:
+            assert row["partitions"] >= 2, row
+            assert row["carried"] > 0, row
+    if cpus >= 2:
+        assert mono[2]["speedup_vs_serial"] >= MIN_MONO_SPEEDUP_AT_2
+
 
 def print_results(results):
     serial = results["serial"]
@@ -209,6 +345,24 @@ def print_results(results):
             f"{row['workers']:>8}-w {row['time']:>7.2f}s "
             f"{row['events_per_sec']:>12,.0f} "
             f"{row['speedup_vs_serial']:>7.2f}x "
+            f"{'yes' if row['exact'] else 'NO':>6}"
+        )
+    sv = results["streaming_vs_barrier"]
+    print(
+        f"streaming vs barrier merge at {sv['workers']} workers: "
+        f"{sv['streaming']['time']:.2f}s vs {sv['barrier']['time']:.2f}s"
+    )
+    mono = results["monolithic"]
+    print(
+        f"monolithic trace ({mono['runs']} runs, {mono['events']} events, "
+        f"per-thread cuts): serial {mono['serial']['time']:.2f}s"
+    )
+    for row in mono["curve"]:
+        print(
+            f"{row['workers']:>8}-w {row['time']:>7.2f}s "
+            f"{row['events_per_sec']:>12,.0f} "
+            f"{row['speedup_vs_serial']:>7.2f}x "
+            f"{row['partitions']:>3}p/{row['carried']}c "
             f"{'yes' if row['exact'] else 'NO':>6}"
         )
     print(f"(written to {RESULT_PATH.name})")

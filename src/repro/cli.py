@@ -817,30 +817,51 @@ def cmd_doctor(args) -> int:
             else ""
         )
         print(f"status:    CORRUPT{where} — {scan.error}")
-    if scan.intact and args.partitions is not None:
-        from repro.core.tracefile import plan_partitions
+    if args.partitions is not None:
+        # A torn trace still plans: the planner degrades to a single
+        # partition over the valid prefix with the damage in
+        # ``reason``, so doctor can always show what a partitioned
+        # replay would do with this file.
+        from repro.core.tracefile import TraceFormatError, plan_partitions
         from repro.tools.partition import resolve_partitions
 
-        plan = plan_partitions(data, resolve_partitions(args.partitions))
-        print(f"-- partition plan ({plan.requested}-way requested) --")
-        print(
-            f"sections:  {plan.total_sections} "
-            f"({plan.safe_boundaries} safe depth-zero boundar"
-            f"{'y' if plan.safe_boundaries == 1 else 'ies'})"
-        )
-        if plan.reason is not None:
-            print(f"splittable: no — {plan.reason}")
-        else:
+        try:
+            plan = plan_partitions(data, resolve_partitions(args.partitions))
+        except TraceFormatError as exc:
+            plan = None
+            print(f"-- partition plan: unavailable — {exc}")
+        if plan is not None:
+            print(f"-- partition plan ({plan.requested}-way requested) --")
             print(
-                f"splittable: yes — {len(plan.partitions)} partition(s), "
-                f"imbalance {plan.imbalance:.1%}"
+                f"sections:  {plan.total_sections} "
+                f"({plan.safe_boundaries} safe depth-zero boundar"
+                f"{'y' if plan.safe_boundaries == 1 else 'ies'})"
             )
-        for part in plan.partitions:
-            print(
-                f"  partition {part.index}: bytes [{part.start}, "
-                f"{part.end}) — {part.sections} section(s), "
-                f"{part.events} event(s)"
-            )
+            if plan.reason is not None:
+                print(f"splittable: no — {plan.reason}")
+            else:
+                print(
+                    f"splittable: yes — {len(plan.partitions)} "
+                    f"partition(s), imbalance {plan.imbalance:.1%}"
+                )
+                if plan.carried:
+                    print(
+                        f"carried:   {plan.carried} mid-activation "
+                        f"carry(ies) across cuts"
+                    )
+            for part in plan.partitions:
+                carry = ""
+                if part.carry_in:
+                    depths = ", ".join(
+                        f"T{thread}x{len(acts)}"
+                        for thread, acts in part.carry_in
+                    )
+                    carry = f", carry-in [{depths}]"
+                print(
+                    f"  partition {part.index}: bytes [{part.start}, "
+                    f"{part.end}) — {part.sections} section(s), "
+                    f"{part.events} event(s){carry}"
+                )
     if args.recover:
         from repro.core.tracefile import save_trace_binary
 
@@ -1289,8 +1310,17 @@ class TopView:
             if not isinstance(value, (int, float)):
                 continue
             if dt and key in self._prev:
-                rate = (value - self._prev[key]) / dt
-                lines.append(f"  {label}: {value:g} ({rate:.1f}/s)")
+                delta = value - self._prev[key]
+                if delta < 0:
+                    # Counters are cumulative per process: a negative
+                    # delta means the exporting worker restarted and
+                    # its counter reset, not that work was undone.
+                    # Clamp to zero and flag the sample instead of
+                    # showing a nonsense negative rate.
+                    lines.append(f"  {label}: {value:g} (0.0/s, reset)")
+                else:
+                    rate = delta / dt
+                    lines.append(f"  {label}: {value:g} ({rate:.1f}/s)")
             else:
                 lines.append(f"  {label}: {value:g}")
             self._prev[key] = value
@@ -1380,9 +1410,11 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=None,
             metavar="N",
-            help="split each trace at depth-zero section boundaries and "
-            "replay the partitions in N worker processes (0 = one per "
-            "CPU); unsplittable traces degrade to a single partition",
+            help="split each trace at section boundaries — depth-zero "
+            "where possible, mid-activation with per-thread carries "
+            "otherwise — and replay the partitions in N worker "
+            "processes (0 = one per CPU); unsplittable traces degrade "
+            "to a single partition",
         )
 
     p = sub.add_parser("profile", help="profile a workload")

@@ -108,6 +108,9 @@ def consume_columnar_drms(prof, batch: EventBatch) -> None:
     rc_get = read_counters.get
     cold = prof.cold_reads
     cold_append = cold.append if cold is not None else None
+    carried_map = prof.carried_live
+    carried_get = carried_map.get
+    carried_rets_append = prof.carried_returns.append
     count = prof.count
 
     if OP_USER_TO_KERNEL in ops:
@@ -152,6 +155,7 @@ def consume_columnar_drms(prof, batch: EventBatch) -> None:
     c_plain = 0
     c_thread = 0
     c_kernel = 0
+    carried = 0
     hwm = prof.stack_depth_hwm
     runs_consumed = 0
 
@@ -218,6 +222,7 @@ def consume_columnar_drms(prof, batch: EventBatch) -> None:
                 wts_tag = state[6]
                 wts_chunk = state[7]
                 src_chunk = state[8]
+                carried = carried_get(tid, 0)
                 cur = tid
             if op == OP_READ:
                 tag = arg >> leaf_bits
@@ -282,7 +287,9 @@ def consume_columnar_drms(prof, batch: EventBatch) -> None:
                     elif cold_append is not None:
                         # local == 0 implies written == 0 (induced branch
                         # not taken): a cold read for partitioned replay.
-                        cold_append((tid, arg, 1, top.rtn))
+                        cold_append(
+                            (tid, arg, 1, top.rtn, carried, len(stack_entries))
+                        )
                 ts_chunk[off] = count
             elif op == OP_WRITE:
                 tag = arg >> leaf_bits
@@ -414,7 +421,16 @@ def consume_columnar_drms(prof, batch: EventBatch) -> None:
                             elif cold_append is not None:
                                 # minold == 0 forces maxw == 0: the whole
                                 # segment is cold reads.
-                                cold_append((tid, a, m, top.rtn))
+                                cold_append(
+                                    (
+                                        tid,
+                                        a,
+                                        m,
+                                        top.rtn,
+                                        carried,
+                                        len(stack_entries),
+                                    )
+                                )
                         else:
                             # Mixed segment: per-cell classification with
                             # every chunk already in hand.
@@ -457,7 +473,14 @@ def consume_columnar_drms(prof, batch: EventBatch) -> None:
                                             stack_entries[ancestor].drms -= 1
                                     elif cold_append is not None:
                                         cold_append(
-                                            (tid, a + o - off, 1, top.rtn)
+                                            (
+                                                tid,
+                                                a + o - off,
+                                                1,
+                                                top.rtn,
+                                                carried,
+                                                len(stack_entries),
+                                            )
                                         )
                     ts_chunk[off:end_off] = (
                         stamp_leaf if m == leaf_size else stamp_leaf[:m]
@@ -546,13 +569,23 @@ def consume_columnar_drms(prof, batch: EventBatch) -> None:
                     c_plain = c_thread = c_kernel = 0
                 done = stack_entries.pop()
                 done_drms = done.drms + top_drms
-                collect(done.rtn, tid, done_drms, cost - done.cost)
-                if stack_entries:
-                    top = stack_entries[-1]
-                    top_drms = done_drms
-                else:
-                    top = None
+                if len(stack_entries) < carried:
+                    # A carried seed popped (see DrmsProfiler.on_return):
+                    # record the partial for the merge stage, suppress
+                    # collect and parent inheritance.
+                    carried = len(stack_entries)
+                    carried_map[tid] = carried
+                    carried_rets_append((tid, done_drms, cost))
+                    top = stack_entries[-1] if stack_entries else None
                     top_drms = 0
+                else:
+                    collect(done.rtn, tid, done_drms, cost - done.cost)
+                    if stack_entries:
+                        top = stack_entries[-1]
+                        top_drms = done_drms
+                    else:
+                        top = None
+                        top_drms = 0
                 top_counters = None
         elif op == OP_SWITCH_THREAD:
             count += 1
@@ -602,6 +635,11 @@ def consume_columnar_rms(prof, batch: EventBatch) -> None:
     ts_map = prof.ts
     stacks = prof.stacks
     collect = prof.profiles.collect
+    cold = prof.cold_reads
+    cold_append = cold.append if cold is not None else None
+    carried_map = prof.carried_live
+    carried_get = carried_map.get
+    carried_rets_append = prof.carried_returns.append
     count = prof.count
 
     leaf_bits = 0
@@ -618,6 +656,7 @@ def consume_columnar_rms(prof, batch: EventBatch) -> None:
     ts_chunk = None
     stack_entries: list = []
     top = None
+    carried = 0
     top_drms = 0
     hwm = prof.stack_depth_hwm
     runs_consumed = 0
@@ -667,6 +706,7 @@ def consume_columnar_rms(prof, batch: EventBatch) -> None:
                 leaf_size = leaf_mask + 1
                 mid_bits = cur_mem._mid_bits
                 mid_mask = cur_mem._mid_mask
+                carried = carried_get(tid, 0)
                 cur = tid
             if op == OP_READ:
                 tag = arg >> leaf_bits
@@ -693,6 +733,10 @@ def consume_columnar_rms(prof, batch: EventBatch) -> None:
                                 hi = mid - 1
                         if ancestor >= 0:
                             stack_entries[ancestor].drms -= 1
+                    elif cold_append is not None:
+                        cold_append(
+                            (tid, arg, 1, top.rtn, carried, len(stack_entries))
+                        )
                 ts_chunk[off] = count
             elif op == OP_WRITE:
                 tag = arg >> leaf_bits
@@ -749,6 +793,17 @@ def consume_columnar_rms(prof, batch: EventBatch) -> None:
                                         hi = mid - 1
                                 if ancestor >= 0:
                                     stack_entries[ancestor].drms -= m
+                            elif cold_append is not None:
+                                cold_append(
+                                    (
+                                        tid,
+                                        a,
+                                        m,
+                                        top.rtn,
+                                        carried,
+                                        len(stack_entries),
+                                    )
+                                )
                         else:
                             for o in range(off, end_off):
                                 local = ts_chunk[o]
@@ -767,6 +822,17 @@ def consume_columnar_rms(prof, batch: EventBatch) -> None:
                                                 hi = mid - 1
                                         if ancestor >= 0:
                                             stack_entries[ancestor].drms -= 1
+                                    elif cold_append is not None:
+                                        cold_append(
+                                            (
+                                                tid,
+                                                a + o - off,
+                                                1,
+                                                top.rtn,
+                                                carried,
+                                                len(stack_entries),
+                                            )
+                                        )
                     ts_chunk[off:end_off] = (
                         stamp_leaf if m == leaf_size else stamp_leaf[:m]
                     )
@@ -813,13 +879,22 @@ def consume_columnar_rms(prof, batch: EventBatch) -> None:
                     )
                 done = stack_entries.pop()
                 done_drms = done.drms + top_drms
-                collect(done.rtn, tid, done_drms, cost - done.cost)
-                if stack_entries:
-                    top = stack_entries[-1]
-                    top_drms = done_drms
-                else:
-                    top = None
+                if len(stack_entries) < carried:
+                    # A carried seed popped (see RmsProfiler.on_return):
+                    # record the partial, suppress collect/inheritance.
+                    carried = len(stack_entries)
+                    carried_map[tid] = carried
+                    carried_rets_append((tid, done_drms, cost))
+                    top = stack_entries[-1] if stack_entries else None
                     top_drms = 0
+                else:
+                    collect(done.rtn, tid, done_drms, cost - done.cost)
+                    if stack_entries:
+                        top = stack_entries[-1]
+                        top_drms = done_drms
+                    else:
+                        top = None
+                        top_drms = 0
         elif op == OP_SWITCH_THREAD:
             count += 1
         elif not OP_CALL <= op <= OP_THREAD_EXIT:

@@ -66,6 +66,17 @@ class RmsProfiler:
         #: only — not part of ``metrics_snapshot``, which must be
         #: identical across consumption engines)
         self.superops_consumed = 0
+        #: partitioned-replay support, mirroring the drms profiler
+        #: (DESIGN.md §15): when ``cold_reads`` is a list, every counted
+        #: read of a never-seen cell (``local == 0``) is logged as
+        #: ``(thread, addr, run, routine, carried, stack_len)`` so the
+        #: merge stage can re-run the latest-access decision against the
+        #: preceding partitions' boundary summaries.  ``None`` (the
+        #: default) keeps the hot paths on their zero-cost branch.
+        self.cold_reads = None
+        self.count_base = 1
+        self.carried_live: Dict[int, int] = {}
+        self.carried_returns: List[tuple] = []
 
     def _thread_ts(self, thread: int) -> ShadowMemory:
         mem = self.ts.get(thread)
@@ -99,6 +110,13 @@ class RmsProfiler:
         if not stack:
             raise ValueError(f"return with empty stack on thread {event.thread}")
         top = stack.pop()
+        if len(stack) < self.carried_live.get(event.thread, 0):
+            # A carried seed popped: record the partial for the merge
+            # stage, no collect and no parent inheritance (the parent
+            # is also a seed).
+            self.carried_live[event.thread] = len(stack)
+            self.carried_returns.append((event.thread, top.drms, event.cost))
+            return
         self.profiles.collect(
             top.rtn, event.thread, top.drms, event.cost - top.cost
         )
@@ -115,6 +133,17 @@ class RmsProfiler:
                 ancestor = stack.deepest_ancestor_at(local)
                 if ancestor is not None:
                     stack[ancestor].drms -= 1
+            elif self.cold_reads is not None:
+                self.cold_reads.append(
+                    (
+                        thread,
+                        addr,
+                        1,
+                        stack.top.rtn,
+                        self.carried_live.get(thread, 0),
+                        len(stack),
+                    )
+                )
         ts[addr] = self.count
 
     def on_write(self, thread: int, addr: int) -> None:
@@ -162,6 +191,11 @@ class RmsProfiler:
         ts_map = self.ts
         stacks = self.stacks
         collect = self.profiles.collect
+        cold = self.cold_reads
+        cold_append = cold.append if cold is not None else None
+        carried_map = self.carried_live
+        carried_get = carried_map.get
+        carried_rets_append = self.carried_returns.append
         count = self.count
 
         leaf_bits = 0
@@ -173,6 +207,7 @@ class RmsProfiler:
         ts_chunk = None
         stack_entries = []
         top = None
+        carried = 0
         # Pending drms increments for the current top entry, flushed
         # whenever the top changes (call/return/thread switch) and at
         # batch end; nonzero only while the matching entry is in `top`.
@@ -217,6 +252,7 @@ class RmsProfiler:
                     top = state[4]
                     leaf_bits = state[0].leaf_bits
                     leaf_mask = state[0].leaf_mask
+                    carried = carried_get(tid, 0)
                     cur = tid
                 if op == OP_READ:
                     tag = arg >> leaf_bits
@@ -241,6 +277,17 @@ class RmsProfiler:
                                     hi = mid - 1
                             if ancestor >= 0:
                                 stack_entries[ancestor].drms -= 1
+                        elif cold_append is not None:
+                            cold_append(
+                                (
+                                    tid,
+                                    arg,
+                                    1,
+                                    top.rtn,
+                                    carried,
+                                    len(stack_entries),
+                                )
+                            )
                     ts_chunk[off] = count
                 elif op == OP_WRITE:
                     tag = arg >> leaf_bits
@@ -265,15 +312,25 @@ class RmsProfiler:
                         )
                     done = stack_entries.pop()
                     done_drms = done.drms + top_drms
-                    collect(done.rtn, tid, done_drms, cost - done.cost)
-                    if stack_entries:
-                        # The parent inherits the child's drms; carry it
-                        # as the new pending delta (done is discarded).
-                        top = stack_entries[-1]
-                        top_drms = done_drms
-                    else:
-                        top = None
+                    if len(stack_entries) < carried:
+                        # A carried seed popped (see on_return): record
+                        # the partial, suppress collect and inheritance.
+                        carried = len(stack_entries)
+                        carried_map[tid] = carried
+                        carried_rets_append((tid, done_drms, cost))
+                        top = stack_entries[-1] if stack_entries else None
                         top_drms = 0
+                    else:
+                        collect(done.rtn, tid, done_drms, cost - done.cost)
+                        if stack_entries:
+                            # The parent inherits the child's drms; carry
+                            # it as the new pending delta (done is
+                            # discarded).
+                            top = stack_entries[-1]
+                            top_drms = done_drms
+                        else:
+                            top = None
+                            top_drms = 0
             elif op == OP_SWITCH_THREAD:
                 count += 1
             elif not OP_CALL <= op <= OP_THREAD_EXIT:
@@ -300,6 +357,54 @@ class RmsProfiler:
         consume_columnar_rms(self, batch)
 
     # -- execution boundaries & shard merging ------------------------------------
+
+    def seed_partition(self, carry_in) -> None:
+        """Seed the shadow stacks for a mid-activation partition cut —
+        same contract as :meth:`DrmsProfiler.seed_partition
+        <repro.core.timestamping.DrmsProfiler.seed_partition>`."""
+        if self.count != 1 or self.stacks or self.ts:
+            raise ValueError("seed_partition() requires a fresh profiler")
+        max_depth = 0
+        for thread, stack in carry_in:
+            if not stack:
+                continue
+            shadow = self._stack(thread)
+            self._thread_ts(thread)
+            for k, (_seq, rtn, _call_cost) in enumerate(stack):
+                shadow.push(rtn, ts=k + 1, cost=0)
+            self.carried_live[thread] = len(stack)
+            if len(stack) > max_depth:
+                max_depth = len(stack)
+        self.count = self.count_base = max_depth + 1
+
+    def take_partition_state(self) -> Tuple[dict, list]:
+        """Extract carried-out live stacks as ``(partial, ts)`` per
+        thread plus recorded seed returns, then clear the stacks — same
+        contract as :meth:`DrmsProfiler.take_partition_state
+        <repro.core.timestamping.DrmsProfiler.take_partition_state>`."""
+        live: Dict[int, tuple] = {}
+        for thread, stack in self.stacks.items():
+            if len(stack):
+                live[thread] = tuple((e.drms, e.ts) for e in stack.entries)
+                stack.entries.clear()
+        returns = list(self.carried_returns)
+        self.carried_returns = []
+        self.carried_live = {}
+        return live, returns
+
+    def boundary_summary(self) -> Tuple[dict, dict]:
+        """Condense live shadow state for later partitions' cold-read
+        fix-up: the rms baseline has no global write memory, so only
+        ``last_access[thread][addr] -> count`` is meaningful (the first
+        element is an always-empty ``last_write`` to keep the shape of
+        :meth:`DrmsProfiler.boundary_summary
+        <repro.core.timestamping.DrmsProfiler.boundary_summary>`).
+        Take it *before* :meth:`begin_trace`/:meth:`take_partition_state`
+        clear the state it summarises."""
+        last_access = {
+            thread: dict(mem.items()) for thread, mem in self.ts.items()
+        }
+        return {}, last_access
 
     def begin_trace(self) -> None:
         """Mark an execution boundary before feeding an independent
@@ -333,7 +438,7 @@ class RmsProfiler:
                 "complete traces"
             )
         self.profiles.merge_from(other.profiles)
-        self.count += other.count - 1
+        self.count += other.count - other.count_base
         if self.stack_depth_hwm < other.stack_depth_hwm:
             self.stack_depth_hwm = other.stack_depth_hwm
         self.superops_consumed += other.superops_consumed

@@ -151,6 +151,18 @@ class DrmsProfiler:
         #: (see ``tools/partition.py``).  ``None`` (the default) keeps
         #: every hot path on its zero-cost branch.
         self.cold_reads: Optional[List[tuple]] = None
+        #: per-thread partition-cut support (DESIGN.md §15): a worker
+        #: whose byte range starts mid-activation seeds each thread's
+        #: shadow stack with placeholder frames for the carried-in
+        #: activations (:meth:`seed_partition`).  ``carried_live[t]``
+        #: is how many of thread ``t``'s bottom frames are still seeds,
+        #: ``carried_returns`` records ``(thread, partial, raw_cost)``
+        #: when a seed pops inside this partition, and ``count_base``
+        #: is where the timestamp counter started (above every seed
+        #: stamp) so :meth:`merge` can rebase counts exactly.
+        self.count_base = 1
+        self.carried_live: Dict[int, int] = {}
+        self.carried_returns: List[tuple] = []
 
     # -- state access -------------------------------------------------------
 
@@ -217,6 +229,15 @@ class DrmsProfiler:
         if not stack:
             raise ValueError(f"return with empty stack on thread {event.thread}")
         top = stack.pop()
+        if len(stack) < self.carried_live.get(event.thread, 0):
+            # A carried seed popped: record the partial sum and raw
+            # return cost for the merge stage; no collect here (the
+            # merge reassembles the activation's total across
+            # partitions) and no inheritance (the parent is also a
+            # seed — its share is already in its own partial).
+            self.carried_live[event.thread] = len(stack)
+            self.carried_returns.append((event.thread, top.drms, event.cost))
+            return
         self.profiles.collect(
             top.rtn, event.thread, top.drms, event.cost - top.cost
         )
@@ -252,7 +273,16 @@ class DrmsProfiler:
                 if ancestor is not None:
                     stack[ancestor].drms -= 1
             elif self.cold_reads is not None and self.wts[addr] == 0:
-                self.cold_reads.append((thread, addr, 1, stack.top.rtn))
+                self.cold_reads.append(
+                    (
+                        thread,
+                        addr,
+                        1,
+                        stack.top.rtn,
+                        self.carried_live.get(thread, 0),
+                        len(stack),
+                    )
+                )
         ts[addr] = self.count
 
     def on_write(self, thread: int, addr: int) -> None:
@@ -340,6 +370,9 @@ class DrmsProfiler:
         rc_get = read_counters.get
         cold = self.cold_reads
         cold_append = cold.append if cold is not None else None
+        carried_map = self.carried_live
+        carried_get = carried_map.get
+        carried_rets_append = self.carried_returns.append
         count = self.count
 
         if OP_USER_TO_KERNEL in ops:
@@ -372,6 +405,7 @@ class DrmsProfiler:
         stack_entries: list = []
         top = None
         top_counters = None
+        carried = 0
         wts_tag = None
         wts_chunk = None
         src_chunk = None
@@ -438,6 +472,7 @@ class DrmsProfiler:
                     wts_tag = state[6]
                     wts_chunk = state[7]
                     src_chunk = state[8]
+                    carried = carried_get(tid, 0)
                     cur = tid
                 if op == OP_READ:
                     tag = arg >> leaf_bits
@@ -496,7 +531,16 @@ class DrmsProfiler:
                         elif cold_append is not None:
                             # local == 0 implies written == 0 here (the
                             # induced branch was not taken): a cold read.
-                            cold_append((tid, arg, 1, top.rtn))
+                            cold_append(
+                                (
+                                    tid,
+                                    arg,
+                                    1,
+                                    top.rtn,
+                                    carried,
+                                    len(stack_entries),
+                                )
+                            )
                     ts_chunk[off] = count
                 elif op == OP_WRITE:
                     tag = arg >> leaf_bits
@@ -544,16 +588,27 @@ class DrmsProfiler:
                         c_plain = c_thread = c_kernel = 0
                     done = stack_entries.pop()
                     done_drms = done.drms + top_drms
-                    collect(done.rtn, tid, done_drms, cost - done.cost)
-                    if stack_entries:
-                        # The parent inherits the child's drms; carry it as
-                        # the new pending delta instead of touching the
-                        # attribute (done.drms itself is discarded).
-                        top = stack_entries[-1]
-                        top_drms = done_drms
-                    else:
-                        top = None
+                    if len(stack_entries) < carried:
+                        # A carried seed popped (see on_return): record
+                        # the partial for the merge, suppress collect
+                        # and parent inheritance.
+                        carried = len(stack_entries)
+                        carried_map[tid] = carried
+                        carried_rets_append((tid, done_drms, cost))
+                        top = stack_entries[-1] if stack_entries else None
                         top_drms = 0
+                    else:
+                        collect(done.rtn, tid, done_drms, cost - done.cost)
+                        if stack_entries:
+                            # The parent inherits the child's drms; carry
+                            # it as the new pending delta instead of
+                            # touching the attribute (done.drms itself is
+                            # discarded).
+                            top = stack_entries[-1]
+                            top_drms = done_drms
+                        else:
+                            top = None
+                            top_drms = 0
                     top_counters = None
             elif op == OP_SWITCH_THREAD:
                 count += 1
@@ -605,6 +660,50 @@ class DrmsProfiler:
         consume_columnar_drms(self, batch)
 
     # -- execution boundaries & shard merging ------------------------------------
+
+    def seed_partition(self, carry_in) -> None:
+        """Seed the shadow stacks for a partition whose byte range
+        starts mid-activation (DESIGN.md §15).
+
+        ``carry_in`` is the planner's per-thread carry: ``(thread,
+        ((seq, routine, call_cost), ...))`` bottom-to-top.  Each carried
+        activation becomes a placeholder frame with the real routine
+        name (so reads counted to it attribute correctly), cost 0 (the
+        real call cost is reapplied at merge time) and timestamps
+        ``1..depth`` per thread; ``count`` then starts above every seed
+        stamp, so every in-partition ordering decision is exactly the
+        serial one.  Must be called on a fresh profiler."""
+        if self.count != 1 or self.stacks or self.ts:
+            raise ValueError("seed_partition() requires a fresh profiler")
+        max_depth = 0
+        for thread, stack in carry_in:
+            if not stack:
+                continue
+            entries = self._stack(thread)
+            self._thread_ts(thread)
+            for k, (_seq, rtn, _call_cost) in enumerate(stack):
+                entries.push(rtn, ts=k + 1, cost=0)
+            self.carried_live[thread] = len(stack)
+            if len(stack) > max_depth:
+                max_depth = len(stack)
+        self.count = self.count_base = max_depth + 1
+
+    def take_partition_state(self) -> Tuple[dict, list]:
+        """Extract the partition-cut bookkeeping once a worker's byte
+        range is fully consumed: per-thread live stacks as ``(partial,
+        ts)`` tuples bottom-to-top (the activations still carried out
+        of this partition) and the recorded seed returns.  Clears the
+        stacks afterwards so the complete-trace checks of
+        :meth:`merge`/:meth:`begin_trace` pass on the shard."""
+        live: Dict[int, tuple] = {}
+        for thread, stack in self.stacks.items():
+            if len(stack):
+                live[thread] = tuple((e.drms, e.ts) for e in stack.entries)
+                stack.entries.clear()
+        returns = list(self.carried_returns)
+        self.carried_returns = []
+        self.carried_live = {}
+        return live, returns
 
     def begin_trace(self) -> None:
         """Mark an execution boundary: the next events belong to an
@@ -668,11 +767,13 @@ class DrmsProfiler:
             mine[0] += counts[0]
             mine[1] += counts[1]
             mine[2] += counts[2]
-        # Both counters started at 1; the merged counter spans both
-        # traces' bumps.  Renumbering (if enabled) may compact it on the
-        # next bump — the shadow state below is cleared, so that pass is
-        # trivially cheap.
-        self.count += other.count - 1
+        # The merged counter spans both traces' bumps: the shard's
+        # counter advanced ``other.count - other.count_base`` times
+        # (``count_base`` is 1 unless the shard was seeded for a
+        # mid-activation partition cut).  Renumbering (if enabled) may
+        # compact it on the next bump — the shadow state below is
+        # cleared, so that pass is trivially cheap.
+        self.count += other.count - other.count_base
         if self.stack_depth_hwm < other.stack_depth_hwm:
             self.stack_depth_hwm = other.stack_depth_hwm
         self.renumber_passes += other.renumber_passes

@@ -494,18 +494,30 @@ def pipeline_batches(
 # turns the v2 section framing into an embarrassingly parallel job by
 # finding byte offsets where the trace can be cut WITHOUT changing any
 # profiler's answer, and balancing event counts across the cuts.  The
-# safety argument (DESIGN.md §12, condensed): a section boundary is a
-# safe cut iff the cumulative call depth there is zero — every shadow
-# stack is empty, exactly the state ``begin_trace()`` expects between
-# traces of a multi-trace run, so per-partition profiles fold back
-# together with the exact associative ``merge()``.  Cumulative depth
-# is computable from the opcode column alone (calls minus returns),
-# so planning never decodes payloads beyond one ``bytes()`` copy of
-# each section's ops lane — ~1/25th of the trace.
+# safety argument (DESIGN.md §12 and §15, condensed): a boundary where
+# the cumulative call depth is zero leaves every shadow stack empty —
+# exactly the state ``begin_trace()`` expects between traces — so those
+# partitions fold with the plain associative ``merge()``.  A boundary
+# inside activations is *also* cuttable: per-thread stacks are
+# section-boundary-consistent, so the planner snapshots each thread's
+# live activations (its carry-in) and the next partition's workers
+# re-seed those frames; the merge reassembles the carried activations
+# from per-shard partial sums.  Depth-zero cuts are the carry-in = ∅
+# special case and are still preferred when enough of them exist.
+# Depth is computable from the opcode column alone; carry-in snapshots
+# additionally decode the thread/arg/cost lanes of the prefix sections,
+# and only when a chosen cut actually lands mid-activation.
 
 
 _OP_CALL_BYTE = 0
 _OP_RETURN_BYTE = 1
+
+#: a thread's carried stack, bottom-to-top: ``(seq, routine, call_cost)``
+#: per live activation, where ``seq`` is the thread-local call ordinal —
+#: the stable cross-partition activation identity ``(thread, seq)``.
+CarryStack = Tuple[Tuple[int, str, int], ...]
+#: per-thread carry at one cut, sorted by thread id: ``(thread, stack)``
+CarryIn = Tuple[Tuple[int, CarryStack], ...]
 
 
 @dataclass(frozen=True)
@@ -516,6 +528,13 @@ class TracePartition:
     header offset, ``end`` is one past a section CRC) and are valid
     ``iter_section_batches`` range arguments.  ``events`` is the exact
     event count of the range (from section headers, not an estimate).
+
+    ``carry_in`` lists the activations live at ``start`` (empty for a
+    depth-zero cut): the worker seeds its shadow stacks with them
+    before replaying.  ``carry_out_ids`` is the next partition's
+    ``carry_in`` — the identities of the activations still live at
+    ``end``, positionally aligned with the worker's end-of-partition
+    stacks so the shard can label its partial sums.
     """
 
     index: int
@@ -523,6 +542,12 @@ class TracePartition:
     end: int
     sections: int
     events: int
+    carry_in: CarryIn = ()
+    carry_out_ids: CarryIn = ()
+
+
+def _carry_count(carry: CarryIn) -> int:
+    return sum(len(stack) for _t, stack in carry)
 
 
 @dataclass(frozen=True)
@@ -531,9 +556,11 @@ class PartitionPlan:
 
     ``partitions`` covers the trace body exactly, in order, with no
     overlap.  When the trace cannot be split (v1 format, a single
-    section, or no interior depth-zero boundary) the plan degrades to
+    section, an unmatched-depth or torn trace) the plan degrades to
     one partition and ``reason`` says why — callers fall back to serial
-    replay rather than failing.
+    replay rather than failing.  ``carried`` counts the activation
+    frames carried across all interior cuts (0 for a pure depth-zero
+    plan).
     """
 
     requested: int
@@ -542,6 +569,7 @@ class PartitionPlan:
     safe_boundaries: int
     partitions: Tuple[TracePartition, ...]
     reason: Optional[str] = None
+    carried: int = 0
 
     @property
     def imbalance(self) -> float:
@@ -557,100 +585,13 @@ class PartitionPlan:
         return max(p.events for p in self.partitions) / ideal - 1.0
 
 
-def plan_partitions(data: bytes, partitions: int) -> PartitionPlan:
-    """Plan up to ``partitions`` balanced cuts of a binary trace.
-
-    Walks section headers only (CRC payloads are not verified here —
-    the workers' ranged decode does that) accumulating per-section
-    event counts and call-depth deltas from the opcode lane.  Cut
-    candidates are section boundaries where cumulative depth is zero;
-    cuts are chosen greedily at the candidate nearest each ideal
-    event-count quantile, so partitions balance as well as the
-    boundary spacing allows.  Always returns a plan — unsplittable
-    traces yield a single-partition plan with ``reason`` set.
-    """
-    if partitions < 1:
-        raise ValueError("partitions must be >= 1")
-    if data[: len(_BATCH_MAGIC_V1)] == _BATCH_MAGIC_V1:
-        part = TracePartition(0, 0, len(data), 1, 0)
-        return PartitionPlan(
-            requested=partitions,
-            total_events=0,
-            total_sections=1,
-            safe_boundaries=0,
-            partitions=(part,),
-            reason="v1 trace: single undivided payload",
-        )
-    _names, declared, body_start = _parse_v2_header(data)
-    total = len(data)
-    # Walk the section framing: starts[i] is section i's header offset,
-    # cum_events[i]/depth after section i, plus whether the boundary
-    # *after* section i is a safe (depth-zero) cut.
-    starts: List[int] = []
-    cum_events: List[int] = []
-    safe_after: List[bool] = []
-    pos = body_start
-    events = 0
-    depth = 0
-    while pos < total:
-        if total - pos < 8:
-            raise TraceFormatError("truncated section header", pos)
-        (n,) = struct.unpack_from("<Q", data, pos)
-        if n == 0 or n > declared - events:
-            raise TraceFormatError(f"implausible section event count {n}", pos)
-        payload_size = n * _EVENT_BYTES
-        if total - pos - 8 < payload_size + 4:
-            raise TraceFormatError(
-                f"truncated section ({n} events declared)", pos
-            )
-        ops = bytes(data[pos + 8 : pos + 8 + n])  # the opcode lane
-        depth += ops.count(_OP_CALL_BYTE) - ops.count(_OP_RETURN_BYTE)
-        starts.append(pos)
-        events += n
-        cum_events.append(events)
-        safe_after.append(depth == 0)
-        pos += 8 + payload_size + 4
-    if events < declared:
-        raise TraceFormatError(
-            f"trace truncated: {events} of {declared} events recovered", pos
-        )
-    n_sections = len(starts)
-    ends = starts[1:] + [total]
-
-    def single(reason: Optional[str]) -> PartitionPlan:
-        part = TracePartition(0, body_start, total, n_sections, events)
-        return PartitionPlan(
-            requested=partitions,
-            total_events=events,
-            total_sections=n_sections,
-            safe_boundaries=sum(safe_after[:-1]),
-            partitions=(part,) if n_sections else (),
-            reason=reason,
-        )
-
-    if n_sections == 0:
-        return PartitionPlan(
-            requested=partitions,
-            total_events=0,
-            total_sections=0,
-            safe_boundaries=0,
-            partitions=(),
-            reason="empty trace",
-        )
-    if depth != 0:
-        return single(
-            f"final call depth {depth} != 0: trace has unmatched calls"
-        )
-    # Interior cut candidates: boundary after section i (i < last).
-    candidates = [i for i in range(n_sections - 1) if safe_after[i]]
-    if partitions == 1:
-        return single(None)
-    if not candidates:
-        return single("no depth-zero section boundary to cut at")
-    # Greedy quantile cuts: for each ideal share k*events/want, take the
-    # nearest unused candidate to its right (monotone pointer keeps the
-    # cuts ordered and the scan linear).
-    want = min(partitions, len(candidates) + 1)
+def _greedy_cuts(
+    candidates: List[int], cum_events: List[int], events: int, want: int
+) -> List[int]:
+    """Greedy quantile cuts: for each ideal share ``k*events/want``, take
+    the nearest unused candidate (monotone pointer keeps the cuts
+    ordered and the scan linear).  Returns section indices whose *after*
+    boundary is cut."""
     cuts: List[int] = []
     ci = 0
     for k in range(1, want):
@@ -672,11 +613,202 @@ def plan_partitions(data: bytes, partitions: int) -> PartitionPlan:
                 best = prev
         if best is not None and best not in cuts:
             cuts.append(best)
+    return cuts
+
+
+def _carry_snapshots(
+    data: bytes,
+    names: List[str],
+    starts: List[int],
+    cuts: List[int],
+) -> Optional[List[CarryIn]]:
+    """Simulate per-thread call stacks over the prefix sections and
+    snapshot the live activations at each cut boundary.
+
+    Returns one :data:`CarryIn` per cut (the carry into the partition
+    *after* that cut), or ``None`` if the trace pops an empty stack
+    (malformed — the caller degrades instead of guessing).  Activation
+    identity is ``(thread, seq)`` with ``seq`` the thread-local call
+    ordinal, which both sides of a cut can recompute independently.
+    """
+    stacks: dict = {}  # tid -> [(seq, routine, call_cost), ...]
+    seqs: dict = {}  # tid -> next call ordinal
+    snapshots: List[CarryIn] = []
+    ci = 0
+    last = cuts[-1]
+    for s in range(last + 1):
+        pos = starts[s]
+        (n,) = struct.unpack_from("<Q", data, pos)
+        lane = pos + 8
+        ops = bytes(data[lane : lane + n])
+        if _OP_CALL_BYTE in ops or _OP_RETURN_BYTE in ops:
+            threads = array("q")
+            threads.frombytes(data[lane + n : lane + 9 * n])
+            args = array("q")
+            args.frombytes(data[lane + 9 * n : lane + 17 * n])
+            costs = array("q")
+            costs.frombytes(data[lane + 17 * n : lane + 25 * n])
+            if sys.byteorder == "big":  # pragma: no cover - exotic hardware
+                threads.byteswap()
+                args.byteswap()
+                costs.byteswap()
+            for i, op in enumerate(ops):
+                if op == _OP_CALL_BYTE:
+                    tid = threads[i]
+                    seq = seqs.get(tid, 0)
+                    seqs[tid] = seq + 1
+                    stacks.setdefault(tid, []).append(
+                        (seq, names[args[i]], costs[i])
+                    )
+                elif op == _OP_RETURN_BYTE:
+                    st = stacks.get(threads[i])
+                    if not st:
+                        return None
+                    st.pop()
+        if s == cuts[ci]:
+            snapshots.append(
+                tuple(
+                    (t, tuple(st))
+                    for t, st in sorted(stacks.items())
+                    if st
+                )
+            )
+            ci += 1
+            if ci == len(cuts):
+                break
+    return snapshots
+
+
+def plan_partitions(data: bytes, partitions: int) -> PartitionPlan:
+    """Plan up to ``partitions`` balanced cuts of a binary trace.
+
+    Walks section headers only (CRC payloads are not verified here —
+    the workers' ranged decode does that) accumulating per-section
+    event counts and call-depth deltas from the opcode lane.  Every
+    interior section boundary is a cut candidate: depth-zero
+    boundaries cut for free, others carry each thread's live
+    activations into the next partition (``TracePartition.carry_in``).
+    Cuts are chosen greedily at the candidate nearest each ideal
+    event-count quantile — over depth-zero boundaries alone when
+    enough exist to honour the request, otherwise over all boundaries.
+    Always returns a plan — unsplittable or damaged traces yield a
+    single-partition plan (covering the longest valid prefix) with
+    ``reason`` set, never an exception for salvageable input.
+    """
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    if data[: len(_BATCH_MAGIC_V1)] == _BATCH_MAGIC_V1:
+        part = TracePartition(0, 0, len(data), 1, 0)
+        return PartitionPlan(
+            requested=partitions,
+            total_events=0,
+            total_sections=1,
+            safe_boundaries=0,
+            partitions=(part,),
+            reason="v1 trace: single undivided payload",
+        )
+    names, declared, body_start = _parse_v2_header(data)
+    total = len(data)
+    # Walk the section framing: starts[i] is section i's header offset,
+    # cum_events[i]/depth after section i, plus whether the boundary
+    # *after* section i is a depth-zero (carry-free) cut.
+    starts: List[int] = []
+    cum_events: List[int] = []
+    safe_after: List[bool] = []
+    pos = body_start
+    events = 0
+    depth = 0
+    torn: Optional[str] = None
+    while pos < total:
+        if total - pos < 8:
+            torn = "truncated section header"
+            break
+        (n,) = struct.unpack_from("<Q", data, pos)
+        if n == 0 or n > declared - events:
+            torn = f"implausible section event count {n}"
+            break
+        payload_size = n * _EVENT_BYTES
+        if total - pos - 8 < payload_size + 4:
+            torn = f"truncated section ({n} events declared)"
+            break
+        ops = bytes(data[pos + 8 : pos + 8 + n])  # the opcode lane
+        depth += ops.count(_OP_CALL_BYTE) - ops.count(_OP_RETURN_BYTE)
+        starts.append(pos)
+        events += n
+        cum_events.append(events)
+        safe_after.append(depth == 0)
+        pos += 8 + payload_size + 4
+    if torn is None and events < declared:
+        torn = f"trace truncated: {events} of {declared} events recovered"
+    n_sections = len(starts)
+    # ``pos`` stopped either one past the final CRC (clean walk) or at
+    # the damaged section's header (the loop breaks before advancing),
+    # so it is the end of the longest valid prefix either way.
+    body_end = pos
+    ends = starts[1:] + [body_end]
+
+    def single(reason: Optional[str]) -> PartitionPlan:
+        part = TracePartition(0, body_start, body_end, n_sections, events)
+        return PartitionPlan(
+            requested=partitions,
+            total_events=events,
+            total_sections=n_sections,
+            safe_boundaries=sum(safe_after[:-1]),
+            partitions=(part,) if n_sections else (),
+            reason=reason,
+        )
+
+    if n_sections == 0:
+        return PartitionPlan(
+            requested=partitions,
+            total_events=0,
+            total_sections=0,
+            safe_boundaries=0,
+            partitions=(),
+            reason=torn or "empty trace",
+        )
+    if torn is not None:
+        # Doctor-salvageable damage: degrade to the longest valid
+        # prefix as a single partition instead of refusing to plan
+        # (the prefix may well end mid-activation).
+        if depth != 0:
+            torn += f"; valid prefix ends at call depth {depth}"
+        return single(torn)
+    if depth != 0:
+        return single(
+            f"final call depth {depth} != 0: trace has unmatched calls"
+        )
+    if partitions == 1:
+        return single(None)
+    zero_candidates = [i for i in range(n_sections - 1) if safe_after[i]]
+    all_candidates = list(range(n_sections - 1))
+    if not all_candidates:
+        return single("single section: no interior boundary to cut at")
+    want = min(partitions, n_sections)
+    # Prefer carry-free depth-zero cuts when they can honour the full
+    # request; otherwise plan over every boundary and carry.
+    cuts = _greedy_cuts(zero_candidates, cum_events, events, want)
+    carries: List[CarryIn] = [() for _ in cuts]
+    if len(cuts) < want - 1:
+        thread_cuts = _greedy_cuts(all_candidates, cum_events, events, want)
+        carried_cuts = [c for c in thread_cuts if not safe_after[c]]
+        snapshots = (
+            _carry_snapshots(data, names, starts, carried_cuts)
+            if carried_cuts
+            else []
+        )
+        if snapshots is not None:
+            by_cut = dict(zip(carried_cuts, snapshots))
+            cuts = thread_cuts
+            carries = [by_cut.get(c, ()) for c in cuts]
+        elif not cuts:
+            return single("return with empty call stack: malformed trace")
     if not cuts:
-        return single("no depth-zero section boundary to cut at")
+        return single("no interior section boundary to cut at")
     parts: List[TracePartition] = []
     lo = 0
     prev_events = 0
+    carry_bounds = [()] + carries + [()]
     for idx, cut in enumerate(cuts + [n_sections - 1]):
         part_events = cum_events[cut] - prev_events
         parts.append(
@@ -686,6 +818,8 @@ def plan_partitions(data: bytes, partitions: int) -> PartitionPlan:
                 end=ends[cut],
                 sections=cut - lo + 1,
                 events=part_events,
+                carry_in=carry_bounds[idx],
+                carry_out_ids=carry_bounds[idx + 1],
             )
         )
         prev_events = cum_events[cut]
@@ -694,7 +828,8 @@ def plan_partitions(data: bytes, partitions: int) -> PartitionPlan:
         requested=partitions,
         total_events=events,
         total_sections=n_sections,
-        safe_boundaries=len(candidates),
+        safe_boundaries=len(zero_candidates),
         partitions=tuple(parts),
         reason=None,
+        carried=sum(_carry_count(c) for c in carries),
     )

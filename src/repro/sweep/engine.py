@@ -341,7 +341,9 @@ def _run_cell(
         record_time, batch, _machine = record_trace(
             _cell_builder(cell, fault_seed)
         )
-        store.put(key, batch)
+        # Boundary-aligned persistence: the planner's depth-zero cut
+        # points survive the cache round-trip.
+        store.put(key, batch, boundaries=_machine.trace_boundaries)
 
     meta = store.get_meta(key) or {}
     meta.setdefault("workload", cell.workload)
@@ -395,10 +397,12 @@ def _run_cell(
     cell_partitions: Optional[int] = None
     shard_bytes: Dict[str, int] = {"trace": store.entry_bytes(key)}
     if partitions is not None:
-        # Intra-trace partitioned replay (PR 6): cut the cell's trace at
-        # depth-zero section boundaries and make the *per-partition*
-        # shard the cache unit — a warm sweep re-merges cached partition
-        # shards (exact and cheap) instead of re-replaying the trace.
+        # Intra-trace partitioned replay (PR 6; per-thread cuts PR 9):
+        # cut the cell's trace at section boundaries — depth-zero where
+        # available, mid-activation with carries otherwise — and make
+        # the *per-partition* shard the cache unit: a warm sweep
+        # re-merges cached partition shards (exact and cheap) instead
+        # of re-replaying the trace.
         from repro.core.tracefile import plan_partitions
         from repro.tools.partition import (
             merge_partition_shards,
@@ -406,7 +410,10 @@ def _run_cell(
             resolve_partitions,
         )
 
-        payload = batch.to_bytes()
+        # Use the persisted payload when there is one: its section
+        # framing carries the recorded execution boundaries, which a
+        # fresh default to_bytes() would drop.
+        payload = store.payload(key) or batch.to_bytes()
         plan = plan_partitions(payload, resolve_partitions(partitions))
         cell_partitions = len(plan.partitions)
         if cell_partitions > 1:

@@ -53,8 +53,9 @@ __all__ = ["StoreAudit", "TraceKey", "TraceStore", "SHARD_VERSION"]
 
 #: version tag baked into pickled profiler shards; bump when profiler
 #: state layout changes so stale shards are recomputed instead of
-#: unpickled into the wrong shape
-SHARD_VERSION = 2
+#: unpickled into the wrong shape (3: per-thread partition cuts —
+#: shards carry carry-in/carry-out summaries and six-field cold logs)
+SHARD_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -238,15 +239,30 @@ class TraceStore:
         self._note("hit")
         return scan.batch
 
-    def put(self, key: TraceKey, batch: EventBatch) -> str:
+    def put(
+        self, key: TraceKey, batch: EventBatch, boundaries: tuple = ()
+    ) -> str:
         """Persist ``batch`` under ``key`` (atomic); returns the entry
-        path."""
+        path.  ``boundaries`` (execution-boundary row indices, as
+        recorded by the VM) section-align the persisted payload so a
+        warm partition replay sees the same depth-zero cut points a
+        cold one does."""
         digest = key.digest()
         directory = self._entry_dir(digest)
         os.makedirs(directory, exist_ok=True)
         path = self.trace_path(key)
-        _atomic_write(path, batch.to_bytes())
+        _atomic_write(path, batch.to_bytes(boundaries=boundaries))
         return path
+
+    def payload(self, key: TraceKey) -> Optional[bytes]:
+        """Raw persisted trace bytes (``None`` if absent) — the exact
+        section framing written by :meth:`put`, for consumers like the
+        partition planner whose cut points follow section boundaries."""
+        try:
+            with open(self.trace_path(key), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
 
     def entry_bytes(self, key: TraceKey) -> int:
         """On-disk size of the trace entry (0 if absent)."""

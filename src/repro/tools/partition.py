@@ -5,31 +5,34 @@ one large trace.  This module turns that replay into an embarrassingly
 parallel job:
 
 1. :func:`repro.core.tracefile.plan_partitions` cuts the v2 trace at
-   depth-zero section boundaries (every shadow stack empty — the
-   ``begin_trace()`` execution-boundary state) into byte ranges with
-   balanced event counts;
+   section boundaries — depth-zero ones for free, mid-activation ones
+   with per-thread carry-in summaries — into byte ranges with balanced
+   event counts;
 2. each partition replays its range through the normal engines
    (columnar by default, with pipelined ranged decode) in a supervised
    process pool — a worker that times out or dies is retried with
    backoff and, failing that, that partition alone falls back to an
    inline replay in the parent;
-3. the per-partition profiler shards fold back together with the exact
-   associative ``merge()``.
+3. the per-partition profiler shards **stream back** and fold through
+   the exact associative ``merge()`` as they arrive (buffered to index
+   order), so the final merge overlaps the slowest worker instead of
+   waiting behind a barrier.
 
-Exactness (DESIGN.md §12): at a depth-zero cut the only state a later
-partition cannot see is the *memory* prefix — global write timestamps
-and per-thread access timestamps.  Every read classification except one
-is invariant under that blindness; the exception is the **cold read**
-(a plain-counted first read of a cell the partition never saw written
-or accessed), which serially may be an *induced* first read when a
-prefix write postdates the reading thread's last prefix access.  The
-drms kernels therefore log cold reads when ``cold_reads`` is armed, and
-:func:`merge_partition_shards` reclassifies them against the preceding
-partitions' boundary summaries before merging — moving the unit from
-the plain slot to the thread/kernel slot of the same routine.  The drms
-value itself is already correct either way (both branches add one unit
-and neither refunds an ancestor), so profiles need no fix-up at all;
-only the read-kind split does.
+Exactness (DESIGN.md §12 for depth-zero cuts, §15 for per-thread
+cuts): the state a later partition cannot see is the *prefix* — global
+write timestamps, per-thread access timestamps, and (for a
+mid-activation cut) the live activations themselves.  Carried
+activations are re-seeded as placeholder frames whose partial sums,
+seed returns and read attributions ship back in the shard; the merge
+reassembles their exact totals from the per-shard partials
+(:class:`_CarryState`).  Read classifications are invariant under
+prefix-blindness except for the **cold read** (a counted read of a
+cell the partition never saw written or accessed), which the kernels
+log when ``cold_reads`` is armed; the merge re-runs the serial
+decision against the preceding partitions' boundary summaries as a
+cross-thread ``(partition, thread, local_count)`` timestamp fix-up —
+moving a unit between read-kind slots (drms), refunding the deepest
+carried ancestor, or removing a unit the serial replay never counted.
 """
 
 from __future__ import annotations
@@ -37,8 +40,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -133,6 +136,18 @@ class PartitionShard:
     decode_stall_s: float = 0.0
     backpressure_s: float = 0.0
     queue_depth_hwm: int = 0
+    #: planner carry the partition was seeded with: ``((thread, ((seq,
+    #: routine, call_cost), ...)), ...)`` bottom-to-top per thread.
+    carry_in: tuple = ()
+    #: resolved carry out of this partition: ``((thread, ((seq,
+    #: routine, call_cost, partial, push_ts), ...)), ...)`` — the
+    #: planner identities zipped with the worker's live-stack partial
+    #: sums and push timestamps.  Shards are self-describing: the merge
+    #: needs no plan object, so cached shard sets stay mergeable.
+    carry_out: tuple = ()
+    #: ``(thread, partial, raw_return_cost)`` per carried activation
+    #: that returned inside this partition, in pop order.
+    carried_returns: tuple = ()
 
 
 def replay_partition(
@@ -143,6 +158,7 @@ def replay_partition(
     engine: str = "columnar",
     counter_limit: Optional[int] = None,
     depth: int = 4,
+    carry_aware: bool = False,
 ) -> List[PartitionShard]:
     """Replay one partition's byte range under each profiler kind.
 
@@ -150,12 +166,25 @@ def replay_partition(
     superops) through the pipelined decoder and records its
     backpressure stats; ``batched``/``scalar`` replay the same range
     through the other engines for the equivalence suite.
+
+    A partition with a nonempty ``carry_in`` starts mid-activation:
+    the profilers are seeded with placeholder frames for the carried
+    activations, and the shard ships back their partial sums, seed
+    returns and (for rms too, which otherwise needs no fix-up) the
+    cold-read log, so :class:`_CarryState` can reassemble exact totals.
+    ``carry_aware`` marks a partition that is itself cut at depth zero
+    but belongs to a plan with mid-activation cuts elsewhere — its
+    boundary summaries must still ship (for both kinds) because a later
+    partition's fix-up may look up prefix accesses from it.
     """
+    carried = bool(carry_aware or part.carry_in or part.carry_out_ids)
     shards: List[PartitionShard] = []
     for kind in kinds:
         prof = _make_profiler(kind, counter_limit)
-        if kind == "drms":
+        if kind == "drms" or part.carry_in:
             prof.cold_reads = []
+        if part.carry_in:
+            prof.seed_partition(part.carry_in)
         stats = PipelineStats()
         start = time.perf_counter()
         if engine == "scalar":
@@ -174,12 +203,17 @@ def replay_partition(
                 prof.consume_columnar(section)
         elapsed = time.perf_counter() - start
         space = prof.space_cells()
-        if kind == "drms":
+        if kind == "drms" or carried:
             last_write, last_access = prof.boundary_summary()
-            cold = prof.cold_reads or []
+            cold = prof.cold_reads if prof.cold_reads is not None else []
             prof.cold_reads = None
         else:
             last_write, last_access, cold = {}, {}, []
+        if carried:
+            live, rets = prof.take_partition_state()
+            carry_out = _resolve_carry_out(part, live)
+        else:
+            rets, carry_out = [], ()
         prof.begin_trace()  # shard contract: shadow-free, mergeable
         shards.append(
             PartitionShard(
@@ -196,9 +230,46 @@ def replay_partition(
                 decode_stall_s=stats.decode_stall_s,
                 backpressure_s=stats.backpressure_s,
                 queue_depth_hwm=stats.queue_depth_hwm,
+                carry_in=tuple(part.carry_in),
+                carry_out=carry_out,
+                carried_returns=tuple(rets),
             )
         )
     return shards
+
+
+def _resolve_carry_out(part: TracePartition, live: Dict[int, tuple]) -> tuple:
+    """Zip the planner's carry-out identities with the worker's actual
+    end-of-partition live stacks (``(partial, push_ts)`` bottom-to-top
+    per thread).  Positions align because both describe the same serial
+    stack at the same boundary; any mismatch means the plan and the
+    trace disagree, which is unrecoverable."""
+    out = []
+    for thread, ids in part.carry_out_ids:
+        entries = live.pop(thread, ())
+        if len(entries) != len(ids):
+            raise ValueError(
+                f"partition {part.index}: thread {thread} carried out "
+                f"{len(entries)} live activations, plan expected {len(ids)}"
+            )
+        out.append(
+            (
+                thread,
+                tuple(
+                    (seq, rtn, call_cost, partial, ts)
+                    for (seq, rtn, call_cost), (partial, ts) in zip(
+                        ids, entries
+                    )
+                ),
+            )
+        )
+    if live:
+        extra = sorted(live)
+        raise ValueError(
+            f"partition {part.index}: threads {extra} ended with live "
+            f"activations the plan did not carry out"
+        )
+    return tuple(out)
 
 
 def _subrange_payload(
@@ -222,6 +293,8 @@ def _subrange_payload(
         body_start + (part.end - part.start),
         part.sections,
         part.events,
+        carry_in=part.carry_in,
+        carry_out_ids=part.carry_out_ids,
     )
     return sub, rebased
 
@@ -283,6 +356,7 @@ def _partition_worker(
     engine: str,
     counter_limit: Optional[int],
     trace: Optional[dict] = None,
+    carry_aware: bool = False,
 ) -> List[PartitionShard]:
     kill = os.environ.get(_KILL_ENV)
     if kill is not None and multiprocessing.parent_process() is not None:
@@ -315,6 +389,7 @@ def _partition_worker(
                 total,
                 engine=engine,
                 counter_limit=counter_limit,
+                carry_aware=carry_aware,
             )
         _emit_shard_counters(tracer, shards)
         return shards
@@ -323,43 +398,178 @@ def _partition_worker(
             sidecar.close()
 
 
-def _reclassify_cold_reads(shards: List[PartitionShard]) -> int:
-    """Re-run the induced-read test for every cold read against the
-    preceding partitions' boundary summaries, mutating the shard
-    profilers' ``read_counters`` in place.  Returns the number of reads
-    reclassified.
+class _CarryState:
+    """Strict-prefix fold of one profiler kind's shards: cold-read
+    fix-ups, carried-activation ledgers, and the final reassembly.
 
-    A cold read of ``addr`` by ``thread`` is serially *induced* iff a
-    prefix write to ``addr`` postdates the thread's last prefix access
-    of it — compared as ``(partition, local_count)`` pairs, which is
-    valid because serial counts are monotone across partitions and each
-    partition preserves its own event order.  Each shard's own
-    summaries fold in only *after* its cold reads are classified, so
-    classification sees exactly the strict prefix.
+    The state is fed shards **in index order** (:meth:`fold_shard`) —
+    each shard's cold reads are corrected against the prefix summaries
+    *before* its own summaries fold in, so every decision replays the
+    serial one.  Timestamps from different partitions compare as
+    ``(partition, thread, local_count)`` tuples — valid because serial
+    counts are monotone across partitions and each partition preserves
+    its own event order (renumbering is order-preserving within a
+    partition).
+
+    Cold-read fix-ups, in serial-priority order (DESIGN.md §15; the
+    priority mirrors ``DrmsProfiler.on_read``):
+
+    1. **induced** (drms only): a prefix write postdates the thread's
+       last prefix access — the unit moves from the plain slot to the
+       kernel/thread slot of the same routine; drms value unchanged,
+       and the serial induced branch never refunds, so this case is
+       exclusive;
+    2. **removal**: the reading activation is a carried seed the
+       thread had already accessed the cell under (prefix access at or
+       after the seed's push) — serially the read was never counted:
+       the unit leaves both the seed's ledger and (drms) the plain
+       slot;
+    3. **seed refund**: the read stands, but the serial replay refunds
+       the deepest live ancestor whose push precedes the prefix access
+       — all such ancestors are carried seeds (in-partition frames
+       postdate any prefix stamp), so the refund lands in a ledger.
+
+    Carried-activation reassembly (:meth:`assemble`): each carried
+    activation's exact drms is the sum of its per-partition partials
+    (carry-out entries plus its seed return) plus ledger corrections
+    plus its carried children's totals — folded top-of-stack downward,
+    exactly the suppressed serial pop-inheritance.
     """
-    last_write: Dict[int, Tuple[int, int, int]] = {}
-    last_access: Dict[Tuple[int, int], Tuple[int, int]] = {}
-    moved = 0
-    for shard in shards:
-        counters = shard.profiler.read_counters
-        for thread, base, run, rtn in shard.cold_reads:
-            for addr in range(base, base + run):
-                w = last_write.get(addr)
-                if w is None:
-                    continue
-                acc = last_access.get((thread, addr))
-                if acc is None or acc < (w[0], w[1]):
-                    row = counters[rtn]
-                    row[0] -= 1
-                    row[1 if w[2] else 2] += 1
-                    moved += 1
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.drms = kind == "drms"
+        self.next_index = 0
+        #: addr -> (partition, stamp, src) from drms write memories
+        self.last_write: Dict[int, Tuple[int, int, int]] = {}
+        #: (thread, addr) -> (partition, stamp)
+        self.last_access: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: (thread, seq) -> (partition, stamp) of the real push
+        self.push_ts: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: (thread, seq) -> summed partials + fix-up corrections
+        self.ledger: Dict[Tuple[int, int], int] = {}
+        #: (thread, seq) -> raw return cost (stamped at the seed pop)
+        self.ret_cost: Dict[Tuple[int, int], int] = {}
+        #: (thread, seq) -> (routine, call_cost, stack_position)
+        self.meta: Dict[Tuple[int, int], Tuple[str, int, int]] = {}
+        #: (thread, seq) -> parent (thread, seq) or None at position 0
+        self.parent: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {}
+        self.fixups = 0
+
+    def fold_shard(self, shard: PartitionShard) -> None:
+        if shard.index != self.next_index:
+            raise ValueError(
+                f"carry fold for {self.kind!r} expected partition "
+                f"{self.next_index}, got {shard.index}"
+            )
+        self.next_index += 1
+        self._fix_cold_reads(shard)
+        self._fold_returns(shard)
+        self._fold_carry_out(shard)
         p = shard.index
         for addr, (stamp, src) in shard.last_write.items():
-            last_write[addr] = (p, stamp, src)
+            self.last_write[addr] = (p, stamp, src)
         for thread, mem in shard.last_access.items():
             for addr, stamp in mem.items():
-                last_access[(thread, addr)] = (p, stamp)
-    return moved
+                self.last_access[(thread, addr)] = (p, stamp)
+
+    def _fix_cold_reads(self, shard: PartitionShard) -> None:
+        drms = self.drms
+        counters = shard.profiler.read_counters if drms else None
+        carry_map = dict(shard.carry_in)
+        lw, la, push, ledger = (
+            self.last_write,
+            self.last_access,
+            self.push_ts,
+            self.ledger,
+        )
+        for thread, base, run, rtn, carried, stack_len in shard.cold_reads:
+            top_is_seed = carried > 0 and stack_len == carried
+            live_seeds = carry_map.get(thread, ())[:carried] if carried else ()
+            top_key = (thread, live_seeds[-1][0]) if top_is_seed else None
+            for addr in range(base, base + run):
+                s = la.get((thread, addr))
+                if drms:
+                    w = lw.get(addr)
+                    if w is not None and (s is None or s < (w[0], w[1])):
+                        # Serially induced: counted either way, never
+                        # refunded — the slot move is the whole fix-up.
+                        row = counters[rtn]
+                        row[0] -= 1
+                        row[1 if w[2] else 2] += 1
+                        self.fixups += 1
+                        continue
+                if s is None or not carried:
+                    continue
+                if top_is_seed and s >= push[top_key]:
+                    # Serially never counted: the thread had already
+                    # accessed the cell while the seed top was live.
+                    ledger[top_key] = ledger.get(top_key, 0) - 1
+                    if drms:
+                        counters[rtn][0] -= 1
+                    self.fixups += 1
+                    continue
+                cands = live_seeds[:-1] if top_is_seed else live_seeds
+                for sid, _rtn, _cost in reversed(cands):
+                    key = (thread, sid)
+                    if push[key] <= s:
+                        ledger[key] = ledger.get(key, 0) - 1
+                        self.fixups += 1
+                        break
+
+    def _fold_returns(self, shard: PartitionShard) -> None:
+        """Seed pops surface here: the j-th pop for a thread is the
+        j-th-from-the-top entry of that thread's carry-in (stack
+        discipline), carrying the final partial and raw return cost."""
+        carry_map = dict(shard.carry_in)
+        pops: Dict[int, int] = {}
+        for thread, partial, raw_cost in shard.carried_returns:
+            acts = carry_map[thread]
+            j = pops.get(thread, 0)
+            pops[thread] = j + 1
+            seq = acts[len(acts) - 1 - j][0]
+            key = (thread, seq)
+            self.ledger[key] = self.ledger.get(key, 0) + partial
+            self.ret_cost[key] = raw_cost
+
+    def _fold_carry_out(self, shard: PartitionShard) -> None:
+        """Accumulate live-stack partials; the first appearance of an
+        activation is its real push (later appearances are re-seeded
+        placeholders whose small stamps must not win)."""
+        p = shard.index
+        for thread, acts in shard.carry_out:
+            for pos, (seq, rtn, call_cost, partial, ts) in enumerate(acts):
+                key = (thread, seq)
+                self.ledger[key] = self.ledger.get(key, 0) + partial
+                if key not in self.push_ts:
+                    self.push_ts[key] = (p, ts)
+                    self.meta[key] = (rtn, call_cost, pos)
+                    self.parent[key] = (
+                        (thread, acts[pos - 1][0]) if pos else None
+                    )
+
+    def assemble(self) -> List[Tuple[str, int, int, int]]:
+        """Resolve every carried activation to a ``(routine, thread,
+        drms, net_cost)`` collect row, folding each child's total into
+        its parent's — top of stack first, so totals are complete
+        before they propagate down."""
+        acc: Dict[Tuple[int, int], int] = {key: 0 for key in self.meta}
+        rows: List[Tuple[str, int, int, int]] = []
+        by_depth = sorted(
+            self.meta.items(), key=lambda kv: kv[1][2], reverse=True
+        )
+        for key, (rtn, call_cost, _pos) in by_depth:
+            if key not in self.ret_cost:
+                raise ValueError(
+                    f"carried activation {key} never returned: "
+                    f"incomplete shard set"
+                )
+            total = self.ledger.get(key, 0) + acc[key]
+            par = self.parent[key]
+            if par is not None:
+                acc[par] += total
+            rows.append((rtn, key[0], total, self.ret_cost[key] - call_cost))
+        return rows
 
 
 def merge_partition_shards(
@@ -368,9 +578,12 @@ def merge_partition_shards(
     """Fold per-partition shards into one profiler per kind.
 
     ``shard_rows`` holds one row per partition (any order; shards sort
-    by index).  drms shards get the cold-read reclassification pass
-    first, then everything reduces left-to-right with the exact
-    ``merge()``.  The first shard's profiler is mutated and returned.
+    by index).  Each kind folds left-to-right through a
+    :class:`_CarryState` (cold-read fix-ups against the strict prefix,
+    carried-activation ledgers) and the exact ``merge()``, then the
+    carried activations collect into the merged profile.  The first
+    shard's profiler is mutated and returned.  Shards are
+    self-describing, so cached rows merge without the original plan.
     """
     by_kind: Dict[str, List[PartitionShard]] = {}
     for row in shard_rows:
@@ -385,13 +598,71 @@ def merge_partition_shards(
                 f"cannot merge an incomplete shard set for {kind!r}: "
                 f"have partitions {indices}"
             )
-        if kind == "drms":
-            _reclassify_cold_reads(shards)
-        base = shards[0].profiler
-        for shard in shards[1:]:
-            base.merge(shard.profiler)
+        state = _CarryState(kind)
+        base: Optional[object] = None
+        for shard in shards:
+            state.fold_shard(shard)
+            if base is None:
+                base = shard.profiler
+            else:
+                base.merge(shard.profiler)
+        for rtn, thread, total, cost in state.assemble():
+            base.profiles.collect(rtn, thread, total, cost)
         merged[kind] = base
     return merged
+
+
+class _ShardFolder:
+    """Streaming left-fold of shard rows in partition-index order.
+
+    Rows may arrive in any order (workers race); arrivals ahead of the
+    fold frontier buffer until the gap fills, then fold through
+    :class:`_CarryState` and the exact ``merge()``.  This is what lets
+    the final merge overlap the slowest worker: by the time the last
+    shard lands, every other shard is already folded.
+    """
+
+    def __init__(self) -> None:
+        self.states: Dict[str, _CarryState] = {}
+        self.bases: Dict[str, object] = {}
+        self.buffer: Dict[int, List[PartitionShard]] = {}
+        self.next_index = 0
+        self.fold_time = 0.0
+
+    def add(self, index: int, row: List[PartitionShard]) -> None:
+        self.buffer[index] = row
+        while self.next_index in self.buffer:
+            start = time.perf_counter()
+            for shard in self.buffer.pop(self.next_index):
+                state = self.states.get(shard.kind)
+                if state is None:
+                    state = self.states[shard.kind] = _CarryState(shard.kind)
+                state.fold_shard(shard)
+                base = self.bases.get(shard.kind)
+                if base is None:
+                    self.bases[shard.kind] = shard.profiler
+                else:
+                    base.merge(shard.profiler)
+            self.next_index += 1
+            self.fold_time += time.perf_counter() - start
+
+    @property
+    def fixups(self) -> int:
+        return sum(state.fixups for state in self.states.values())
+
+    def finish(self) -> Dict[str, object]:
+        if self.buffer:
+            raise ValueError(
+                f"cannot merge an incomplete shard set: partition "
+                f"{self.next_index} never arrived"
+            )
+        start = time.perf_counter()
+        for kind, state in self.states.items():
+            base = self.bases[kind]
+            for rtn, thread, total, cost in state.assemble():
+                base.profiles.collect(rtn, thread, total, cost)
+        self.fold_time += time.perf_counter() - start
+        return dict(self.bases)
 
 
 @dataclass
@@ -438,6 +709,7 @@ def replay_partitioned(
     only: Optional[Sequence[int]] = None,
     merge: bool = True,
     trace: Optional[dict] = None,
+    stream: bool = True,
 ) -> PartitionedReplay:
     """Partition ``payload``, replay the partitions in a supervised
     process pool, and merge the shards exactly.
@@ -457,6 +729,13 @@ def replay_partitioned(
     ``merge=False`` skips the merge stage (``.profilers`` comes back
     empty) — together they let the sweep cache replay just its missing
     partition shards and fold them with shards it already has.
+
+    ``stream`` (the default) folds shards through the exact merge *as
+    workers return them* — buffered to partition-index order — so the
+    merge overlaps the slowest worker; ``stream=False`` keeps the old
+    barrier behaviour (collect everything, then merge), which the
+    partition benchmark uses as its comparison baseline.  Both produce
+    byte-identical profiles.
 
     ``trace`` is a distributed trace context
     (:meth:`~repro.obs.distributed.TraceContext.to_dict` form, as
@@ -494,9 +773,16 @@ def replay_partitioned(
         else tuple(p for p in all_parts if p.index in set(only))
     )
     total = len(all_parts)
+    carry_aware = plan.carried > 0
     degradations: List[Degradation] = []
     results: Dict[int, List[PartitionShard]] = {}
+    folder = _ShardFolder() if merge and stream and only is None else None
     start_all = time.perf_counter()
+
+    def record(index: int, row: List[PartitionShard]) -> None:
+        results[index] = row
+        if folder is not None:
+            folder.add(index, row)
 
     def inline(part: TracePartition) -> None:
         with tracer.span(
@@ -506,13 +792,17 @@ def replay_partitioned(
             partition=part.index,
             mode="inline",
         ):
-            results[part.index] = replay_partition(
-                payload,
-                part,
-                kinds,
-                total,
-                engine=engine,
-                counter_limit=counter_limit,
+            record(
+                part.index,
+                replay_partition(
+                    payload,
+                    part,
+                    kinds,
+                    total,
+                    engine=engine,
+                    counter_limit=counter_limit,
+                    carry_aware=carry_aware,
+                ),
             )
 
     pool_workers = min(len(parts), workers or os.cpu_count() or 1)
@@ -561,6 +851,7 @@ def replay_partitioned(
                             engine,
                             counter_limit,
                             trace,
+                            carry_aware,
                         )
                 except Exception as exc:  # no fork/spawn available
                     for index in pending:
@@ -575,43 +866,63 @@ def replay_partitioned(
                             )
                         )
                     break
-                stuck = False
-                for index, future in futures.items():
-                    try:
-                        results[index] = future.result(timeout=timeout)
+                # Collect in completion order against one shared
+                # round deadline: finished shards stream into the
+                # fold immediately instead of queueing behind an
+                # earlier-submitted straggler.
+                fut_index = {f: i for i, f in futures.items()}
+                not_done = set(futures.values())
+                deadline = time.monotonic() + timeout
+                while not_done:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    done, not_done = futures_wait(
+                        not_done,
+                        timeout=remaining,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        index = fut_index[future]
+                        try:
+                            record(index, future.result())
+                            del pending[index]
+                        except Exception as exc:
+                            # BrokenProcessPool and deterministic
+                            # failures alike: retry in a fresh pool,
+                            # then fall back.
+                            attempts[index] += 1
+                            exhausted = attempts[index] > max_retries
+                            if exhausted:
+                                del pending[index]
+                            degradations.append(
+                                Degradation(
+                                    "partition-replay",
+                                    f"{label}:p{index}",
+                                    attempts[index],
+                                    f"{type(exc).__name__}: {exc}",
+                                    "serial-fallback"
+                                    if exhausted
+                                    else "retried",
+                                )
+                            )
+                stuck = bool(not_done)
+                for future in not_done:
+                    index = fut_index[future]
+                    attempts[index] += 1
+                    exhausted = attempts[index] > max_retries
+                    if exhausted:
                         del pending[index]
-                    except FutureTimeoutError:
-                        attempts[index] += 1
-                        stuck = True
-                        exhausted = attempts[index] > max_retries
-                        if exhausted:
-                            del pending[index]
-                        degradations.append(
-                            Degradation(
-                                "partition-replay",
-                                f"{label}:p{index}",
-                                attempts[index],
-                                f"partition replay exceeded {timeout:g}s "
-                                f"timeout",
-                                "serial-fallback" if exhausted else "retried",
-                            )
+                    degradations.append(
+                        Degradation(
+                            "partition-replay",
+                            f"{label}:p{index}",
+                            attempts[index],
+                            f"partition replay exceeded {timeout:g}s "
+                            f"timeout",
+                            "serial-fallback" if exhausted else "retried",
                         )
-                    except Exception as exc:
-                        # BrokenProcessPool and deterministic failures
-                        # alike: retry in a fresh pool, then fall back.
-                        attempts[index] += 1
-                        exhausted = attempts[index] > max_retries
-                        if exhausted:
-                            del pending[index]
-                        degradations.append(
-                            Degradation(
-                                "partition-replay",
-                                f"{label}:p{index}",
-                                attempts[index],
-                                f"{type(exc).__name__}: {exc}",
-                                "serial-fallback" if exhausted else "retried",
-                            )
-                        )
+                    )
                 if stuck:
                     _terminate_pool(pool)
                 else:
@@ -632,7 +943,6 @@ def replay_partitioned(
             job=trace_ctx.job if trace_ctx else "",
         )
 
-    merge_start = time.perf_counter()
     rows = [results[i] for i in sorted(results)]
     if own_sidecar is not None:
         # Counter samples for inline-replayed shards (pool workers emit
@@ -641,22 +951,22 @@ def replay_partitioned(
             tracer, [s for i in sorted(results) for s in results[i]]
         )
     reclassified = 0
+    merge_time = 0.0
     profilers: Dict[str, object] = {}
     if merge:
         with tracer.span("partition-merge", track="partition", label=label):
-            # Run the reclassification up front so its count is
-            # observable, then clear the cold logs so
-            # merge_partition_shards (which reclassifies internally for
-            # standalone callers) can't reapply them.
-            drms_shards = sorted(
-                (s for row in rows for s in row if s.kind == "drms"),
-                key=lambda s: s.index,
-            )
-            if drms_shards:
-                reclassified = _reclassify_cold_reads(drms_shards)
-                for shard in drms_shards:
-                    shard.cold_reads = []
-            profilers = merge_partition_shards(rows)
+            if folder is None:
+                # Barrier mode (or an explicit ``only`` subset, which
+                # must raise on incompleteness just like a standalone
+                # merge): fold everything now, in index order.
+                folder_ = _ShardFolder()
+                for index in sorted(results):
+                    folder_.add(index, results[index])
+            else:
+                folder_ = folder
+            profilers = folder_.finish()
+            reclassified = folder_.fixups
+            merge_time = folder_.fold_time
             for kind in kinds:
                 if kind not in profilers:
                     # Empty trace (zero partitions): an empty profile,
@@ -664,15 +974,19 @@ def replay_partitioned(
                     empty = _make_profiler(kind, counter_limit)
                     empty.begin_trace()
                     profilers[kind] = empty
-    merge_time = time.perf_counter() - merge_start
     elapsed = time.perf_counter() - start_all
 
     if metrics is not None and getattr(metrics, "enabled", False):
         labels = {"label": label}
         metrics.gauge("partition.count", labels).set(total)
-        metrics.gauge("partition.imbalance", labels).set(
-            round(plan.imbalance, 6)
-        )
+        if plan.total_events:
+            # A plan with no countable events has no meaningful balance
+            # figure: leave the gauge unset rather than publishing the
+            # 0.0 the property degrades to.
+            metrics.gauge("partition.imbalance", labels).set(
+                round(plan.imbalance, 6)
+            )
+        metrics.gauge("partition.carried", labels).set(plan.carried)
         if merge:
             metrics.histogram("partition.merge_us", labels).observe(
                 max(1, int(merge_time * 1e6))

@@ -544,7 +544,10 @@ def measure_workload(
         from repro.tools.partition import resolve_partitions
 
         eff_partitions = resolve_partitions(partitions)
-        payload = batch.to_bytes()
+        # The machine marked an execution boundary per completed run;
+        # serialising with them keeps every begin_trace() point on a
+        # section boundary, so the planner gets its depth-zero cuts.
+        payload = batch.to_bytes(boundaries=_machine.trace_boundaries)
         partition_plan = plan_partitions(payload, eff_partitions)
         partition_tools = {
             tool_name: kind

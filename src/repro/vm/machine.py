@@ -337,6 +337,17 @@ class Machine:
         """The recorded opcode batch (batch mode only)."""
         return self._encoder.batch if self._encoder is not None else None
 
+    @property
+    def trace_boundaries(self) -> tuple:
+        """Execution-boundary row indices recorded so far (batch record
+        mode): one per completed :meth:`run`, for
+        :meth:`EventBatch.to_bytes(boundaries=...)
+        <repro.core.events.EventBatch.to_bytes>` so the recorded trace
+        is partition-friendly by construction."""
+        if self._encoder is None:
+            return ()
+        return tuple(self._encoder.boundaries)
+
     def flush_trace(self) -> None:
         """Deliver any buffered batch to the batch consumer."""
         if self._encoder is not None:
@@ -546,6 +557,11 @@ class Machine:
                 ]
                 if not blocked:
                     self.flush_trace()
+                    if self._encoder is not None:
+                        # A completed run is an execution boundary:
+                        # remember it so the serialised trace breaks a
+                        # section here (partition-friendly recording).
+                        self._encoder.mark_boundary()
                     break  # all done
                 if self.faults is not None and self._fault_aborts:
                     # Self-heal: a fault-killed thread can leave peers

@@ -1,10 +1,13 @@
-"""Partition planner and ranged section decode (PR 6 tentpole, stage 1).
+"""Partition planner and ranged section decode (PR 6 tentpole, stage 1;
+per-thread cuts PR 9).
 
-``plan_partitions`` must cut v2 traces only at depth-zero section
-boundaries (the ``begin_trace()`` execution-boundary state), balance the
-cuts by event count, degrade unsplittable traces to a single partition
-with an explanatory reason, and emit byte ranges that
-``iter_section_batches`` replays to exactly the original event stream.
+``plan_partitions`` must prefer depth-zero section boundaries (the
+``begin_trace()`` execution-boundary state), fall back to mid-activation
+boundaries with per-thread carry summaries when depth-zero cuts alone
+cannot satisfy the request, balance the cuts by event count, degrade
+genuinely unsplittable traces to a single partition with an explanatory
+reason, and emit byte ranges that ``iter_section_batches`` replays to
+exactly the original event stream.
 """
 
 import struct
@@ -119,14 +122,34 @@ def test_plan_only_cuts_at_depth_zero():
     assert plan.imbalance > 0.5  # visibly lopsided, reported as such
 
 
-def test_plan_degrades_single_run_with_reason():
+def test_plan_cuts_monolithic_run_with_carries():
+    """A single monolithic run has no depth-zero interior boundary;
+    the planner now cuts mid-activation and records per-thread
+    carries instead of degrading (PR 9 tentpole)."""
     events = with_switches(run_events(ops=100))
     payload = encode_events(events).to_bytes(section_events=8)
     plan = plan_partitions(payload, 4)
-    assert len(plan.partitions) == 1
-    assert plan.reason == "no depth-zero section boundary to cut at"
+    assert plan.reason is None
+    assert len(plan.partitions) == 4
     assert plan.safe_boundaries == 0
-    assert plan.imbalance == 0.0
+    assert plan.carried > 0
+    # Carries chain: each cut's carry-out is the next partition's
+    # carry-in; the trace's outer edges are carry-free.
+    assert plan.partitions[0].carry_in == ()
+    assert plan.partitions[-1].carry_out_ids == ()
+    for prev, part in zip(plan.partitions, plan.partitions[1:]):
+        assert prev.carry_out_ids == part.carry_in
+        assert part.carry_in  # every interior cut here is mid-run
+    assert sum(p.events for p in plan.partitions) == len(events)
+
+
+def test_plan_single_section_trace_degrades():
+    events = with_switches(run_events(ops=10))
+    payload = encode_events(events).to_bytes(section_events=1024)
+    plan = plan_partitions(payload, 4)
+    assert len(plan.partitions) == 1
+    assert "single section" in plan.reason
+    assert plan.carried == 0
 
 
 def test_plan_requested_one_is_single_without_reason():
@@ -140,8 +163,13 @@ def test_plan_caps_at_available_boundaries():
     events, payload = multi_run_payload(n_runs=3)
     plan = plan_partitions(payload, 16)
     assert plan.reason is None
-    assert len(plan.partitions) == 3  # 2 interior boundaries -> 3 parts
+    # More partitions than depth-zero boundaries allow: mid-activation
+    # cuts take it past the 3 run-aligned partitions, capped by the
+    # number of sections.
+    assert 3 < len(plan.partitions) <= plan.total_sections
+    assert plan.carried > 0
     assert plan.total_events == len(events)
+    assert sum(p.events for p in plan.partitions) == len(events)
 
 
 def test_plan_v1_degrades():
@@ -172,10 +200,33 @@ def test_plan_rejects_bad_request():
         plan_partitions(payload, 0)
 
 
-def test_plan_truncated_trace_raises():
+def test_plan_truncated_trace_degrades_to_valid_prefix():
+    """A torn trace is doctor-salvageable; planning it must not abort.
+    The planner returns a degraded single-partition plan over the valid
+    prefix, with the damage spelled out (PR 9 satellite)."""
     _events, payload = multi_run_payload()
-    with pytest.raises(TraceFormatError):
-        plan_partitions(payload[:-10], 2)
+    plan = plan_partitions(payload[:-10], 2)
+    assert len(plan.partitions) == 1
+    assert "trunc" in plan.reason
+    assert plan.total_events > 0
+    part = plan.partitions[0]
+    # The surviving range must still replay cleanly.
+    got = sum(
+        len(b)
+        for b in iter_section_batches(payload[:-10], part.start, part.end)
+    )
+    assert got == part.events
+
+
+def test_plan_torn_mid_activation_reports_depth():
+    """A torn trace whose valid prefix ends mid-activation still plans
+    (single partition, with the pending depth in the reason)."""
+    events = with_switches(run_events(ops=60))
+    payload = encode_events(events).to_bytes(section_events=8)
+    plan = plan_partitions(payload[:-10], 4)
+    assert len(plan.partitions) == 1
+    assert "trunc" in plan.reason
+    assert "call depth" in plan.reason
 
 
 # -- ranged decode ------------------------------------------------------------

@@ -241,17 +241,32 @@ class TestDoctorCli:
     def test_doctor_missing_file(self, tmp_path, capsys):
         assert main(["doctor", "--trace", str(tmp_path / "nope.bin")]) == 2
 
-    def test_doctor_prints_unsplittable_partition_plan(
-        self, tmp_path, capsys
-    ):
-        """A single-run trace shows *why* it cannot be partitioned."""
+    def test_doctor_prints_carried_partition_plan(self, tmp_path, capsys):
+        """A single-run multi-section trace now splits mid-activation
+        (PR 9 per-thread cuts) and the plan prints its carries."""
         path = self.trace_file(
             tmp_path, v2_bytes(sample_events(60), section_events=8)
         )
         assert main(["doctor", "--trace", path, "--partitions", "4"]) == 0
         out = capsys.readouterr().out
         assert "partition plan (4-way requested)" in out
-        assert "splittable: no — no depth-zero section boundary" in out
+        assert "splittable: yes — 4 partition(s)" in out
+        assert "mid-activation carry(ies) across cuts" in out
+        assert "carry-in [T1x1]" in out
+        assert "partition 0: bytes [" in out
+
+    def test_doctor_prints_unsplittable_partition_plan(
+        self, tmp_path, capsys
+    ):
+        """A single-section trace shows *why* it cannot be partitioned."""
+        path = self.trace_file(
+            tmp_path, v2_bytes(sample_events(60), section_events=128)
+        )
+        assert main(["doctor", "--trace", path, "--partitions", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "partition plan (4-way requested)" in out
+        assert "splittable: no" in out
+        assert "single section" in out
         assert "partition 0: bytes [" in out
 
     def test_doctor_prints_splittable_partition_plan(self, tmp_path, capsys):
@@ -272,11 +287,16 @@ class TestDoctorCli:
         assert "partition 2: bytes [" in out
         assert "12 event(s)" in out
 
-    def test_doctor_skips_plan_for_corrupt_trace(self, tmp_path, capsys):
+    def test_doctor_degrades_plan_for_corrupt_trace(self, tmp_path, capsys):
+        """A torn trace still plans: a single partition over the valid
+        prefix, with the damage named in the reason (PR 9 satellite)."""
         data = v2_bytes(sample_events())
         path = self.trace_file(tmp_path, data[: len(data) * 2 // 3])
         assert main(["doctor", "--trace", path]) == 1
-        assert "partition plan" not in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "partition plan" in out
+        assert "splittable: no — truncated section" in out
+        assert "valid prefix" in out
 
     def test_trace_binary_save_then_doctor(self, tmp_path, capsys):
         path = str(tmp_path / "pc.bin")
