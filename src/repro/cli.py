@@ -208,6 +208,18 @@ def cmd_stats(args) -> int:
         metrics=registry,
     )
     superops_fused = [0]
+    trace_totals = {"bytes": 0, "events": 0}
+
+    def counting(sink):
+        # Stats is the full-telemetry command: fold the v3 wire size of
+        # every batch into the encoding-efficiency gauge.
+        def wrapped(batch):
+            trace_totals["bytes"] += len(batch.to_bytes())
+            trace_totals["events"] += len(batch)
+            sink(batch)
+
+        return wrapped
+
     if args.engine == "columnar":
         from repro.core.events import count_superops, fuse_batch
 
@@ -216,7 +228,7 @@ def cmd_stats(args) -> int:
             superops_fused[0] += count_superops(fused)[0]
             profiler.consume_columnar(fused)
 
-        machine.set_batch_sink(sink)
+        machine.set_batch_sink(counting(sink))
     elif args.engine == "scalar":
 
         def sink(batch):
@@ -224,15 +236,24 @@ def cmd_stats(args) -> int:
             for event in batch.iter_events():
                 consume(event)
 
-        machine.set_batch_sink(sink)
+        machine.set_batch_sink(counting(sink))
     else:
-        machine.set_batch_sink(profiler.consume_batch)
+        machine.set_batch_sink(counting(profiler.consume_batch))
     with tracer.span("run", track="main", workload=name):
         machine.run()
     with tracer.span("publish", track="main"):
         machine.publish_metrics(registry)
         profiler.publish_metrics(registry)
         registry.gauge("kernel.superops_fused").set(superops_fused[0])
+        if trace_totals["events"]:
+            registry.gauge("trace.bytes_per_event").set(
+                round(trace_totals["bytes"] / trace_totals["events"], 3)
+            )
+        from repro.tools.pool import active_segments, pool_stats
+
+        pstats = pool_stats()
+        registry.gauge("pool.tasks_reused").set(pstats["tasks_reused"])
+        registry.gauge("shm.segments_active").set(active_segments())
     _emit_registry(registry, args)
     if args.url:
         from urllib import error
@@ -403,6 +424,12 @@ def cmd_overhead(args) -> int:
                     "native_cells": m.native_cells,
                     "record_time": m.record_time,
                     "trace_events": m.trace_events,
+                    "trace_bytes": m.trace_bytes,
+                    "bytes_per_event": (
+                        round(m.trace_bytes / m.trace_events, 3)
+                        if m.trace_bytes and m.trace_events
+                        else None
+                    ),
                     "superops_fused": m.superops_fused,
                     "partitions": m.partitions,
                     "partition_reason": m.partition_reason,
@@ -783,11 +810,32 @@ def cmd_doctor(args) -> int:
     print(f"recovered: {scan.events_loaded} events "
           f"({scan.sections_valid} valid section(s), "
           f"{scan.valid_bytes} clean bytes)")
+    from repro.core.tracefile import trace_section_stats
+
+    section_stats = {s.index: s for s in trace_section_stats(data)}
     shown = scan.section_events[:_DOCTOR_SECTION_LIMIT]
     for index, count in enumerate(shown):
-        print(f"  section {index:>3}: {count} event(s) salvaged")
+        stat = section_stats.get(index)
+        detail = ""
+        if stat is not None:
+            enc = f"v{stat.version}" + ("+zlib" if stat.compressed else "")
+            detail = (
+                f" — {enc}, {stat.stored_bytes}/{stat.raw_bytes} B "
+                f"({stat.ratio:.1%}), {stat.bytes_per_event:.2f} B/event"
+            )
+        print(f"  section {index:>3}: {count} event(s) salvaged{detail}")
     if len(scan.section_events) > len(shown):
         print(f"  ... ({len(scan.section_events) - len(shown)} more sections)")
+    if section_stats:
+        stored = sum(s.stored_bytes for s in section_stats.values())
+        raw = sum(s.raw_bytes for s in section_stats.values())
+        events_total = sum(s.events for s in section_stats.values())
+        if events_total:
+            print(
+                f"encoding:  {stored}/{raw} payload bytes "
+                f"({stored / raw:.1%} of row format), "
+                f"{stored / events_total:.2f} B/event"
+            )
     print(f"names:     {len(scan.batch.names)} interned")
     _save_doctor_flight(
         args,

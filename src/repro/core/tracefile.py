@@ -43,10 +43,18 @@ from array import array
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.core.codec import (
+    FLAG_ZLIB,
+    SECTION_HEADER,
+    SectionCodecError,
+    decode_section_payload,
+)
 from repro.core.events import (
     _BATCH_MAGIC,
     _BATCH_MAGIC_V1,
+    _BATCH_MAGIC_V3,
     _EVENT_BYTES,
+    TRACE_FORMAT_VERSION,
     Call,
     Event,
     EventBatch,
@@ -82,12 +90,9 @@ __all__ = [
     "TracePartition",
     "PartitionPlan",
     "plan_partitions",
+    "SectionStats",
+    "trace_section_stats",
 ]
-
-#: current binary trace format version (the ``RPRB\x02`` magic).  Cache
-#: keys that address recorded traces must include it: a format bump
-#: invalidates every stored entry rather than mis-decoding it.
-TRACE_FORMAT_VERSION = 2
 
 
 class TraceFormatError(ValueError):
@@ -247,11 +252,16 @@ def scan_trace(stream: IO[bytes]) -> TraceScan:
 # a bounded hand-off queue so decode-ahead overlaps with profiling.
 
 
-def _parse_v2_header(data) -> Tuple[List[str], int, int]:
-    """Decode the v2 header: returns ``(names, declared_events,
-    body_start)`` where ``body_start`` is the byte offset of the first
-    section header.  Raises :class:`TraceFormatError` on damage."""
-    if data[: len(_BATCH_MAGIC)] != _BATCH_MAGIC:
+def _parse_batch_header(data) -> Tuple[int, List[str], int, int]:
+    """Decode the shared v2/v3 header: returns ``(version, names,
+    declared_events, body_start)`` where ``body_start`` is the byte
+    offset of the first section header.  Raises
+    :class:`TraceFormatError` on damage."""
+    if data[: len(_BATCH_MAGIC)] == _BATCH_MAGIC:
+        version = 2
+    elif data[: len(_BATCH_MAGIC_V3)] == _BATCH_MAGIC_V3:
+        version = 3
+    else:
         raise TraceFormatError("not a binary trace: bad magic", 0)
     view = memoryview(data)
     total = len(data)
@@ -288,7 +298,65 @@ def _parse_v2_header(data) -> Tuple[List[str], int, int]:
         raise TraceFormatError("truncated header: missing event count", pos)
     (declared,) = struct.unpack_from("<Q", data, pos)
     pos += 8
-    return names, declared, pos
+    return version, names, declared, pos
+
+
+def _read_section_header(
+    data, pos: int, version: int
+) -> Tuple[int, int, int, int, int, int]:
+    """Parse one section header at ``pos``; returns ``(n, flags, calls,
+    returns, payload_size, header_size)``.  For v2, ``calls``/
+    ``returns`` come back as -1 (unknown without reading the opcode
+    lane) and ``flags`` as 0.  The caller is responsible for bounds
+    checks before and after."""
+    if version == 2:
+        (n,) = struct.unpack_from("<Q", data, pos)
+        return n, 0, -1, -1, n * _EVENT_BYTES, 8
+    n, flags, calls, rets, enc_size = SECTION_HEADER.unpack_from(data, pos)
+    return n, flags, calls, rets, enc_size, SECTION_HEADER.size
+
+
+def _decode_section(
+    data, pos: int, version: int, verify: bool = True
+) -> Tuple[int, array, array, array, array, int]:
+    """Decode the section at ``pos`` into its four lane arrays; returns
+    ``(n, ops, threads, args, costs, next_pos)``.  ``verify`` checks
+    the payload CRC first (ranged replay must; the planner's carry
+    snapshots may skip it and let the workers' checked decode fail
+    later).  Raises :class:`TraceFormatError` at the point of damage.
+    """
+    total = len(data)
+    n, flags, _calls, _rets, payload_size, header_size = _read_section_header(
+        data, pos, version
+    )
+    if total - pos - header_size < payload_size + 4:
+        raise TraceFormatError(f"truncated section ({n} events declared)", pos)
+    view = memoryview(data)
+    payload = view[pos + header_size : pos + header_size + payload_size]
+    if verify:
+        (crc,) = struct.unpack_from("<I", data, pos + header_size + payload_size)
+        if zlib.crc32(payload) != crc:
+            raise TraceFormatError("section CRC mismatch", pos)
+    if version == 2:
+        columns: List[array] = []
+        off = 0
+        for typecode in ("b", "q", "q", "q"):
+            col = array(typecode)
+            width = col.itemsize
+            col.frombytes(payload[off : off + n * width])
+            if sys.byteorder == "big":  # pragma: no cover - exotic hardware
+                col.byteswap()
+            columns.append(col)
+            off += n * width
+        ops, threads, args, costs = columns
+    else:
+        try:
+            ops, threads, args, costs = decode_section_payload(payload, n, flags)
+        except SectionCodecError as exc:
+            raise TraceFormatError(
+                f"corrupt section encoding: {exc}", pos
+            ) from exc
+    return n, ops, threads, args, costs, pos + header_size + payload_size + 4
 
 
 def iter_section_batches(
@@ -320,8 +388,7 @@ def iter_section_batches(
             raise TraceFormatError("v1 traces have no sections to sub-range", 0)
         yield EventBatch._from_bytes_v1(data)
         return
-    names, declared, body_start = _parse_v2_header(data)
-    view = memoryview(data)
+    version, names, declared, body_start = _parse_batch_header(data)
     total = len(data)
     ranged = start is not None or end is not None
     pos = body_start if start is None else start
@@ -331,35 +398,25 @@ def iter_section_batches(
             f"partition range [{pos}, {stop}) outside trace body", pos
         )
 
+    header_size = 8 if version == 2 else SECTION_HEADER.size
     loaded = 0
     while pos < stop and (ranged or loaded < declared):
-        if stop - pos < 8:
+        if stop - pos < header_size:
             raise TraceFormatError("truncated section header", pos)
-        (n,) = struct.unpack_from("<Q", data, pos)
+        n, _flags, _c, _r, payload_size, _hs = _read_section_header(
+            data, pos, version
+        )
         if n == 0 or (not ranged and n > declared - loaded) or n > declared:
             raise TraceFormatError(f"implausible section event count {n}", pos)
-        payload_size = n * _EVENT_BYTES
-        if stop - pos - 8 < payload_size + 4:
+        if stop - pos - header_size < payload_size + 4:
             raise TraceFormatError(
                 f"truncated section ({n} events declared)", pos
             )
-        payload = view[pos + 8 : pos + 8 + payload_size]
-        (crc,) = struct.unpack_from("<I", data, pos + 8 + payload_size)
-        if zlib.crc32(payload) != crc:
-            raise TraceFormatError("section CRC mismatch", pos)
-        columns = []
-        off = 0
-        for typecode in ("b", "q", "q", "q"):
-            col = array(typecode)
-            width = col.itemsize
-            col.frombytes(payload[off : off + n * width])
-            if sys.byteorder == "big":  # pragma: no cover - exotic hardware
-                col.byteswap()
-            columns.append(col)
-            off += n * width
+        _n, ops, threads, args, costs, pos = _decode_section(
+            data, pos, version
+        )
         loaded += n
-        pos += 8 + payload_size + 4
-        yield EventBatch(*columns, names=names)
+        yield EventBatch(ops, threads, args, costs, names=names)
     if not ranged and loaded < declared:
         raise TraceFormatError(
             f"trace truncated: {loaded} of {declared} events recovered", pos
@@ -621,15 +678,17 @@ def _carry_snapshots(
     names: List[str],
     starts: List[int],
     cuts: List[int],
+    version: int,
 ) -> Optional[List[CarryIn]]:
     """Simulate per-thread call stacks over the prefix sections and
     snapshot the live activations at each cut boundary.
 
     Returns one :data:`CarryIn` per cut (the carry into the partition
-    *after* that cut), or ``None`` if the trace pops an empty stack
-    (malformed — the caller degrades instead of guessing).  Activation
-    identity is ``(thread, seq)`` with ``seq`` the thread-local call
-    ordinal, which both sides of a cut can recompute independently.
+    *after* that cut), or ``None`` if the trace pops an empty stack or
+    a prefix section fails to decode (malformed — the caller degrades
+    instead of guessing).  Activation identity is ``(thread, seq)``
+    with ``seq`` the thread-local call ordinal, which both sides of a
+    cut can recompute independently.
     """
     stacks: dict = {}  # tid -> [(seq, routine, call_cost), ...]
     seqs: dict = {}  # tid -> next call ordinal
@@ -638,33 +697,39 @@ def _carry_snapshots(
     last = cuts[-1]
     for s in range(last + 1):
         pos = starts[s]
-        (n,) = struct.unpack_from("<Q", data, pos)
-        lane = pos + 8
-        ops = bytes(data[lane : lane + n])
-        if _OP_CALL_BYTE in ops or _OP_RETURN_BYTE in ops:
-            threads = array("q")
-            threads.frombytes(data[lane + n : lane + 9 * n])
-            args = array("q")
-            args.frombytes(data[lane + 9 * n : lane + 17 * n])
-            costs = array("q")
-            costs.frombytes(data[lane + 17 * n : lane + 25 * n])
-            if sys.byteorder == "big":  # pragma: no cover - exotic hardware
-                threads.byteswap()
-                args.byteswap()
-                costs.byteswap()
-            for i, op in enumerate(ops):
-                if op == _OP_CALL_BYTE:
-                    tid = threads[i]
-                    seq = seqs.get(tid, 0)
-                    seqs[tid] = seq + 1
-                    stacks.setdefault(tid, []).append(
-                        (seq, names[args[i]], costs[i])
+        n, _flags, calls, rets, _size, header_size = _read_section_header(
+            data, pos, version
+        )
+        if calls != 0 or rets != 0:
+            # The v3 header says call/return-free sections up front;
+            # for v2 (-1/-1) peek at the raw opcode lane, which is the
+            # first ``n`` payload bytes.
+            if version == 2:
+                lane = pos + header_size
+                ops_b = bytes(data[lane : lane + n])
+                active = _OP_CALL_BYTE in ops_b or _OP_RETURN_BYTE in ops_b
+            else:
+                active = True
+            if active:
+                try:
+                    _n, ops, threads, args, costs, _next = _decode_section(
+                        data, pos, version, verify=False
                     )
-                elif op == _OP_RETURN_BYTE:
-                    st = stacks.get(threads[i])
-                    if not st:
-                        return None
-                    st.pop()
+                except TraceFormatError:
+                    return None
+                for i, op in enumerate(ops):
+                    if op == _OP_CALL_BYTE:
+                        tid = threads[i]
+                        seq = seqs.get(tid, 0)
+                        seqs[tid] = seq + 1
+                        stacks.setdefault(tid, []).append(
+                            (seq, names[args[i]], costs[i])
+                        )
+                    elif op == _OP_RETURN_BYTE:
+                        st = stacks.get(threads[i])
+                        if not st:
+                            return None
+                        st.pop()
         if s == cuts[ci]:
             snapshots.append(
                 tuple(
@@ -707,11 +772,14 @@ def plan_partitions(data: bytes, partitions: int) -> PartitionPlan:
             partitions=(part,),
             reason="v1 trace: single undivided payload",
         )
-    names, declared, body_start = _parse_v2_header(data)
+    version, names, declared, body_start = _parse_batch_header(data)
     total = len(data)
+    header_size = 8 if version == 2 else SECTION_HEADER.size
     # Walk the section framing: starts[i] is section i's header offset,
     # cum_events[i]/depth after section i, plus whether the boundary
-    # *after* section i is a depth-zero (carry-free) cut.
+    # *after* section i is a depth-zero (carry-free) cut.  Depth deltas
+    # come from the raw opcode lane for v2 and from the call/return
+    # counts stored in the v3 section header (no payload decode).
     starts: List[int] = []
     cum_events: List[int] = []
     safe_after: List[bool] = []
@@ -720,24 +788,29 @@ def plan_partitions(data: bytes, partitions: int) -> PartitionPlan:
     depth = 0
     torn: Optional[str] = None
     while pos < total:
-        if total - pos < 8:
+        if total - pos < header_size:
             torn = "truncated section header"
             break
-        (n,) = struct.unpack_from("<Q", data, pos)
+        n, _flags, calls, rets, payload_size, _hs = _read_section_header(
+            data, pos, version
+        )
         if n == 0 or n > declared - events:
             torn = f"implausible section event count {n}"
             break
-        payload_size = n * _EVENT_BYTES
-        if total - pos - 8 < payload_size + 4:
+        if total - pos - header_size < payload_size + 4:
             torn = f"truncated section ({n} events declared)"
             break
-        ops = bytes(data[pos + 8 : pos + 8 + n])  # the opcode lane
-        depth += ops.count(_OP_CALL_BYTE) - ops.count(_OP_RETURN_BYTE)
+        if version == 2:
+            # the opcode lane is the first ``n`` payload bytes
+            ops = bytes(data[pos + header_size : pos + header_size + n])
+            depth += ops.count(_OP_CALL_BYTE) - ops.count(_OP_RETURN_BYTE)
+        else:
+            depth += calls - rets
         starts.append(pos)
         events += n
         cum_events.append(events)
         safe_after.append(depth == 0)
-        pos += 8 + payload_size + 4
+        pos += header_size + payload_size + 4
     if torn is None and events < declared:
         torn = f"trace truncated: {events} of {declared} events recovered"
     n_sections = len(starts)
@@ -793,7 +866,7 @@ def plan_partitions(data: bytes, partitions: int) -> PartitionPlan:
         thread_cuts = _greedy_cuts(all_candidates, cum_events, events, want)
         carried_cuts = [c for c in thread_cuts if not safe_after[c]]
         snapshots = (
-            _carry_snapshots(data, names, starts, carried_cuts)
+            _carry_snapshots(data, names, starts, carried_cuts, version)
             if carried_cuts
             else []
         )
@@ -833,3 +906,91 @@ def plan_partitions(data: bytes, partitions: int) -> PartitionPlan:
         reason=None,
         carried=sum(_carry_count(c) for c in carries),
     )
+
+
+# -- per-section size accounting ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class SectionStats:
+    """Size accounting for one section of a binary trace.
+
+    ``stored_bytes`` is the section's full on-disk footprint (header +
+    stored payload + CRC); ``raw_bytes`` is what the same events cost
+    under the v2 fixed 25-bytes-per-event layout, so
+    ``stored_bytes / raw_bytes`` is the section's compression ratio
+    independent of which version actually stored it.  ``compressed``
+    reports the v3 zlib flag (always False for v2 sections).
+    """
+
+    index: int
+    offset: int
+    version: int
+    events: int
+    stored_bytes: int
+    raw_bytes: int
+    compressed: bool
+
+    @property
+    def bytes_per_event(self) -> float:
+        return self.stored_bytes / self.events if self.events else 0.0
+
+    @property
+    def ratio(self) -> float:
+        """Stored over raw-equivalent size (lower is better)."""
+        return self.stored_bytes / self.raw_bytes if self.raw_bytes else 1.0
+
+
+def trace_section_stats(data: bytes) -> List[SectionStats]:
+    """Walk a binary trace's section framing and report per-section
+    size accounting (``repro doctor --trace`` renders this).
+
+    Headers only — payloads are not CRC-checked or decoded.  Stops
+    quietly at the first implausible or truncated section (the stats of
+    the valid prefix stand); raises :class:`TraceFormatError` only when
+    the trace header itself is unreadable.  v1 traces report a single
+    pseudo-section covering the whole payload.
+    """
+    if data[: len(_BATCH_MAGIC_V1)] == _BATCH_MAGIC_V1:
+        body = len(data) - len(_BATCH_MAGIC_V1)
+        return [
+            SectionStats(
+                index=0,
+                offset=len(_BATCH_MAGIC_V1),
+                version=1,
+                events=0,
+                stored_bytes=body,
+                raw_bytes=body,
+                compressed=False,
+            )
+        ]
+    version, _names, declared, body_start = _parse_batch_header(data)
+    total = len(data)
+    header_size = 8 if version == 2 else SECTION_HEADER.size
+    out: List[SectionStats] = []
+    pos = body_start
+    events = 0
+    while pos < total and events < declared:
+        if total - pos < header_size:
+            break
+        n, flags, _c, _r, payload_size, _hs = _read_section_header(
+            data, pos, version
+        )
+        if n == 0 or n > declared - events:
+            break
+        if total - pos - header_size < payload_size + 4:
+            break
+        out.append(
+            SectionStats(
+                index=len(out),
+                offset=pos,
+                version=version,
+                events=n,
+                stored_bytes=header_size + payload_size + 4,
+                raw_bytes=8 + n * _EVENT_BYTES + 4,
+                compressed=bool(flags & FLAG_ZLIB),
+            )
+        )
+        events += n
+        pos += header_size + payload_size + 4
+    return out

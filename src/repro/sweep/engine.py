@@ -36,7 +36,6 @@ from __future__ import annotations
 import os
 import random
 import time
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -47,12 +46,12 @@ from repro.core.events import fuse_batch
 from repro.core.rms import RmsProfiler
 from repro.core.timestamping import DrmsProfiler
 from repro.sweep.store import TraceKey, TraceStore
+from repro.tools.pool import active_segments, get_pool, pool_stats
 from repro.tools.runner import (
     DEFAULT_ENGINE,
     DEFAULT_TOOLS,
     ENGINES,
     Degradation,
-    _terminate_pool,
     record_trace,
     replay_tool,
 )
@@ -528,9 +527,11 @@ def _run_cells_supervised(
             )
             time.sleep(delay)
         try:
-            pool = ProcessPoolExecutor(
-                max_workers=min(workers, len(pending))
-            )
+            # One process-wide warm pool serves every retry round, every
+            # cell, and (via the runner) every partition inside a cell —
+            # workers stay resident across the whole sweep.
+            pool = get_pool()
+            pool.ensure(min(workers, len(pending)))
             futures = {
                 cell: pool.submit(run_cell, config.cell_task(cell))
                 for cell in pending
@@ -596,9 +597,9 @@ def _run_cells_supervised(
                     )
                 )
         if stuck:
-            _terminate_pool(pool)
-        else:
-            pool.shutdown(wait=True)
+            # Wedged worker: kill the processes; the next round's
+            # ensure() respawns.  Otherwise the pool stays warm.
+            pool.terminate()
         pending = still_pending
     return payloads, degradations, attempts
 
@@ -623,6 +624,7 @@ def run_sweep(config: SweepConfig, metrics=None, tracer=None) -> "SweepResult":
     cells = config.cells()
     payloads: Dict[SweepCell, Dict[str, Any]] = {}
     degradations: List[Degradation] = []
+    pool_before = pool_stats()
 
     supervised = config.parallel is not None and config.parallel > 1
     attempts: Dict[SweepCell, int] = {cell: 0 for cell in cells}
@@ -685,12 +687,29 @@ def run_sweep(config: SweepConfig, metrics=None, tracer=None) -> "SweepResult":
         }
 
     wall_time = time.perf_counter() - start
+    pool_after = pool_stats()
+    pool_report = {
+        "workers": pool_after["workers"],
+        "spawns": pool_after["spawns"] - pool_before["spawns"],
+        "respawns_broken": (
+            pool_after["respawns_broken"] - pool_before["respawns_broken"]
+        ),
+        "tasks": pool_after["tasks"] - pool_before["tasks"],
+        # submissions that rode an already-warm executor: the whole
+        # point of hoisting pool lifetime to sweep scope
+        "tasks_reused": (
+            pool_after["tasks_reused"] - pool_before["tasks_reused"]
+        ),
+        # sampled after all cells finished — anything nonzero is a leak
+        "shm_segments_active": active_segments(),
+    }
     result = SweepResult(
         config=config,
         cells=[payloads[cell] for cell in cells if cell in payloads],
         trends=trends,
         degradations=degradations,
         wall_time=wall_time,
+        pool=pool_report,
     )
     if metrics is not None and metrics.enabled:
         cache = result.cache_stats()
@@ -699,6 +718,11 @@ def run_sweep(config: SweepConfig, metrics=None, tracer=None) -> "SweepResult":
         metrics.counter("sweep.cache.corrupt").value += cache["corrupt"]
         metrics.gauge("sweep.cells").set(len(result.cells))
         metrics.gauge("sweep.wall_us").set(int(wall_time * 1e6))
+        metrics.gauge("pool.workers").set(pool_report["workers"])
+        metrics.gauge("pool.tasks_reused").set(pool_report["tasks_reused"])
+        metrics.gauge("shm.segments_active").set(
+            pool_report["shm_segments_active"]
+        )
         for degradation in degradations:
             metrics.counter(
                 "sweep.degradations",
@@ -739,6 +763,9 @@ class SweepResult:
     trends: Dict[str, Dict[str, Dict[str, Any]]] = field(default_factory=dict)
     degradations: List[Degradation] = field(default_factory=list)
     wall_time: float = 0.0
+    #: warm-pool reuse over this sweep (deltas of the process-global
+    #: :func:`repro.tools.pool.pool_stats` across the run)
+    pool: Dict[str, int] = field(default_factory=dict)
 
     def cache_stats(self) -> Dict[str, float]:
         hits = sum(1 for p in self.cells if p["cached"])
@@ -777,6 +804,7 @@ class SweepResult:
             "reuse_measurements": self.config.reuse_measurements,
             "wall_time": self.wall_time,
             "cache": self.cache_stats(),
+            "pool": dict(self.pool),
             "cells": [
                 {
                     "workload": p["cell"].workload,

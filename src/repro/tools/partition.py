@@ -40,7 +40,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -64,10 +64,17 @@ from repro.obs.distributed import (
     flight_dump,
     sidecar_path,
 )
+from repro.tools.pool import (
+    SharedTrace,
+    active_segments,
+    attached_view,
+    get_pool,
+    pool_stats,
+    shm_available,
+)
 from repro.tools.runner import (
     _MAX_BACKOFF,
     _jitter_rng,
-    _terminate_pool,
     Degradation,
 )
 
@@ -348,8 +355,27 @@ def _emit_shard_counters(tracer, shards: List[PartitionShard]) -> None:
         )
 
 
+def _check_test_kill(kill: Optional[str], index: int) -> None:
+    """Honour the crash-injection hook inside a pool worker.
+
+    The kill spec is captured parent-side at submit time and shipped as
+    a task argument — a persistent warm pool may have forked *before*
+    the test set the environment variable, so workers cannot rely on
+    inheriting it.  The direct environment read stays as a fallback for
+    code paths that call the worker entry point themselves.
+    """
+    spec = kill if kill is not None else os.environ.get(_KILL_ENV)
+    if spec is not None and multiprocessing.parent_process() is not None:
+        try:
+            target = int(spec)
+        except ValueError:
+            target = -1
+        if target == index:
+            os._exit(13)
+
+
 def _partition_worker(
-    payload: bytes,
+    payload,
     part: TracePartition,
     kinds: Sequence[str],
     total: int,
@@ -357,15 +383,9 @@ def _partition_worker(
     counter_limit: Optional[int],
     trace: Optional[dict] = None,
     carry_aware: bool = False,
+    kill: Optional[str] = None,
 ) -> List[PartitionShard]:
-    kill = os.environ.get(_KILL_ENV)
-    if kill is not None and multiprocessing.parent_process() is not None:
-        try:
-            target = int(kill)
-        except ValueError:
-            target = -1
-        if target == part.index:
-            os._exit(13)
+    _check_test_kill(kill, part.index)
     worker_label = ""
     ctx = TraceContext.from_dict(trace)
     if ctx is not None:
@@ -396,6 +416,40 @@ def _partition_worker(
     finally:
         if sidecar is not None:
             sidecar.close()
+
+
+def _partition_worker_shm(
+    segment: str,
+    size: int,
+    part: TracePartition,
+    kinds: Sequence[str],
+    total: int,
+    engine: str,
+    counter_limit: Optional[int],
+    trace: Optional[dict] = None,
+    carry_aware: bool = False,
+    kill: Optional[str] = None,
+) -> List[PartitionShard]:
+    """Pool entry point for shared-memory residency: attach to the
+    trace segment (cached per worker across tasks) and decode this
+    partition's byte range through a zero-copy memoryview — the task
+    pickles only offsets, never payload bytes."""
+    _check_test_kill(kill, part.index)
+    view = attached_view(segment, size)
+    try:
+        return _partition_worker(
+            view,
+            part,
+            kinds,
+            total,
+            engine,
+            counter_limit,
+            trace,
+            carry_aware,
+            kill,
+        )
+    finally:
+        view.release()
 
 
 class _CarryState:
@@ -806,7 +860,19 @@ def replay_partitioned(
             )
 
     pool_workers = min(len(parts), workers or os.cpu_count() or 1)
-    if len(parts) <= 1 or pool_workers <= 1:
+    # On a box that cannot express parallelism at all, worker processes
+    # can only lose to their own scheduling contention (measured ~5-7%
+    # at 2 workers on one core even with a warm pool over shm), so the
+    # engine degrades to replaying each partition inline — the merged
+    # profile is identical either way.  An active crash-injection spec
+    # or REPRO_PARTITION_FORCE_POOL keeps the pool path for tests that
+    # exercise worker supervision and shm residency specifically.
+    single_cpu = (
+        (os.cpu_count() or 1) < 2
+        and os.environ.get(_KILL_ENV) is None
+        and not os.environ.get("REPRO_PARTITION_FORCE_POOL")
+    )
+    if len(parts) <= 1 or pool_workers <= 1 or single_cpu:
         for part in parts:
             inline(part)
     else:
@@ -817,116 +883,188 @@ def replay_partitioned(
         # planned partition's start is the header/body split.
         body_start = all_parts[0].start
         round_no = 0
-        with tracer.span(
-            "partition-pool",
-            track="partition",
-            label=label,
-            partitions=total,
-            workers=pool_workers,
-        ):
-            while pending and round_no <= max_retries:
-                round_no += 1
-                if round_no > 1:
-                    delay = backoff_base * 2.0 ** (round_no - 2)
-                    delay = min(
-                        delay + _jitter_rng.uniform(0, backoff_base),
-                        _MAX_BACKOFF,
-                    )
-                    time.sleep(delay)
-                try:
-                    pool = ProcessPoolExecutor(
-                        max_workers=min(pool_workers, len(pending))
-                    )
-                    futures = {}
-                    for index, part in pending.items():
-                        sub, rebased = _subrange_payload(
-                            payload, part, body_start
+        # Trace residency: the payload goes into one shared-memory
+        # segment for the whole replay (all partitions, all retry
+        # rounds); tasks ship only byte offsets and workers decode
+        # their ranges through zero-copy attached views.  Platforms
+        # without working shm fall back to pickled subrange payloads.
+        shared: Optional[SharedTrace] = None
+        if shm_available():
+            try:
+                shared = SharedTrace(payload)
+            except Exception:
+                shared = None
+        # Crash-injection spec is captured here, parent-side: the warm
+        # pool's workers may have forked before the test set the
+        # variable, so it travels as a task argument.
+        kill_spec = os.environ.get(_KILL_ENV)
+        pool = get_pool()
+        try:
+            with tracer.span(
+                "partition-pool",
+                track="partition",
+                label=label,
+                partitions=total,
+                workers=pool_workers,
+                residency="shm" if shared is not None else "pickle",
+            ):
+                while pending and round_no <= max_retries:
+                    round_no += 1
+                    if round_no > 1:
+                        delay = backoff_base * 2.0 ** (round_no - 2)
+                        delay = min(
+                            delay + _jitter_rng.uniform(0, backoff_base),
+                            _MAX_BACKOFF,
                         )
-                        futures[index] = pool.submit(
-                            _partition_worker,
-                            sub,
-                            rebased,
-                            kinds,
-                            total,
-                            engine,
-                            counter_limit,
-                            trace,
-                            carry_aware,
-                        )
-                except Exception as exc:  # no fork/spawn available
-                    for index in pending:
-                        degradations.append(
-                            Degradation(
-                                "partition-replay",
-                                f"{label}:p{index}",
-                                attempts[index] + 1,
-                                f"pool unavailable: "
-                                f"{type(exc).__name__}: {exc}",
-                                "serial-fallback",
-                            )
-                        )
-                    break
-                # Collect in completion order against one shared
-                # round deadline: finished shards stream into the
-                # fold immediately instead of queueing behind an
-                # earlier-submitted straggler.
-                fut_index = {f: i for i, f in futures.items()}
-                not_done = set(futures.values())
-                deadline = time.monotonic() + timeout
-                while not_done:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        break
-                    done, not_done = futures_wait(
-                        not_done,
-                        timeout=remaining,
-                        return_when=FIRST_COMPLETED,
-                    )
-                    for future in done:
-                        index = fut_index[future]
-                        try:
-                            record(index, future.result())
-                            del pending[index]
-                        except Exception as exc:
-                            # BrokenProcessPool and deterministic
-                            # failures alike: retry in a fresh pool,
-                            # then fall back.
-                            attempts[index] += 1
-                            exhausted = attempts[index] > max_retries
-                            if exhausted:
-                                del pending[index]
+                        time.sleep(delay)
+                    # The parent replays the last pending partition
+                    # itself while the pool handles the rest: one fewer
+                    # dispatch round-trip and shard pickle, and on a
+                    # single-CPU box the 2-way topology collapses to
+                    # parent + one worker — the shape that breaks even
+                    # with serial.  Skipped on retry rounds (those are
+                    # re-dispatches of failures) and under an active
+                    # crash-injection spec (the kill hook must land in a
+                    # worker process to mean anything).
+                    inline_index: Optional[int] = None
+                    if round_no == 1 and kill_spec is None and len(pending) > 1:
+                        inline_index = max(pending)
+                    try:
+                        want = len(pending) - (1 if inline_index is not None else 0)
+                        pool.ensure(min(pool_workers, max(1, want)))
+                        futures = {}
+                        for index, part in pending.items():
+                            if index == inline_index:
+                                continue
+                            if shared is not None:
+                                futures[index] = pool.submit(
+                                    _partition_worker_shm,
+                                    shared.name,
+                                    shared.size,
+                                    part,
+                                    kinds,
+                                    total,
+                                    engine,
+                                    counter_limit,
+                                    trace,
+                                    carry_aware,
+                                    kill_spec,
+                                )
+                            else:
+                                sub, rebased = _subrange_payload(
+                                    payload, part, body_start
+                                )
+                                futures[index] = pool.submit(
+                                    _partition_worker,
+                                    sub,
+                                    rebased,
+                                    kinds,
+                                    total,
+                                    engine,
+                                    counter_limit,
+                                    trace,
+                                    carry_aware,
+                                    kill_spec,
+                                )
+                    except Exception as exc:  # no fork/spawn available
+                        for index in pending:
                             degradations.append(
                                 Degradation(
                                     "partition-replay",
                                     f"{label}:p{index}",
-                                    attempts[index],
+                                    attempts[index] + 1,
+                                    f"pool unavailable: "
                                     f"{type(exc).__name__}: {exc}",
-                                    "serial-fallback"
-                                    if exhausted
-                                    else "retried",
+                                    "serial-fallback",
                                 )
                             )
-                stuck = bool(not_done)
-                for future in not_done:
-                    index = fut_index[future]
-                    attempts[index] += 1
-                    exhausted = attempts[index] > max_retries
-                    if exhausted:
-                        del pending[index]
-                    degradations.append(
-                        Degradation(
-                            "partition-replay",
-                            f"{label}:p{index}",
-                            attempts[index],
-                            f"partition replay exceeded {timeout:g}s "
-                            f"timeout",
-                            "serial-fallback" if exhausted else "retried",
+                        break
+                    if inline_index is not None:
+                        # Workers are already crunching their ranges;
+                        # the parent does its own share before turning
+                        # to collection.
+                        try:
+                            inline(by_index[inline_index])
+                            del pending[inline_index]
+                        except Exception as exc:
+                            attempts[inline_index] += 1
+                            degradations.append(
+                                Degradation(
+                                    "partition-replay",
+                                    f"{label}:p{inline_index}",
+                                    attempts[inline_index],
+                                    f"{type(exc).__name__}: {exc}",
+                                    "retried",
+                                )
+                            )
+                    # Collect in completion order against one shared
+                    # round deadline: finished shards stream into the
+                    # fold immediately instead of queueing behind an
+                    # earlier-submitted straggler.
+                    fut_index = {f: i for i, f in futures.items()}
+                    not_done = set(futures.values())
+                    deadline = time.monotonic() + timeout
+                    while not_done:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        done, not_done = futures_wait(
+                            not_done,
+                            timeout=remaining,
+                            return_when=FIRST_COMPLETED,
                         )
-                    )
-                if stuck:
-                    _terminate_pool(pool)
-                else:
-                    pool.shutdown(wait=True)
+                        for future in done:
+                            index = fut_index[future]
+                            try:
+                                record(index, future.result())
+                                del pending[index]
+                            except Exception as exc:
+                                # BrokenProcessPool and deterministic
+                                # failures alike: retry in a healed
+                                # pool, then fall back.
+                                attempts[index] += 1
+                                exhausted = attempts[index] > max_retries
+                                if exhausted:
+                                    del pending[index]
+                                degradations.append(
+                                    Degradation(
+                                        "partition-replay",
+                                        f"{label}:p{index}",
+                                        attempts[index],
+                                        f"{type(exc).__name__}: {exc}",
+                                        "serial-fallback"
+                                        if exhausted
+                                        else "retried",
+                                    )
+                                )
+                    stuck = bool(not_done)
+                    for future in not_done:
+                        index = fut_index[future]
+                        attempts[index] += 1
+                        exhausted = attempts[index] > max_retries
+                        if exhausted:
+                            del pending[index]
+                        degradations.append(
+                            Degradation(
+                                "partition-replay",
+                                f"{label}:p{index}",
+                                attempts[index],
+                                f"partition replay exceeded {timeout:g}s "
+                                f"timeout",
+                                "serial-fallback" if exhausted else "retried",
+                            )
+                        )
+                    if stuck:
+                        # A wedged worker cannot be left warm: kill the
+                        # pool; the next round (or caller) respawns it.
+                        pool.terminate()
+                    # A healthy pool stays warm for the next round,
+                    # tool, cell, or sweep — that is the whole point.
+        finally:
+            # Unlink on every path out — success, degradation, or an
+            # exception — so no /dev/shm segment outlives the replay.
+            if shared is not None:
+                shared.unlink()
         for index in sorted(set(p.index for p in parts) - set(results)):
             inline(by_index[index])
 
@@ -987,6 +1125,13 @@ def replay_partitioned(
                 round(plan.imbalance, 6)
             )
         metrics.gauge("partition.carried", labels).set(plan.carried)
+        pstats = pool_stats()
+        metrics.gauge("pool.workers", labels).set(pstats["workers"])
+        metrics.gauge("pool.tasks", labels).set(pstats["tasks"])
+        metrics.gauge("pool.tasks_reused", labels).set(pstats["tasks_reused"])
+        # Sampled after the unlink above: a nonzero reading here IS a
+        # leak, which is exactly what the gauge exists to catch.
+        metrics.gauge("shm.segments_active", labels).set(active_segments())
         if merge:
             metrics.histogram("partition.merge_us", labels).observe(
                 max(1, int(merge_time * 1e6))

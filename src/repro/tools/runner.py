@@ -50,6 +50,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.events import EventBatch, count_superops, fuse_batch
 from repro.core.tracefile import iter_section_batches, pipeline_batches
+from repro.tools.pool import (
+    SharedTrace,
+    attached_view,
+    get_pool,
+    shm_available,
+)
 from repro.tools.aprof import AprofTool
 from repro.tools.aprof_drms import AprofDrmsTool
 from repro.tools.base import AnalysisTool
@@ -164,6 +170,10 @@ class WorkloadMeasurement:
     record_time: float = 0.0
     #: events in the recorded trace
     trace_events: int = 0
+    #: serialised size of the recorded trace, when a parallel or
+    #: partitioned path forced serialisation (0 = never serialised);
+    #: ``trace_bytes / trace_events`` is the encoding-efficiency gauge
+    trace_bytes: int = 0
     #: self-healing actions taken while measuring (empty = clean run);
     #: a tool that was ``excluded`` has no entry in :attr:`tools`
     degradations: List[Degradation] = field(default_factory=list)
@@ -312,6 +322,32 @@ def _replay_worker(
     return replay_tool(factory, EventBatch.from_bytes(payload), repeats, engine)
 
 
+def _replay_worker_shm(
+    factory: Callable[[], AnalysisTool],
+    segment: str,
+    size: int,
+    repeats: int,
+    engine: str = "batched",
+) -> Tuple[float, int]:
+    """Pool entry point for shared-memory residency: the task pickles a
+    factory and a segment name; the trace bytes never cross the pipe.
+
+    The columnar engine decodes sections zero-copy straight off the
+    attached view; the batch engines materialise the payload locally
+    (one in-worker copy, still no pickling) because ``from_bytes``
+    wants an immutable buffer to slice.
+    """
+    view = attached_view(segment, size)
+    try:
+        if engine == "columnar":
+            return replay_tool_streaming(factory, view, repeats)
+        return replay_tool(
+            factory, EventBatch.from_bytes(bytes(view)), repeats, engine
+        )
+    finally:
+        view.release()
+
+
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down even when a worker is wedged: cancel what can be
     cancelled, then terminate the worker processes outright.  Without
@@ -328,7 +364,7 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
 
 def _replay_all_supervised(
     tools: Dict[str, Callable[[], AnalysisTool]],
-    batch: EventBatch,
+    payload: bytes,
     repeats: int,
     workers: int,
     timeout: float,
@@ -338,105 +374,137 @@ def _replay_all_supervised(
 ) -> Tuple[Dict[str, Tuple[float, int]], List[Degradation]]:
     """Replay every tool in worker processes under supervision.
 
-    Transient failures — a replay exceeding ``timeout``, a worker dying
-    and breaking the pool — are retried up to ``max_retries`` times with
-    exponential backoff plus jitter (fresh pool per round).  A tool that
-    exhausts its retries, or fails for a deterministic reason (its
-    factory cannot be pickled, its replay raises), is left out of the
-    returned results for the caller's serial fallback.  Every decision
-    is recorded as a :class:`Degradation`.  Never raises, never hangs.
+    The serialised trace lives in one shared-memory segment for the
+    whole call (every tool, every retry round); tasks pickle a factory
+    and a segment name, and the process-wide warm pool
+    (:func:`repro.tools.pool.get_pool`) serves every round instead of
+    forking a fresh executor each time.  Transient failures — a replay
+    exceeding ``timeout``, a worker dying and breaking the pool — are
+    retried up to ``max_retries`` times with exponential backoff plus
+    jitter (the pool heals between rounds).  A tool that exhausts its
+    retries, or fails for a deterministic reason (its factory cannot be
+    pickled, its replay raises), is left out of the returned results
+    for the caller's serial fallback.  Every decision is recorded as a
+    :class:`Degradation`.  Never raises, never hangs, never leaks a
+    segment.
     """
-    payload = batch.to_bytes()
     results: Dict[str, Tuple[float, int]] = {}
     degradations: List[Degradation] = []
     attempts: Dict[str, int] = {name: 0 for name in tools}
     pending: Dict[str, Callable[[], AnalysisTool]] = dict(tools)
-    round_no = 0
-    while pending and round_no <= max_retries:
-        round_no += 1
-        if round_no > 1:
-            # exponential backoff with jitter before re-provisioning the
-            # pool (jitter only shifts wall-clock pacing, never results)
-            delay = backoff_base * 2.0 ** (round_no - 2)
-            delay = min(delay + _jitter_rng.uniform(0, backoff_base), _MAX_BACKOFF)
-            time.sleep(delay)
+    shared = None
+    if shm_available():
         try:
-            pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
-            futures = {
-                name: pool.submit(
-                    _replay_worker, factory, payload, repeats, engine
+            shared = SharedTrace(payload)
+        except Exception:
+            shared = None
+    pool = get_pool()
+    round_no = 0
+    try:
+        while pending and round_no <= max_retries:
+            round_no += 1
+            if round_no > 1:
+                # exponential backoff with jitter before healing the
+                # pool (jitter only shifts pacing, never results)
+                delay = backoff_base * 2.0 ** (round_no - 2)
+                delay = min(
+                    delay + _jitter_rng.uniform(0, backoff_base), _MAX_BACKOFF
                 )
-                for name, factory in pending.items()
-            }
-        except Exception as exc:  # no fork/spawn available at all
-            for name in pending:
-                degradations.append(
-                    Degradation(
-                        "parallel-replay",
-                        name,
-                        attempts[name] + 1,
-                        f"pool unavailable: {type(exc).__name__}: {exc}",
-                        "serial-fallback",
-                    )
-                )
-            return results, degradations
-        stuck = False
-        for name, future in futures.items():
+                time.sleep(delay)
             try:
-                results[name] = future.result(timeout=timeout)
-                del pending[name]
-            except FutureTimeoutError:
-                attempts[name] += 1
-                stuck = True
-                exhausted = attempts[name] > max_retries
-                if exhausted:
-                    # Retry budget spent: hand the tool to the caller's
-                    # serial fallback *now*.  Leaving it in ``pending``
-                    # would resubmit it next round, contradicting the
-                    # ``serial-fallback`` record below.
+                pool.ensure(min(workers, len(pending)))
+                if shared is not None:
+                    futures = {
+                        name: pool.submit(
+                            _replay_worker_shm,
+                            factory,
+                            shared.name,
+                            shared.size,
+                            repeats,
+                            engine,
+                        )
+                        for name, factory in pending.items()
+                    }
+                else:
+                    futures = {
+                        name: pool.submit(
+                            _replay_worker, factory, payload, repeats, engine
+                        )
+                        for name, factory in pending.items()
+                    }
+            except Exception as exc:  # no fork/spawn available at all
+                for name in pending:
+                    degradations.append(
+                        Degradation(
+                            "parallel-replay",
+                            name,
+                            attempts[name] + 1,
+                            f"pool unavailable: {type(exc).__name__}: {exc}",
+                            "serial-fallback",
+                        )
+                    )
+                return results, degradations
+            stuck = False
+            for name, future in futures.items():
+                try:
+                    results[name] = future.result(timeout=timeout)
                     del pending[name]
-                degradations.append(
-                    Degradation(
-                        "parallel-replay",
-                        name,
-                        attempts[name],
-                        f"replay exceeded {timeout:g}s timeout",
-                        "serial-fallback" if exhausted else "retried",
+                except FutureTimeoutError:
+                    attempts[name] += 1
+                    stuck = True
+                    exhausted = attempts[name] > max_retries
+                    if exhausted:
+                        # Retry budget spent: hand the tool to the
+                        # caller's serial fallback *now*.  Leaving it
+                        # in ``pending`` would resubmit it next round,
+                        # contradicting the ``serial-fallback`` record
+                        # below.
+                        del pending[name]
+                    degradations.append(
+                        Degradation(
+                            "parallel-replay",
+                            name,
+                            attempts[name],
+                            f"replay exceeded {timeout:g}s timeout",
+                            "serial-fallback" if exhausted else "retried",
+                        )
                     )
-                )
-            except BrokenProcessPool as exc:
-                attempts[name] += 1
-                exhausted = attempts[name] > max_retries
-                if exhausted:
+                except BrokenProcessPool as exc:
+                    attempts[name] += 1
+                    exhausted = attempts[name] > max_retries
+                    if exhausted:
+                        del pending[name]
+                    degradations.append(
+                        Degradation(
+                            "parallel-replay",
+                            name,
+                            attempts[name],
+                            f"worker pool broke: {exc}",
+                            "serial-fallback" if exhausted else "retried",
+                        )
+                    )
+                except Exception as exc:
+                    # A deterministic failure (unpicklable factory, a
+                    # tool raising on the trace): retrying in a process
+                    # cannot help — go straight to the serial fallback.
+                    attempts[name] = max_retries + 1
                     del pending[name]
-                degradations.append(
-                    Degradation(
-                        "parallel-replay",
-                        name,
-                        attempts[name],
-                        f"worker pool broke: {exc}",
-                        "serial-fallback" if exhausted else "retried",
+                    degradations.append(
+                        Degradation(
+                            "parallel-replay",
+                            name,
+                            1,
+                            f"{type(exc).__name__}: {exc}",
+                            "serial-fallback",
+                        )
                     )
-                )
-            except Exception as exc:
-                # A deterministic failure (unpicklable factory, a tool
-                # raising on the trace): retrying in a process cannot
-                # help — go straight to the serial fallback.
-                attempts[name] = max_retries + 1
-                del pending[name]
-                degradations.append(
-                    Degradation(
-                        "parallel-replay",
-                        name,
-                        1,
-                        f"{type(exc).__name__}: {exc}",
-                        "serial-fallback",
-                    )
-                )
-        if stuck:
-            _terminate_pool(pool)
-        else:
-            pool.shutdown(wait=True)
+            if stuck:
+                # A wedged worker cannot be left warm; the next round's
+                # ensure() respawns the pool.
+                pool.terminate()
+    finally:
+        if shared is not None:
+            shared.unlink()
     return results, degradations
 
 
@@ -556,6 +624,10 @@ def measure_workload(
         }
 
     supervised = parallel is not None and parallel > 1
+    if supervised and payload is None:
+        # One serialisation serves every supervised round (and, with
+        # shm, every worker attaches the same copy).
+        payload = batch.to_bytes()
     replays: Dict[str, Tuple[float, int]] = {}
     degradations: List[Degradation] = []
     with tracer.span(
@@ -571,7 +643,7 @@ def measure_workload(
                     for tool_name, factory in tools.items()
                     if tool_name not in partition_tools
                 },
-                batch,
+                payload,
                 repeats,
                 parallel,
                 replay_timeout,
@@ -665,6 +737,7 @@ def measure_workload(
         native_cells,
         record_time=record_time,
         trace_events=events,
+        trace_bytes=len(payload) if payload is not None else 0,
         degradations=degradations,
         engine=engine,
         superops_fused=superops,
@@ -716,6 +789,17 @@ def publish_measurement(measurement: WorkloadMeasurement, registry) -> None:
     registry.gauge("runner.record_us", w).set(us(measurement.record_time))
     registry.gauge("runner.trace_events", w).set(measurement.trace_events)
     registry.gauge("kernel.superops_fused", w).set(measurement.superops_fused)
+    if measurement.trace_bytes and measurement.trace_events:
+        registry.gauge("trace.bytes_per_event", w).set(
+            round(measurement.trace_bytes / measurement.trace_events, 3)
+        )
+    from repro.tools.pool import active_segments, pool_stats
+
+    pstats = pool_stats()
+    registry.gauge("pool.workers").set(pstats["workers"])
+    registry.gauge("pool.tasks").set(pstats["tasks"])
+    registry.gauge("pool.tasks_reused").set(pstats["tasks_reused"])
+    registry.gauge("shm.segments_active").set(active_segments())
     if measurement.partitions is not None:
         registry.gauge("runner.partitions", w).set(measurement.partitions)
     for tool_name, row in measurement.tools.items():

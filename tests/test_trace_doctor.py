@@ -22,6 +22,7 @@ from repro.core.events import (
 )
 from repro.core.events import _BATCH_MAGIC_V1
 from repro.core.tracefile import (
+    TRACE_FORMAT_VERSION,
     TraceFormatError,
     load_batch,
     load_trace_binary,
@@ -76,7 +77,7 @@ class TestV2Roundtrip:
         data = v2_bytes(events)
         scan = scan_batch_bytes(data)
         assert scan.intact
-        assert scan.version == 2
+        assert scan.version == TRACE_FORMAT_VERSION
         assert scan.error is None
         assert scan.declared_events == scan.events_loaded == len(
             encode_events(events)
@@ -213,7 +214,7 @@ class TestDoctorCli:
         path = self.trace_file(tmp_path, v2_bytes(sample_events()))
         assert main(["doctor", "--trace", path]) == 0
         out = capsys.readouterr().out
-        assert "intact" in out and "v2" in out
+        assert "intact" in out and f"v{TRACE_FORMAT_VERSION}" in out
 
     def test_doctor_intact_lists_sections(self, tmp_path, capsys):
         path = self.trace_file(
